@@ -1,0 +1,8 @@
+"""Bench e10: regenerates the e10 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e10_ls_accuracy as experiment
+
+
+def test_e10(benchmark):
+    run_experiment(benchmark, experiment)

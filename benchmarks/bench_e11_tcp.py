@@ -1,0 +1,8 @@
+"""Bench e11: regenerates the e11 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e11_tcp as experiment
+
+
+def test_e11(benchmark):
+    run_experiment(benchmark, experiment)

@@ -1,0 +1,8 @@
+"""Bench e12: regenerates the e12 (extension) table (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e12_frame_curves as experiment
+
+
+def test_e12(benchmark):
+    run_experiment(benchmark, experiment)

@@ -1,0 +1,8 @@
+"""Bench e13: regenerates the e13 (extension) table (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e13_multihop as experiment
+
+
+def test_e13(benchmark):
+    run_experiment(benchmark, experiment)

@@ -1,0 +1,8 @@
+"""Bench e1: regenerates the e1 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e1_sced_punishment as experiment
+
+
+def test_e1(benchmark):
+    run_experiment(benchmark, experiment)

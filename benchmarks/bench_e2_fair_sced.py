@@ -1,0 +1,8 @@
+"""Bench e2: regenerates the e2 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e2_fair_sced as experiment
+
+
+def test_e2(benchmark):
+    run_experiment(benchmark, experiment)

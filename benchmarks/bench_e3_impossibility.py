@@ -1,0 +1,8 @@
+"""Bench e3: regenerates the e3 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e3_impossibility as experiment
+
+
+def test_e3(benchmark):
+    run_experiment(benchmark, experiment)

@@ -1,0 +1,8 @@
+"""Bench e4: regenerates the e4 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e4_link_sharing as experiment
+
+
+def test_e4(benchmark):
+    run_experiment(benchmark, experiment)

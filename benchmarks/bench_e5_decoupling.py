@@ -1,0 +1,8 @@
+"""Bench e5: regenerates the e5 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e5_decoupling as experiment
+
+
+def test_e5(benchmark):
+    run_experiment(benchmark, experiment)

@@ -1,0 +1,8 @@
+"""Bench e6: regenerates the e6 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e6_delay_bounds as experiment
+
+
+def test_e6(benchmark):
+    run_experiment(benchmark, experiment)

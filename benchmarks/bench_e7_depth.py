@@ -1,0 +1,8 @@
+"""Bench e7: regenerates the e7 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e7_depth as experiment
+
+
+def test_e7(benchmark):
+    run_experiment(benchmark, experiment)

@@ -1,0 +1,8 @@
+"""Bench e8: regenerates the e8 table/figure (see DESIGN.md)."""
+
+from conftest import run_experiment
+from repro.experiments import e8_fairness as experiment
+
+
+def test_e8(benchmark):
+    run_experiment(benchmark, experiment)

@@ -1,0 +1,39 @@
+"""Bench E9: per-packet scheduler overhead vs class count.
+
+This is the reproduction of the paper's overhead measurements (abstract:
+"determine the computation overhead"; Section V: O(log n) per packet).
+Unlike the other benches, the timing here IS the result: pytest-benchmark
+rows for each (scheduler, class count) pair form the overhead table, in
+Python-relative units (DESIGN.md records the kernel-to-Python
+substitution).  A final shape test asserts the O(log n) growth.
+"""
+
+import pytest
+
+from repro.experiments import e9_overhead
+
+
+@pytest.mark.parametrize("kind", ["FIFO", "WFQ", "H-PFQ", "H-FSC"])
+@pytest.mark.parametrize("n_classes", [4, 64, 1024])
+def test_e9_per_packet_cost(benchmark, kind, n_classes):
+    packets = 5_000
+
+    def setup():
+        return (e9_overhead.build_scheduler(kind, n_classes),), {}
+
+    def work(scheduler):
+        e9_overhead.churn(scheduler, n_classes, packets)
+
+    benchmark.pedantic(work, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["per_packet_us"] = (
+        benchmark.stats.stats.mean / (packets + n_classes) * 1e6
+    )
+
+
+def test_e9_shape(benchmark):
+    result = benchmark.pedantic(
+        e9_overhead.run, args=([4, 64, 1024], 10_000), rounds=1, iterations=1
+    )
+    print()
+    print(result.summary())
+    assert result.passed, result.summary()

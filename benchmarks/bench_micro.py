@@ -1,0 +1,113 @@
+"""Micro-benchmarks for the substrate data structures and curve ops.
+
+Complements E9: where E9 measures whole-scheduler per-packet cost, these
+isolate the O(log n) containers of Section V (indexed heap, augmented
+eligible tree, calendar queue) and the O(1) runtime-curve updates of
+Fig. 8, so regressions can be localized.
+"""
+
+import random
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.runtime_curves import RuntimeCurve
+from repro.util.calendar_queue import CalendarQueue
+from repro.util.eligible_tree import EligibleTree
+from repro.util.heap import IndexedHeap
+
+N = 1024
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xBEEF)
+
+
+def test_heap_update_cycle(benchmark, rng):
+    heap = IndexedHeap()
+    for i in range(N):
+        heap.push(i, rng.random())
+
+    def work():
+        for i in range(0, N, 8):
+            heap.update(i, rng.random())
+        return heap.peek()
+
+    benchmark(work)
+
+
+def test_heap_push_pop(benchmark, rng):
+    keys = [rng.random() for _ in range(N)]
+
+    def work():
+        heap = IndexedHeap()
+        for i, key in enumerate(keys):
+            heap.push(i, key)
+        while heap:
+            heap.pop()
+
+    benchmark(work)
+
+
+def test_eligible_tree_query(benchmark, rng):
+    tree = EligibleTree()
+    for i in range(N):
+        tree.insert(i, rng.random() * 100, rng.random() * 100)
+
+    def work():
+        return tree.min_deadline_eligible(50.0)
+
+    benchmark(work)
+
+
+def test_eligible_tree_update(benchmark, rng):
+    tree = EligibleTree()
+    for i in range(N):
+        tree.insert(i, rng.random() * 100, rng.random() * 100)
+
+    def work():
+        for i in range(0, N, 8):
+            tree.update(i, rng.random() * 100, rng.random() * 100)
+
+    benchmark(work)
+
+
+def test_calendar_queue_churn(benchmark, rng):
+    cq = CalendarQueue(bucket_width=0.1)
+    time = [0.0]
+    for i in range(N):
+        cq.insert(i, rng.random() * 10)
+
+    def work():
+        for _ in range(64):
+            item, t = cq.pop_min()
+            cq.insert(item, t + rng.random() * 10)
+
+    benchmark(work)
+
+
+def test_runtime_curve_update(benchmark):
+    spec = ServiceCurve(m1=2000.0, d=0.01, m2=1000.0)
+
+    def work():
+        curve = RuntimeCurve.from_spec(spec, 0.0, 0.0)
+        t, c = 0.0, 0.0
+        for _ in range(100):
+            t += 0.02
+            c += 15.0
+            curve.min_with(spec, t, c)
+            curve.inverse(c + 100.0)
+        return curve
+
+    benchmark(work)
+
+
+def test_piecewise_min(benchmark):
+    a = ServiceCurve(m1=2000.0, d=0.01, m2=1000.0).to_piecewise()
+    b = ServiceCurve(m1=0.0, d=0.05, m2=3000.0).to_piecewise()
+
+    def work():
+        return a.min_with(b.shifted(0.01, 5.0))
+
+    benchmark(work)

@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Every ``bench_e*.py`` module regenerates one of the paper's tables or
+figures (see DESIGN.md's experiment index): the benchmark fixture times
+the run, the assertions check the *shape* of the result (who wins, bounds
+hold, crossovers where expected), and the experiment's table is printed
+so the numbers land in the pytest output.
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, module):
+    """Benchmark an experiment module's run() once and verify its checks."""
+    result = benchmark.pedantic(module.run, rounds=1, iterations=1)
+    print()
+    print(result.summary())
+    assert result.passed, f"shape checks failed:\n{result.summary()}"
+    return result

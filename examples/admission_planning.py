@@ -1,0 +1,55 @@
+"""Admission planning: how much more can this link promise?
+
+Run:  python examples/admission_planning.py
+
+An operator has a 10 Mbit/s link with audio, video, and bulk reservations
+and wants to know (a) whether the set is feasible, (b) how much linear
+rate is still sellable, (c) how far the video class could scale, and
+(d) at which time scale the link is tight (burst-limited vs rate-limited).
+All four questions are answered by the service-curve algebra of Section II
+-- no simulation required.
+"""
+
+from repro import ServiceCurve, is_admissible
+from repro.core.admission import (
+    admissible_rate_headroom,
+    max_admissible_scale,
+    utilization_profile,
+)
+
+LINK = 1_250_000.0  # bytes/second
+
+
+def main() -> None:
+    audio = ServiceCurve.from_delay(umax=160, dmax=0.005, rate=8_000)
+    video = ServiceCurve.from_delay(umax=8_000, dmax=0.015, rate=125_000)
+    bulk = ServiceCurve.linear(500_000)
+    existing = [audio, video, bulk]
+
+    print(f"link: {LINK:,.0f} B/s (10 Mbit/s)")
+    for name, curve in [("audio", audio), ("video", video), ("bulk", bulk)]:
+        shape = "concave" if curve.is_concave and not curve.is_linear else (
+            "convex" if curve.is_convex and not curve.is_linear else "linear")
+        print(f"  {name:6} m1={curve.m1:>10,.0f}  d={curve.d*1e3:6.1f} ms  "
+              f"m2={curve.m2:>9,.0f}  ({shape})")
+
+    print(f"\nfeasible: {is_admissible(existing, LINK)}")
+
+    headroom = admissible_rate_headroom(existing, LINK)
+    print(f"sellable linear rate on top: {headroom:,.0f} B/s "
+          f"({headroom * 8 / 1e6:.2f} Mbit/s)")
+
+    scale = max_admissible_scale([audio, bulk], video, LINK)
+    print(f"video could scale by up to {scale:.2f}x before the set "
+          f"becomes infeasible")
+
+    print("\nutilization profile (sum of curves / link line):")
+    for t, utilization in utilization_profile(existing, LINK):
+        label = f"{t*1e3:9.1f} ms" if t < 1e3 else "asymptotic"
+        print(f"  t = {label:>12}: {utilization:6.1%}")
+    print("\nthe burst window (small t) is the binding constraint here:")
+    print("video's 15 ms frame guarantee, not anyone's long-term rate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Per-hop service curves composing along a multi-hop path.
+
+Run:  python examples/multihop_path.py
+
+A 64 kbit/s audio flow crosses three H-FSC-scheduled 1 Mbit/s hops, each
+saturated by its own greedy cross traffic.  Each hop promises the audio
+class (umax=160 B, dmax=10 ms); network calculus composes these into an
+end-to-end bound of sum(dmax_i + tau_i) + propagation, which the measured
+worst delay respects.  The same path with FIFO hops shows what happens
+without per-hop guarantees.
+"""
+
+from repro import (
+    CBRSource,
+    EventLoop,
+    GreedySource,
+    HFSC,
+    Network,
+    ServiceCurve,
+)
+from repro.schedulers import FIFOScheduler
+
+LINK = 125_000.0   # 1 Mbit/s per hop
+AUDIO_RATE, AUDIO_PKT, DMAX = 8_000.0, 160.0, 0.01
+CROSS_PKT, WIRE = 1_500.0, 0.002
+N_HOPS = 3
+
+
+def hfsc_hop():
+    sched = HFSC(LINK)
+    sched.add_class("audio",
+                    sc=ServiceCurve.from_delay(AUDIO_PKT, DMAX, AUDIO_RATE))
+    sched.add_class("cross",
+                    rt_sc=ServiceCurve.linear(80_000.0),
+                    ls_sc=ServiceCurve.linear(LINK - AUDIO_RATE))
+    return sched
+
+
+def measure(kind: str) -> float:
+    loop = EventLoop()
+    net = Network(loop)
+    nodes = [f"n{i}" for i in range(N_HOPS + 1)]
+    hops = []
+    for src, dst in zip(nodes, nodes[1:]):
+        sched = hfsc_hop() if kind == "H-FSC" else FIFOScheduler(LINK)
+        hops.append(net.add_hop(src, dst, sched, delay=WIRE))
+    net.add_route("audio", nodes)
+    delays = []
+    net.add_delivery_listener("audio", lambda p, t: delays.append(t - p.created))
+    CBRSource(loop, net.ingress("audio"), "audio",
+              rate=AUDIO_RATE, packet_size=AUDIO_PKT, stop=20.0)
+    for hop in hops:  # hop-local congestion on every link
+        GreedySource(loop, hop.link, "cross", packet_size=CROSS_PKT, window=8)
+    loop.run(until=30.0)
+    return max(delays)
+
+
+def main() -> None:
+    tau = CROSS_PKT / LINK
+    bound = N_HOPS * (DMAX + tau + WIRE)
+    print(f"path: {N_HOPS} hops x 1 Mbit/s, each hop congested by greedy "
+          f"cross traffic")
+    print(f"composed analytic bound: {bound * 1e3:.1f} ms "
+          f"({N_HOPS} x (dmax {DMAX*1e3:.0f} + tau {tau*1e3:.0f} + "
+          f"wire {WIRE*1e3:.0f}) ms)")
+    for kind in ("H-FSC", "FIFO"):
+        worst = measure(kind)
+        print(f"{kind:>6}: worst end-to-end audio delay = {worst*1e3:7.2f} ms")
+    print()
+    print("per-hop service curves compose; FIFO offers no per-hop promise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Real-time audio + video with decoupled delay, versus rate-coupled WFQ.
+
+Run:  python examples/realtime_audio_video.py
+
+The paper's motivating configuration: a 64 kbit/s audio session and a
+1 Mbit/s video session (8 kB frames at 15 fps) sharing a 10 Mbit/s link
+with greedy FTP.  Both real-time sessions ask for low delay via concave
+service curves built from (umax, dmax, rate); the same sessions under
+WFQ can only get delay proportional to packet/rate.  Uses the live
+event-driven simulator with frame-structured video traffic.
+"""
+
+from repro import (
+    CBRSource,
+    EventLoop,
+    GreedySource,
+    HFSC,
+    Link,
+    ServiceCurve,
+    StatsCollector,
+    VideoFrameSource,
+)
+from repro.schedulers import WFQScheduler
+from repro.util.rng import make_rng
+
+LINK_RATE = 1_250_000.0
+AUDIO_RATE, AUDIO_PKT, AUDIO_DMAX = 8_000.0, 160.0, 0.005
+VIDEO_RATE, VIDEO_FRAME, VIDEO_DMAX = 125_000.0, 8_000.0, 0.010
+
+
+def run_hfsc():
+    loop = EventLoop()
+    scheduler = HFSC(LINK_RATE)
+    audio_sc = ServiceCurve.from_delay(AUDIO_PKT, AUDIO_DMAX, AUDIO_RATE)
+    video_sc = ServiceCurve.from_delay(VIDEO_FRAME, VIDEO_DMAX, VIDEO_RATE)
+    scheduler.add_class("audio", sc=audio_sc)
+    scheduler.add_class("video", sc=video_sc)
+    scheduler.add_class(
+        "ftp",
+        rt_sc=ServiceCurve.linear(LINK_RATE - audio_sc.m1 - video_sc.m1 - 10_000),
+        ls_sc=ServiceCurve.linear(LINK_RATE - AUDIO_RATE - VIDEO_RATE),
+    )
+    return loop, scheduler
+
+
+def run_wfq():
+    loop = EventLoop()
+    scheduler = WFQScheduler(LINK_RATE)
+    scheduler.add_flow("audio", AUDIO_RATE)
+    scheduler.add_flow("video", VIDEO_RATE)
+    scheduler.add_flow("ftp", LINK_RATE - AUDIO_RATE - VIDEO_RATE)
+    return loop, scheduler
+
+
+def simulate(name, loop, scheduler):
+    link = Link(loop, scheduler)
+    stats = StatsCollector(link)
+    CBRSource(loop, link, "audio", rate=AUDIO_RATE, packet_size=AUDIO_PKT)
+    VideoFrameSource(loop, link, "video", fps=15.0, mean_frame=6_000.0,
+                     max_frame=VIDEO_FRAME, mtu=1000.0,
+                     rng=make_rng(7, name, "video"))
+    GreedySource(loop, link, "ftp", packet_size=1500.0)
+    loop.run(until=30.0)
+    return stats
+
+
+def main() -> None:
+    print(f"{'':10} {'audio mean':>11} {'audio max':>10} "
+          f"{'video mean':>11} {'video max':>10} {'ftp B/s':>12}")
+    for name, builder in [("H-FSC", run_hfsc), ("WFQ", run_wfq)]:
+        loop, scheduler = builder()
+        stats = simulate(name, loop, scheduler)
+        print(
+            f"{name:10} "
+            f"{stats['audio'].mean_delay * 1e3:>9.2f}ms "
+            f"{stats['audio'].max_delay * 1e3:>8.2f}ms "
+            f"{stats['video'].mean_delay * 1e3:>9.2f}ms "
+            f"{stats['video'].max_delay * 1e3:>8.2f}ms "
+            f"{stats['ftp'].throughput():>12,.0f}"
+        )
+    print()
+    print("H-FSC: audio delay tracks its 5 ms curve despite the 64 kbit/s")
+    print("rate; WFQ couples delay to rate (~160 B / 8 kB/s = 20 ms).")
+
+
+if __name__ == "__main__":
+    main()

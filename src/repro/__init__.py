@@ -1,0 +1,121 @@
+"""repro -- a reproduction of the H-FSC hierarchical fair service curve
+scheduler (Stoica, Zhang, Ng; SIGCOMM 1997 / IEEE ToN April 2000).
+
+Public API map:
+
+* :mod:`repro.core` -- service curves, SCED, the H-FSC scheduler, the
+  declarative hierarchy builder and the fluid reference models;
+* :mod:`repro.schedulers` -- baseline schedulers (FIFO, priority, virtual
+  clock, WFQ, SFQ, WF2Q+, DRR, H-PFQ, CBQ);
+* :mod:`repro.sim` -- discrete-event simulator: event loop, link, traffic
+  sources, simplified TCP, measurement;
+* :mod:`repro.analysis` -- delay-bound, fairness and link-sharing accuracy
+  computations;
+* :mod:`repro.experiments` -- the paper's experiments E1..E11, shared by
+  the examples and the benchmark harness.
+
+Quickstart::
+
+    from repro import HFSC, ServiceCurve, EventLoop, Link, CBRSource
+
+    loop = EventLoop()
+    scheduler = HFSC(link_rate=1_250_000)          # 10 Mbit/s in bytes/s
+    scheduler.add_class("audio", sc=ServiceCurve.from_delay(
+        umax=160, dmax=0.005, rate=8_000))          # 64 kbit/s, 5 ms per packet
+    scheduler.add_class("data", sc=ServiceCurve.linear(1_242_000))
+    link = Link(loop, scheduler)
+    CBRSource(loop, link, "audio", rate=8_000, packet_size=160)
+    loop.run(until=10.0)
+"""
+
+from repro.core import (
+    HFSC,
+    ROOT,
+    AdmissionError,
+    ClassSpec,
+    ConfigurationError,
+    FairCurveScheduler,
+    HFSCClass,
+    HFSCScheduler,
+    PiecewiseLinearCurve,
+    ReproError,
+    RuntimeCurve,
+    SCEDScheduler,
+    ServiceCurve,
+    SimulationError,
+    build_hfsc,
+    figure1_hierarchy,
+    is_admissible,
+    sum_curves,
+)
+from repro.sim import (
+    ClassStats,
+    DropTailBuffer,
+    EventLoop,
+    Hop,
+    Link,
+    Network,
+    Packet,
+    StatsCollector,
+    TCPConnection,
+    ThroughputMeter,
+    TokenBucketPolicer,
+    TokenBucketShaper,
+    TraceRecorder,
+)
+from repro.sim.sources import (
+    CBRSource,
+    GreedySource,
+    OnOffSource,
+    PoissonSource,
+    TraceSource,
+    VideoFrameSource,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # curves & admission
+    "ServiceCurve",
+    "PiecewiseLinearCurve",
+    "RuntimeCurve",
+    "sum_curves",
+    "is_admissible",
+    # schedulers (core)
+    "HFSC",
+    "HFSCScheduler",
+    "HFSCClass",
+    "SCEDScheduler",
+    "FairCurveScheduler",
+    "ROOT",
+    # hierarchy
+    "ClassSpec",
+    "build_hfsc",
+    "figure1_hierarchy",
+    # simulation
+    "EventLoop",
+    "Link",
+    "Packet",
+    "Network",
+    "Hop",
+    "StatsCollector",
+    "ClassStats",
+    "ThroughputMeter",
+    "TCPConnection",
+    "DropTailBuffer",
+    "TokenBucketShaper",
+    "TokenBucketPolicer",
+    "TraceRecorder",
+    "CBRSource",
+    "PoissonSource",
+    "OnOffSource",
+    "GreedySource",
+    "VideoFrameSource",
+    "TraceSource",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "AdmissionError",
+    "SimulationError",
+]

@@ -1,0 +1,62 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # experiment index
+    python -m repro run E5               # one experiment, text report
+    python -m repro run all --markdown   # everything, markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.experiments import run_all as runner
+from repro.experiments.base import ExperimentResult
+
+
+def _registry() -> Dict[str, object]:
+    registry = {}
+    for module in runner.ALL_EXPERIMENTS:
+        short = module.__name__.rsplit(".", 1)[-1].split("_")[0].upper()
+        registry[short] = module
+    return registry
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="H-FSC reproduction: run the paper's experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list all experiments")
+    run_parser = subparsers.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument("experiment", help="experiment id (e.g. E5) or 'all'")
+    run_parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown tables"
+    )
+    args = parser.parse_args(argv)
+    registry = _registry()
+
+    if args.command == "list":
+        for short, module in registry.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{short:5} {doc}")
+        return 0
+
+    if args.experiment.lower() == "all":
+        return runner.main(["--markdown"] if args.markdown else [])
+    key = args.experiment.upper()
+    if key not in registry:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    result: ExperimentResult = registry[key].run()
+    print(runner.to_markdown(result) if args.markdown else result.summary())
+    return 0 if result.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

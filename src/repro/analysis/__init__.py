@@ -1,0 +1,35 @@
+"""Analysis: delay bounds, audits, fairness metrics, link-sharing accuracy."""
+
+from repro.analysis.audit import (
+    backlogged_period_starts,
+    service_curve_violation,
+)
+from repro.analysis.delay import (
+    coupled_delay_bound,
+    hfsc_delay_bound,
+    service_curve_delay_bound,
+)
+from repro.analysis.fairness import (
+    jain_index,
+    normalized_service_spread,
+    starvation_period,
+)
+from repro.analysis.linkshare import (
+    discrepancy_integral,
+    discrepancy_sup,
+    series_difference,
+)
+
+__all__ = [
+    "service_curve_violation",
+    "backlogged_period_starts",
+    "service_curve_delay_bound",
+    "hfsc_delay_bound",
+    "coupled_delay_bound",
+    "jain_index",
+    "starvation_period",
+    "normalized_service_spread",
+    "series_difference",
+    "discrepancy_sup",
+    "discrepancy_integral",
+]

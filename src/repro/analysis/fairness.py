@@ -1,0 +1,82 @@
+"""Fairness metrics (Section III-B, Section VI).
+
+Three measurements used by the fairness experiments:
+
+* :func:`starvation_period` -- the longest interval in which a backlogged
+  class received no service after a given time; the punishment signature
+  of SCED/virtual clock (large) versus H-FSC (bounded by packet times).
+* :func:`normalized_service_spread` -- the worst spread of normalized
+  service (service divided by configured rate) across continuously
+  backlogged classes over a window: the packetized analogue of virtual
+  time discrepancy.
+* :func:`jain_index` -- Jain's fairness index over a share vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.packet import Packet
+
+
+def jain_index(shares: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 is perfectly fair, 1/n worst."""
+    if not shares:
+        raise ValueError("shares must be non-empty")
+    total = sum(shares)
+    squares = sum(s * s for s in shares)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(shares) * squares)
+
+
+def starvation_period(
+    served: Sequence[Packet],
+    class_id,
+    start: float,
+    stop: float,
+) -> float:
+    """Longest gap without a departure of ``class_id`` within [start, stop].
+
+    The caller is responsible for choosing a window in which the class is
+    known to be continuously backlogged, so every gap is genuine denial of
+    service rather than lack of demand.
+    """
+    if stop <= start:
+        raise ValueError("stop must be after start")
+    times = sorted(
+        p.departed for p in served
+        if p.class_id == class_id and p.departed is not None
+        and start <= p.departed <= stop
+    )
+    edges = [start] + times + [stop]
+    return max(b - a for a, b in zip(edges, edges[1:]))
+
+
+def normalized_service_spread(
+    served: Sequence[Packet],
+    rates: Dict[object, float],
+    window: Tuple[float, float],
+) -> float:
+    """Worst spread of service/rate across classes over prefixes of a window.
+
+    For each departure instant t in the window, computes
+    ``max_i w_i(t)/r_i - min_i w_i(t)/r_i`` where ``w_i`` counts bytes of
+    class i delivered inside the window; returns the maximum over t.  For
+    continuously backlogged classes under a perfectly fair (fluid) server
+    this is 0; packet servers bound it by a few packet times.
+    """
+    start, stop = window
+    events: List[Tuple[float, object, float]] = sorted(
+        (p.departed, p.class_id, p.size)
+        for p in served
+        if p.class_id in rates and p.departed is not None
+        and start < p.departed <= stop
+    )
+    service = {cid: 0.0 for cid in rates}
+    worst = 0.0
+    for time, cid, size in events:
+        service[cid] += size
+        normalized = [service[c] / rates[c] for c in rates]
+        worst = max(worst, max(normalized) - min(normalized))
+    return worst

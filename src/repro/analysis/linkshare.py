@@ -1,0 +1,75 @@
+"""Link-sharing accuracy: packet schedulers vs the fluid FSC ideal (E10).
+
+The paper's stated goal for interior classes is to "minimize the
+discrepancy between the actual services provided ... and the services
+defined by the FSC link-sharing model".  Given the cumulative-service
+series of a class under a packet scheduler and under the fluid ideal
+(:class:`repro.core.fluid.FluidFSC`), these helpers quantify that
+discrepancy as a sup-norm (bytes) and a time-integral (byte-seconds).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+
+def _interpolate(series: Series, time: float) -> float:
+    if not series:
+        return 0.0
+    if time <= series[0][0]:
+        return series[0][1]
+    if time >= series[-1][0]:
+        return series[-1][1]
+    lo, hi = 0, len(series) - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if series[mid][0] <= time:
+            lo = mid
+        else:
+            hi = mid
+    t1, s1 = series[lo]
+    t2, s2 = series[hi]
+    if t2 == t1:
+        return s2
+    return s1 + (s2 - s1) * (time - t1) / (t2 - t1)
+
+
+def series_difference(actual: Series, ideal: Series, times: Sequence[float]) -> List[float]:
+    """actual(t) - ideal(t) sampled at the given times."""
+    return [
+        _interpolate(actual, t) - _interpolate(ideal, t) for t in times
+    ]
+
+
+def discrepancy_sup(actual: Series, ideal: Series, times: Sequence[float]) -> float:
+    """sup_t |actual(t) - ideal(t)| over the sample times (bytes)."""
+    return max(abs(d) for d in series_difference(actual, ideal, times))
+
+
+def discrepancy_integral(
+    actual: Series, ideal: Series, start: float, stop: float, dt: float
+) -> float:
+    """Integral of |actual - ideal| over [start, stop] (byte-seconds)."""
+    if stop <= start or dt <= 0:
+        raise ValueError("need stop > start and dt > 0")
+    total = 0.0
+    t = start
+    while t < stop:
+        total += abs(_interpolate(actual, t) - _interpolate(ideal, t)) * dt
+        t += dt
+    return total
+
+
+def cumulative_series(served, class_id) -> List[Tuple[float, float]]:
+    """Build a (time, cumulative bytes) series from served packets."""
+    points: List[Tuple[float, float]] = [(0.0, 0.0)]
+    total = 0.0
+    for packet in sorted(
+        (p for p in served if p.class_id == class_id and p.departed is not None),
+        key=lambda p: p.departed,
+    ):
+        total += packet.size
+        points.append((packet.departed, total))
+    return points

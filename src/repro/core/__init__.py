@@ -1,0 +1,51 @@
+"""The paper's core contribution: service curves, SCED and H-FSC."""
+
+from repro.core.admission import (
+    admissible_rate_headroom,
+    max_admissible_scale,
+    utilization_profile,
+)
+from repro.core.curves import (
+    PiecewiseLinearCurve,
+    ServiceCurve,
+    is_admissible,
+    sum_curves,
+)
+from repro.core.fluid import FluidFSC, FluidGPS
+from repro.core.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.hfsc import HFSC, HFSCClass, HFSCScheduler, ROOT
+from repro.core.hierarchy import ClassSpec, build_hfsc, figure1_hierarchy
+from repro.core.runtime_curves import RuntimeCurve, eligible_spec
+from repro.core.sced import FairCurveScheduler, SCEDScheduler
+
+__all__ = [
+    "ServiceCurve",
+    "PiecewiseLinearCurve",
+    "RuntimeCurve",
+    "eligible_spec",
+    "sum_curves",
+    "is_admissible",
+    "admissible_rate_headroom",
+    "max_admissible_scale",
+    "utilization_profile",
+    "FluidGPS",
+    "FluidFSC",
+    "SCEDScheduler",
+    "FairCurveScheduler",
+    "HFSC",
+    "HFSCScheduler",
+    "HFSCClass",
+    "ROOT",
+    "ClassSpec",
+    "build_hfsc",
+    "figure1_hierarchy",
+    "ReproError",
+    "ConfigurationError",
+    "AdmissionError",
+    "SimulationError",
+]

@@ -1,0 +1,105 @@
+"""Admission-control utilities beyond the basic feasibility check.
+
+`repro.core.curves.is_admissible` answers "does this set fit?"; operators
+also want *headroom* questions:
+
+* :func:`admissible_rate_headroom` -- the largest linear rate that can
+  still be admitted next to an existing curve set;
+* :func:`max_admissible_scale` -- the largest factor by which a candidate
+  curve can be scaled while the whole set stays feasible;
+* :func:`utilization_profile` -- sum-of-curves divided by the server line
+  at each breakpoint, showing *where* (at which time scale) the link is
+  tight: concave sets are burst-limited (tight at small t), linear sets
+  rate-limited (tight asymptotically).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.curves import (
+    PiecewiseLinearCurve,
+    ServiceCurve,
+    is_admissible,
+    sum_curves,
+)
+from repro.core.errors import ConfigurationError
+
+
+def admissible_rate_headroom(
+    existing: Sequence[ServiceCurve], server_rate: float
+) -> float:
+    """Largest linear rate admissible alongside ``existing`` curves.
+
+    For a linear candidate the binding constraint is the tightest point of
+    ``server_rate * t - sum(existing)(t)`` over ``t``; since all curves are
+    piecewise linear the minimum of the *slack rate* is attained at a
+    breakpoint or asymptotically.
+    """
+    if server_rate <= 0:
+        raise ConfigurationError("server_rate must be positive")
+    if not existing:
+        return server_rate
+    total = sum_curves([curve.to_piecewise() for curve in existing])
+    # Slack rate at time t: (server_rate * t - total(t)) / t; candidate
+    # rate r is admissible iff r <= slack_rate(t) for every t > 0.
+    candidates: List[float] = []
+    for x, y in total.points:
+        if x > 0:
+            candidates.append(server_rate - y / x)
+    candidates.append(server_rate - total.final_slope)
+    # Just after t=0 the constraint is on the initial slope.
+    first_slope = total.slopes()[0]
+    candidates.append(server_rate - first_slope)
+    headroom = max(0.0, min(candidates))
+    return headroom
+
+
+def max_admissible_scale(
+    existing: Sequence[ServiceCurve],
+    candidate: ServiceCurve,
+    server_rate: float,
+    tolerance: float = 1e-6,
+) -> float:
+    """Largest factor k such that ``existing + [candidate.scaled(k)]`` fits.
+
+    Binary search over k (the feasible set in k is an interval starting at
+    0 because scaling is linear in the curve values).
+    """
+    if not is_admissible(list(existing), server_rate):
+        return 0.0
+    lo, hi = 0.0, 1.0
+    # Grow hi until infeasible (or absurdly large).
+    while hi < 1e9 and is_admissible(
+        list(existing) + [candidate.scaled(hi)], server_rate
+    ):
+        lo, hi = hi, hi * 2.0
+    if hi >= 1e9:
+        return hi
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = (lo + hi) / 2.0
+        if is_admissible(list(existing) + [candidate.scaled(mid)], server_rate):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def utilization_profile(
+    curves: Sequence[ServiceCurve], server_rate: float
+) -> List[Tuple[float, float]]:
+    """(t, sum(curves)(t) / (server_rate * t)) at every breakpoint.
+
+    Values above 1.0 mark the time scales at which the set overbooks the
+    server.  The final entry uses a large probe time (asymptotic rate).
+    """
+    if not curves:
+        return []
+    total = sum_curves([curve.to_piecewise() for curve in curves])
+    profile: List[Tuple[float, float]] = []
+    for x, y in total.points:
+        if x > 0:
+            profile.append((x, y / (server_rate * x)))
+    probe = (total.points[-1][0] + 1.0) * 1e6
+    profile.append((probe, total.value(probe) / (server_rate * probe)))
+    return profile

@@ -1,0 +1,24 @@
+"""Exception types for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A scheduler, hierarchy, or curve was configured inconsistently."""
+
+
+class AdmissionError(ReproError):
+    """A set of service curves is not admissible on the given server.
+
+    Raised when the sum of leaf service curves exceeds the server's service
+    curve (the admissibility condition at the end of Section II of the
+    paper), unless the caller explicitly opts out of admission control.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,354 @@
+"""Idealized fluid reference models (Section III).
+
+Two references for measuring how close packet schedulers come to the
+idealized models the paper argues from:
+
+* :class:`FluidGPS` -- the generalized processor sharing fluid server:
+  backlogged flows are served simultaneously, rates proportional to their
+  weights.  Exact, event-driven.  The WFQ/WF2Q+ tests and fairness
+  analyses compare packet service against these trajectories.
+
+* :class:`FluidFSC` -- the ideal *fair service curve* link-sharing model:
+  a class hierarchy in which, at every node, the active children with the
+  smallest virtual times are served so that their virtual times advance
+  together, each child's instantaneous rate being the slope of its service
+  curve at its virtual time (the fluid limit of Section IV-C's link-sharing
+  criterion).  This is the target H-FSC approximates for interior classes;
+  experiment E10 integrates |actual - ideal| against it.  Because the model
+  is generally unrealizable *together with* real-time guarantees
+  (Section III-C), the fluid model here is the pure link-sharing ideal.
+  Integration is by small fixed steps: the crossover structure of
+  hierarchical virtual times makes exact event-driven fluid tracking
+  disproportionately complex, and a reference model only needs to be
+  accurate, not fast.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.curves import ServiceCurve
+from repro.core.errors import ConfigurationError
+from repro.core.runtime_curves import RuntimeCurve
+
+
+class FluidGPS:
+    """Exact fluid GPS over a set of weighted flows.
+
+    Feed it the complete arrival schedule, then query per-flow cumulative
+    service at any time.  Arrivals are instantaneous backlog increments.
+    """
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.rate = rate
+        self._weights: Dict[Any, float] = {}
+        self._arrivals: List[Tuple[float, Any, float]] = []
+        self._finalized = False
+        # Per-flow piecewise-linear cumulative service: list of (t, served).
+        self._trajectory: Dict[Any, List[Tuple[float, float]]] = {}
+
+    def add_flow(self, flow_id: Any, weight: float) -> None:
+        if flow_id in self._weights:
+            raise ConfigurationError(f"duplicate flow id: {flow_id!r}")
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        self._weights[flow_id] = weight
+
+    def arrive(self, time: float, flow_id: Any, amount: float) -> None:
+        if flow_id not in self._weights:
+            raise ConfigurationError(f"unknown flow: {flow_id!r}")
+        if amount <= 0:
+            raise ConfigurationError("arrival amount must be positive")
+        self._arrivals.append((time, flow_id, amount))
+        self._finalized = False
+
+    def service(self, flow_id: Any, time: float) -> float:
+        """Cumulative fluid service of ``flow_id`` by ``time``."""
+        self._finalize(time)
+        trajectory = self._trajectory.get(flow_id, [])
+        if not trajectory or time <= trajectory[0][0]:
+            return 0.0
+        # Binary search for the segment containing `time`.
+        lo, hi = 0, len(trajectory) - 1
+        if time >= trajectory[-1][0]:
+            return trajectory[-1][1]
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if trajectory[mid][0] <= time:
+                lo = mid
+            else:
+                hi = mid
+        t1, s1 = trajectory[lo]
+        t2, s2 = trajectory[hi]
+        if t2 == t1:
+            return s2
+        return s1 + (s2 - s1) * (time - t1) / (t2 - t1)
+
+    def backlog_clear_time(self) -> float:
+        """Time the fluid system drains completely (inf if never)."""
+        self._finalize(math.inf)
+        return self._clear_time
+
+    # -- internals ----------------------------------------------------------
+
+    def _finalize(self, horizon: float) -> None:
+        if self._finalized:
+            return
+        arrivals = sorted(self._arrivals)
+        backlog = {fid: 0.0 for fid in self._weights}
+        served = {fid: 0.0 for fid in self._weights}
+        trajectory = {fid: [(0.0, 0.0)] for fid in self._weights}
+        now = 0.0
+        index = 0
+        self._clear_time = 0.0
+        while True:
+            busy = [fid for fid, b in backlog.items() if b > 1e-12]
+            if not busy:
+                if index >= len(arrivals):
+                    break
+                time, fid, amount = arrivals[index]
+                index += 1
+                now = max(now, time)
+                backlog[fid] += amount
+                # Anchor every trajectory at the idle-gap end so the flat
+                # segment is represented explicitly.
+                for flow in trajectory:
+                    trajectory[flow].append((now, served[flow]))
+                continue
+            total_weight = sum(self._weights[fid] for fid in busy)
+            # Next event: first fluid drain among busy flows, or next arrival.
+            drain_times = []
+            for fid in busy:
+                flow_rate = self.rate * self._weights[fid] / total_weight
+                drain_times.append(now + backlog[fid] / flow_rate)
+            next_drain = min(drain_times)
+            next_arrival = arrivals[index][0] if index < len(arrivals) else math.inf
+            step_end = min(next_drain, max(next_arrival, now))
+            if step_end == math.inf:
+                break
+            dt = step_end - now
+            for fid in busy:
+                flow_rate = self.rate * self._weights[fid] / total_weight
+                amount = min(flow_rate * dt, backlog[fid])
+                backlog[fid] -= amount
+                served[fid] += amount
+                trajectory[fid].append((step_end, served[fid]))
+            now = step_end
+            self._clear_time = now
+            while index < len(arrivals) and arrivals[index][0] <= now + 1e-15:
+                _, fid, amount = arrivals[index]
+                index += 1
+                if backlog[fid] <= 1e-12:
+                    # The flow was idle: anchor its flat segment at `now`.
+                    trajectory[fid].append((now, served[fid]))
+                backlog[fid] += amount
+        self._trajectory = trajectory
+        self._finalized = True
+
+
+class _FluidClass:
+    __slots__ = (
+        "name", "parent", "children", "spec", "backlog", "served",
+        "virtual_curve", "vt", "active",
+    )
+
+    def __init__(self, name: Any, parent: Optional["_FluidClass"],
+                 spec: Optional[ServiceCurve]):
+        self.name = name
+        self.parent = parent
+        self.children: List["_FluidClass"] = []
+        self.spec = spec
+        self.backlog = 0.0
+        self.served = 0.0
+        self.virtual_curve: Optional[RuntimeCurve] = None
+        self.vt = 0.0
+        self.active = False
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class FluidFSC:
+    """Fixed-step fluid integration of the ideal FSC link-sharing model.
+
+    Usage::
+
+        model = FluidFSC(rate)
+        model.add_class("cmu", sc=...)
+        model.add_class("cmu.video", parent="cmu", sc=...)
+        model.arrive(t, "cmu.video", nbytes)   # any number of arrivals
+        samples = model.run(until=10.0, dt=1e-3)
+        samples["cmu"]  -> list of (t, cumulative service)
+
+    At each step, service descends the hierarchy: every node's rate is
+    split among its active children holding the minimal virtual time,
+    proportionally to their curve slopes at their virtual times; children
+    whose virtual time is ahead receive nothing until the others catch up
+    (the fluid SSF rule).
+    """
+
+    ROOT = "__root__"
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.rate = rate
+        self._root = _FluidClass(self.ROOT, None, None)
+        self._classes: Dict[Any, _FluidClass] = {self.ROOT: self._root}
+        self._arrivals: List[Tuple[float, Any, float]] = []
+
+    def add_class(self, name: Any, parent: Any = ROOT,
+                  sc: Optional[ServiceCurve] = None) -> None:
+        if name in self._classes:
+            raise ConfigurationError(f"duplicate class name: {name!r}")
+        if sc is None:
+            raise ConfigurationError(f"class {name!r} needs a service curve")
+        try:
+            parent_cls = self._classes[parent]
+        except KeyError:
+            raise ConfigurationError(f"unknown parent: {parent!r}") from None
+        cls = _FluidClass(name, parent_cls, sc)
+        parent_cls.children.append(cls)
+        self._classes[name] = cls
+
+    def arrive(self, time: float, name: Any, amount: float) -> None:
+        if name not in self._classes:
+            raise ConfigurationError(f"unknown class: {name!r}")
+        if not self._classes[name].is_leaf:
+            raise ConfigurationError("arrivals go to leaf classes")
+        self._arrivals.append((time, name, amount))
+
+    def run(self, until: float, dt: float = 1e-3) -> Dict[Any, List[Tuple[float, float]]]:
+        """Integrate and return per-class (time, cumulative service) samples."""
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        arrivals = sorted(self._arrivals)
+        index = 0
+        samples: Dict[Any, List[Tuple[float, float]]] = {
+            name: [(0.0, 0.0)] for name in self._classes if name != self.ROOT
+        }
+        steps = int(math.ceil(until / dt))
+        for step in range(steps):
+            now = step * dt
+            while index < len(arrivals) and arrivals[index][0] <= now + 1e-15:
+                _, name, amount = arrivals[index]
+                index += 1
+                leaf = self._classes[name]
+                leaf.backlog += amount
+                self._mark_active(leaf)
+            self._distribute(self._root, self.rate * dt)
+            t_next = now + dt
+            for name, cls in self._classes.items():
+                if name == self.ROOT:
+                    continue
+                samples[name].append((t_next, cls.served))
+        return samples
+
+    def service(self, samples, name: Any, time: float) -> float:
+        """Helper: interpolate cumulative service from ``run`` samples."""
+        series = samples[name]
+        if time <= series[0][0]:
+            return 0.0
+        if time >= series[-1][0]:
+            return series[-1][1]
+        lo, hi = 0, len(series) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if series[mid][0] <= time:
+                lo = mid
+            else:
+                hi = mid
+        t1, s1 = series[lo]
+        t2, s2 = series[hi]
+        return s1 + (s2 - s1) * (time - t1) / (t2 - t1)
+
+    # -- internals ----------------------------------------------------------
+
+    def _mark_active(self, leaf: _FluidClass) -> None:
+        node: Optional[_FluidClass] = leaf
+        while node is not None and node.spec is not None:
+            if not node.active:
+                parent = node.parent
+                assert parent is not None
+                pvt = self._system_vt(parent)
+                if node.virtual_curve is None:
+                    node.virtual_curve = RuntimeCurve.from_spec(
+                        node.spec, pvt, node.served
+                    )
+                else:
+                    node.virtual_curve.min_with(node.spec, pvt, node.served)
+                node.vt = node.virtual_curve.inverse(node.served)
+                node.active = True
+            node = node.parent
+
+    @staticmethod
+    def _system_vt(parent: _FluidClass) -> float:
+        active = [c for c in parent.children if c.active]
+        if not active:
+            # Monotonic restart point: the furthest any child has reached.
+            previous = [c.vt for c in parent.children if c.virtual_curve]
+            return max(previous) if previous else 0.0
+        vts = [c.vt for c in active]
+        return (min(vts) + max(vts)) / 2.0
+
+    def _subtree_backlog(self, node: _FluidClass) -> float:
+        if node.is_leaf:
+            return node.backlog
+        return sum(self._subtree_backlog(c) for c in node.children)
+
+    def _distribute(self, node: _FluidClass, amount: float) -> None:
+        """Push ``amount`` bytes of service into the subtree of ``node``."""
+        if amount <= 1e-15:
+            return
+        if node.is_leaf:
+            used = min(amount, node.backlog)
+            node.backlog -= used
+            node.served += used
+            if node.virtual_curve is not None:
+                node.vt = node.virtual_curve.inverse(node.served)
+            if node.backlog <= 1e-12:
+                node.active = False
+            return
+        remaining = amount
+        # Iterate: serve the minimal-vt active children, slope-weighted,
+        # until the budget is spent or the subtree drains.
+        for _ in range(64):
+            active = [
+                c for c in node.children
+                if c.active and self._subtree_backlog(c) > 1e-12
+            ]
+            if not active or remaining <= 1e-15:
+                break
+            vmin = min(c.vt for c in active)
+            front = [c for c in active if c.vt <= vmin + 1e-12]
+            weights = []
+            for child in front:
+                assert child.virtual_curve is not None
+                # Slope of the service curve at the current virtual time:
+                # how much service one unit of virtual time buys.
+                knee_x = child.virtual_curve.x0 + child.virtual_curve.dx
+                slope = (
+                    child.virtual_curve.m1
+                    if child.vt < knee_x
+                    else child.virtual_curve.m2
+                )
+                weights.append(max(slope, 1e-12))
+            total_weight = sum(weights)
+            # Budget for this round: bounded so laggards can catch up in a
+            # few iterations; a fraction of the remaining amount suffices
+            # for a reference model integrated at small dt.
+            share = remaining
+            for child, weight in zip(front, weights):
+                quota = share * weight / total_weight
+                before = child.served
+                self._distribute(child, quota)
+                remaining -= child.served - before
+        node.served = sum(c.served for c in node.children)
+        if node.virtual_curve is not None:
+            node.vt = node.virtual_curve.inverse(node.served)
+        if self._subtree_backlog(node) <= 1e-12:
+            node.active = False

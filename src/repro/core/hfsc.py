@@ -1,0 +1,587 @@
+"""The Hierarchical Fair Service Curve scheduler (Section IV of the paper).
+
+H-FSC schedules a class hierarchy over one output link using two criteria:
+
+* **Real-time criterion** -- guarantees the service curves of leaf classes.
+  Each active leaf carries an *eligible time* ``e`` and a *deadline* ``d``
+  computed from its eligible and deadline curves (Section IV-B, Fig. 5).
+  Whenever some leaf is eligible (``e <= now``), the eligible leaf with the
+  smallest deadline is served and its real-time service counter ``c``
+  advances.
+
+* **Link-sharing criterion** -- approximates the ideal fair service curve
+  link-sharing model.  Every class carries a *virtual time* ``v`` derived
+  from its virtual curve (Section IV-C, Fig. 6); when no leaf is eligible,
+  the scheduler walks from the root picking the active child with the
+  smallest virtual time until it reaches a leaf.  Link-sharing service does
+  **not** advance ``c``, which is exactly why a class that borrowed excess
+  bandwidth is never punished: its future deadlines are unaffected
+  (Section IV-B, "the essence of the nonpunishment aspect").
+
+The implementation follows the paper's pseudo-code (Figs. 4-6) and the O(1)
+two-piece curve machinery of Section V.  Complexity is O(log n) per packet
+arrival and departure: the real-time request set is the augmented tree of
+:mod:`repro.util.eligible_tree`, and each interior class keeps indexed heaps
+over its active children's virtual times.
+
+Extensions beyond the paper, both off by default and marked in the API:
+
+* separate real-time (``rt_sc``) and link-sharing (``ls_sc``) curves per
+  class, as in the authors' ALTQ implementation and Linux ``sch_hfsc``
+  (passing ``sc`` sets both, which is the paper's model);
+* an optional upper-limit curve (``ul_sc``) capping a class's total
+  service, as in Linux ``sch_hfsc`` (makes the scheduler
+  non-work-conserving for that class).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.curves import ServiceCurve, is_admissible
+from repro.core.errors import AdmissionError, ConfigurationError
+from repro.core.runtime_curves import RuntimeCurve, eligible_spec
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+from repro.util.eligible_set import make_eligible_set
+from repro.util.heap import IndexedHeap
+
+ROOT = "__root__"
+
+
+class HFSCClass:
+    """One node of the link-sharing hierarchy.
+
+    Users obtain instances from :meth:`HFSC.add_class`; the attributes are
+    read-only state exposed for measurement (experiments read ``vt``,
+    ``cumul_rt``, ``total_work`` and the byte counters).
+    """
+
+    __slots__ = (
+        "name",
+        "parent",
+        "children",
+        "rt_spec",
+        "ls_spec",
+        "ul_spec",
+        "queue",
+        "cumul_rt",
+        "deadline_curve",
+        "eligible_curve",
+        "eligible",
+        "deadline",
+        "total_work",
+        "virtual_curve",
+        "vt",
+        "ul_curve",
+        "fit_time",
+        "nactive",
+        "ls_active",
+        "active_min",
+        "active_max",
+        "vt_watermark",
+        "vt_policy",
+        "bytes_rt",
+        "bytes_ls",
+    )
+
+    def __init__(
+        self,
+        name: Any,
+        parent: Optional["HFSCClass"],
+        rt_spec: Optional[ServiceCurve],
+        ls_spec: Optional[ServiceCurve],
+        ul_spec: Optional[ServiceCurve],
+    ):
+        self.name = name
+        self.parent = parent
+        self.children: List["HFSCClass"] = []
+        self.rt_spec = rt_spec
+        self.ls_spec = ls_spec
+        self.ul_spec = ul_spec
+        # Leaf / real-time state (Fig. 5).
+        self.queue: Deque[Packet] = deque()
+        self.cumul_rt = 0.0  # c_i: service received under the rt criterion
+        self.deadline_curve: Optional[RuntimeCurve] = None
+        self.eligible_curve: Optional[RuntimeCurve] = None
+        self.eligible = 0.0
+        self.deadline = 0.0
+        # Link-sharing state (Fig. 6).
+        self.total_work = 0.0  # w_i: total service, both criteria
+        self.virtual_curve: Optional[RuntimeCurve] = None
+        self.vt = 0.0
+        # Upper-limit state (extension).
+        self.ul_curve: Optional[RuntimeCurve] = None
+        self.fit_time = 0.0
+        # Interior bookkeeping.
+        self.nactive = 0
+        self.ls_active = False
+        self.active_min: IndexedHeap["HFSCClass"] = IndexedHeap()
+        self.active_max: IndexedHeap["HFSCClass"] = IndexedHeap()
+        self.vt_watermark = 0.0
+        self.vt_policy = "mean"
+        # Measurement counters.
+        self.bytes_rt = 0.0
+        self.bytes_ls = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def depth(self) -> int:
+        node, depth = self, 0
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def system_vt(self) -> float:
+        """System virtual time of this (interior) class, Section IV-C.
+
+        The paper's choice is ``(v_min + v_max) / 2`` over active children
+        (policy "mean"); "min" and "max" are the ablation alternatives.
+        When no child is active, the watermark left by the last active
+        period keeps virtual time monotonic across idle gaps.
+        """
+        if self.nactive == 0:
+            return self.vt_watermark
+        vmin = self.active_min.peek_key()
+        vmax = -self.active_max.peek_key()
+        if self.vt_policy == "min":
+            return vmin
+        if self.vt_policy == "max":
+            return vmax
+        return (vmin + vmax) / 2.0
+
+    def __repr__(self) -> str:
+        return f"HFSCClass({self.name!r})"
+
+
+class HFSC(Scheduler):
+    """Hierarchical Fair Service Curve packet scheduler.
+
+    Parameters
+    ----------
+    link_rate:
+        Output link capacity in bytes per second (the server's linear
+        service curve).
+    admission_control:
+        When True (default) the scheduler verifies, lazily before the first
+        packet after any topology change, that the sum of the leaves'
+        real-time curves does not exceed the link rate (Section II).
+    eligible_backend:
+        ``"tree"`` (default) uses the augmented binary tree of Section V;
+        ``"calendar"`` uses the calendar-queue + deadline-heap alternative
+        the same section describes.  Identical semantics, different
+        constants (see ``benchmarks/bench_ablation.py``).
+    vt_policy:
+        System virtual time for a class whose child activates:
+        ``"mean"`` (default) is the paper's ``(v_min + v_max) / 2``;
+        ``"min"`` and ``"max"`` are the alternatives Section IV-C notes
+        make the sibling discrepancy grow with the fan-out (ablation).
+    realtime:
+        When False the real-time criterion is disabled entirely -- the
+        scheduler degenerates to pure hierarchical virtual-time
+        link-sharing.  This is an *ablation switch*: it demonstrates why
+        the paper needs the real-time criterion (leaf curves get violated
+        without it, cf. Section III-C).
+    """
+
+    def __init__(
+        self,
+        link_rate: float,
+        admission_control: bool = True,
+        eligible_backend: str = "tree",
+        vt_policy: str = "mean",
+        realtime: bool = True,
+    ):
+        super().__init__(link_rate)
+        if vt_policy not in ("mean", "min", "max"):
+            raise ConfigurationError(f"unknown vt_policy: {vt_policy!r}")
+        self._admission_control = admission_control
+        self._admission_checked = True
+        self.vt_policy = vt_policy
+        self.realtime_enabled = realtime
+        self.root = HFSCClass(ROOT, None, None, ServiceCurve.linear(link_rate), None)
+        self.root.vt_policy = vt_policy
+        self._classes: Dict[Any, HFSCClass] = {ROOT: self.root}
+        self._eligible = make_eligible_set(eligible_backend)
+        self._ul_classes: List[HFSCClass] = []
+
+    # -- hierarchy construction ---------------------------------------------
+
+    def add_class(
+        self,
+        name: Any,
+        parent: Any = ROOT,
+        sc: Optional[ServiceCurve] = None,
+        rt_sc: Optional[ServiceCurve] = None,
+        ls_sc: Optional[ServiceCurve] = None,
+        ul_sc: Optional[ServiceCurve] = None,
+    ) -> HFSCClass:
+        """Add a class under ``parent``.
+
+        ``sc`` assigns the same curve for real-time and link-sharing (the
+        paper's single-curve model); ``rt_sc`` / ``ls_sc`` override each
+        role individually.  A class must end up with at least one role.
+        Real-time curves are only meaningful on leaves; adding a child to a
+        class with a real-time curve raises ``ConfigurationError``.
+        """
+        if name in self._classes:
+            raise ConfigurationError(f"duplicate class name: {name!r}")
+        if sc is not None and (rt_sc is not None or ls_sc is not None):
+            raise ConfigurationError("pass either sc or rt_sc/ls_sc, not both")
+        if sc is not None:
+            rt_sc, ls_sc = sc, sc
+        if rt_sc is None and ls_sc is None:
+            raise ConfigurationError(f"class {name!r} needs a service curve")
+        try:
+            parent_cls = self._classes[parent]
+        except KeyError:
+            raise ConfigurationError(f"unknown parent class: {parent!r}") from None
+        if parent_cls.rt_spec is not None:
+            raise ConfigurationError(
+                f"cannot add child to {parent!r}: it has a real-time curve "
+                "(real-time service applies to leaf classes only)"
+            )
+        if parent_cls.queue:
+            raise ConfigurationError(
+                f"cannot add child to {parent!r}: it has queued packets"
+            )
+        if not parent_cls.is_root and parent_cls.ls_spec is None:
+            raise ConfigurationError(
+                f"interior class {parent!r} needs a link-sharing curve"
+            )
+        cls = HFSCClass(name, parent_cls, rt_sc, ls_sc, ul_sc)
+        cls.vt_policy = self.vt_policy
+        parent_cls.children.append(cls)
+        self._classes[name] = cls
+        if ul_sc is not None:
+            self._ul_classes.append(cls)
+        self._admission_checked = False
+        return cls
+
+    def remove_class(self, name: Any) -> None:
+        """Remove an idle leaf class (dynamic reconfiguration).
+
+        Mirrors what the ALTQ/Linux implementations allow: a class can be
+        deleted when it has no children and no queued packets.  Its
+        accumulated state (curves, counters) is discarded; the bandwidth
+        returns to the pool at the next admission check.
+        """
+        if name == ROOT:
+            raise ConfigurationError("cannot remove the root class")
+        try:
+            cls = self._classes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown class: {name!r}") from None
+        if cls.children:
+            raise ConfigurationError(
+                f"cannot remove {name!r}: it has child classes"
+            )
+        if cls.queue:
+            raise ConfigurationError(
+                f"cannot remove {name!r}: it has queued packets"
+            )
+        if cls.ls_active:
+            self._passivate_ls(cls)
+        assert cls.parent is not None
+        cls.parent.children.remove(cls)
+        del self._classes[name]
+        if cls in self._ul_classes:
+            self._ul_classes.remove(cls)
+        self._admission_checked = False
+
+    def __getitem__(self, name: Any) -> HFSCClass:
+        return self._classes[name]
+
+    def __contains__(self, name: Any) -> bool:
+        return name in self._classes
+
+    def classes(self) -> Iterable[HFSCClass]:
+        return (cls for name, cls in self._classes.items() if name != ROOT)
+
+    def leaf_classes(self) -> List[HFSCClass]:
+        return [cls for cls in self.classes() if cls.is_leaf]
+
+    def check_admission(self) -> None:
+        """Raise :class:`AdmissionError` if the leaf rt curves overbook."""
+        curves = [
+            cls.rt_spec for cls in self.leaf_classes() if cls.rt_spec is not None
+        ]
+        if curves and not is_admissible(curves, self.link_rate):
+            raise AdmissionError(
+                "sum of leaf real-time service curves exceeds the link rate"
+            )
+        self._admission_checked = True
+
+    # -- scheduler interface (Fig. 4) ----------------------------------------
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        cls = self._leaf_for(packet)
+        if self._admission_control and not self._admission_checked:
+            self.check_admission()
+        self._note_enqueue(packet, now)
+        cls.queue.append(packet)
+        if len(cls.queue) == 1:
+            self._activate(cls, now)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if self._backlog_packets == 0:
+            return None
+        leaf: Optional[HFSCClass] = None
+        realtime = False
+        if self.realtime_enabled:
+            request = self._eligible.min_deadline_eligible(now)
+            if request is not None:
+                leaf = request[0]
+                realtime = True
+        if leaf is None:
+            leaf = self._link_sharing_select(now)
+        if leaf is None:
+            # Only possible with rt-only leaves not yet eligible, or
+            # upper-limited classes: the link stays idle until
+            # next_ready_time (non-work-conserving, as in the authors'
+            # implementation).
+            return None
+        return self._serve(leaf, realtime, now)
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        candidates: List[float] = []
+        eligible = self._eligible.min_eligible()
+        if eligible is not None:
+            candidates.append(eligible)
+        for cls in self._ul_classes:
+            if cls.queue and cls.fit_time > now:
+                candidates.append(cls.fit_time)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    # -- measurement hooks ----------------------------------------------------
+
+    def virtual_times(self, parent: Any = ROOT) -> Dict[Any, float]:
+        """Virtual times of the active children of ``parent`` (analysis)."""
+        parent_cls = self._classes[parent]
+        return {child.name: child.vt for child in parent_cls.active_min}
+
+    def work_of(self, name: Any) -> float:
+        """Total link-sharing-tracked service of a class, in bytes."""
+        return self._classes[name].total_work
+
+    def check_invariants(self) -> None:
+        """Verify internal consistency (used by the property tests).
+
+        Checks: active/passive bookkeeping matches queue contents, heap
+        membership matches activity, per-class byte accounting sums to the
+        scheduler totals, and rt service never exceeds total service.
+        """
+        total_backlog_packets = 0
+        total_backlog_bytes = 0.0
+        for cls in self.classes():
+            if cls.is_leaf:
+                total_backlog_packets += len(cls.queue)
+                total_backlog_bytes += sum(p.size for p in cls.queue)
+                if cls.rt_spec is not None and self.realtime_enabled:
+                    in_set = cls in self._eligible
+                    assert in_set == bool(cls.queue), (
+                        f"{cls.name!r}: eligible-set membership inconsistent"
+                    )
+                assert cls.cumul_rt <= cls.total_work + 1e-6, (
+                    f"{cls.name!r}: rt service exceeds total service"
+                )
+                has_backlog = bool(cls.queue)
+            else:
+                has_backlog = any(
+                    leaf.queue
+                    for leaf in self.leaf_classes()
+                    if self._is_descendant(leaf, cls)
+                )
+                assert cls.nactive == sum(
+                    1 for child in cls.children if child.ls_active
+                ), f"{cls.name!r}: nactive count stale"
+            if cls.ls_spec is not None:
+                parent = cls.parent
+                assert parent is not None
+                in_heaps = cls in parent.active_min
+                assert in_heaps == cls.ls_active, (
+                    f"{cls.name!r}: heap membership != ls_active"
+                )
+                assert (cls in parent.active_max) == cls.ls_active
+                if cls.ls_active and cls.is_leaf:
+                    assert has_backlog, f"{cls.name!r}: active but empty"
+        assert total_backlog_packets == self._backlog_packets
+        assert abs(total_backlog_bytes - self._backlog_bytes) < 1e-6
+
+    @staticmethod
+    def _is_descendant(node: HFSCClass, ancestor: HFSCClass) -> bool:
+        walker = node
+        while walker is not None:
+            if walker is ancestor:
+                return True
+            walker = walker.parent
+        return False
+
+    # -- internals -------------------------------------------------------------
+
+    def _leaf_for(self, packet: Packet) -> HFSCClass:
+        try:
+            cls = self._classes[packet.class_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"packet for unknown class {packet.class_id!r}"
+            ) from None
+        if not cls.is_leaf or cls.is_root:
+            raise ConfigurationError(
+                f"packets may only be queued on leaf classes, not {cls.name!r}"
+            )
+        return cls
+
+    def _activate(self, leaf: HFSCClass, now: float) -> None:
+        """Fig. 5(a) update_ed + Fig. 6 update_v on passive->active."""
+        if leaf.rt_spec is not None and self.realtime_enabled:
+            spec = leaf.rt_spec
+            if leaf.deadline_curve is None:
+                leaf.deadline_curve = RuntimeCurve.from_spec(spec, now, leaf.cumul_rt)
+                leaf.eligible_curve = RuntimeCurve.from_spec(
+                    eligible_spec(spec), now, leaf.cumul_rt
+                )
+            else:
+                leaf.deadline_curve.min_with(spec, now, leaf.cumul_rt)
+                assert leaf.eligible_curve is not None
+                leaf.eligible_curve.min_with(eligible_spec(spec), now, leaf.cumul_rt)
+            leaf.eligible = leaf.eligible_curve.inverse(leaf.cumul_rt)
+            leaf.deadline = leaf.deadline_curve.inverse(
+                leaf.cumul_rt + leaf.queue[0].size
+            )
+            self._eligible.insert(leaf, leaf.eligible, leaf.deadline)
+        if leaf.ul_spec is not None:
+            if leaf.ul_curve is None:
+                leaf.ul_curve = RuntimeCurve.from_spec(leaf.ul_spec, now, leaf.total_work)
+            else:
+                leaf.ul_curve.min_with(leaf.ul_spec, now, leaf.total_work)
+            leaf.fit_time = leaf.ul_curve.inverse(leaf.total_work)
+        if leaf.ls_spec is not None:
+            self._activate_ls(leaf)
+
+    def _activate_ls(self, cls: HFSCClass) -> None:
+        """Walk up the tree activating classes (eq. 12 at each level)."""
+        node = cls
+        while node.parent is not None:
+            parent = node.parent
+            parent_was_active = parent.nactive > 0
+            pvt = parent.system_vt()
+            assert node.ls_spec is not None
+            if node.virtual_curve is None:
+                node.virtual_curve = RuntimeCurve.from_spec(
+                    node.ls_spec, pvt, node.total_work
+                )
+            else:
+                node.virtual_curve.min_with(node.ls_spec, pvt, node.total_work)
+            node.vt = node.virtual_curve.inverse(node.total_work)
+            node.ls_active = True
+            parent.active_min.push(node, node.vt)
+            parent.active_max.push(node, -node.vt)
+            parent.nactive += 1
+            if parent_was_active or parent.is_root:
+                break
+            node = parent
+
+    def _passivate_ls(self, cls: HFSCClass) -> None:
+        node = cls
+        while node.parent is not None:
+            parent = node.parent
+            parent.active_min.remove(node)
+            parent.active_max.remove(node)
+            parent.nactive -= 1
+            parent.vt_watermark = max(parent.vt_watermark, node.vt)
+            node.ls_active = False
+            if parent.nactive > 0 or parent.is_root:
+                break
+            node = parent
+
+    def _link_sharing_select(self, now: float) -> Optional[HFSCClass]:
+        """Recursive smallest-virtual-time descent from the root (Fig. 4).
+
+        Upper-limited classes whose fit time lies in the future are skipped
+        (extension); without upper limits this is a straight heap-peek
+        descent.
+        """
+        node = self.root
+        while node.nactive > 0:
+            if not self._ul_classes:
+                node = node.active_min.peek_item()
+                continue
+            chosen = None
+            for child in sorted(node.active_min, key=lambda c: (c.vt, id(c))):
+                if child.ul_curve is None or child.fit_time <= now:
+                    chosen = child
+                    break
+            if chosen is None:
+                return None
+            node = chosen
+        if node.is_root:
+            return None
+        if not node.queue:
+            raise RuntimeError(
+                f"link-sharing descent reached empty class {node.name!r}"
+            )
+        return node
+
+    def _serve(self, leaf: HFSCClass, realtime: bool, now: float) -> Packet:
+        packet = leaf.queue.popleft()
+        packet.via_realtime = realtime
+        rt_tracked = leaf.rt_spec is not None and self.realtime_enabled
+        packet.deadline = leaf.deadline if rt_tracked else None
+        self._note_dequeue(packet, now)
+        size = packet.size
+        if realtime:
+            leaf.cumul_rt += size
+            leaf.bytes_rt += size
+        else:
+            leaf.bytes_ls += size
+        # Fig. 6 update_v: the leaf and all its ancestors account the
+        # service and advance their virtual times.
+        if leaf.ls_spec is not None:
+            node: HFSCClass = leaf
+            while node.parent is not None:
+                node.total_work += size
+                assert node.virtual_curve is not None
+                node.vt = node.virtual_curve.inverse(node.total_work)
+                node.parent.active_min.update(node, node.vt)
+                node.parent.active_max.update(node, -node.vt)
+                node = node.parent
+            node.total_work += size  # the root's aggregate counter
+        else:
+            leaf.total_work += size
+        if leaf.ul_curve is not None:
+            leaf.fit_time = leaf.ul_curve.inverse(leaf.total_work)
+        if leaf.queue:
+            if rt_tracked:
+                # Fig. 5: after real-time service both e and d move (c
+                # changed); after link-sharing service only the deadline is
+                # recomputed for the (possibly different-sized) new head.
+                assert leaf.eligible_curve is not None
+                assert leaf.deadline_curve is not None
+                if realtime:
+                    leaf.eligible = leaf.eligible_curve.inverse(leaf.cumul_rt)
+                leaf.deadline = leaf.deadline_curve.inverse(
+                    leaf.cumul_rt + leaf.queue[0].size
+                )
+                self._eligible.update(leaf, leaf.eligible, leaf.deadline)
+        else:
+            if rt_tracked:
+                self._eligible.remove(leaf)
+            if leaf.ls_spec is not None:
+                self._passivate_ls(leaf)
+        return packet
+
+
+#: Backwards-friendly alias matching the paper's name for the algorithm.
+HFSCScheduler = HFSC

@@ -1,0 +1,153 @@
+"""Declarative hierarchy construction and the paper's example hierarchy.
+
+The experiments describe link-sharing trees (like Fig. 1's CMU / U. Pitt
+example) over and over; this module provides a small declarative layer so a
+hierarchy is data, buildable onto any hierarchical scheduler:
+
+    spec = [
+        ClassSpec("cmu", rate=25e6/8 ...),
+        ClassSpec("cmu.video", parent="cmu", ...),
+    ]
+    scheduler = build_hfsc(link_rate, spec)
+
+``figure1_hierarchy`` returns the paper's Fig. 1 tree: a 45 Mbits/s link
+shared by CMU (25) and U. Pitt (20), each split into traffic types, with
+two real-time leaf sessions (the distinguished lecture video and audio)
+under CMU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.curves import ServiceCurve
+from repro.core.errors import ConfigurationError
+from repro.core.hfsc import HFSC, ROOT
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One class of a link-sharing hierarchy, by name.
+
+    Exactly one of ``sc`` (same curve for both roles, the paper's model) or
+    ``rt_sc`` / ``ls_sc`` must describe the curve(s).  ``rate`` is shorthand
+    for a linear ``sc``.
+    """
+
+    name: str
+    parent: Optional[str] = None
+    rate: Optional[float] = None
+    sc: Optional[ServiceCurve] = None
+    rt_sc: Optional[ServiceCurve] = None
+    ls_sc: Optional[ServiceCurve] = None
+    ul_sc: Optional[ServiceCurve] = None
+
+    def curves(self) -> Dict[str, Optional[ServiceCurve]]:
+        given = [c for c in (self.rate, self.sc, self.rt_sc, self.ls_sc) if c is not None]
+        if not given:
+            raise ConfigurationError(f"class {self.name!r}: no curve given")
+        if self.rate is not None and (self.sc or self.rt_sc or self.ls_sc):
+            raise ConfigurationError(
+                f"class {self.name!r}: pass rate or explicit curves, not both"
+            )
+        if self.rate is not None:
+            return {"sc": ServiceCurve.linear(self.rate), "rt_sc": None,
+                    "ls_sc": None, "ul_sc": self.ul_sc}
+        if self.sc is not None and (self.rt_sc or self.ls_sc):
+            raise ConfigurationError(
+                f"class {self.name!r}: pass sc or rt_sc/ls_sc, not both"
+            )
+        return {"sc": self.sc, "rt_sc": self.rt_sc, "ls_sc": self.ls_sc,
+                "ul_sc": self.ul_sc}
+
+
+def build_hfsc(
+    link_rate: float,
+    specs: Sequence[ClassSpec],
+    admission_control: bool = True,
+) -> HFSC:
+    """Build an :class:`~repro.core.hfsc.HFSC` from class specs.
+
+    Parents may be declared in any order; ``parent=None`` attaches to the
+    root.
+    """
+    scheduler = HFSC(link_rate, admission_control=admission_control)
+    interior = {spec.parent for spec in specs if spec.parent is not None}
+    pending: List[ClassSpec] = list(specs)
+    known = {None, ROOT}
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining: List[ClassSpec] = []
+        for spec in pending:
+            if spec.parent in known:
+                parent = ROOT if spec.parent is None else spec.parent
+                curves = spec.curves()
+                if spec.name in interior and curves.get("sc") is not None:
+                    # Interior classes participate in link-sharing only;
+                    # their single declared curve is the link-sharing curve
+                    # (real-time service applies to leaves, Section IV).
+                    curves = {
+                        "sc": None,
+                        "rt_sc": None,
+                        "ls_sc": curves["sc"],
+                        "ul_sc": curves.get("ul_sc"),
+                    }
+                scheduler.add_class(spec.name, parent=parent, **curves)
+                known.add(spec.name)
+                progress = True
+            else:
+                remaining.append(spec)
+        pending = remaining
+    if pending:
+        names = ", ".join(repr(s.name) for s in pending)
+        raise ConfigurationError(f"unresolvable parents for classes: {names}")
+    return scheduler
+
+
+# -- the paper's Fig. 1 example -----------------------------------------------
+
+#: 45 Mbits/s in bytes per second: the Fig. 1 link.  (The figure's caption
+#: says "Mbytes"; the classic example and the numbers 25 + 20 = 45 match the
+#: 45 Mbits/s T3 link of the CBQ paper, and the unit does not affect any
+#: result shape -- only the absolute time scale.)
+FIGURE1_LINK_RATE = 45e6 / 8
+
+
+def figure1_hierarchy(
+    link_rate: float = FIGURE1_LINK_RATE,
+    audio_sc: Optional[ServiceCurve] = None,
+    video_sc: Optional[ServiceCurve] = None,
+) -> List[ClassSpec]:
+    """The Fig. 1 CMU / U. Pitt link-sharing tree as class specs.
+
+    CMU gets 25/45 of the link and U. Pitt 20/45.  Under CMU: audio
+    (2 Mbit/s aggregate), video (10 Mbit/s) containing the distinguished
+    lecture video/audio real-time sessions, and data (13 Mbit/s).  Under
+    U. Pitt: audio, video and data in similar proportions.  ``audio_sc`` /
+    ``video_sc`` override the curves of the distinguished lecture leaf
+    sessions (to give them concave, delay-decoupled curves).
+    """
+    scale = link_rate / FIGURE1_LINK_RATE
+    mbit = 1e6 / 8 * scale
+
+    def lin(mbits: float) -> ServiceCurve:
+        return ServiceCurve.linear(mbits * mbit)
+
+    lecture_video = video_sc if video_sc is not None else lin(8.0)
+    lecture_audio = audio_sc if audio_sc is not None else lin(0.064)
+    return [
+        ClassSpec("cmu", sc=lin(25.0)),
+        ClassSpec("pitt", sc=lin(20.0)),
+        ClassSpec("cmu.audio", parent="cmu", sc=lin(2.0)),
+        ClassSpec("cmu.video", parent="cmu", sc=lin(10.0)),
+        ClassSpec("cmu.data", parent="cmu", sc=lin(13.0)),
+        ClassSpec("cmu.video.lecture", parent="cmu.video", sc=lecture_video),
+        ClassSpec("cmu.video.other", parent="cmu.video", sc=lin(2.0)),
+        ClassSpec("cmu.audio.lecture", parent="cmu.audio", sc=lecture_audio),
+        ClassSpec("cmu.audio.other", parent="cmu.audio", sc=lin(1.9)),
+        ClassSpec("pitt.audio", parent="pitt", sc=lin(2.0)),
+        ClassSpec("pitt.video", parent="pitt", sc=lin(10.0)),
+        ClassSpec("pitt.data", parent="pitt", sc=lin(8.0)),
+    ]

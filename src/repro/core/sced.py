@@ -1,0 +1,202 @@
+"""SCED and its fair virtual-time variant (Sections II and III-B).
+
+Two flat (non-hierarchical) service-curve schedulers:
+
+* :class:`SCEDScheduler` -- service curve earliest deadline first [14].
+  Each session keeps a deadline curve (eq. 2-3); packets are served in
+  increasing deadline order (eq. 4).  SCED guarantees every admissible set
+  of service curves, but it *punishes* sessions that received excess
+  service: the Fig. 2(b,c) scenario, reproduced by experiment E1.
+
+* :class:`FairCurveScheduler` -- the modification sketched around Fig. 2(d):
+  each session keeps a generalized *virtual* curve and the session with the
+  smallest virtual time is served.  It never punishes a session for using
+  excess bandwidth, but it can violate service curves (E2).  With linear
+  curves it behaves like weighted fair queueing; with the system virtual
+  time it generalizes PFQ to arbitrary curve shapes.
+
+Together with H-FSC these let the experiments walk the trade-off the paper
+builds its argument on: guarantees-without-fairness (SCED),
+fairness-without-guarantees (FairCurve), and H-FSC's leaf-guarantee
+compromise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.curves import ServiceCurve, is_admissible
+from repro.core.errors import AdmissionError, ConfigurationError
+from repro.core.runtime_curves import RuntimeCurve
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+from repro.util.heap import IndexedHeap
+
+
+class _Session:
+    __slots__ = ("sid", "spec", "queue", "curve", "work", "active")
+
+    def __init__(self, sid: Any, spec: ServiceCurve):
+        self.sid = sid
+        self.spec = spec
+        self.queue: Deque[Packet] = deque()
+        self.curve: Optional[RuntimeCurve] = None
+        self.work = 0.0  # cumulative service received (bytes)
+        self.active = False
+
+
+class SCEDScheduler(Scheduler):
+    """Service Curve Earliest Deadline first (flat, punishing).
+
+    ``admission_control=True`` (default) rejects a session set whose curves
+    sum above the link rate, per the Section II admissibility condition.
+    """
+
+    def __init__(self, link_rate: float, admission_control: bool = True):
+        super().__init__(link_rate)
+        self._admission_control = admission_control
+        self._sessions: Dict[Any, _Session] = {}
+        self._deadlines: IndexedHeap[Any] = IndexedHeap()
+
+    def add_session(self, sid: Any, spec: ServiceCurve) -> None:
+        """Register session ``sid`` with service curve ``spec``."""
+        if sid in self._sessions:
+            raise ConfigurationError(f"duplicate session id: {sid!r}")
+        if self._admission_control:
+            curves = [s.spec for s in self._sessions.values()] + [spec]
+            if not is_admissible(curves, self.link_rate):
+                raise AdmissionError(
+                    f"session {sid!r}: curve set exceeds link rate "
+                    f"{self.link_rate:g}"
+                )
+        self._sessions[sid] = _Session(sid, spec)
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        session = self._session_for(packet)
+        self._note_enqueue(packet, now)
+        session.queue.append(packet)
+        if not session.active:
+            self._activate(session, now)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._deadlines:
+            return None
+        sid, deadline = self._deadlines.pop()
+        session = self._sessions[sid]
+        packet = session.queue.popleft()
+        packet.deadline = deadline
+        self._note_dequeue(packet, now)
+        session.work += packet.size
+        if session.queue:
+            self._push_head_deadline(session)
+        else:
+            session.active = False
+        return packet
+
+    def service_received(self, sid: Any) -> float:
+        """Total service (bytes) delivered to session ``sid`` so far."""
+        return self._sessions[sid].work
+
+    # -- internals ----------------------------------------------------------
+
+    def _session_for(self, packet: Packet) -> _Session:
+        try:
+            return self._sessions[packet.class_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"packet for unknown session {packet.class_id!r}"
+            ) from None
+
+    def _activate(self, session: _Session, now: float) -> None:
+        # Eq. 3: on each new backlogged period the deadline curve becomes
+        # the minimum of its old self and the service curve re-anchored at
+        # (now, work received so far).
+        if session.curve is None:
+            session.curve = RuntimeCurve.from_spec(session.spec, now, session.work)
+        else:
+            session.curve.min_with(session.spec, now, session.work)
+        session.active = True
+        self._push_head_deadline(session)
+
+    def _push_head_deadline(self, session: _Session) -> None:
+        assert session.curve is not None
+        head = session.queue[0]
+        deadline = session.curve.inverse(session.work + head.size)
+        self._deadlines.push_or_update(session.sid, deadline)
+
+
+class FairCurveScheduler(Scheduler):
+    """Virtual-time service-curve scheduling: fair but not guaranteeing.
+
+    Each session keeps a virtual curve updated by eq. 12 (with the flat
+    system virtual time ``(v_min + v_max) / 2`` over active sessions) and
+    the smallest virtual time is served.  This is the link-sharing
+    criterion of H-FSC run alone -- exactly the Fig. 2(d) discipline.
+    """
+
+    def __init__(self, link_rate: float):
+        super().__init__(link_rate)
+        self._sessions: Dict[Any, _Session] = {}
+        self._vmin: IndexedHeap[Any] = IndexedHeap()
+        self._vmax: IndexedHeap[Any] = IndexedHeap()  # keys negated
+        self._vt_watermark = 0.0
+
+    def add_session(self, sid: Any, spec: ServiceCurve) -> None:
+        if sid in self._sessions:
+            raise ConfigurationError(f"duplicate session id: {sid!r}")
+        self._sessions[sid] = _Session(sid, spec)
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        session = self._sessions[packet.class_id]
+        self._note_enqueue(packet, now)
+        session.queue.append(packet)
+        if not session.active:
+            self._activate(session)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._vmin:
+            return None
+        sid = self._vmin.peek_item()
+        session = self._sessions[sid]
+        packet = session.queue.popleft()
+        self._note_dequeue(packet, now)
+        session.work += packet.size
+        assert session.curve is not None
+        vt = session.curve.inverse(session.work)
+        if session.queue:
+            self._vmin.update(sid, vt)
+            self._vmax.update(sid, -vt)
+        else:
+            session.active = False
+            self._vmin.remove(sid)
+            self._vmax.remove(sid)
+            self._vt_watermark = max(self._vt_watermark, vt)
+        return packet
+
+    def virtual_time(self, sid: Any) -> float:
+        """Current virtual time of an active session (for analysis)."""
+        return self._vmin.key_of(sid)
+
+    def system_virtual_time(self) -> float:
+        if not self._vmin:
+            return self._vt_watermark
+        vmin = self._vmin.peek_key()
+        vmax = -self._vmax.peek_key()
+        return (vmin + vmax) / 2.0
+
+    def service_received(self, sid: Any) -> float:
+        return self._sessions[sid].work
+
+    # -- internals ----------------------------------------------------------
+
+    def _activate(self, session: _Session) -> None:
+        pvt = self.system_virtual_time()
+        if session.curve is None:
+            session.curve = RuntimeCurve.from_spec(session.spec, pvt, session.work)
+        else:
+            session.curve.min_with(session.spec, pvt, session.work)
+        session.active = True
+        vt = session.curve.inverse(session.work)
+        self._vmin.push(session.sid, vt)
+        self._vmax.push(session.sid, -vt)

@@ -1,0 +1,12 @@
+"""The paper's experiments, E1..E11 (see DESIGN.md for the index).
+
+Each module exposes ``run(...)`` returning an :class:`ExperimentResult`
+whose rows are plain dicts, plus module-level parameter defaults.  The
+``examples/`` scripts and ``benchmarks/`` harness both call these, so the
+numbers the README quotes, the examples print and the benches regenerate
+are produced by exactly one implementation.
+"""
+
+from repro.experiments.base import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,71 @@
+"""Shared experiment plumbing: result container and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    ``rows`` is what the paper's corresponding table/figure would contain;
+    ``checks`` is a dict of named boolean pass/fail shape checks (who wins,
+    bounds hold, crossovers where expected) that the benchmark harness and
+    EXPERIMENTS.md report.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return all(self.checks.values()) if self.checks else True
+
+    def summary(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            lines.append(format_table(self.rows))
+        for name, ok in self.checks.items():
+            lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+def format_table(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1e5 or magnitude < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    ]
+    return "\n".join([header, separator] + body)

@@ -1,0 +1,143 @@
+"""E10 -- link-sharing accuracy against the fluid FSC ideal (Section III).
+
+Measures, on a Fig.-1-shaped hierarchy with phased on/off leaf demand,
+the discrepancy between each *interior* class's cumulative service under
+a packet scheduler and under the fluid FSC ideal
+(:class:`repro.core.fluid.FluidFSC`).  The paper's goal statement for
+H-FSC is exactly to minimize this discrepancy; the shape result is that
+both hierarchical schedulers track the ideal to within a few packets,
+with H-FSC at least as close as H-PFQ, while CBQ drifts much further.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.linkshare import cumulative_series, discrepancy_sup
+from repro.core.curves import ServiceCurve
+from repro.core.fluid import FluidFSC
+from repro.core.hfsc import HFSC
+from repro.experiments.base import ExperimentResult
+from repro.schedulers.cbq import CBQScheduler
+from repro.schedulers.hpfq import HPFQScheduler
+from repro.sim.drive import Arrival, drive, service_by
+
+LINK = 10_000.0
+PKT = 100.0
+HORIZON = 20.0
+
+TREE = [
+    ("left", None, 0.6),
+    ("right", None, 0.4),
+    ("left.a", "left", 0.35),
+    ("left.b", "left", 0.25),
+    ("right.a", "right", 0.4),
+]
+LEAVES = ["left.a", "left.b", "right.a"]
+INTERIOR = ["left", "right"]
+
+
+def _arrivals() -> List[Arrival]:
+    """Phased demand: left.b idles mid-run so excess moves around."""
+    arrivals: List[Arrival] = []
+
+    def supply(cid: str, start: float, stop: float, rate: float) -> None:
+        interval = PKT / rate
+        t = start
+        while t < stop:
+            arrivals.append((t, cid, PKT))
+            t += interval
+
+    supply("left.a", 0.0, HORIZON, 0.45 * LINK)
+    supply("left.b", 0.0, 8.0, 0.30 * LINK)
+    supply("left.b", 14.0, HORIZON, 0.30 * LINK)
+    supply("right.a", 0.0, HORIZON, 0.45 * LINK)
+    return arrivals
+
+
+def _build(kind: str):
+    if kind == "H-FSC":
+        sched = HFSC(LINK)
+        for name, parent, frac in TREE:
+            curve = ServiceCurve.linear(frac * LINK)
+            if name in LEAVES:
+                sched.add_class(name, parent=parent or "__root__", sc=curve)
+            else:
+                sched.add_class(name, parent=parent or "__root__", ls_sc=curve)
+        return sched
+    if kind == "H-PFQ":
+        sched = HPFQScheduler(LINK)
+        for name, parent, frac in TREE:
+            sched.add_class(name, parent=parent or "__root__", rate=frac * LINK)
+        return sched
+    if kind == "CBQ":
+        sched = CBQScheduler(LINK)
+        for name, parent, frac in TREE:
+            sched.add_class(name, parent=parent or "__root__", rate=frac * LINK)
+        return sched
+    raise ValueError(kind)
+
+
+def _interior_series(served, children):
+    """Cumulative service series of an interior class = sum of leaves'."""
+    events = sorted(
+        (p.departed, p.size) for p in served
+        if p.class_id in children and p.departed is not None
+    )
+    total = 0.0
+    series = [(0.0, 0.0)]
+    for time, size in events:
+        total += size
+        series.append((time, total))
+    return series
+
+
+def run() -> ExperimentResult:
+    arrivals = _arrivals()
+    fluid = FluidFSC(LINK)
+    for name, parent, frac in TREE:
+        fluid.add_class(name, parent=parent or FluidFSC.ROOT,
+                        sc=ServiceCurve.linear(frac * LINK))
+    for time, cid, size in arrivals:
+        fluid.arrive(time, cid, size)
+    ideal = fluid.run(until=HORIZON, dt=0.005)
+
+    children = {
+        "left": {"left.a", "left.b"},
+        "right": {"right.a"},
+    }
+    probe_times = [0.5 * k for k in range(1, int(HORIZON * 2))]
+    rows = []
+    sup: Dict[str, Dict[str, float]] = {}
+    for kind in ("H-FSC", "H-PFQ", "CBQ"):
+        served = drive(_build(kind), arrivals, until=HORIZON)
+        sup[kind] = {}
+        row = {"scheduler": kind}
+        for interior in INTERIOR:
+            actual = _interior_series(served, children[interior])
+            value = discrepancy_sup(actual, ideal[interior], probe_times)
+            sup[kind][interior] = value
+            row[f"sup |{interior} - ideal| (pkts)"] = value / PKT
+        rows.append(row)
+    checks = {
+        "H-FSC tracks the ideal within 20 packets": all(
+            sup["H-FSC"][i] <= 20 * PKT for i in INTERIOR
+        ),
+        "H-PFQ tracks the ideal within 20 packets": all(
+            sup["H-PFQ"][i] <= 20 * PKT for i in INTERIOR
+        ),
+        "CBQ drifts further than H-FSC (ordering holds)": max(
+            sup["CBQ"][i] for i in INTERIOR
+        ) > 1.5 * max(sup["H-FSC"][i] for i in INTERIOR),
+    }
+    return ExperimentResult(
+        "E10",
+        "Interior-class service vs the fluid FSC ideal",
+        rows=rows,
+        checks=checks,
+        notes="discrepancies in units of one packet (100 bytes)",
+    )
+
+
+if __name__ == "__main__":
+    print(run().summary())

@@ -1,0 +1,89 @@
+"""E11 -- closed-loop TCP aggregates under H-FSC link-sharing.
+
+The paper's measurement experiments drive the link-sharing hierarchy with
+TCP (FTP) traffic.  Here two TCP connections share a 10 Mbit/s bottleneck
+under a 60/40 H-FSC split:
+
+* phase A (0-20 s): both connections active -- goodput must split ~60/40;
+* phase B (20-40 s): connection B stops -- A must reclaim ~the full link
+  (work-conserving excess distribution through a closed control loop).
+
+Also reported: drop counts (TCP's feedback signal) and link utilization,
+which must stay near 1 while any sender is active.
+"""
+
+from __future__ import annotations
+
+from repro.core.curves import ServiceCurve
+from repro.core.hfsc import HFSC
+from repro.experiments.base import ExperimentResult
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+from repro.sim.stats import ThroughputMeter
+from repro.sim.tcp import TCPConnection
+
+LINK = 1_250_000.0  # 10 Mbit/s
+SPLIT = (0.6, 0.4)
+PHASE_A = (5.0, 20.0)
+PHASE_B = (25.0, 40.0)
+HORIZON = 40.0
+
+
+def run() -> ExperimentResult:
+    loop = EventLoop()
+    sched = HFSC(LINK, admission_control=False)
+    sched.add_class("a", sc=ServiceCurve.linear(SPLIT[0] * LINK))
+    sched.add_class("b", sc=ServiceCurve.linear(SPLIT[1] * LINK))
+    link = Link(loop, sched)
+    meter = ThroughputMeter(link, window=1.0)
+    conn_a = TCPConnection(loop, link, "a", fwd_delay=0.005, rev_delay=0.005)
+    conn_b = TCPConnection(loop, link, "b", fwd_delay=0.005, rev_delay=0.005,
+                           stop=20.0)
+    loop.run(until=HORIZON)
+
+    rate_a_phase_a = meter.rate_between("a", *PHASE_A)
+    rate_b_phase_a = meter.rate_between("b", *PHASE_A)
+    rate_a_phase_b = meter.rate_between("a", *PHASE_B)
+    rows = [
+        {
+            "phase": "A (both active)",
+            "tcp-a rate (frac of link)": rate_a_phase_a / LINK,
+            "tcp-b rate (frac of link)": rate_b_phase_a / LINK,
+        },
+        {
+            "phase": "B (b stopped)",
+            "tcp-a rate (frac of link)": rate_a_phase_b / LINK,
+            "tcp-b rate (frac of link)": meter.rate_between("b", *PHASE_B) / LINK,
+        },
+        {
+            "phase": "loss/rtx",
+            "tcp-a rate (frac of link)": conn_a.buffer.dropped,
+            "tcp-b rate (frac of link)": conn_b.buffer.dropped,
+        },
+    ]
+    checks = {
+        "phase A split ~ 60/40 (within 7% of link each)":
+            abs(rate_a_phase_a / LINK - SPLIT[0]) < 0.07
+            and abs(rate_b_phase_a / LINK - SPLIT[1]) < 0.07,
+        "phase B: a reclaims >= 90% of the link":
+            rate_a_phase_b / LINK >= 0.90,
+        "TCP actually experienced loss (closed loop is real)":
+            conn_a.buffer.dropped > 0 and conn_b.buffer.dropped > 0,
+        "utilization near 1 while senders active":
+            link.utilization(HORIZON) > 0.95,
+    }
+    return ExperimentResult(
+        "E11",
+        "TCP aggregates: configured split, then reclaim on idleness",
+        rows=rows,
+        checks=checks,
+        notes=(
+            f"a: {conn_a.segments_sent} segs, {conn_a.retransmits} rtx, "
+            f"{conn_a.timeouts} timeouts; b: {conn_b.segments_sent} segs, "
+            f"{conn_b.retransmits} rtx, {conn_b.timeouts} timeouts"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().summary())

@@ -1,0 +1,123 @@
+"""E12 (extension) -- per-frame service curves: the Fig. 7 parameter study.
+
+Section V explains that a video session can request *per-frame* delay
+guarantees by setting the curve's ``umax`` to the maximum frame size
+instead of the packet MTU.  This extension experiment sweeps that choice:
+
+* a frame-structured video source (8 kB frames at 15 fps, fragmented to
+  1 kB packets) competes with greedy bulk traffic;
+* curves built with ``umax = frame`` (correct) vs ``umax = packet``
+  (under-provisioned burst) vs a plain linear curve, at the same rate;
+* measured: the worst *frame* delay (last fragment of a frame relative
+  to the frame's generation).
+
+Expected shape: only the frame-sized curve keeps frame delay near its
+dmax; the packet-sized curve protects individual fragments but lets whole
+frames straggle; the linear curve couples frame delay to the rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.curves import ServiceCurve
+from repro.core.hfsc import HFSC
+from repro.experiments.base import ExperimentResult
+from repro.sim.drive import Arrival, drive
+
+LINK = 1_250_000.0
+FRAME = 8_000.0
+FPS = 15.0
+MTU = 1_000.0
+RATE = FRAME * FPS  # 120 kB/s
+DMAX = 0.02
+HORIZON = 20.0
+
+
+def _arrivals() -> List[Arrival]:
+    arrivals: List[Arrival] = []
+    t = 0.0
+    while t < HORIZON:
+        remaining = FRAME
+        while remaining > 0:
+            arrivals.append((t, "video", min(MTU, remaining)))
+            remaining -= MTU
+        t += 1.0 / FPS
+    arrivals += [(0.0, "bulk", 1500.0)] * int(LINK * HORIZON / 1500.0)
+    return arrivals
+
+
+def _video_curve(kind: str) -> ServiceCurve:
+    if kind == "umax=frame":
+        return ServiceCurve.from_delay(FRAME, DMAX, RATE)
+    if kind == "umax=packet":
+        return ServiceCurve.from_delay(MTU, DMAX, RATE)
+    if kind == "linear":
+        return ServiceCurve.linear(RATE)
+    raise ValueError(kind)
+
+
+def _frame_delays(served) -> List[float]:
+    """Delay of each frame: last fragment departure minus frame creation."""
+    frames: Dict[float, float] = {}
+    for packet in served:
+        if packet.class_id != "video":
+            continue
+        frames[packet.created] = max(
+            frames.get(packet.created, 0.0), packet.departed - packet.created
+        )
+    return list(frames.values())
+
+
+def run() -> ExperimentResult:
+    rows = []
+    worst: Dict[str, float] = {}
+    for kind in ("umax=frame", "umax=packet", "linear"):
+        video_sc = _video_curve(kind)
+        sched = HFSC(LINK)
+        sched.add_class("video", sc=video_sc)
+        # Bulk's rt share leaves room for the video curve's steepest
+        # segment (m1 for concave shapes, the m2 tail for convex ones).
+        video_peak = max(video_sc.m1, video_sc.m2)
+        sched.add_class(
+            "bulk",
+            rt_sc=ServiceCurve.linear(max(LINK - video_peak - 10_000.0, 100_000.0)),
+            ls_sc=ServiceCurve.linear(LINK - RATE),
+        )
+        served = drive(sched, _arrivals(), until=HORIZON + 10.0)
+        delays = _frame_delays(served)
+        worst[kind] = max(delays)
+        rows.append(
+            {
+                "video curve": kind,
+                "mean frame delay (ms)": sum(delays) / len(delays) * 1e3,
+                "max frame delay (ms)": max(delays) * 1e3,
+                "frames": len(delays),
+            }
+        )
+    tau = 1500.0 / LINK
+    # Frame delay is not a single-packet Theorem-2 quantity: the class
+    # cycles passive/active at exactly its reserved rate, so the burst
+    # allowance renews only partially (eq. 7's min) and the last fragment
+    # can slip slightly past dmax + tau.  "Near dmax" (here within 15% +
+    # tau) is the honest reproduced claim; the sharp bound is tested
+    # per-packet in E6.
+    checks = {
+        "umax=frame keeps frame delay near dmax":
+            worst["umax=frame"] <= DMAX * 1.15 + tau + 1e-9,
+        "umax=packet lets whole frames straggle (>= 2x worse)":
+            worst["umax=packet"] > worst["umax=frame"] * 2.0,
+        "linear curve also rate-couples frame delay (>= 2x worse)":
+            worst["linear"] > worst["umax=frame"] * 2.0,
+    }
+    return ExperimentResult(
+        "E12",
+        "Per-frame guarantees: umax set to frame vs packet vs linear (ext.)",
+        rows=rows,
+        checks=checks,
+        notes=f"dmax = {DMAX*1e3:.0f} ms, tau_max = {tau*1e3:.1f} ms",
+    )
+
+
+if __name__ == "__main__":
+    print(run().summary())

@@ -1,0 +1,78 @@
+"""E1 -- SCED punishes excess-service users (Fig. 2(b,c) of the paper).
+
+Two sessions on a unit-rate server: S1 convex, S2 concave, with
+``s12 + s21 > 1`` so both peak rates cannot be honored at once.  Session 1
+is alone (and hence served at the full link rate) until ``t1``; session 2
+then activates.  Under SCED, session 1 -- having received excess service --
+is completely shut out while session 2's early deadlines drain, even
+though session 1's own curve is never violated.  The experiment reports
+the service trajectories of both sessions and the length of session 1's
+starvation period.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fairness import starvation_period
+from repro.core.curves import ServiceCurve
+from repro.core.sced import SCEDScheduler
+from repro.experiments.base import ExperimentResult
+from repro.sim.drive import drive, service_by
+
+#: The Fig. 2 parameters (server rate 1): S1 convex, S2 concave,
+#: s11 + s21 = 1.0 <= 1, s12 + s22 = 1.0 <= 1, s12 + s21 = 1.5 > 1.
+S1 = ServiceCurve(m1=0.2, d=5.0, m2=0.7)
+S2 = ServiceCurve(m1=0.8, d=2.0, m2=0.3)
+T1 = 4.0
+PACKET = 0.25
+HORIZON = 14.0
+
+
+def run(horizon: float = HORIZON) -> ExperimentResult:
+    scheduler = SCEDScheduler(link_rate=1.0, admission_control=False)
+    scheduler.add_session(1, S1)
+    scheduler.add_session(2, S2)
+    arrivals = [(0.0, 1, PACKET)] * int(4 * horizon / PACKET)
+    arrivals += [(T1, 2, PACKET)] * int(4 * horizon / PACKET)
+    served = drive(scheduler, arrivals, until=horizon, rate=1.0)
+
+    rows = []
+    for t in [t * 0.5 for t in range(int(horizon * 2) + 1)]:
+        rows.append(
+            {
+                "t": t,
+                "w1(t)": service_by(served, 1, t),
+                "w2(t)": service_by(served, 2, t),
+                "S1(t)": S1.value(t),
+                "S2(t-t1)": S2.value(t - T1),
+            }
+        )
+    starvation = starvation_period(served, 1, T1, horizon)
+    curve1_ok = all(
+        service_by(served, 1, t) >= S1.value(t) - PACKET - 1e-9
+        for t in [r["t"] for r in rows]
+    )
+    curve2_ok = all(
+        service_by(served, 2, t) >= S2.value(t - T1) - PACKET - 1e-9
+        for t in [r["t"] for r in rows]
+    )
+    result = ExperimentResult(
+        "E1",
+        "SCED punishment of a session that used excess service (Fig. 2b,c)",
+        rows=rows,
+        checks={
+            "session 1 served at full rate before t1": service_by(served, 1, T1)
+            >= T1 - PACKET,
+            "session 1 starved for >= 2 time units after t1": starvation >= 2.0,
+            "session 1's service curve still guaranteed": curve1_ok,
+            "session 2's service curve still guaranteed": curve2_ok,
+        },
+        notes=(
+            f"starvation period of session 1 after t1: {starvation:.2f} time "
+            f"units (paper: (t1, t2] with t2 = S1 catching up)"
+        ),
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().summary())

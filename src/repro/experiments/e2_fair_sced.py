@@ -1,0 +1,94 @@
+"""E2 -- fairness vs guarantees on the Fig. 2 scenario (Fig. 2(d)).
+
+Re-runs the E1 workload under three disciplines:
+
+* SCED -- guarantees both curves, punishes session 1;
+* the fair virtual-time variant of Fig. 2(d) -- never punishes, but
+  violates session 2's curve right after t1;
+* H-FSC (flat hierarchy) -- guarantees both *leaf* curves via the
+  real-time criterion while using the link-sharing criterion to keep
+  serving session 1, the paper's resolution of the trade-off.
+
+Reported per discipline: session 1's starvation period after t1 and the
+worst violation of session 2's service curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fairness import starvation_period
+from repro.core.hfsc import HFSC
+from repro.core.sced import FairCurveScheduler, SCEDScheduler
+from repro.experiments.base import ExperimentResult
+from repro.experiments.e1_sced_punishment import HORIZON, PACKET, S1, S2, T1
+from repro.sim.drive import drive, service_by
+
+
+def _run_one(scheduler, add):
+    add(scheduler, 1, S1)
+    add(scheduler, 2, S2)
+    count = int(4 * HORIZON / PACKET)
+    arrivals = [(0.0, 1, PACKET)] * count + [(T1, 2, PACKET)] * count
+    return drive(scheduler, arrivals, until=HORIZON, rate=1.0)
+
+
+def _metrics(served):
+    starvation = starvation_period(served, 1, T1, HORIZON)
+    worst_violation = min(
+        service_by(served, 2, t) - S2.value(t - T1)
+        for t in [T1 + 0.25 * k for k in range(1, int((HORIZON - T1) / 0.25))]
+    )
+    return starvation, worst_violation
+
+
+def run() -> ExperimentResult:
+    schedulers = {
+        "SCED": _run_one(
+            SCEDScheduler(1.0, admission_control=False),
+            lambda s, sid, spec: s.add_session(sid, spec),
+        ),
+        "FairCurve (Fig. 2d)": _run_one(
+            FairCurveScheduler(1.0),
+            lambda s, sid, spec: s.add_session(sid, spec),
+        ),
+        "H-FSC": _run_one(
+            HFSC(1.0, admission_control=False),
+            lambda s, sid, spec: s.add_class(sid, sc=spec),
+        ),
+    }
+    rows = []
+    metrics = {}
+    for name, served in schedulers.items():
+        starvation, violation = _metrics(served)
+        metrics[name] = (starvation, violation)
+        rows.append(
+            {
+                "scheduler": name,
+                "s1 starvation after t1 (time units)": starvation,
+                "worst s2 curve violation (units)": min(violation, 0.0),
+            }
+        )
+    tau = PACKET  # one packet of discretization slack
+    checks = {
+        "SCED punishes session 1 (starvation >= 2)": metrics["SCED"][0] >= 2.0,
+        "SCED guarantees session 2 (violation within one packet)":
+            metrics["SCED"][1] >= -tau - 1e-9,
+        "FairCurve does not punish (starvation ~ packet scale)":
+            metrics["FairCurve (Fig. 2d)"][0] <= 4 * PACKET + 1e-9,
+        "FairCurve violates session 2's curve beyond one packet":
+            metrics["FairCurve (Fig. 2d)"][1] < -tau - 1e-9,
+        "H-FSC guarantees session 2 (violation within one packet)":
+            metrics["H-FSC"][1] >= -tau - 1e-9,
+        "H-FSC starves session 1 less than SCED":
+            metrics["H-FSC"][0] < metrics["SCED"][0],
+    }
+    return ExperimentResult(
+        "E2",
+        "Fairness vs guarantees on the Fig. 2 scenario (Fig. 2d)",
+        rows=rows,
+        checks=checks,
+        notes="negative violation = service below the curve (bad)",
+    )
+
+
+if __name__ == "__main__":
+    print(run().summary())

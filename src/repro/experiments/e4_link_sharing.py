@@ -1,0 +1,168 @@
+"""E4 -- hierarchical link-sharing on the Fig. 1 CMU / U.Pitt hierarchy.
+
+A scaled version of the paper's Fig. 1 tree (10 Mbit/s link; CMU 25/45,
+U.Pitt 20/45, traffic-type classes below) driven through three phases:
+
+* phase A (0-10 s): every leaf is greedy -- configured shares must hold
+  at every level;
+* phase B (10-20 s): CMU's data leaf goes idle -- its bandwidth must go
+  to CMU's audio/video *siblings*, not to U.Pitt (the paper's Section I
+  example);
+* phase C (20-30 s): all of CMU goes idle -- U.Pitt takes the full link.
+
+Run for H-FSC, H-PFQ and CBQ; the shape result is that H-FSC and H-PFQ
+enforce the shares tightly while CBQ's estimator wanders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.hfsc import HFSC
+from repro.core.curves import ServiceCurve
+from repro.experiments.base import ExperimentResult
+from repro.schedulers.cbq import CBQScheduler
+from repro.schedulers.hpfq import HPFQScheduler
+from repro.sim.drive import Arrival, drive, rate_between
+
+LINK = 1_250_000.0  # 10 Mbit/s in bytes/s
+PKT = 1000.0
+
+#: (name, parent, fraction of link) -- fractions follow Fig. 1's 45 Mb/s
+#: example scaled to 1.0.
+TREE = [
+    ("cmu", None, 25.0 / 45.0),
+    ("pitt", None, 20.0 / 45.0),
+    ("cmu.av", "cmu", 12.0 / 45.0),
+    ("cmu.data", "cmu", 13.0 / 45.0),
+    ("pitt.av", "pitt", 12.0 / 45.0),
+    ("pitt.data", "pitt", 8.0 / 45.0),
+]
+LEAVES = ["cmu.av", "cmu.data", "pitt.av", "pitt.data"]
+PHASE_A = (2.0, 10.0)   # skip the first 2 s of transient
+PHASE_B = (12.0, 20.0)
+PHASE_C = (22.0, 30.0)
+HORIZON = 30.0
+
+
+def _build(kind: str):
+    if kind == "H-FSC":
+        sched = HFSC(LINK)
+        for name, parent, frac in TREE:
+            curve = ServiceCurve.linear(frac * LINK)
+            if name in LEAVES:
+                sched.add_class(name, parent=parent or "__root__", sc=curve)
+            else:
+                sched.add_class(name, parent=parent or "__root__", ls_sc=curve)
+        return sched
+    if kind == "H-PFQ":
+        sched = HPFQScheduler(LINK)
+        for name, parent, frac in TREE:
+            sched.add_class(name, parent=parent or "__root__", rate=frac * LINK)
+        return sched
+    if kind == "CBQ":
+        sched = CBQScheduler(LINK)
+        for name, parent, frac in TREE:
+            sched.add_class(name, parent=parent or "__root__", rate=frac * LINK)
+        return sched
+    raise ValueError(kind)
+
+
+def _phased_arrivals() -> List[Arrival]:
+    """Feed each class a bit above its in-phase fair share.
+
+    Supplying at exactly the link rate would build unbounded backlog and
+    no class would ever go idle at its phase boundary; supplying at 1.05x
+    the share it should achieve keeps every intended-active class
+    backlogged while letting phase transitions (cmu.data idle at 10 s,
+    all of CMU idle at 20 s) happen within a short transient.
+    """
+    arrivals: List[Arrival] = []
+
+    def supply(cid: str, start: float, stop: float, share: float) -> None:
+        rate = 1.05 * share * LINK
+        interval = PKT / rate
+        t = start
+        while t < stop:
+            arrivals.append((t, cid, PKT))
+            t += interval
+
+    supply("cmu.av", 0.0, 10.0, 12.0 / 45.0)
+    supply("cmu.av", 10.0, 20.0, 25.0 / 45.0)  # absorbs cmu.data's share
+    supply("cmu.data", 0.0, 10.0, 13.0 / 45.0)
+    supply("pitt.av", 0.0, 20.0, 12.0 / 45.0)
+    supply("pitt.av", 20.0, HORIZON, 12.0 / 20.0)
+    supply("pitt.data", 0.0, 20.0, 8.0 / 45.0)
+    supply("pitt.data", 20.0, HORIZON, 8.0 / 20.0)
+    return arrivals
+
+
+def run() -> ExperimentResult:
+    rows = []
+    measured: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for kind in ("H-FSC", "H-PFQ", "CBQ"):
+        sched = _build(kind)
+        served = drive(sched, _phased_arrivals(), until=HORIZON)
+        phase_rates = {}
+        for phase_name, (start, stop) in [
+            ("A", PHASE_A), ("B", PHASE_B), ("C", PHASE_C)
+        ]:
+            for leaf in LEAVES:
+                phase_rates[(phase_name, leaf)] = rate_between(
+                    served, leaf, start, stop
+                )
+        measured[kind] = phase_rates
+        for phase_name in ("A", "B", "C"):
+            row = {"scheduler": kind, "phase": phase_name}
+            for leaf in LEAVES:
+                row[leaf + " (frac)"] = phase_rates[(phase_name, leaf)] / LINK
+            rows.append(row)
+
+    def frac(kind, phase, leaf):
+        return measured[kind][(phase, leaf)] / LINK
+
+    checks = {}
+    for kind in ("H-FSC", "H-PFQ"):
+        tol = 0.05
+        checks[f"{kind}: phase A shares ~ configured"] = (
+            abs(frac(kind, "A", "cmu.av") - 12.0 / 45.0) < tol
+            and abs(frac(kind, "A", "cmu.data") - 13.0 / 45.0) < tol
+            and abs(frac(kind, "A", "pitt.av") - 12.0 / 45.0) < tol
+            and abs(frac(kind, "A", "pitt.data") - 8.0 / 45.0) < tol
+        )
+        # Phase B: cmu.data idle; cmu.av should absorb CMU's 25/45 while
+        # pitt stays at 20/45 (sibling-first excess).
+        checks[f"{kind}: phase B sibling-first excess"] = (
+            abs(frac(kind, "B", "cmu.av") - 25.0 / 45.0) < tol
+            and abs(
+                frac(kind, "B", "pitt.av") + frac(kind, "B", "pitt.data")
+                - 20.0 / 45.0
+            ) < tol
+        )
+        # Phase C: all CMU idle; U.Pitt takes the whole link.
+        checks[f"{kind}: phase C cross-subtree excess"] = (
+            frac(kind, "C", "pitt.av") + frac(kind, "C", "pitt.data") > 0.95
+        )
+    # CBQ should be qualitatively right but measurably sloppier in phase A.
+    hfsc_err = sum(
+        abs(frac("H-FSC", "A", leaf) - share)
+        for leaf, share in zip(LEAVES, [12 / 45, 13 / 45, 12 / 45, 8 / 45])
+    )
+    cbq_err = sum(
+        abs(frac("CBQ", "A", leaf) - share)
+        for leaf, share in zip(LEAVES, [12 / 45, 13 / 45, 12 / 45, 8 / 45])
+    )
+    checks["CBQ link-sharing error exceeds H-FSC's"] = cbq_err > hfsc_err
+    return ExperimentResult(
+        "E4",
+        "Hierarchical link-sharing on the Fig. 1 hierarchy (3 phases)",
+        rows=rows,
+        checks=checks,
+        notes=(
+            f"sum |share error| in phase A: H-FSC {hfsc_err:.4f}, CBQ {cbq_err:.4f}"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().summary())

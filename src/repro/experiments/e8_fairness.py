@@ -1,0 +1,106 @@
+"""E8 -- fairness and non-punishment (Section III-B).
+
+Two equal-share classes; class ``a`` runs alone for 10 s (absorbing the
+whole link as excess), then class ``b`` activates.  Reported for H-FSC,
+WF2Q+ and virtual clock:
+
+* class a's throughput in the window right after b activates -- the
+  punishment signature (virtual clock freezes a out; fair schedulers give
+  it its 50%);
+* the longest starvation period of a while backlogged;
+* the worst spread of normalized service between a and b after both are
+  active (the packetized virtual-time discrepancy, which Section VI
+  bounds for H-FSC).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.fairness import normalized_service_spread, starvation_period
+from repro.core.curves import ServiceCurve
+from repro.core.hfsc import HFSC
+from repro.experiments.base import ExperimentResult
+from repro.schedulers.virtual_clock import VirtualClockScheduler
+from repro.schedulers.wf2q import WF2QPlusScheduler
+from repro.sim.drive import Arrival, drive, rate_between
+
+LINK = 1000.0
+PKT = 100.0
+T_B = 10.0
+HORIZON = 30.0
+RATES = {"a": 500.0, "b": 500.0}
+
+
+def _arrivals() -> List[Arrival]:
+    arrivals: List[Arrival] = [(0.0, "a", PKT)] * int(LINK * HORIZON / PKT)
+    arrivals += [(T_B, "b", PKT)] * int(LINK * HORIZON / PKT / 2)
+    return arrivals
+
+
+def _build(kind: str):
+    if kind == "H-FSC":
+        sched = HFSC(LINK)
+        for name, rate in RATES.items():
+            sched.add_class(name, sc=ServiceCurve.linear(rate))
+        return sched
+    if kind == "WF2Q+":
+        sched = WF2QPlusScheduler(LINK)
+        for name, rate in RATES.items():
+            sched.add_flow(name, rate)
+        return sched
+    if kind == "VirtualClock":
+        sched = VirtualClockScheduler(LINK)
+        for name, rate in RATES.items():
+            sched.add_flow(name, rate)
+        return sched
+    raise ValueError(kind)
+
+
+def run() -> ExperimentResult:
+    rows = []
+    metrics: Dict[str, Dict[str, float]] = {}
+    for kind in ("H-FSC", "WF2Q+", "VirtualClock"):
+        served = drive(_build(kind), _arrivals(), until=HORIZON)
+        a_window = rate_between(served, "a", T_B, T_B + 2.0)
+        starve = starvation_period(served, "a", T_B, HORIZON)
+        spread = normalized_service_spread(
+            served, RATES, window=(T_B + 0.5, HORIZON - 5.0)
+        )
+        metrics[kind] = {
+            "window": a_window,
+            "starve": starve,
+            "spread": spread,
+        }
+        rows.append(
+            {
+                "scheduler": kind,
+                "a rate in (10, 12] (B/s)": a_window,
+                "a starvation (s)": starve,
+                "normalized spread (s)": spread,
+            }
+        )
+    pkt_time_slowest = PKT / RATES["a"]
+    checks = {
+        "H-FSC gives a its 50% immediately":
+            metrics["H-FSC"]["window"] >= 0.9 * RATES["a"],
+        "WF2Q+ gives a its 50% immediately":
+            metrics["WF2Q+"]["window"] >= 0.9 * RATES["a"],
+        "virtual clock punishes a (starved for seconds)":
+            metrics["VirtualClock"]["starve"] >= 2.0,
+        "H-FSC normalized spread within a few packet times":
+            metrics["H-FSC"]["spread"] <= 4 * pkt_time_slowest,
+        "virtual clock spread an order of magnitude worse":
+            metrics["VirtualClock"]["spread"]
+            >= 5 * metrics["H-FSC"]["spread"],
+    }
+    return ExperimentResult(
+        "E8",
+        "Non-punishment and bounded fairness after excess use",
+        rows=rows,
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":
+    print(run().summary())

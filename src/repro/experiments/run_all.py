@@ -1,0 +1,105 @@
+"""Run every experiment and emit a consolidated report.
+
+Usage::
+
+    python -m repro.experiments.run_all            # text to stdout
+    python -m repro.experiments.run_all --markdown # markdown tables
+
+The markdown output is the measured half of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from repro.experiments import (
+    e1_sced_punishment,
+    e2_fair_sced,
+    e3_impossibility,
+    e4_link_sharing,
+    e5_decoupling,
+    e6_delay_bounds,
+    e7_depth,
+    e8_fairness,
+    e9_overhead,
+    e10_ls_accuracy,
+    e11_tcp,
+    e12_frame_curves,
+    e13_multihop,
+)
+from repro.experiments.base import ExperimentResult
+
+ALL_EXPERIMENTS = [
+    e1_sced_punishment,
+    e2_fair_sced,
+    e3_impossibility,
+    e4_link_sharing,
+    e5_decoupling,
+    e6_delay_bounds,
+    e7_depth,
+    e8_fairness,
+    e9_overhead,
+    e10_ls_accuracy,
+    e11_tcp,
+    e12_frame_curves,
+    e13_multihop,
+]
+
+
+def run_all() -> List[ExperimentResult]:
+    results = []
+    for module in ALL_EXPERIMENTS:
+        results.append(module.run())
+    return results
+
+
+def to_markdown(result: ExperimentResult) -> str:
+    lines = [f"### {result.experiment_id}: {result.title}", ""]
+    if result.rows:
+        columns: List[str] = []
+        for row in result.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "---|" * len(columns))
+        for row in result.rows:
+            cells = []
+            for col in columns:
+                value = row.get(col, "")
+                if isinstance(value, float):
+                    cells.append(f"{value:.4g}")
+                else:
+                    cells.append(str(value))
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    for name, ok in result.checks.items():
+        lines.append(f"- **{'PASS' if ok else 'FAIL'}** {name}")
+    if result.notes:
+        lines.append(f"- note: {result.notes}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    markdown = "--markdown" in argv
+    results = run_all()
+    failures = 0
+    for result in results:
+        if markdown:
+            print(to_markdown(result))
+        else:
+            print(result.summary())
+            print()
+        if not result.passed:
+            failures += 1
+    print(
+        f"{'##' if markdown else '=='} {len(results) - failures}/"
+        f"{len(results)} experiments reproduce the paper's shape"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

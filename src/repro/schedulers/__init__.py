@@ -1,0 +1,41 @@
+"""Packet schedulers: the paper's baselines and comparators.
+
+Every scheduler implements the small interface of
+:class:`~repro.schedulers.base.Scheduler` (``enqueue`` / ``dequeue``) so
+that the simulator's :class:`~repro.sim.link.Link` can drive any of them
+interchangeably.  The H-FSC scheduler itself lives in
+:mod:`repro.core.hfsc`; this package holds the algorithms the paper
+compares against or builds upon:
+
+* FIFO and static priority (Section I framing),
+* Virtual Clock (Section III-B: SCED with linear curves *is* virtual clock),
+* WFQ / PGPS and SFQ (classic PFQ algorithms, Section IV-C),
+* WF2Q+ (the SEFF packet fair queueing algorithm, reference [2]/[17]),
+* DRR (a cheap rate-proportional baseline),
+* H-PFQ -- a hierarchy of PFQ server nodes, the paper's main comparator,
+* CBQ -- the class-based queueing link-sharing scheme of reference [8].
+"""
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.cbq import CBQScheduler
+from repro.schedulers.drr import DRRScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hpfq import HPFQScheduler
+from repro.schedulers.priority import StaticPriorityScheduler
+from repro.schedulers.sfq import SFQScheduler
+from repro.schedulers.virtual_clock import VirtualClockScheduler
+from repro.schedulers.wf2q import WF2QPlusScheduler
+from repro.schedulers.wfq import WFQScheduler
+
+__all__ = [
+    "Scheduler",
+    "FIFOScheduler",
+    "StaticPriorityScheduler",
+    "VirtualClockScheduler",
+    "WFQScheduler",
+    "SFQScheduler",
+    "WF2QPlusScheduler",
+    "DRRScheduler",
+    "HPFQScheduler",
+    "CBQScheduler",
+]

@@ -1,0 +1,79 @@
+"""The scheduler interface the simulator's link drives.
+
+A scheduler is a passive object: the link calls ``enqueue`` when a packet
+arrives and ``dequeue`` whenever the output becomes free.  Schedulers never
+interact with the event loop directly, which keeps every algorithm unit
+testable by hand-feeding it packets and times.
+
+Work-conserving schedulers (everything in this library except a class with
+an upper-limit curve) must return a packet from ``dequeue`` whenever their
+backlog is non-empty.  Non-work-conserving behaviour is expressed by
+returning ``None`` together with a ``next_ready_time`` hint so the link can
+re-poll at the right moment.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+from repro.sim.packet import Packet
+
+
+class Scheduler(ABC):
+    """Abstract base class for output-link packet schedulers."""
+
+    def __init__(self, link_rate: float):
+        if link_rate <= 0:
+            raise ValueError("link rate must be positive")
+        self.link_rate = float(link_rate)
+        self._backlog_packets = 0
+        self._backlog_bytes = 0.0
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+
+    # -- interface ----------------------------------------------------------
+
+    @abstractmethod
+    def enqueue(self, packet: Packet, now: float) -> None:
+        """Accept ``packet`` at time ``now``."""
+
+    @abstractmethod
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Select the next packet to transmit at time ``now``."""
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        """Earliest time a packet may become transmittable.
+
+        Only meaningful when ``dequeue`` returned ``None`` while backlogged
+        (non-work-conserving schedulers).  ``None`` means "whenever the next
+        packet arrives".
+        """
+        return None
+
+    # -- shared bookkeeping ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._backlog_packets
+
+    @property
+    def backlog_packets(self) -> int:
+        return self._backlog_packets
+
+    @property
+    def backlog_bytes(self) -> float:
+        return self._backlog_bytes
+
+    def _note_enqueue(self, packet: Packet, now: float) -> None:
+        packet.enqueued = now
+        self._backlog_packets += 1
+        self._backlog_bytes += packet.size
+        self.total_enqueued += 1
+
+    def _note_dequeue(self, packet: Packet, now: float) -> None:
+        packet.dequeued = now
+        self._backlog_packets -= 1
+        self._backlog_bytes -= packet.size
+        self.total_dequeued += 1
+        if self._backlog_packets < 0:
+            raise RuntimeError("scheduler backlog accounting underflow")

@@ -1,0 +1,259 @@
+"""Class-Based Queueing (Floyd & Jacobson, 1995) -- simplified.
+
+CBQ is the link-sharing scheme the paper's related work (Section VIII) and
+the H-PFQ paper position themselves against: hierarchical sharing driven
+not by virtual times but by a per-class **estimator** that measures whether
+a class is over- or under- its allocated rate, plus priority levels and a
+weighted round-robin among sendable classes.
+
+This implementation follows the ns-2 "top-level" variant at reduced
+fidelity, which is sufficient for the link-sharing comparison (E4):
+
+* each class has a rate, a priority level, and a borrow flag;
+* the estimator tracks ``avgidle``, an EWMA of the difference between the
+  actual inter-departure gap and the gap a dedicated ``rate`` link would
+  produce; ``avgidle >= 0`` means the class is *underlimit*;
+* a leaf may send when it is underlimit, or when it may borrow and some
+  ancestor is underlimit;
+* among sendable leaves, the highest priority level wins, weighted
+  round-robin within a level;
+* when no backlogged leaf is regulated-sendable, the scheduler stays
+  work-conserving and sends from the highest-priority backlogged leaf
+  (ns-2's behaviour when the root can lend).
+
+The known weaknesses the paper attributes to CBQ-style estimators --
+sluggish convergence to the configured shares and coupled delay/bandwidth
+-- are visible in the E4/E5 results, which is precisely their role here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+
+ROOT = "__root__"
+
+
+class CBQClass:
+    __slots__ = (
+        "name",
+        "parent",
+        "children",
+        "rate",
+        "priority",
+        "borrow",
+        "queue",
+        "avgidle",
+        "maxidle",
+        "last_departure",
+        "bytes_served",
+        "quantum",
+        "deficit",
+    )
+
+    def __init__(
+        self,
+        name: Any,
+        parent: Optional["CBQClass"],
+        rate: float,
+        priority: int,
+        borrow: bool,
+        maxidle: float,
+    ):
+        self.name = name
+        self.parent = parent
+        self.children: List["CBQClass"] = []
+        self.rate = rate
+        self.priority = priority
+        self.borrow = borrow
+        self.queue: Deque[Packet] = deque()
+        self.avgidle = maxidle
+        self.maxidle = maxidle
+        self.last_departure: Optional[float] = None
+        self.bytes_served = 0.0
+        # Weighted round robin within a priority level: quantum in bytes
+        # proportional to the configured rate (set by the scheduler).
+        self.quantum = 1.0
+        self.deficit = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def underlimit(self) -> bool:
+        return self.avgidle >= 0.0
+
+    def __repr__(self) -> str:
+        return f"CBQClass({self.name!r})"
+
+
+class CBQScheduler(Scheduler):
+    """Simplified class-based queueing with ancestor borrowing.
+
+    ``ewma_gain`` is the estimator's smoothing weight (ns-2 uses
+    ``1/2**RM_FILTER_GAIN = 1/32``; we default to 1/16 for faster
+    convergence at simulation time scales).  ``maxidle_seconds`` caps the
+    credit a long-idle class can accumulate.
+    """
+
+    def __init__(
+        self,
+        link_rate: float,
+        ewma_gain: float = 1.0 / 16.0,
+        maxidle_seconds: float = 0.05,
+        round_seconds: float = 0.02,
+    ):
+        super().__init__(link_rate)
+        if not 0 < ewma_gain <= 1:
+            raise ConfigurationError("ewma_gain must be in (0, 1]")
+        if round_seconds <= 0:
+            raise ConfigurationError("round_seconds must be positive")
+        self._gain = ewma_gain
+        self._maxidle = maxidle_seconds
+        # Each WRR round hands every leaf `rate * round_seconds` bytes.
+        self._round_seconds = round_seconds
+        # One quantum grant per visit to the front of each priority ring.
+        self._grant_pending: Dict[int, bool] = {}
+        self.root = CBQClass(ROOT, None, link_rate, 0, False, maxidle_seconds)
+        self._classes: Dict[Any, CBQClass] = {ROOT: self.root}
+        # Round-robin lists of backlogged leaves, one per priority level.
+        self._rounds: Dict[int, Deque[CBQClass]] = {}
+
+    def add_class(
+        self,
+        name: Any,
+        parent: Any = ROOT,
+        rate: float = 0.0,
+        priority: int = 1,
+        borrow: bool = True,
+    ) -> CBQClass:
+        if name in self._classes:
+            raise ConfigurationError(f"duplicate class name: {name!r}")
+        if rate <= 0:
+            raise ConfigurationError(f"class {name!r} needs a positive rate")
+        try:
+            parent_cls = self._classes[parent]
+        except KeyError:
+            raise ConfigurationError(f"unknown parent class: {parent!r}") from None
+        if parent_cls.queue:
+            raise ConfigurationError(
+                f"cannot add child to {parent!r}: it has queued packets"
+            )
+        cls = CBQClass(name, parent_cls, rate, priority, borrow, self._maxidle)
+        cls.quantum = max(1.0, rate * self._round_seconds)
+        parent_cls.children.append(cls)
+        self._classes[name] = cls
+        return cls
+
+    def __getitem__(self, name: Any) -> CBQClass:
+        return self._classes[name]
+
+    def work_of(self, name: Any) -> float:
+        return self._classes[name].bytes_served
+
+    # -- scheduler interface -----------------------------------------------------
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        try:
+            leaf = self._classes[packet.class_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"packet for unknown class {packet.class_id!r}"
+            ) from None
+        if not leaf.is_leaf or leaf is self.root:
+            raise ConfigurationError(
+                f"packets may only be queued on leaf classes, not {leaf.name!r}"
+            )
+        self._note_enqueue(packet, now)
+        leaf.queue.append(packet)
+        if len(leaf.queue) == 1:
+            leaf.deficit = 0.0
+            ring = self._rounds.setdefault(leaf.priority, deque())
+            ring.append(leaf)
+            if len(ring) == 1:
+                self._grant_pending[leaf.priority] = True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if self._backlog_packets == 0:
+            return None
+        leaf = self._pick(regulated=True)
+        if leaf is None:
+            # Work-conserving fallback: the link never idles while
+            # backlogged; borrow from the link itself.
+            leaf = self._pick(regulated=False)
+        assert leaf is not None
+        packet = leaf.queue.popleft()
+        leaf.deficit -= packet.size
+        self._note_dequeue(packet, now)
+        if not leaf.queue:
+            leaf.deficit = 0.0
+            ring = self._rounds[leaf.priority]
+            at_front = ring and ring[0] is leaf
+            ring.remove(leaf)
+            if at_front:
+                self._grant_pending[leaf.priority] = True
+        self._account_departure(leaf, packet.size, now)
+        return packet
+
+    # -- internals ------------------------------------------------------------------
+
+    def _pick(self, regulated: bool) -> Optional[CBQClass]:
+        """Weighted round robin among sendable leaves, priority first.
+
+        DRR-style byte-weighted rotation: each visit to the front of a
+        ring grants the leaf one quantum; the leaf sends while its deficit
+        covers the head packet, then yields its turn.
+        """
+        for priority in sorted(self._rounds):
+            ring = self._rounds[priority]
+            if not ring:
+                continue
+            # Bound the scan: enough rotations for the largest head packet
+            # to accumulate its deficit, across all ring members.
+            max_head = max(leaf.queue[0].size for leaf in ring)
+            min_quantum = min(leaf.quantum for leaf in ring)
+            max_visits = (len(ring) + 1) * (int(max_head / min_quantum) + 2)
+            for _ in range(max_visits):
+                leaf = ring[0]
+                if regulated and not self._may_send(leaf):
+                    ring.rotate(-1)
+                    self._grant_pending[priority] = True
+                    continue
+                if self._grant_pending.get(priority, True):
+                    leaf.deficit += leaf.quantum
+                    self._grant_pending[priority] = False
+                if leaf.deficit >= leaf.queue[0].size:
+                    return leaf
+                ring.rotate(-1)
+                self._grant_pending[priority] = True
+        return None
+
+    def _may_send(self, leaf: CBQClass) -> bool:
+        if leaf.underlimit():
+            return True
+        if not leaf.borrow:
+            return False
+        node = leaf.parent
+        while node is not None:
+            if node.underlimit():
+                return True
+            if not node.borrow and node is not self.root:
+                return False
+            node = node.parent
+        return False
+
+    def _account_departure(self, leaf: CBQClass, size: float, now: float) -> None:
+        node: Optional[CBQClass] = leaf
+        while node is not None:
+            if node.last_departure is not None:
+                gap = now - node.last_departure
+                idle = gap - size / node.rate
+                node.avgidle += self._gain * (idle - node.avgidle)
+                node.avgidle = min(node.avgidle, node.maxidle)
+            node.last_departure = now
+            node.bytes_served += size
+            node = node.parent

@@ -1,0 +1,87 @@
+"""Deficit Round Robin (Shreedhar & Varghese).
+
+An O(1) rate-proportional baseline: flows take turns, each allowed to send
+up to ``quantum_i`` bytes per round plus the deficit carried from rounds
+where its head packet did not fit.  DRR approximates fair bandwidth shares
+with no timestamps at all, which makes it the cheap end of the overhead
+experiment (E9) and a useful contrast for delay experiments: its delay is
+coupled to round length, not to reserved rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+
+
+class _Flow:
+    __slots__ = ("quantum", "deficit", "queue")
+
+    def __init__(self, quantum: float):
+        self.quantum = quantum
+        self.deficit = 0.0
+        self.queue: Deque[Packet] = deque()
+
+
+class DRRScheduler(Scheduler):
+    """Deficit round robin over per-flow FIFOs.
+
+    ``quantum`` is in bytes; flows' long-run shares are proportional to
+    their quanta.  For rate semantics, pass quanta proportional to the
+    desired rates (e.g. ``rate / min_rate * max_packet``).
+    """
+
+    def __init__(self, link_rate: float):
+        super().__init__(link_rate)
+        self._flows: Dict[Any, _Flow] = {}
+        self._active: Deque[Any] = deque()  # round-robin list of backlogged flows
+        self._grant_pending = True  # front flow has not received this visit's quantum
+
+    def add_flow(self, flow_id: Any, quantum: float) -> None:
+        if flow_id in self._flows:
+            raise ConfigurationError(f"duplicate flow id: {flow_id!r}")
+        if quantum <= 0:
+            raise ConfigurationError("quantum must be positive")
+        self._flows[flow_id] = _Flow(quantum)
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        try:
+            flow = self._flows[packet.class_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"packet for unknown flow {packet.class_id!r}"
+            ) from None
+        self._note_enqueue(packet, now)
+        flow.queue.append(packet)
+        if len(flow.queue) == 1:
+            flow.deficit = 0.0
+            self._active.append(packet.class_id)
+            if len(self._active) == 1:
+                self._grant_pending = True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        while self._active:
+            flow_id = self._active[0]
+            flow = self._flows[flow_id]
+            if self._grant_pending:
+                flow.deficit += flow.quantum
+                self._grant_pending = False
+            head = flow.queue[0]
+            if flow.deficit >= head.size:
+                packet = flow.queue.popleft()
+                flow.deficit -= packet.size
+                self._note_dequeue(packet, now)
+                if not flow.queue:
+                    flow.deficit = 0.0
+                    self._active.popleft()
+                    self._grant_pending = True
+                return packet
+            # Head does not fit: the flow keeps its deficit and yields its
+            # turn; the next flow gets a fresh grant.
+            self._active.rotate(-1)
+            self._grant_pending = True
+        return None

@@ -1,0 +1,33 @@
+"""First-in first-out: the no-QoS baseline."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+
+
+class FIFOScheduler(Scheduler):
+    """A single shared queue; class identities are ignored.
+
+    The simplest baseline: it provides no isolation whatsoever, which is
+    what the delay experiments contrast the service-curve schedulers
+    against.
+    """
+
+    def __init__(self, link_rate: float):
+        super().__init__(link_rate)
+        self._queue: Deque[Packet] = deque()
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        self._note_enqueue(packet, now)
+        self._queue.append(packet)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._note_dequeue(packet, now)
+        return packet

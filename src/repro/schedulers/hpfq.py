@@ -1,0 +1,280 @@
+"""H-PFQ: hierarchical packet fair queueing (Bennett & Zhang, ref. [3]).
+
+The paper's main comparator: a class hierarchy where **every node is a PFQ
+server** treating its children as sessions.  We use WF2Q+ as the node
+algorithm (the choice reference [3] recommends, and the one whose fairness
+makes hierarchical composition accurate).
+
+Contrast with H-FSC (Section IV-A of the paper):
+
+* H-PFQ supports only **linear** service curves (rates), so delay is
+  coupled to bandwidth;
+* scheduling is purely hierarchical -- the selection recurses from the
+  root, so a leaf's delay bound **grows with its depth**, whereas H-FSC's
+  real-time criterion looks at leaves directly (experiment E7).
+
+Implementation notes.  Each class is simultaneously a *session* at its
+parent node (with WF2Q+ start/finish tags) and a *server node* for its own
+children.  A session's packet length at an interior node is the length of
+the packet its subtree would transmit next; tags are recomputed whenever
+that head packet changes (after each service, and on arrivals that change
+a subtree head), mirroring the deadline update of H-FSC's Fig. 5(b).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+from repro.util.heap import IndexedHeap
+
+ROOT = "__root__"
+
+
+class HPFQClass:
+    """A node of the H-PFQ tree (session at its parent, server for children)."""
+
+    __slots__ = (
+        "name",
+        "parent",
+        "children",
+        "rate",
+        "queue",
+        "backlog_count",
+        "start",
+        "finish",
+        "last_finish",
+        "tagged_size",
+        "backlogged",
+        "vtime",
+        "waiting",
+        "eligible",
+        "bytes_served",
+    )
+
+    def __init__(self, name: Any, parent: Optional["HPFQClass"], rate: float):
+        self.name = name
+        self.parent = parent
+        self.children: List["HPFQClass"] = []
+        self.rate = rate
+        self.queue: Deque[Packet] = deque()
+        self.backlog_count = 0  # packets queued anywhere in this subtree
+        # Session state at the parent node.
+        self.start = 0.0
+        self.finish = 0.0
+        self.last_finish = 0.0
+        self.tagged_size = 0.0
+        self.backlogged = False
+        # Server state for the children.
+        self.vtime = 0.0
+        self.waiting: IndexedHeap["HPFQClass"] = IndexedHeap()
+        self.eligible: IndexedHeap["HPFQClass"] = IndexedHeap()
+        self.bytes_served = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def depth(self) -> int:
+        node, depth = self, 0
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def __repr__(self) -> str:
+        return f"HPFQClass({self.name!r})"
+
+
+class HPFQScheduler(Scheduler):
+    """Hierarchy of PFQ servers.
+
+    ``node_policy`` selects the per-node packet fair queueing algorithm:
+
+    * ``"wf2q"`` (default) -- WF2Q+: SEFF, smallest finish tag among
+      children whose start tag has been reached (the accurate choice the
+      H-PFQ paper [3] recommends, H-WF2Q+);
+    * ``"sfq"`` -- start-time fair queueing: smallest start tag,
+      no eligibility gate (cheaper, looser delay; H-SFQ).
+    """
+
+    def __init__(self, link_rate: float, node_policy: str = "wf2q"):
+        super().__init__(link_rate)
+        if node_policy not in ("wf2q", "sfq"):
+            raise ConfigurationError(f"unknown node_policy: {node_policy!r}")
+        self.node_policy = node_policy
+        self.root = HPFQClass(ROOT, None, link_rate)
+        self._classes: Dict[Any, HPFQClass] = {ROOT: self.root}
+
+    # -- hierarchy construction ---------------------------------------------
+
+    def add_class(self, name: Any, parent: Any = ROOT, rate: float = 0.0) -> HPFQClass:
+        if name in self._classes:
+            raise ConfigurationError(f"duplicate class name: {name!r}")
+        if rate <= 0:
+            raise ConfigurationError(f"class {name!r} needs a positive rate")
+        try:
+            parent_cls = self._classes[parent]
+        except KeyError:
+            raise ConfigurationError(f"unknown parent class: {parent!r}") from None
+        if parent_cls.queue:
+            raise ConfigurationError(
+                f"cannot add child to {parent!r}: it has queued packets"
+            )
+        cls = HPFQClass(name, parent_cls, rate)
+        parent_cls.children.append(cls)
+        self._classes[name] = cls
+        return cls
+
+    def __getitem__(self, name: Any) -> HPFQClass:
+        return self._classes[name]
+
+    # -- scheduler interface ---------------------------------------------------
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        try:
+            leaf = self._classes[packet.class_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"packet for unknown class {packet.class_id!r}"
+            ) from None
+        if not leaf.is_leaf or leaf.is_root:
+            raise ConfigurationError(
+                f"packets may only be queued on leaf classes, not {leaf.name!r}"
+            )
+        self._note_enqueue(packet, now)
+        leaf.queue.append(packet)
+        node: Optional[HPFQClass] = leaf
+        while node is not None:
+            node.backlog_count += 1
+            node = node.parent
+        self._propagate_backlog(leaf)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if self.root.backlog_count == 0:
+            return None
+        # Top-down selection: at every node, SEFF among the children.
+        path: List[Tuple[HPFQClass, HPFQClass]] = []
+        node = self.root
+        while not node.is_leaf:
+            child = self._select(node)
+            path.append((node, child))
+            node = child
+        leaf = node
+        packet = leaf.queue.popleft()
+        self._note_dequeue(packet, now)
+        walker: Optional[HPFQClass] = leaf
+        while walker is not None:
+            walker.backlog_count -= 1
+            walker.bytes_served += packet.size
+            walker = walker.parent
+        # Bottom-up tag updates so that each parent retags with the child's
+        # *new* next-packet length.
+        for parent, child in reversed(path):
+            self._remove_session(parent, child)
+            child.last_finish = child.finish
+            parent.vtime += packet.size / parent.rate
+            if child.backlog_count > 0:
+                self._tag_session(parent, child, chained=True)
+            else:
+                child.backlogged = False
+        return packet
+
+    # -- measurement hooks -------------------------------------------------------
+
+    def work_of(self, name: Any) -> float:
+        """Total bytes transmitted from the subtree rooted at ``name``."""
+        return self._classes[name].bytes_served
+
+    # -- internals ----------------------------------------------------------------
+
+    def _next_size(self, cls: HPFQClass) -> float:
+        """Length of the packet this subtree would transmit next."""
+        node = cls
+        while not node.is_leaf:
+            node = self._select(node)
+        return node.queue[0].size
+
+    def _select(self, node: HPFQClass) -> HPFQClass:
+        """Child choice among the node's backlogged children.
+
+        WF2Q+ nodes: SEFF with the virtual time floor.  SFQ nodes: the
+        smallest start tag wins outright (children are kept in ``waiting``
+        keyed by start; the ``eligible`` heap is unused).
+        """
+        if self.node_policy == "sfq":
+            child = node.waiting.peek_item()
+            node.vtime = child.start
+            return child
+        self._promote(node)
+        if not node.eligible:
+            # Virtual time floor: V = max(V, min start among backlogged).
+            node.vtime = node.waiting.peek_key()
+            self._promote(node)
+        return node.eligible.peek_item()
+
+    def _promote(self, node: HPFQClass) -> None:
+        while node.waiting:
+            child, start = node.waiting.peek()
+            if start > node.vtime:
+                break
+            node.waiting.pop()
+            node.eligible.push(child, child.finish)
+
+    def _tag_session(self, parent: HPFQClass, child: HPFQClass, chained: bool) -> None:
+        size = self._next_size(child)
+        if chained:
+            child.start = child.last_finish
+        else:
+            child.start = max(parent.vtime, child.last_finish)
+        child.finish = child.start + size / child.rate
+        child.tagged_size = size
+        child.backlogged = True
+        if self.node_policy == "sfq":
+            parent.waiting.push(child, child.start)
+        elif child.start <= parent.vtime:
+            parent.eligible.push(child, child.finish)
+        else:
+            parent.waiting.push(child, child.start)
+
+    def _remove_session(self, parent: HPFQClass, child: HPFQClass) -> None:
+        if child in parent.eligible:
+            parent.eligible.remove(child)
+        else:
+            parent.waiting.remove(child)
+
+    def _propagate_backlog(self, leaf: HPFQClass) -> None:
+        """After an arrival: activate newly backlogged ancestors, refresh tags.
+
+        Walking from the leaf towards the root: a child that was idle gets
+        fresh tags at its parent; a child that was already backlogged may
+        have a new subtree head (the arrival pre-empted the old head in the
+        child's own ordering), in which case only its finish tag is
+        recomputed, as in H-FSC's Fig. 5(b) deadline update.
+        """
+        node = leaf
+        while not node.is_root:
+            parent = node.parent
+            assert parent is not None
+            if not node.backlogged:
+                self._tag_session(parent, node, chained=False)
+                node = parent
+                continue
+            size = self._next_size(node)
+            if size != node.tagged_size:
+                node.finish = node.start + size / node.rate
+                node.tagged_size = size
+                if node in parent.eligible:
+                    parent.eligible.update(node, node.finish)
+                # SFQ nodes key on the (unchanged) start tag: nothing to do.
+            # The parent was already backlogged (it had this active child);
+            # ancestors can still see a head change, so continue walking.
+            node = parent

@@ -1,0 +1,58 @@
+"""Static priority scheduling.
+
+Strict priorities decouple delay from bandwidth in the crudest possible
+way: a high-priority class always goes first, so it gets low delay -- and
+everyone else gets starvation under load.  The paper's Section I motivates
+service curves as the disciplined alternative; experiments use this
+scheduler to show the starvation failure mode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+
+
+class StaticPriorityScheduler(Scheduler):
+    """One FIFO queue per class, served in strict priority order.
+
+    Lower ``priority`` values are served first.  Ties are served in
+    registration order.
+    """
+
+    def __init__(self, link_rate: float):
+        super().__init__(link_rate)
+        self._queues: Dict[Any, Deque[Packet]] = {}
+        self._order: list = []  # class ids sorted by (priority, insertion)
+        self._priorities: Dict[Any, int] = {}
+
+    def add_class(self, class_id: Any, priority: int) -> None:
+        if class_id in self._queues:
+            raise ConfigurationError(f"duplicate class id: {class_id!r}")
+        self._queues[class_id] = deque()
+        self._priorities[class_id] = priority
+        self._order.append(class_id)
+        self._order.sort(key=lambda cid: self._priorities[cid])
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        try:
+            queue = self._queues[packet.class_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"packet for unknown class {packet.class_id!r}"
+            ) from None
+        self._note_enqueue(packet, now)
+        queue.append(packet)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        for class_id in self._order:
+            queue = self._queues[class_id]
+            if queue:
+                packet = queue.popleft()
+                self._note_dequeue(packet, now)
+                return packet
+        return None

@@ -1,0 +1,85 @@
+"""Start-time Fair Queueing (Goyal, Vin, Cheng).
+
+SFQ is the smallest-start-time-first (SSF) member of the PFQ family the
+paper cites in Section IV-C ("[12]").  Its system virtual time is simply
+the start tag of the packet in service, which makes it cheap and robust
+(no GPS emulation), at the cost of a looser delay bound than WF2Q+.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+from repro.util.heap import IndexedHeap
+
+
+class _Flow:
+    __slots__ = ("rate", "queue", "last_finish")
+
+    def __init__(self, rate: float):
+        self.rate = rate
+        self.queue: Deque[Packet] = deque()
+        self.last_finish = 0.0
+
+
+class SFQScheduler(Scheduler):
+    """Serve the flow whose head packet has the smallest start tag."""
+
+    def __init__(self, link_rate: float):
+        super().__init__(link_rate)
+        self._flows: Dict[Any, _Flow] = {}
+        self._starts: IndexedHeap[Any] = IndexedHeap()  # flow -> head start tag
+        self._head_tags: Dict[Any, tuple] = {}  # flow -> (start, finish)
+        self._vtime = 0.0
+
+    def add_flow(self, flow_id: Any, rate: float) -> None:
+        if flow_id in self._flows:
+            raise ConfigurationError(f"duplicate flow id: {flow_id!r}")
+        if rate <= 0:
+            raise ConfigurationError("flow rate must be positive")
+        self._flows[flow_id] = _Flow(rate)
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        try:
+            flow = self._flows[packet.class_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"packet for unknown flow {packet.class_id!r}"
+            ) from None
+        self._note_enqueue(packet, now)
+        flow.queue.append(packet)
+        if len(flow.queue) == 1:
+            self._tag_head(packet.class_id, flow)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._starts:
+            return None
+        flow_id, start = self._starts.pop()
+        _start, finish = self._head_tags.pop(flow_id)
+        flow = self._flows[flow_id]
+        packet = flow.queue.popleft()
+        # SFQ's system virtual time is the start tag of the packet in
+        # service.
+        self._vtime = start
+        flow.last_finish = finish
+        packet.deadline = finish
+        self._note_dequeue(packet, now)
+        if flow.queue:
+            self._tag_head(flow_id, flow)
+        return packet
+
+    def virtual_time(self) -> float:
+        return self._vtime
+
+    # -- internals --------------------------------------------------------
+
+    def _tag_head(self, flow_id: Any, flow: _Flow) -> None:
+        head = flow.queue[0]
+        start = max(self._vtime, flow.last_finish)
+        finish = start + head.size / flow.rate
+        self._head_tags[flow_id] = (start, finish)
+        self._starts.push(flow_id, start)

@@ -1,0 +1,72 @@
+"""Virtual Clock (Zhang, 1990).
+
+Section III-B of the paper observes that *"in a system where all the
+service curves are straight lines passing through the origin, SCED reduces
+to the well-known virtual clock discipline"* -- and that virtual clock is
+unfair: a session that raced ahead using idle bandwidth is punished when
+others return.  This scheduler is both a baseline for the experiments and
+the degenerate case the SCED property tests pin down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+from repro.util.heap import IndexedHeap
+
+
+class _Flow:
+    __slots__ = ("rate", "queue", "auxvc")
+
+    def __init__(self, rate: float):
+        self.rate = rate
+        self.queue: Deque[Packet] = deque()
+        # auxVC: the per-flow virtual clock, advanced by L/r per packet.
+        self.auxvc = 0.0
+
+
+class VirtualClockScheduler(Scheduler):
+    """Serve packets in increasing virtual-clock-tag order.
+
+    Each flow ``i`` has a reserved rate ``r_i``; a packet of length ``L``
+    arriving at time ``a`` is stamped ``auxVC_i = max(a, auxVC_i) + L/r_i``
+    and packets are transmitted smallest stamp first.
+    """
+
+    def __init__(self, link_rate: float):
+        super().__init__(link_rate)
+        self._flows: Dict[Any, _Flow] = {}
+        self._tags: IndexedHeap[int] = IndexedHeap()  # packet uid -> tag
+        self._packets: Dict[int, Packet] = {}
+
+    def add_flow(self, flow_id: Any, rate: float) -> None:
+        if flow_id in self._flows:
+            raise ConfigurationError(f"duplicate flow id: {flow_id!r}")
+        if rate <= 0:
+            raise ConfigurationError("flow rate must be positive")
+        self._flows[flow_id] = _Flow(rate)
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        try:
+            flow = self._flows[packet.class_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"packet for unknown flow {packet.class_id!r}"
+            ) from None
+        self._note_enqueue(packet, now)
+        flow.auxvc = max(now, flow.auxvc) + packet.size / flow.rate
+        self._packets[packet.uid] = packet
+        self._tags.push(packet.uid, flow.auxvc)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._tags:
+            return None
+        uid, tag = self._tags.pop()
+        packet = self._packets.pop(uid)
+        packet.deadline = tag
+        self._note_dequeue(packet, now)
+        return packet

@@ -1,0 +1,130 @@
+"""Weighted Fair Queueing (PGPS) with exact GPS virtual-time emulation.
+
+WFQ [7] / PGPS [Parekh-Gallager] serves packets in increasing order of the
+virtual finishing times they would have under the fluid GPS reference
+system.  Computing those tags exactly requires tracking the GPS system's
+set of backlogged sessions, because the GPS virtual time ``V(t)`` advances
+at rate ``C / sum(weights of GPS-busy sessions)``.  This module implements
+that emulation event-exactly: between packet arrivals the busy set can only
+shrink, at the virtual finishing times already known, so ``V(t)`` is
+advanced piece by piece through those departures.
+
+In the paper's framework WFQ guarantees the linear service curve
+``S_i(t) = r_i * t`` while remaining fair (unlike virtual clock); its
+coupling of delay to rate is exactly what the concave curves of H-FSC are
+designed to break (experiment E5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+from repro.util.heap import IndexedHeap
+
+
+class _Flow:
+    __slots__ = ("rate", "queue", "last_finish", "gps_busy")
+
+    def __init__(self, rate: float):
+        self.rate = rate
+        self.queue: Deque[Packet] = deque()
+        self.last_finish = 0.0  # virtual finish tag of the flow's last packet
+        self.gps_busy = False
+
+
+class WFQScheduler(Scheduler):
+    """Packet-by-packet GPS: smallest virtual finish tag first.
+
+    Weights are the flows' reserved rates in bytes/second; virtual time is
+    measured in seconds of a dedicated link, so a flow's packet of length
+    ``L`` adds ``L / r_i`` of virtual time.
+    """
+
+    def __init__(self, link_rate: float):
+        super().__init__(link_rate)
+        self._flows: Dict[Any, _Flow] = {}
+        self._packet_tags: IndexedHeap[int] = IndexedHeap()
+        self._packets: Dict[int, Packet] = {}
+        # GPS emulation state.
+        self._vtime = 0.0
+        self._vtime_stamp = 0.0  # real time at which _vtime was computed
+        self._busy_weight = 0.0
+        self._gps_departures: IndexedHeap[Any] = IndexedHeap()  # flow -> last finish
+
+    def add_flow(self, flow_id: Any, rate: float) -> None:
+        if flow_id in self._flows:
+            raise ConfigurationError(f"duplicate flow id: {flow_id!r}")
+        if rate <= 0:
+            raise ConfigurationError("flow rate must be positive")
+        self._flows[flow_id] = _Flow(rate)
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        try:
+            flow = self._flows[packet.class_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"packet for unknown flow {packet.class_id!r}"
+            ) from None
+        self._note_enqueue(packet, now)
+        self._advance_gps(now)
+        start = max(self._vtime, flow.last_finish)
+        finish = start + packet.size / flow.rate
+        flow.last_finish = finish
+        if not flow.gps_busy:
+            flow.gps_busy = True
+            self._busy_weight += flow.rate
+        self._gps_departures.push_or_update(packet.class_id, finish)
+        self._packets[packet.uid] = packet
+        self._packet_tags.push(packet.uid, finish)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._packet_tags:
+            return None
+        self._advance_gps(now)
+        uid, tag = self._packet_tags.pop()
+        packet = self._packets.pop(uid)
+        packet.deadline = tag
+        self._note_dequeue(packet, now)
+        return packet
+
+    def virtual_time(self, now: float) -> float:
+        """Current GPS virtual time (exposed for tests and analysis)."""
+        self._advance_gps(now)
+        return self._vtime
+
+    # -- GPS emulation --------------------------------------------------------
+
+    def _advance_gps(self, now: float) -> None:
+        """Advance ``V`` from its last computation time to ``now``.
+
+        Between computations, GPS departures (flows emptying in the fluid
+        system) happen at known virtual times; each departure reduces the
+        busy weight and therefore steepens ``dV/dt = C / busy_weight``.
+        """
+        if now < self._vtime_stamp:
+            slack = 1e-9 * max(1.0, abs(self._vtime_stamp))
+            if now < self._vtime_stamp - slack:
+                raise ValueError("time went backwards in WFQ GPS emulation")
+            # Within float accumulation noise of the stamp: clamp.
+            now = self._vtime_stamp
+        while self._busy_weight > 0 and self._gps_departures:
+            flow_id, finish = self._gps_departures.peek()
+            dt_needed = (finish - self._vtime) * self._busy_weight / self.link_rate
+            if self._vtime_stamp + dt_needed > now:
+                break
+            # The fluid system drains this flow before `now`.
+            self._vtime = finish
+            self._vtime_stamp += dt_needed
+            self._gps_departures.pop()
+            flow = self._flows[flow_id]
+            flow.gps_busy = False
+            self._busy_weight -= flow.rate
+            if self._busy_weight < 1e-9 * self.link_rate:
+                self._busy_weight = 0.0
+        if self._busy_weight > 0:
+            self._vtime += (now - self._vtime_stamp) * self.link_rate / self._busy_weight
+        self._vtime_stamp = now

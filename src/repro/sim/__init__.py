@@ -1,0 +1,43 @@
+"""Discrete-event network simulation substrate.
+
+The paper evaluates H-FSC in simulation and in a NetBSD kernel; this package
+is the simulation substrate for the reproduction: an event loop
+(:mod:`~repro.sim.engine`), an output link that drives any scheduler
+(:mod:`~repro.sim.link`), traffic sources (:mod:`~repro.sim.sources`),
+token-bucket regulators (:mod:`~repro.sim.shaper`), a simplified TCP
+(:mod:`~repro.sim.tcp`), multi-hop topologies (:mod:`~repro.sim.network`),
+measurement (:mod:`~repro.sim.stats`) and trace recording/replay
+(:mod:`~repro.sim.trace`).
+"""
+
+from repro.sim.engine import Event, EventLoop
+from repro.sim.link import Link
+from repro.sim.network import Hop, Network
+from repro.sim.packet import Packet
+from repro.sim.red import REDBuffer
+from repro.sim.shaper import TokenBucketPolicer, TokenBucketShaper
+from repro.sim.stats import BacklogMeter, ClassStats, StatsCollector, ThroughputMeter
+from repro.sim.tcp import DropTailBuffer, TCPConnection
+from repro.sim.trace import TraceRecorder, arrivals_from_trace, load_trace, save_trace
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "Link",
+    "Packet",
+    "Network",
+    "Hop",
+    "TokenBucketShaper",
+    "TokenBucketPolicer",
+    "TCPConnection",
+    "DropTailBuffer",
+    "REDBuffer",
+    "BacklogMeter",
+    "ClassStats",
+    "StatsCollector",
+    "ThroughputMeter",
+    "TraceRecorder",
+    "save_trace",
+    "load_trace",
+    "arrivals_from_trace",
+]

@@ -1,0 +1,97 @@
+"""A minimal, exact discrete-event loop.
+
+Events are (time, sequence) ordered; same-time events fire in scheduling
+order, which makes simulations deterministic.  Components hold an
+:class:`EventLoop` reference and schedule callbacks; the loop itself knows
+nothing about networking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.core.errors import SimulationError
+
+
+class Event:
+    """Handle to a scheduled callback; ``cancel()`` prevents it firing."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventLoop:
+    """Priority-queue driven simulation clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Run ``fn(*args)`` at simulated ``time`` (>= now)."""
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time:g}, clock is at {self.now:g}"
+            )
+        event = Event(max(time, self.now), next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        return self.schedule(self.now + delay, fn, *args)
+
+    def peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now - 1e-12:
+                raise SimulationError("event queue returned a past event")
+            self.now = max(self.now, event.time)
+            self._processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Drain events, stopping after ``until`` (inclusive) if given."""
+        remaining = max_events
+        while remaining:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+            remaining -= 1
+        if remaining == 0:
+            raise SimulationError(f"run() exceeded max_events={max_events}")
+        if until is not None:
+            self.now = until

@@ -1,0 +1,112 @@
+"""An output link: the server that drives a scheduler.
+
+The link models a transmitter of fixed rate (bytes/second): it asks its
+scheduler for a packet whenever it goes idle, holds it for
+``size / rate`` seconds, stamps the departure (the time the last bit
+leaves, the paper's Section VI convention), then repeats.  Observers --
+statistics collectors, greedy sources, TCP receivers -- subscribe to
+departures.
+
+Non-work-conserving schedulers (H-FSC with rt-only or upper-limited
+classes) may decline to hand over a packet while backlogged; the link then
+re-polls at the scheduler's ``next_ready_time``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import Event, EventLoop
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # avoid a circular import; Scheduler is only a type hint
+    from repro.schedulers.base import Scheduler
+
+DepartureListener = Callable[[Packet, float], None]
+
+
+class Link:
+    """Couples an :class:`EventLoop`, a :class:`Scheduler` and a transmitter."""
+
+    def __init__(self, loop: EventLoop, scheduler: "Scheduler", rate: Optional[float] = None):
+        self.loop = loop
+        self.scheduler = scheduler
+        self.rate = float(rate) if rate is not None else scheduler.link_rate
+        if self.rate <= 0:
+            raise SimulationError("link rate must be positive")
+        self.busy = False
+        self.bytes_sent = 0.0
+        self.busy_time = 0.0
+        self._listeners: List[DepartureListener] = []
+        self._class_listeners: Dict[Any, List[DepartureListener]] = {}
+        self._retry_event: Optional[Event] = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_listener(self, listener: DepartureListener) -> None:
+        """Call ``listener(packet, departure_time)`` for every departure."""
+        self._listeners.append(listener)
+
+    def add_class_listener(self, class_id: Any, listener: DepartureListener) -> None:
+        """Departure callback restricted to one class (used by greedy/TCP sources)."""
+        self._class_listeners.setdefault(class_id, []).append(listener)
+
+    # -- data path --------------------------------------------------------------
+
+    def offer(self, packet: Packet) -> None:
+        """A packet arrives at the scheduler now."""
+        self.scheduler.enqueue(packet, self.loop.now)
+        if not self.busy:
+            self._kick()
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time the transmitter was busy."""
+        span = horizon if horizon is not None else self.loop.now
+        if span <= 0:
+            return 0.0
+        return self.busy_time / span
+
+    # -- internals ----------------------------------------------------------------
+
+    def _kick(self) -> None:
+        """Try to start a transmission (no-op while one is in flight)."""
+        if self.busy:
+            return
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
+        packet = self.scheduler.dequeue(self.loop.now)
+        if packet is None:
+            if len(self.scheduler) > 0:
+                ready = self.scheduler.next_ready_time(self.loop.now)
+                if ready is None:
+                    # Backlogged but nothing schedulable and no hint: wait
+                    # for the next arrival (offer() will kick again).
+                    return
+                if ready <= self.loop.now:
+                    raise SimulationError(
+                        "scheduler declined to send but claims to be ready"
+                    )
+                self._retry_event = self.loop.schedule(ready, self._retry)
+            return
+        tx_time = packet.size / self.rate
+        self.busy = True
+        self.loop.schedule_after(tx_time, self._complete, packet)
+
+    def _retry(self) -> None:
+        self._retry_event = None
+        if not self.busy:
+            self._kick()
+
+    def _complete(self, packet: Packet) -> None:
+        now = self.loop.now
+        packet.departed = now
+        self.busy = False
+        self.bytes_sent += packet.size
+        self.busy_time += packet.size / self.rate
+        for listener in self._listeners:
+            listener(packet, now)
+        for listener in self._class_listeners.get(packet.class_id, ()):
+            listener(packet, now)
+        self._kick()

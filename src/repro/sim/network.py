@@ -1,0 +1,149 @@
+"""Multi-hop topologies: nodes, wires, and flow routing.
+
+The paper analyzes a single output link (where all of scheduling lives),
+but real deployments chain H-FSC links along a path.  This module provides
+the minimal topology substrate to study that: a :class:`Network` of named
+nodes connected by (link + wire) hops, with per-flow static routes.  A
+packet offered to the network traverses each hop's scheduler and wire in
+turn; end-to-end delay is the sum of per-hop delays, so per-hop service
+curves compose additively -- the multi-hop example and tests demonstrate
+exactly that.
+
+Per-hop class mapping: each hop schedules on ``packet.class_id`` (flows
+keep one class id along the path), so every hop's hierarchy must define
+the class ids of the flows routed through it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # avoid a circular import; Scheduler is only a type hint
+    from repro.schedulers.base import Scheduler
+
+DeliveryListener = Callable[[Packet, float], None]
+
+
+class Hop:
+    """One directed hop: a scheduled link plus a propagation wire."""
+
+    def __init__(self, loop: EventLoop, scheduler: "Scheduler", delay: float = 0.0):
+        if delay < 0:
+            raise ConfigurationError("propagation delay must be non-negative")
+        self.loop = loop
+        self.link = Link(loop, scheduler)
+        self.delay = delay
+        self._forward: Optional[Callable[[Packet], None]] = None
+        self.link.add_listener(self._on_departure)
+
+    def connect(self, forward: Callable[[Packet], None]) -> None:
+        self._forward = forward
+
+    def offer(self, packet: Packet) -> None:
+        self.link.offer(packet)
+
+    def _on_departure(self, packet: Packet, now: float) -> None:
+        if self._forward is None:
+            return
+        # Always forward through the event loop (even with zero delay) so
+        # that other departure listeners on this hop -- statistics
+        # collectors in particular -- observe the packet's timing fields
+        # before the next hop reuses them.
+        self.loop.schedule_after(self.delay, self._forward, packet)
+
+
+class Network:
+    """Named nodes, directed hops, static per-flow routes.
+
+    Usage::
+
+        net = Network(loop)
+        net.add_hop("a", "b", scheduler_ab, delay=0.01)
+        net.add_hop("b", "c", scheduler_bc, delay=0.01)
+        net.add_route(flow_id="f1", path=["a", "b", "c"])
+        net.ingress("f1").offer(packet)        # packet.class_id == "f1"
+        net.add_delivery_listener("f1", on_arrival)
+    """
+
+    def __init__(self, loop: EventLoop):
+        self.loop = loop
+        self._hops: Dict[Tuple[Any, Any], Hop] = {}
+        self._routes: Dict[Any, List[Any]] = {}
+        self._listeners: Dict[Any, List[DeliveryListener]] = {}
+
+    def add_hop(
+        self, src: Any, dst: Any, scheduler: "Scheduler", delay: float = 0.0
+    ) -> Hop:
+        key = (src, dst)
+        if key in self._hops:
+            raise ConfigurationError(f"duplicate hop {src!r} -> {dst!r}")
+        hop = Hop(self.loop, scheduler, delay)
+        self._hops[key] = hop
+        return hop
+
+    def hop(self, src: Any, dst: Any) -> Hop:
+        return self._hops[(src, dst)]
+
+    def add_route(self, flow_id: Any, path: List[Any]) -> None:
+        if len(path) < 2:
+            raise ConfigurationError("a route needs at least two nodes")
+        for src, dst in zip(path, path[1:]):
+            if (src, dst) not in self._hops:
+                raise ConfigurationError(f"no hop {src!r} -> {dst!r}")
+        if flow_id in self._routes:
+            raise ConfigurationError(f"duplicate route for flow {flow_id!r}")
+        self._routes[flow_id] = path
+        # Wire the per-hop forwarding for this flow lazily through a
+        # shared dispatcher on each hop (hops carry many flows).
+        for src, dst in zip(path, path[1:]):
+            hop = self._hops[(src, dst)]
+            if hop._forward is None:
+                hop.connect(self._make_dispatcher(dst))
+
+    def add_delivery_listener(self, flow_id: Any, listener: DeliveryListener) -> None:
+        self._listeners.setdefault(flow_id, []).append(listener)
+
+    def ingress(self, flow_id: Any):
+        """The object sources should ``offer`` packets of this flow to."""
+        path = self._route_for(flow_id)
+        return self._hops[(path[0], path[1])]
+
+    # -- internals --------------------------------------------------------
+
+    def _route_for(self, flow_id: Any) -> List[Any]:
+        try:
+            return self._routes[flow_id]
+        except KeyError:
+            raise ConfigurationError(f"no route for flow {flow_id!r}") from None
+
+    def _make_dispatcher(self, node: Any) -> Callable[[Packet], None]:
+        def dispatch(packet: Packet) -> None:
+            if packet.class_id not in self._routes:
+                # Hop-local traffic (e.g. per-hop cross load) terminates at
+                # the hop's egress.
+                return
+            path = self._route_for(packet.class_id)
+            try:
+                index = path.index(node)
+            except ValueError:
+                raise SimulationError(
+                    f"flow {packet.class_id!r} arrived at off-route node {node!r}"
+                ) from None
+            if index == len(path) - 1:
+                now = self.loop.now
+                for listener in self._listeners.get(packet.class_id, ()):
+                    listener(packet, now)
+                return
+            next_hop = self._hops[(node, path[index + 1])]
+            # Re-enter the next hop's scheduler as a fresh arrival.
+            packet.enqueued = None
+            packet.dequeued = None
+            packet.departed = None
+            next_hop.offer(packet)
+
+        return dispatch

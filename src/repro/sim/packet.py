@@ -1,0 +1,68 @@
+"""The packet record shared by schedulers, links and sources."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A packet travelling through the simulation.
+
+    ``class_id`` names the leaf class (or flat session) the packet belongs
+    to; schedulers queue on it.  The timing fields are filled in as the
+    packet progresses and are what the measurement layer reads:
+
+    * ``created`` -- when the source generated it,
+    * ``enqueued`` -- when it reached the scheduler,
+    * ``dequeued`` -- when the scheduler selected it for transmission,
+    * ``departed`` -- when its last bit left the link (the paper's
+      departure-time convention in Section VI),
+    * ``deadline`` -- the H-FSC/SCED deadline it carried when selected
+      (``None`` for schedulers without deadlines),
+    * ``via_realtime`` -- True when the H-FSC real-time criterion selected
+      it, False for link-sharing (``None`` for other schedulers).
+    """
+
+    __slots__ = (
+        "uid",
+        "class_id",
+        "size",
+        "created",
+        "enqueued",
+        "dequeued",
+        "departed",
+        "deadline",
+        "via_realtime",
+        "payload",
+    )
+
+    def __init__(self, class_id: Any, size: float, created: float = 0.0,
+                 payload: Any = None):
+        if size <= 0:
+            raise ValueError("packet size must be positive")
+        self.uid = next(_packet_ids)
+        self.class_id = class_id
+        self.size = float(size)
+        self.created = created
+        self.enqueued: Optional[float] = None
+        self.dequeued: Optional[float] = None
+        self.departed: Optional[float] = None
+        self.deadline: Optional[float] = None
+        self.via_realtime: Optional[bool] = None
+        self.payload = payload
+
+    @property
+    def delay(self) -> float:
+        """Queueing + transmission delay: departure minus scheduler arrival."""
+        if self.departed is None or self.enqueued is None:
+            raise ValueError("packet has not departed yet")
+        return self.departed - self.enqueued
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(uid={self.uid}, class_id={self.class_id!r}, "
+            f"size={self.size:g}, created={self.created:g})"
+        )

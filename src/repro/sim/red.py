@@ -1,0 +1,82 @@
+"""Random Early Detection (Floyd & Jacobson, 1993) buffer management.
+
+The TCP experiments use drop-tail buffers by default; RED is the classic
+alternative that drops probabilistically as the *average* queue grows,
+de-synchronizing TCP flows and keeping queues short.  Provided here as an
+optional substrate (same ``offer`` interface as
+:class:`repro.sim.tcp.DropTailBuffer`) so closed-loop experiments can
+study scheduler/buffer interactions.
+
+Implements the original gentle-less RED: EWMA average queue ``avg``;
+drop probability ramps linearly from 0 at ``min_th`` to ``max_p`` at
+``max_th``; everything above ``max_th`` is dropped; the inter-drop
+spacing correction ``p / (1 - count * p)`` is applied.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+
+class REDBuffer:
+    """RED queue (in packets) in front of a link, for one class."""
+
+    def __init__(
+        self,
+        link: Link,
+        class_id: Any,
+        rng: random.Random,
+        min_th: int = 5,
+        max_th: int = 15,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        capacity: int = 64,
+    ):
+        if not 0 < min_th < max_th <= capacity:
+            raise ConfigurationError("need 0 < min_th < max_th <= capacity")
+        if not 0 < max_p <= 1:
+            raise ConfigurationError("max_p must be in (0, 1]")
+        if not 0 < weight <= 1:
+            raise ConfigurationError("weight must be in (0, 1]")
+        self.link = link
+        self.class_id = class_id
+        self.rng = rng
+        self.min_th = min_th
+        self.max_th = max_th
+        self.max_p = max_p
+        self.weight = weight
+        self.capacity = capacity
+        self.occupancy = 0
+        self.avg = 0.0
+        self._count = 0  # packets since the last drop
+        self.dropped = 0
+        self.forced_drops = 0
+        link.add_class_listener(class_id, self._on_departure)
+
+    def offer(self, packet: Packet) -> bool:
+        self.avg = (1.0 - self.weight) * self.avg + self.weight * self.occupancy
+        if self.occupancy >= self.capacity or self.avg >= self.max_th:
+            self.dropped += 1
+            self.forced_drops += 1
+            self._count = 0
+            return False
+        if self.avg > self.min_th:
+            base = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+            denominator = max(1e-9, 1.0 - self._count * base)
+            probability = min(1.0, base / denominator)
+            if self.rng.random() < probability:
+                self.dropped += 1
+                self._count = 0
+                return False
+        self._count += 1
+        self.occupancy += 1
+        self.link.offer(packet)
+        return True
+
+    def _on_departure(self, packet: Packet, now: float) -> None:
+        self.occupancy -= 1

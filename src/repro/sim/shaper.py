@@ -1,0 +1,145 @@
+"""Token-bucket regulators (the arrival-envelope side of the calculus).
+
+The delay bounds of :mod:`repro.analysis.delay` hold for sessions whose
+arrivals obey a (sigma, rho, peak) token-bucket envelope.  This module
+provides the enforcement devices:
+
+* :class:`TokenBucketShaper` -- delays packets until tokens are available
+  (lossless; output conforms to the envelope);
+* :class:`TokenBucketPolicer` -- drops non-conformant packets (lossy).
+
+Both sit between a source and a link: ``source -> shaper.offer -> link``.
+With a shaper in front, a leaf class's measured delay must stay within
+``hfsc_delay_bound(...)`` -- a property the integration tests check, tying
+the analysis module to the scheduler end to end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Protocol
+
+from repro.core.errors import ConfigurationError
+from repro.sim.engine import EventLoop
+from repro.sim.packet import Packet
+
+
+class _Target(Protocol):
+    def offer(self, packet: Packet) -> None: ...
+
+
+class TokenBucketShaper:
+    """Delay packets so the output conforms to (sigma, rho, peak).
+
+    ``sigma`` is the bucket depth in bytes, ``rho`` the token rate in
+    bytes/second, ``peak`` an optional peak rate enforced as a minimum
+    spacing between packet releases.  FIFO order is preserved.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        target: _Target,
+        sigma: float,
+        rho: float,
+        peak: Optional[float] = None,
+    ):
+        if sigma <= 0 or rho <= 0:
+            raise ConfigurationError("sigma and rho must be positive")
+        if peak is not None and peak <= 0:
+            raise ConfigurationError("peak must be positive when given")
+        self.loop = loop
+        self.target = target
+        self.sigma = sigma
+        self.rho = rho
+        self.peak = peak
+        self._tokens = sigma
+        self._stamp = 0.0  # time the token count was computed
+        self._queue: Deque[Packet] = deque()
+        self._release_armed = False
+        self._last_release = -float("inf")
+        self.released = 0
+        self.delayed = 0
+
+    def offer(self, packet: Packet) -> None:
+        if packet.size > self.sigma:
+            raise ConfigurationError(
+                f"packet of {packet.size:g} B can never conform to a "
+                f"bucket of {self.sigma:g} B"
+            )
+        self._queue.append(packet)
+        self._pump()
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    # -- internals --------------------------------------------------------
+
+    def _refill(self) -> None:
+        now = self.loop.now
+        self._tokens = min(self.sigma, self._tokens + self.rho * (now - self._stamp))
+        self._stamp = now
+
+    def _ready_time(self, size: float) -> float:
+        """Earliest time this packet may be released."""
+        self._refill()
+        wait_tokens = 0.0
+        if self._tokens < size:
+            wait_tokens = (size - self._tokens) / self.rho
+        wait_peak = 0.0
+        if self.peak is not None:
+            wait_peak = max(0.0, self._last_release + size / self.peak - self.loop.now)
+        return self.loop.now + max(wait_tokens, wait_peak)
+
+    def _pump(self) -> None:
+        if self._release_armed or not self._queue:
+            return
+        head = self._queue[0]
+        ready = self._ready_time(head.size)
+        if ready <= self.loop.now:
+            self._release()
+            return
+        self._release_armed = True
+        self.delayed += 1
+        self.loop.schedule(ready, self._release_event)
+
+    def _release_event(self) -> None:
+        self._release_armed = False
+        self._release()
+
+    def _release(self) -> None:
+        self._refill()
+        packet = self._queue.popleft()
+        self._tokens -= packet.size
+        self._last_release = self.loop.now
+        self.released += 1
+        self.target.offer(packet)
+        self._pump()
+
+
+class TokenBucketPolicer:
+    """Drop packets that do not conform to (sigma, rho)."""
+
+    def __init__(self, loop: EventLoop, target: _Target, sigma: float, rho: float):
+        if sigma <= 0 or rho <= 0:
+            raise ConfigurationError("sigma and rho must be positive")
+        self.loop = loop
+        self.target = target
+        self.sigma = sigma
+        self.rho = rho
+        self._tokens = sigma
+        self._stamp = 0.0
+        self.passed = 0
+        self.dropped = 0
+
+    def offer(self, packet: Packet) -> None:
+        now = self.loop.now
+        self._tokens = min(self.sigma, self._tokens + self.rho * (now - self._stamp))
+        self._stamp = now
+        if packet.size <= self._tokens:
+            self._tokens -= packet.size
+            self.passed += 1
+            self.target.offer(packet)
+        else:
+            self.dropped += 1

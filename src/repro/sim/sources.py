@@ -1,0 +1,312 @@
+"""Traffic sources.
+
+Every source self-schedules on the event loop and feeds packets to a link
+(or any object with an ``offer(packet)`` method).  The set covers the
+workloads the paper's evaluation needs:
+
+* :class:`CBRSource` -- constant bit rate, e.g. the 64 kbit/s packet audio
+  with 160-byte packets from the paper's motivating examples;
+* :class:`PoissonSource` -- Poisson arrivals;
+* :class:`OnOffSource` -- exponential or Pareto on/off bursts;
+* :class:`GreedySource` -- always-backlogged (the "FTP" of the
+  experiments): it tops the queue back up on every departure;
+* :class:`VideoFrameSource` -- frames at a fixed rate with random sizes,
+  fragmented into MTU-sized packets that arrive back-to-back; exercises
+  the per-frame delay guarantees of Section V;
+* :class:`TraceSource` -- replay of an explicit (time, size) list.
+
+All randomness flows through an injected ``random.Random`` so experiments
+are reproducible from a seed (see :func:`repro.util.rng.make_rng`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+
+class _Target(Protocol):
+    def offer(self, packet: Packet) -> None: ...
+
+
+class Source:
+    """Common machinery: lifetime window and packet emission counters."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        target: _Target,
+        class_id: Any,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        self.loop = loop
+        self.target = target
+        self.class_id = class_id
+        self.start = start
+        self.stop = stop
+        self.packets_sent = 0
+        self.bytes_sent = 0.0
+
+    def _alive(self) -> bool:
+        return self.stop is None or self.loop.now < self.stop
+
+    def _emit(self, size: float) -> Packet:
+        packet = Packet(self.class_id, size, created=self.loop.now)
+        self.packets_sent += 1
+        self.bytes_sent += size
+        self.target.offer(packet)
+        return packet
+
+
+class CBRSource(Source):
+    """Constant bit rate: one ``packet_size`` packet every interval."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        target: _Target,
+        class_id: Any,
+        rate: float,
+        packet_size: float,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(loop, target, class_id, start, stop)
+        if rate <= 0 or packet_size <= 0:
+            raise ConfigurationError("rate and packet_size must be positive")
+        if jitter and rng is None:
+            raise ConfigurationError("jitter requires an rng")
+        self.interval = packet_size / rate
+        self.packet_size = packet_size
+        self.jitter = jitter
+        self.rng = rng
+        loop.schedule(start, self._tick)
+
+    def _tick(self) -> None:
+        if not self._alive():
+            return
+        self._emit(self.packet_size)
+        delay = self.interval
+        if self.jitter:
+            assert self.rng is not None
+            delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        self.loop.schedule_after(max(delay, 1e-9), self._tick)
+
+
+class PoissonSource(Source):
+    """Poisson packet arrivals at ``rate`` bytes/second average."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        target: _Target,
+        class_id: Any,
+        rate: float,
+        packet_size: float,
+        rng: random.Random,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        super().__init__(loop, target, class_id, start, stop)
+        if rate <= 0 or packet_size <= 0:
+            raise ConfigurationError("rate and packet_size must be positive")
+        self.mean_interval = packet_size / rate
+        self.packet_size = packet_size
+        self.rng = rng
+        loop.schedule(start + rng.expovariate(1.0 / self.mean_interval), self._tick)
+
+    def _tick(self) -> None:
+        if not self._alive():
+            return
+        self._emit(self.packet_size)
+        self.loop.schedule_after(
+            self.rng.expovariate(1.0 / self.mean_interval), self._tick
+        )
+
+
+class OnOffSource(Source):
+    """Bursty on/off traffic.
+
+    During ON periods packets of ``packet_size`` are sent back-to-back at
+    ``peak_rate``; OFF periods are silent.  Period lengths are exponential
+    by default or Pareto (``shape`` given) for heavy-tailed bursts.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        target: _Target,
+        class_id: Any,
+        peak_rate: float,
+        packet_size: float,
+        mean_on: float,
+        mean_off: float,
+        rng: random.Random,
+        pareto_shape: Optional[float] = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        super().__init__(loop, target, class_id, start, stop)
+        if min(peak_rate, packet_size, mean_on, mean_off) <= 0:
+            raise ConfigurationError("OnOffSource parameters must be positive")
+        if pareto_shape is not None and pareto_shape <= 1.0:
+            raise ConfigurationError("pareto_shape must be > 1 for a finite mean")
+        self.peak_interval = packet_size / peak_rate
+        self.packet_size = packet_size
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.rng = rng
+        self.pareto_shape = pareto_shape
+        self._on_until = 0.0
+        loop.schedule(start, self._start_on)
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average rate implied by the on/off parameters."""
+        duty = self.mean_on / (self.mean_on + self.mean_off)
+        return duty * self.packet_size / self.peak_interval
+
+    def _duration(self, mean: float) -> float:
+        if self.pareto_shape is None:
+            return self.rng.expovariate(1.0 / mean)
+        shape = self.pareto_shape
+        scale = mean * (shape - 1.0) / shape
+        return scale * (1.0 - self.rng.random()) ** (-1.0 / shape)
+
+    def _start_on(self) -> None:
+        if not self._alive():
+            return
+        self._on_until = self.loop.now + self._duration(self.mean_on)
+        self._burst_tick()
+
+    def _burst_tick(self) -> None:
+        if not self._alive():
+            return
+        if self.loop.now >= self._on_until:
+            self.loop.schedule_after(self._duration(self.mean_off), self._start_on)
+            return
+        self._emit(self.packet_size)
+        self.loop.schedule_after(self.peak_interval, self._burst_tick)
+
+
+class GreedySource(Source):
+    """An always-backlogged source (the experiments' FTP stand-in).
+
+    Keeps ``window`` packets of ``packet_size`` in the scheduler at all
+    times by replenishing on every departure of its class.  Requires the
+    target to be a :class:`~repro.sim.link.Link` (it must observe
+    departures).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        link: Link,
+        class_id: Any,
+        packet_size: float,
+        window: int = 4,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        super().__init__(loop, link, class_id, start, stop)
+        if packet_size <= 0 or window < 1:
+            raise ConfigurationError("packet_size must be positive, window >= 1")
+        self.packet_size = packet_size
+        self.window = window
+        link.add_class_listener(class_id, self._on_departure)
+        loop.schedule(start, self._prime)
+
+    def _prime(self) -> None:
+        for _ in range(self.window):
+            if not self._alive():
+                return
+            self._emit(self.packet_size)
+
+    def _on_departure(self, packet: Packet, now: float) -> None:
+        if self._alive():
+            self._emit(self.packet_size)
+
+
+class VideoFrameSource(Source):
+    """Frame-structured traffic (synthetic stand-in for MPEG traces).
+
+    Every ``1 / fps`` seconds a frame is generated whose size is lognormal
+    with the given mean and coefficient of variation, clipped to
+    ``[min_frame, max_frame]``; the frame is fragmented into packets of at
+    most ``mtu`` bytes which arrive back-to-back.  This is the per-frame
+    burst structure for which Section V suggests setting the service
+    curve's ``umax`` to the maximum frame size.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        target: _Target,
+        class_id: Any,
+        fps: float,
+        mean_frame: float,
+        rng: random.Random,
+        cv: float = 0.5,
+        min_frame: float = 200.0,
+        max_frame: Optional[float] = None,
+        mtu: float = 1500.0,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        super().__init__(loop, target, class_id, start, stop)
+        if fps <= 0 or mean_frame <= 0 or mtu <= 0:
+            raise ConfigurationError("fps, mean_frame and mtu must be positive")
+        import math
+
+        self.interval = 1.0 / fps
+        self.mtu = mtu
+        self.min_frame = min_frame
+        self.max_frame = max_frame if max_frame is not None else 4.0 * mean_frame
+        # Lognormal parameterized by mean and coefficient of variation.
+        sigma2 = math.log(1.0 + cv * cv)
+        self._mu = math.log(mean_frame) - sigma2 / 2.0
+        self._sigma = math.sqrt(sigma2)
+        self.rng = rng
+        self.frames_sent = 0
+        loop.schedule(start, self._frame)
+
+    def _frame(self) -> None:
+        if not self._alive():
+            return
+        size = self.rng.lognormvariate(self._mu, self._sigma)
+        size = min(max(size, self.min_frame), self.max_frame)
+        remaining = size
+        while remaining > 0:
+            fragment = min(remaining, self.mtu)
+            self._emit(fragment)
+            remaining -= fragment
+        self.frames_sent += 1
+        self.loop.schedule_after(self.interval, self._frame)
+
+
+class TraceSource(Source):
+    """Replay an explicit list of (time, size) arrivals."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        target: _Target,
+        class_id: Any,
+        trace: Iterable[Tuple[float, float]],
+    ):
+        entries: List[Tuple[float, float]] = sorted(trace)
+        super().__init__(loop, target, class_id,
+                         start=entries[0][0] if entries else 0.0)
+        for time, size in entries:
+            loop.schedule(time, self._emit_sized, size)
+
+    def _emit_sized(self, size: float) -> None:
+        self._emit(size)

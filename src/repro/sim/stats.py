@@ -1,0 +1,219 @@
+"""Measurement: per-class delay statistics, throughput series, audits.
+
+The experiments report three kinds of numbers:
+
+* **delay statistics** per class (mean / max / percentiles of the
+  arrival-to-departure delay) -- :class:`ClassStats`;
+* **throughput over time** (bytes per measurement window, the link-sharing
+  plots) -- :class:`ThroughputMeter`;
+* **deadline audit** -- Theorem 2 says no H-FSC deadline is missed by more
+  than one maximum-size packet time; :class:`StatsCollector` tracks the
+  worst observed miss so tests and experiments can check the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+
+class ClassStats:
+    """Online delay and volume statistics for one class."""
+
+    __slots__ = (
+        "class_id",
+        "packets",
+        "bytes",
+        "delay_sum",
+        "delay_sq_sum",
+        "max_delay",
+        "min_delay",
+        "delays",
+        "keep_samples",
+        "worst_deadline_miss",
+        "first_departure",
+        "last_departure",
+    )
+
+    def __init__(self, class_id: Any, keep_samples: bool = True):
+        self.class_id = class_id
+        self.packets = 0
+        self.bytes = 0.0
+        self.delay_sum = 0.0
+        self.delay_sq_sum = 0.0
+        self.max_delay = 0.0
+        self.min_delay = math.inf
+        self.delays: List[float] = []
+        self.keep_samples = keep_samples
+        self.worst_deadline_miss = -math.inf
+        self.first_departure: Optional[float] = None
+        self.last_departure: Optional[float] = None
+
+    def record(self, packet: Packet, now: float) -> None:
+        delay = packet.delay
+        self.packets += 1
+        self.bytes += packet.size
+        self.delay_sum += delay
+        self.delay_sq_sum += delay * delay
+        self.max_delay = max(self.max_delay, delay)
+        self.min_delay = min(self.min_delay, delay)
+        if self.keep_samples:
+            self.delays.append(delay)
+        if packet.deadline is not None:
+            self.worst_deadline_miss = max(
+                self.worst_deadline_miss, now - packet.deadline
+            )
+        if self.first_departure is None:
+            self.first_departure = now
+        self.last_departure = now
+
+    @property
+    def mean_delay(self) -> float:
+        return self.delay_sum / self.packets if self.packets else 0.0
+
+    @property
+    def stddev_delay(self) -> float:
+        if self.packets < 2:
+            return 0.0
+        mean = self.mean_delay
+        var = self.delay_sq_sum / self.packets - mean * mean
+        return math.sqrt(max(var, 0.0))
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile of delay (requires keep_samples)."""
+        if not self.delays:
+            return 0.0
+        ordered = sorted(self.delays)
+        index = min(len(ordered) - 1, max(0, int(math.ceil(q / 100.0 * len(ordered))) - 1))
+        return ordered[index]
+
+    def throughput(self) -> float:
+        """Average rate (bytes/s) between first and last departure."""
+        if (
+            self.first_departure is None
+            or self.last_departure is None
+            or self.last_departure <= self.first_departure
+        ):
+            return 0.0
+        return self.bytes / (self.last_departure - self.first_departure)
+
+
+class StatsCollector:
+    """Link observer that aggregates :class:`ClassStats` per class."""
+
+    def __init__(self, link: Optional[Link] = None, keep_samples: bool = True):
+        self.per_class: Dict[Any, ClassStats] = {}
+        self.keep_samples = keep_samples
+        self.total_packets = 0
+        self.total_bytes = 0.0
+        if link is not None:
+            link.add_listener(self.on_departure)
+
+    def on_departure(self, packet: Packet, now: float) -> None:
+        stats = self.per_class.get(packet.class_id)
+        if stats is None:
+            stats = ClassStats(packet.class_id, self.keep_samples)
+            self.per_class[packet.class_id] = stats
+        stats.record(packet, now)
+        self.total_packets += 1
+        self.total_bytes += packet.size
+
+    def __getitem__(self, class_id: Any) -> ClassStats:
+        return self.per_class[class_id]
+
+    def __contains__(self, class_id: Any) -> bool:
+        return class_id in self.per_class
+
+    def worst_deadline_miss(self) -> float:
+        """Largest (departure - deadline) over all audited packets."""
+        misses = [
+            s.worst_deadline_miss
+            for s in self.per_class.values()
+            if s.worst_deadline_miss != -math.inf
+        ]
+        return max(misses) if misses else -math.inf
+
+
+class BacklogMeter:
+    """Samples a scheduler's backlog (packets and bytes) over time.
+
+    Attach to an event loop with a sampling period; afterwards ``samples``
+    holds (time, packets, bytes) triples.  Useful for buffer-sizing plots
+    and for verifying stability (bounded backlog) in long runs.
+    """
+
+    def __init__(self, loop, scheduler, period: float, stop: Optional[float] = None):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.loop = loop
+        self.scheduler = scheduler
+        self.period = period
+        self.stop = stop
+        self.samples: List[Tuple[float, int, float]] = []
+        loop.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        if self.stop is not None and self.loop.now > self.stop:
+            return
+        self.samples.append(
+            (
+                self.loop.now,
+                self.scheduler.backlog_packets,
+                self.scheduler.backlog_bytes,
+            )
+        )
+        self.loop.schedule_after(self.period, self._tick)
+
+    def max_backlog_bytes(self) -> float:
+        return max((s[2] for s in self.samples), default=0.0)
+
+    def mean_backlog_packets(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s[1] for s in self.samples) / len(self.samples)
+
+
+class ThroughputMeter:
+    """Windowed per-class throughput series (the link-sharing plots).
+
+    Attach to a link; afterwards :meth:`series` returns, per class, a list
+    of (window_start, bytes_per_second) samples.
+    """
+
+    def __init__(self, link: Optional[Link], window: float):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._bytes: Dict[Any, Dict[int, float]] = {}
+        if link is not None:
+            link.add_listener(self.on_departure)
+
+    def on_departure(self, packet: Packet, now: float) -> None:
+        bucket = int(now / self.window)
+        per_bucket = self._bytes.setdefault(packet.class_id, {})
+        per_bucket[bucket] = per_bucket.get(bucket, 0.0) + packet.size
+
+    def series(self, class_id: Any) -> List[Tuple[float, float]]:
+        per_bucket = self._bytes.get(class_id, {})
+        return [
+            (bucket * self.window, count / self.window)
+            for bucket, count in sorted(per_bucket.items())
+        ]
+
+    def rate_between(self, class_id: Any, start: float, stop: float) -> float:
+        """Average rate of a class over [start, stop) (bytes/second)."""
+        if stop <= start:
+            return 0.0
+        per_bucket = self._bytes.get(class_id, {})
+        first = int(start / self.window)
+        last = int(math.ceil(stop / self.window))
+        total = sum(
+            count for bucket, count in per_bucket.items() if first <= bucket < last
+        )
+        return total / (stop - start)
+
+    def classes(self) -> Sequence[Any]:
+        return list(self._bytes)

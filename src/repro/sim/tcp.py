@@ -1,0 +1,297 @@
+"""Simplified TCP Reno over the simulated bottleneck (substitution S11).
+
+The paper's link-sharing experiments drive classes with FTP/TCP traffic.
+Python cannot run real stacks at line rate, so this module provides the
+closed-loop behaviour that matters for those experiments: window-limited
+sending, additive increase, multiplicative decrease on loss, fast
+retransmit, and coarse timeouts.  One :class:`TCPConnection` couples
+
+* a sender that injects MSS-sized segments into a scheduler class through
+  a :class:`DropTailBuffer` (losses are how the scheduler's bandwidth
+  decisions reach the sender),
+* a one-way propagation delay to the receiver,
+* a receiver generating cumulative ACKs,
+* a reverse path of fixed delay (ACKs are never lost or queued -- the
+  experiments congest only the forward bottleneck).
+
+This is deliberately *not* a full TCP: no SACK, no delayed ACKs, no
+window scaling, byte-less segment arithmetic.  DESIGN.md records the
+substitution; the link-sharing results only need AIMD closed-loop load.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.sim.engine import Event, EventLoop
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+
+class DropTailBuffer:
+    """Per-class drop-tail queue limit in front of a link.
+
+    Schedulers in this library queue without bound; TCP needs finite
+    buffers to see loss.  The buffer counts a class's packets from offer
+    to departure and drops arrivals beyond ``capacity``.
+    """
+
+    def __init__(self, link: Link, class_id: Any, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.link = link
+        self.class_id = class_id
+        self.capacity = capacity
+        self.occupancy = 0
+        self.dropped = 0
+        link.add_class_listener(class_id, self._on_departure)
+
+    def offer(self, packet: Packet) -> bool:
+        """Returns False (and counts a drop) when the buffer is full."""
+        if self.occupancy >= self.capacity:
+            self.dropped += 1
+            return False
+        self.occupancy += 1
+        self.link.offer(packet)
+        return True
+
+    def _on_departure(self, packet: Packet, now: float) -> None:
+        self.occupancy -= 1
+
+
+class TCPConnection:
+    """A Reno-style sender/receiver pair across the simulated bottleneck.
+
+    Parameters
+    ----------
+    loop, link:
+        The event loop and bottleneck link.
+    class_id:
+        Scheduler class carrying this connection's segments.
+    mss:
+        Segment size in bytes.
+    buffer_packets:
+        Drop-tail buffer at the bottleneck, in segments.
+    fwd_delay / rev_delay:
+        One-way propagation delays (seconds) after/before the bottleneck.
+    """
+
+    #: Initial slow-start threshold, in segments.  Kept at the scale of
+    #: the default bottleneck buffer so the first slow-start episode does
+    #: not overshoot into a multi-loss burst that Reno's one-hole-per-RTT
+    #: recovery handles poorly (classic behaviour, but it makes small
+    #: simulations needlessly noisy).
+    INITIAL_SSTHRESH = 24.0
+    MIN_RTO = 0.2
+    #: Receiver-window stand-in: cwnd never exceeds this many segments.
+    MAX_CWND = 512.0
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        link: Link,
+        class_id: Any,
+        mss: float = 1460.0,
+        buffer_packets: int = 32,
+        fwd_delay: float = 0.01,
+        rev_delay: float = 0.01,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        if mss <= 0:
+            raise ConfigurationError("mss must be positive")
+        self.loop = loop
+        self.link = link
+        self.class_id = class_id
+        self.mss = mss
+        self.fwd_delay = fwd_delay
+        self.rev_delay = rev_delay
+        self.start = start
+        self.stop = stop
+        self.buffer = DropTailBuffer(link, class_id, buffer_packets)
+        # Sender state (segment arithmetic).
+        self.next_seq = 0
+        self.highest_acked = 0
+        self.cwnd = 1.0
+        self.ssthresh = self.INITIAL_SSTHRESH
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recovery_point = 0
+        # Receiver state.
+        self.expected_seq = 0
+        self.out_of_order: set = set()
+        # Measurement.
+        self.segments_sent = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.acked_bytes = 0.0
+        # RTT estimation: one timed segment at a time (the classic
+        # pre-timestamp method).  Sampling an arbitrary segment covered by
+        # a cumulative ACK would measure loss-recovery latency instead of
+        # path RTT and blow up the RTO.  Karn's rule: a retransmission of
+        # the timed segment cancels the measurement.
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._timed_seq: Optional[int] = None
+        self._timed_at = 0.0
+        self._timed_epoch = 0
+        #: Incremented on every retransmission: an RTT sample is valid only
+        #: if no retransmission happened while it was being timed (any loss
+        #: event delays cumulative ACKs and would pollute the estimate).
+        self._retx_epoch = 0
+        #: Exponential backoff multiplier after consecutive timeouts.
+        self._backoff = 1.0
+        self._rto_event: Optional[Event] = None
+        link.add_class_listener(class_id, self._on_bottleneck_departure)
+        loop.schedule(start, self._pump)
+
+    # -- rate measurement -----------------------------------------------------
+
+    def goodput(self, horizon: Optional[float] = None) -> float:
+        """Acked bytes per second since start."""
+        end = horizon if horizon is not None else self.loop.now
+        span = end - self.start
+        return self.acked_bytes / span if span > 0 else 0.0
+
+    @property
+    def rto(self) -> float:
+        if self._srtt is None:
+            base = 1.0
+        else:
+            base = max(self.MIN_RTO, self._srtt + 4.0 * self._rttvar)
+        return base * self._backoff
+
+    # -- sender ------------------------------------------------------------------
+
+    def _alive(self) -> bool:
+        return self.stop is None or self.loop.now < self.stop
+
+    def _window_limit(self) -> int:
+        return self.highest_acked + int(self.cwnd)
+
+    def _pump(self) -> None:
+        """Send as many new segments as the window allows."""
+        if not self._alive():
+            return
+        while self.next_seq < self._window_limit():
+            self._transmit(self.next_seq)
+            self.next_seq += 1
+        # Ensure a timer is running, but do NOT reset one that is: only a
+        # new cumulative ACK may push the retransmission deadline out,
+        # otherwise a steady stream of duplicate ACKs can postpone the RTO
+        # forever while the recovery retransmission itself was lost.
+        self._arm_rto(reset=False)
+
+    def _transmit(self, seq: int, retransmission: bool = False) -> None:
+        packet = Packet(self.class_id, self.mss, created=self.loop.now,
+                        payload=("seg", seq))
+        self.segments_sent += 1
+        if retransmission:
+            self._retx_epoch += 1
+            if self._timed_seq == seq:
+                self._timed_seq = None  # Karn's rule
+        elif self._timed_seq is None:
+            self._timed_seq = seq
+            self._timed_at = self.loop.now
+            self._timed_epoch = self._retx_epoch
+        self.buffer.offer(packet)
+        # A drop is silent: the receiver's dupacks / the RTO recover it.
+
+    def _arm_rto(self, reset: bool = True) -> None:
+        if self._rto_event is not None:
+            if not reset:
+                return
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self.highest_acked < self.next_seq:
+            self._rto_event = self.loop.schedule_after(self.rto, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._rto_event = None
+        if not self._alive() or self.highest_acked >= self.next_seq:
+            return
+        # Classic coarse timeout: collapse to one segment and slow start.
+        self.timeouts += 1
+        self._backoff = min(self._backoff * 2.0, 64.0)
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.retransmits += 1
+        self._transmit(self.highest_acked, retransmission=True)
+        self._arm_rto()
+
+    def _on_ack(self, ack_seq: int) -> None:
+        """Cumulative ACK: receiver expects segment ``ack_seq`` next."""
+        if not self._alive():
+            return
+        if ack_seq > self.highest_acked:
+            newly = ack_seq - self.highest_acked
+            self.acked_bytes += newly * self.mss
+            if self._timed_seq is not None and ack_seq > self._timed_seq:
+                if self._retx_epoch == self._timed_epoch:
+                    self._update_rtt(self.loop.now - self._timed_at)
+                self._timed_seq = None
+            self.highest_acked = ack_seq
+            self._backoff = 1.0  # forward progress clears the backoff
+            self.dup_acks = 0
+            if self.in_recovery:
+                if ack_seq >= self.recovery_point:
+                    self.in_recovery = False
+                    self.cwnd = self.ssthresh
+                else:
+                    # Partial ACK: retransmit the next hole immediately.
+                    self.retransmits += 1
+                    self._transmit(self.highest_acked, retransmission=True)
+            elif self.cwnd < self.ssthresh:
+                self.cwnd += newly  # slow start
+            else:
+                self.cwnd += newly / self.cwnd  # congestion avoidance
+            self.cwnd = min(self.cwnd, self.MAX_CWND)
+            self._pump()
+            self._arm_rto()
+            return
+        # Duplicate ACK.
+        self.dup_acks += 1
+        if self.dup_acks == 3 and not self.in_recovery:
+            # Fast retransmit + fast recovery (Reno).
+            self.in_recovery = True
+            self.recovery_point = self.next_seq
+            self.ssthresh = max(self.cwnd / 2.0, 2.0)
+            self.cwnd = self.ssthresh + 3.0
+            self.retransmits += 1
+            self._transmit(self.highest_acked, retransmission=True)
+            self._arm_rto()
+        elif self.in_recovery:
+            # Window inflation per extra dupack, bounded by the receiver
+            # window so a long recovery cannot blow the window up.
+            self.cwnd = min(self.cwnd + 1.0, self.MAX_CWND)
+            self._pump()
+
+    def _update_rtt(self, sample: float) -> None:
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
+
+    # -- receiver ---------------------------------------------------------------
+
+    def _on_bottleneck_departure(self, packet: Packet, now: float) -> None:
+        if not isinstance(packet.payload, tuple) or packet.payload[0] != "seg":
+            return
+        seq = packet.payload[1]
+        self.loop.schedule_after(self.fwd_delay, self._receive, seq)
+
+    def _receive(self, seq: int) -> None:
+        if seq == self.expected_seq:
+            self.expected_seq += 1
+            while self.expected_seq in self.out_of_order:
+                self.out_of_order.remove(self.expected_seq)
+                self.expected_seq += 1
+        elif seq > self.expected_seq:
+            self.out_of_order.add(seq)
+        ack = self.expected_seq
+        self.loop.schedule_after(self.rev_delay, self._on_ack, ack)

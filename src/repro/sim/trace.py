@@ -1,0 +1,117 @@
+"""Packet trace recording and replay (CSV).
+
+Experiments sometimes need to (a) persist what a simulation did so results
+can be inspected or post-processed outside Python, and (b) replay a
+recorded arrival pattern against a different scheduler for an
+apples-to-apples comparison.  This module provides both:
+
+* :class:`TraceRecorder` -- a link listener that records departures
+  (time, class, size, enqueue time, deadline, criterion);
+* :func:`save_trace` / :func:`load_trace` -- CSV round-trip;
+* :func:`arrivals_from_trace` -- convert a recorded trace back into the
+  (time, class_id, size) arrival list accepted by
+  :func:`repro.sim.drive.drive` and :class:`repro.sim.sources.TraceSource`,
+  keyed on the original *enqueue* times.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+_FIELDS = [
+    "departed",
+    "class_id",
+    "size",
+    "enqueued",
+    "deadline",
+    "via_realtime",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    departed: float
+    class_id: str
+    size: float
+    enqueued: float
+    deadline: Optional[float]
+    via_realtime: Optional[bool]
+
+
+class TraceRecorder:
+    """Collect a :class:`TraceRecord` per departure from a link."""
+
+    def __init__(self, link: Optional[Link] = None):
+        self.records: List[TraceRecord] = []
+        if link is not None:
+            link.add_listener(self.on_departure)
+
+    def on_departure(self, packet: Packet, now: float) -> None:
+        self.records.append(
+            TraceRecord(
+                departed=now,
+                class_id=str(packet.class_id),
+                size=packet.size,
+                enqueued=packet.enqueued if packet.enqueued is not None else now,
+                deadline=packet.deadline,
+                via_realtime=packet.via_realtime,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def save_trace(records: Iterable[TraceRecord], path: str) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for record in records:
+            writer.writerow(
+                [
+                    f"{record.departed!r}",
+                    record.class_id,
+                    f"{record.size!r}",
+                    f"{record.enqueued!r}",
+                    "" if record.deadline is None else f"{record.deadline!r}",
+                    "" if record.via_realtime is None else int(record.via_realtime),
+                ]
+            )
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    records: List[TraceRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != _FIELDS:
+            raise ValueError(f"not a repro trace file: {path}")
+        for row in reader:
+            records.append(
+                TraceRecord(
+                    departed=float(row["departed"]),
+                    class_id=row["class_id"],
+                    size=float(row["size"]),
+                    enqueued=float(row["enqueued"]),
+                    deadline=float(row["deadline"]) if row["deadline"] else None,
+                    via_realtime=(
+                        bool(int(row["via_realtime"]))
+                        if row["via_realtime"] != ""
+                        else None
+                    ),
+                )
+            )
+    return records
+
+
+def arrivals_from_trace(
+    records: Iterable[TraceRecord],
+) -> List[Tuple[float, Any, float]]:
+    """The recorded arrival pattern, replayable through another scheduler."""
+    return sorted(
+        (record.enqueued, record.class_id, record.size) for record in records
+    )

@@ -1,0 +1,183 @@
+"""Calendar queue (R. Brown, 1988) -- reference [4] of the paper.
+
+A calendar queue spreads timestamped entries over an array of buckets
+("days"), each covering a fixed time width; extracting in time order walks
+the calendar the way one walks a desk diary.  With a well-chosen bucket
+count and width, enqueue and dequeue are O(1) amortized, which is why
+Section V of the paper suggests it for tracking eligible times.
+
+This implementation supports:
+
+* ``insert(time, item)`` / ``remove(item)`` / ``pop_min()`` / ``peek_min()``
+* ``pop_due(now)`` -- remove and return all items with time <= now, in time
+  order (how the H-FSC eligible set drains matured requests).
+* automatic resizing (doubling/halving the bucket count) driven by load,
+  with the bucket width re-estimated from a sample of the queue, following
+  Brown's original recipe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+ItemT = TypeVar("ItemT", bound=Hashable)
+
+
+class CalendarQueue(Generic[ItemT]):
+    """Priority queue over (time, item) pairs, optimized for clock-like use."""
+
+    _MIN_BUCKETS = 4
+
+    def __init__(self, bucket_width: float = 1.0, buckets: int = 8) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        if buckets < 1:
+            raise ValueError("buckets must be >= 1")
+        self._width = float(bucket_width)
+        self._nbuckets = max(self._MIN_BUCKETS, buckets)
+        self._buckets: List[List[Tuple[float, int, ItemT]]] = [
+            [] for _ in range(self._nbuckets)
+        ]
+        self._index: Dict[ItemT, Tuple[float, int]] = {}
+        self._seq = 0
+        self._size = 0
+        # Cursor state: the current "day" and the time at which it ends.
+        self._last_time = 0.0
+        self._resize_enabled = True
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, item: ItemT) -> bool:
+        return item in self._index
+
+    def time_of(self, item: ItemT) -> float:
+        return self._index[item][0]
+
+    def insert(self, item: ItemT, time: float) -> None:
+        if item in self._index:
+            raise ValueError(f"item already present: {item!r}")
+        seq = self._seq
+        self._seq += 1
+        self._index[item] = (time, seq)
+        bucket = self._bucket_for(time)
+        self._buckets[bucket].append((time, seq, item))
+        self._size += 1
+        if time < self._last_time:
+            # The cursor tracks the current minimum; an insertion behind it
+            # (legal for eligible times, unlike pure event queues) must pull
+            # it back or the year-scan can surface a later entry first.
+            self._last_time = time
+        if self._resize_enabled and self._size > 2 * self._nbuckets:
+            self._resize(2 * self._nbuckets)
+
+    def remove(self, item: ItemT) -> float:
+        time, seq = self._index.pop(item)
+        bucket = self._buckets[self._bucket_for(time)]
+        bucket.remove((time, seq, item))
+        self._size -= 1
+        if (
+            self._resize_enabled
+            and self._nbuckets > self._MIN_BUCKETS
+            and self._size < self._nbuckets // 2
+        ):
+            self._resize(max(self._MIN_BUCKETS, self._nbuckets // 2))
+        return time
+
+    def update(self, item: ItemT, time: float) -> None:
+        if item in self._index:
+            self.remove(item)
+        self.insert(item, time)
+
+    def peek_min(self) -> Tuple[ItemT, float]:
+        """Return ``(item, time)`` with the smallest time (IndexError if empty)."""
+        entry = self._find_min()
+        if entry is None:
+            raise IndexError("peek from empty calendar queue")
+        time, _seq, item = entry
+        return item, time
+
+    def pop_min(self) -> Tuple[ItemT, float]:
+        item, time = self.peek_min()
+        self.remove(item)
+        return item, time
+
+    def pop_due(self, now: float) -> Iterator[Tuple[ItemT, float]]:
+        """Yield and remove every entry with time <= now, in time order."""
+        while self._size:
+            entry = self._find_min()
+            assert entry is not None
+            time, _seq, item = entry
+            if time > now:
+                return
+            self.remove(item)
+            yield item, time
+
+    def min_time(self) -> Optional[float]:
+        entry = self._find_min()
+        return None if entry is None else entry[0]
+
+    # -- internals --------------------------------------------------------
+
+    def _bucket_for(self, time: float) -> int:
+        return int(time / self._width) % self._nbuckets
+
+    def _find_min(self) -> Optional[Tuple[float, int, ItemT]]:
+        """Locate the globally smallest entry.
+
+        Scans at most one full "year" of buckets starting from the bucket of
+        the smallest previously seen time; falls back to a direct scan of
+        non-empty buckets if the year-scan finds only entries far in the
+        future (Brown's "direct search" case).
+        """
+        if self._size == 0:
+            return None
+        start_day = int(self._last_time / self._width)
+        best: Optional[Tuple[float, int, ItemT]] = None
+        for offset in range(self._nbuckets):
+            day = start_day + offset
+            bucket = self._buckets[day % self._nbuckets]
+            year_end = (day + 1) * self._width
+            candidate: Optional[Tuple[float, int, ItemT]] = None
+            for entry in bucket:
+                if entry[0] <= year_end and (candidate is None or entry < candidate):
+                    candidate = entry
+            if candidate is not None:
+                best = candidate
+                break
+        if best is None:
+            # All entries lie beyond the scanned year: direct search.
+            for bucket in self._buckets:
+                for entry in bucket:
+                    if best is None or entry < best:
+                        best = entry
+        assert best is not None
+        self._last_time = best[0]
+        return best
+
+    def _resize(self, nbuckets: int) -> None:
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        # Re-estimate the bucket width from the average gap between the
+        # timestamps of a sample of entries (Brown's heuristic).
+        sample = sorted(entry[0] for entry in entries[: max(8, len(entries) // 4)])
+        gaps = [b - a for a, b in zip(sample, sample[1:]) if b > a]
+        if gaps:
+            avg_gap = sum(gaps) / len(gaps)
+            if avg_gap > 0:
+                self._width = 2.0 * avg_gap
+        self._nbuckets = nbuckets
+        self._buckets = [[] for _ in range(nbuckets)]
+        for time, seq, item in entries:
+            self._buckets[self._bucket_for(time)].append((time, seq, item))
+
+    def check_invariants(self) -> None:
+        seen = 0
+        for bucket_id, bucket in enumerate(self._buckets):
+            for time, seq, item in bucket:
+                assert self._bucket_for(time) == bucket_id, "entry in wrong bucket"
+                assert self._index[item] == (time, seq), "index mismatch"
+                seen += 1
+        assert seen == self._size == len(self._index), "size mismatch"

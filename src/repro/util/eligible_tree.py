@@ -1,0 +1,279 @@
+"""Augmented balanced tree for the real-time request set.
+
+Section V of the paper: *"For maintaining the real-time requests we can use
+either an augmented binary tree data structure as the one described in [16],
+or a calendar queue [4] for keeping track of the eligible times in
+conjunction with a heap for maintaining the requests' deadlines."*
+
+This module implements the first option.  Each request is a pair
+``(eligible_time, deadline)`` attached to an item (a leaf class).  The tree
+is a treap keyed by ``(eligible_time, seq)`` where every node is augmented
+with the minimum deadline in its subtree.  The scheduler's query --
+*"among requests with eligible time <= now, which has the smallest
+deadline?"* -- runs in O(log n), as do insertion, removal and deadline
+update.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+ItemT = TypeVar("ItemT", bound=Hashable)
+
+_INF = float("inf")
+
+
+class _Node(Generic[ItemT]):
+    __slots__ = (
+        "eligible",
+        "seq",
+        "deadline",
+        "item",
+        "priority",
+        "left",
+        "right",
+        "min_deadline",
+    )
+
+    def __init__(self, eligible: float, seq: int, deadline: float, item: ItemT, priority: float):
+        self.eligible = eligible
+        self.seq = seq
+        self.deadline = deadline
+        self.item = item
+        self.priority = priority
+        self.left: Optional["_Node[ItemT]"] = None
+        self.right: Optional["_Node[ItemT]"] = None
+        self.min_deadline = deadline
+
+    def key(self) -> Tuple[float, int]:
+        return (self.eligible, self.seq)
+
+    def refresh(self) -> None:
+        best = self.deadline
+        if self.left is not None and self.left.min_deadline < best:
+            best = self.left.min_deadline
+        if self.right is not None and self.right.min_deadline < best:
+            best = self.right.min_deadline
+        self.min_deadline = best
+
+
+class EligibleTree(Generic[ItemT]):
+    """Set of (eligible, deadline) requests with an eligible-prefix min query.
+
+    Items are hashable and unique.  The main query is
+    :meth:`min_deadline_eligible`, which returns the item with the smallest
+    deadline among requests whose eligible time is <= ``now`` (the paper's
+    real-time criterion).  ``min_eligible`` exposes the earliest eligible
+    time, which the simulator can use to know when the next request matures.
+    """
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._root: Optional[_Node[ItemT]] = None
+        self._index: Dict[ItemT, _Node[ItemT]] = {}
+        self._seq = 0
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __bool__(self) -> bool:
+        return bool(self._index)
+
+    def __contains__(self, item: ItemT) -> bool:
+        return item in self._index
+
+    def eligible_of(self, item: ItemT) -> float:
+        return self._index[item].eligible
+
+    def deadline_of(self, item: ItemT) -> float:
+        return self._index[item].deadline
+
+    def insert(self, item: ItemT, eligible: float, deadline: float) -> None:
+        """Add a request (item must not already be present)."""
+        if item in self._index:
+            raise ValueError(f"item already present: {item!r}")
+        node = _Node(eligible, self._seq, deadline, item, self._rng.random())
+        self._seq += 1
+        self._index[item] = node
+        self._root = self._insert(self._root, node)
+
+    def remove(self, item: ItemT) -> None:
+        """Remove the request for ``item`` (KeyError if absent)."""
+        node = self._index.pop(item)
+        self._root = self._remove(self._root, node.key())
+
+    def update(self, item: ItemT, eligible: float, deadline: float) -> None:
+        """Change the request for ``item`` (re-keys the tree if needed)."""
+        node = self._index[item]
+        if node.eligible == eligible:
+            # Deadline-only change: fix augmented values along the path.
+            node.deadline = deadline
+            self._refresh_path(node.key())
+        else:
+            self.remove(item)
+            self.insert(item, eligible, deadline)
+
+    def update_deadline(self, item: ItemT, deadline: float) -> None:
+        node = self._index[item]
+        self.update(item, node.eligible, deadline)
+
+    def min_eligible(self) -> Optional[float]:
+        """Earliest eligible time in the set, or None when empty."""
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.eligible
+
+    def min_deadline_eligible(self, now: float) -> Optional[Tuple[ItemT, float, float]]:
+        """Request with the smallest deadline among those eligible at ``now``.
+
+        Returns ``(item, eligible, deadline)`` or ``None`` when no request is
+        eligible.  Ties on deadline go to the earliest-inserted request.
+        """
+        best_deadline = self._min_deadline_prefix(self._root, now)
+        if best_deadline == _INF:
+            return None
+        node = self._locate(self._root, now, best_deadline)
+        assert node is not None
+        return node.item, node.eligible, node.deadline
+
+    def items(self) -> Iterator[Tuple[ItemT, float, float]]:
+        """All requests in eligible-time order (mainly for tests)."""
+        stack: List[_Node[ItemT]] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.item, node.eligible, node.deadline
+            node = node.right
+
+    # -- internals --------------------------------------------------------
+
+    def _insert(self, root: Optional[_Node[ItemT]], node: _Node[ItemT]) -> _Node[ItemT]:
+        if root is None:
+            return node
+        if node.key() < root.key():
+            root.left = self._insert(root.left, node)
+            if root.left.priority < root.priority:
+                root = self._rotate_right(root)
+        else:
+            root.right = self._insert(root.right, node)
+            if root.right.priority < root.priority:
+                root = self._rotate_left(root)
+        root.refresh()
+        return root
+
+    def _remove(
+        self, root: Optional[_Node[ItemT]], key: Tuple[float, int]
+    ) -> Optional[_Node[ItemT]]:
+        if root is None:
+            raise KeyError(key)
+        if key < root.key():
+            root.left = self._remove(root.left, key)
+        elif key > root.key():
+            root.right = self._remove(root.right, key)
+        else:
+            if root.left is None:
+                return root.right
+            if root.right is None:
+                return root.left
+            if root.left.priority < root.right.priority:
+                root = self._rotate_right(root)
+                root.right = self._remove(root.right, key)
+            else:
+                root = self._rotate_left(root)
+                root.left = self._remove(root.left, key)
+        root.refresh()
+        return root
+
+    def _refresh_path(self, key: Tuple[float, int]) -> None:
+        path: List[_Node[ItemT]] = []
+        node = self._root
+        while node is not None:
+            path.append(node)
+            if key == node.key():
+                break
+            node = node.left if key < node.key() else node.right
+        for entry in reversed(path):
+            entry.refresh()
+
+    @staticmethod
+    def _rotate_right(node: "_Node[ItemT]") -> "_Node[ItemT]":
+        left = node.left
+        assert left is not None
+        node.left = left.right
+        left.right = node
+        node.refresh()
+        left.refresh()
+        return left
+
+    @staticmethod
+    def _rotate_left(node: "_Node[ItemT]") -> "_Node[ItemT]":
+        right = node.right
+        assert right is not None
+        node.right = right.left
+        right.left = node
+        node.refresh()
+        right.refresh()
+        return right
+
+    def _min_deadline_prefix(self, node: Optional[_Node[ItemT]], now: float) -> float:
+        """Min deadline over all requests with eligible time <= now."""
+        best = _INF
+        while node is not None:
+            if node.eligible <= now:
+                # Whole left subtree qualifies; consider it wholesale.
+                if node.left is not None and node.left.min_deadline < best:
+                    best = node.left.min_deadline
+                if node.deadline < best:
+                    best = node.deadline
+                node = node.right
+            else:
+                node = node.left
+        return best
+
+    def _locate(
+        self, node: Optional[_Node[ItemT]], now: float, deadline: float
+    ) -> Optional[_Node[ItemT]]:
+        """Find the earliest-keyed eligible node with the given deadline."""
+        if node is None:
+            return None
+        # Prefer left subtree (earlier keys), then the node, then right.
+        if node.left is not None and node.left.min_deadline <= deadline:
+            found = self._locate(node.left, now, deadline)
+            if found is not None:
+                return found
+        if node.eligible <= now and node.deadline == deadline:
+            return node
+        if node.eligible <= now:
+            return self._locate(node.right, now, deadline)
+        return None
+
+    def check_invariants(self) -> None:
+        """Verify ordering, heap priorities and augmentation (for tests)."""
+
+        def walk(node: Optional[_Node[ItemT]]) -> Tuple[float, Tuple, Tuple]:
+            if node is None:
+                return _INF, (_INF, _INF), (-_INF, -_INF)
+            left_min, left_lo, left_hi = walk(node.left)
+            right_min, right_lo, right_hi = walk(node.right)
+            if node.left is not None:
+                assert left_hi <= node.key(), "BST order violated (left)"
+                assert node.left.priority >= node.priority, "treap priority violated"
+            if node.right is not None:
+                assert right_lo >= node.key(), "BST order violated (right)"
+                assert node.right.priority >= node.priority, "treap priority violated"
+            expect = min(node.deadline, left_min, right_min)
+            assert node.min_deadline == expect, "augmentation stale"
+            lo = min(node.key(), left_lo if node.left else node.key())
+            hi = max(node.key(), right_hi if node.right else node.key())
+            return expect, lo, hi
+
+        walk(self._root)
+        count = sum(1 for _ in self.items())
+        assert count == len(self._index), "index size mismatch"

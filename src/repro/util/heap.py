@@ -1,0 +1,170 @@
+"""Indexed binary min-heap with arbitrary update and removal.
+
+The schedulers need priority queues whose entries move: a class's virtual
+time advances every time it is served, and its deadline changes whenever the
+packet at the head of its queue changes.  A plain ``heapq`` cannot update an
+entry in place, so this module provides a binary heap that keeps a position
+map from item to heap slot, giving O(log n) ``push``, ``pop``, ``update``
+and ``remove``.
+
+Ties are broken by insertion sequence number so that iteration order is
+deterministic, which both the schedulers (FIFO order within a class) and the
+tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+ItemT = TypeVar("ItemT", bound=Hashable)
+
+
+class IndexedHeap(Generic[ItemT]):
+    """A binary min-heap over hashable items with updatable keys.
+
+    Keys may be any totally ordered value (floats, tuples, ...).  Each item
+    may appear at most once; pushing an item already present raises
+    ``ValueError`` (use :meth:`update` instead, or :meth:`push_or_update`).
+    """
+
+    __slots__ = ("_entries", "_pos", "_seq")
+
+    def __init__(self) -> None:
+        # Each entry is [key, seq, item]; ``seq`` breaks key ties FIFO.
+        self._entries: List[List[Any]] = []
+        self._pos: Dict[ItemT, int] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, item: ItemT) -> bool:
+        return item in self._pos
+
+    def __iter__(self) -> Iterator[ItemT]:
+        """Iterate over items in arbitrary (heap) order."""
+        return (entry[2] for entry in self._entries)
+
+    def key_of(self, item: ItemT) -> Any:
+        """Return the current key of ``item`` (KeyError if absent)."""
+        return self._entries[self._pos[item]][0]
+
+    def push(self, item: ItemT, key: Any) -> None:
+        """Insert ``item`` with ``key``; the item must not be present."""
+        if item in self._pos:
+            raise ValueError(f"item already in heap: {item!r}")
+        entry = [key, self._seq, item]
+        self._seq += 1
+        self._entries.append(entry)
+        self._pos[item] = len(self._entries) - 1
+        self._sift_up(len(self._entries) - 1)
+
+    def push_or_update(self, item: ItemT, key: Any) -> None:
+        """Insert ``item`` or, if already present, change its key."""
+        if item in self._pos:
+            self.update(item, key)
+        else:
+            self.push(item, key)
+
+    def update(self, item: ItemT, key: Any) -> None:
+        """Change the key of ``item`` (KeyError if absent)."""
+        index = self._pos[item]
+        old_key = self._entries[index][0]
+        self._entries[index][0] = key
+        if key < old_key:
+            self._sift_up(index)
+        else:
+            self._sift_down(index)
+
+    def remove(self, item: ItemT) -> Any:
+        """Remove ``item`` and return its key (KeyError if absent)."""
+        index = self._pos.pop(item)
+        entry = self._entries[index]
+        last = self._entries.pop()
+        if index < len(self._entries):
+            self._entries[index] = last
+            self._pos[last[2]] = index
+            # The moved entry may need to travel either direction.
+            self._sift_up(index)
+            self._sift_down(self._pos[last[2]])
+        return entry[0]
+
+    def peek(self) -> Tuple[ItemT, Any]:
+        """Return ``(item, key)`` with the smallest key without removing it."""
+        if not self._entries:
+            raise IndexError("peek from empty heap")
+        entry = self._entries[0]
+        return entry[2], entry[0]
+
+    def peek_item(self) -> ItemT:
+        return self.peek()[0]
+
+    def peek_key(self) -> Any:
+        return self.peek()[1]
+
+    def pop(self) -> Tuple[ItemT, Any]:
+        """Remove and return ``(item, key)`` with the smallest key."""
+        item, key = self.peek()
+        self.remove(item)
+        return item, key
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._pos.clear()
+
+    def min_key(self) -> Optional[Any]:
+        """Smallest key, or ``None`` when empty (convenience for schedulers)."""
+        if not self._entries:
+            return None
+        return self._entries[0][0]
+
+    # -- internals --------------------------------------------------------
+
+    def _less(self, a: int, b: int) -> bool:
+        ea, eb = self._entries[a], self._entries[b]
+        return (ea[0], ea[1]) < (eb[0], eb[1])
+
+    def _swap(self, a: int, b: int) -> None:
+        entries = self._entries
+        entries[a], entries[b] = entries[b], entries[a]
+        self._pos[entries[a][2]] = a
+        self._pos[entries[b][2]] = b
+
+    def _sift_up(self, index: int) -> None:
+        while index > 0:
+            parent = (index - 1) >> 1
+            if self._less(index, parent):
+                self._swap(index, parent)
+                index = parent
+            else:
+                break
+
+    def _sift_down(self, index: int) -> None:
+        size = len(self._entries)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            smallest = index
+            if left < size and self._less(left, smallest):
+                smallest = left
+            if right < size and self._less(right, smallest):
+                smallest = right
+            if smallest == index:
+                return
+            self._swap(index, smallest)
+            index = smallest
+
+    def check_invariants(self) -> None:
+        """Verify heap order and the position map (used by tests)."""
+        for index in range(1, len(self._entries)):
+            parent = (index - 1) >> 1
+            if self._less(index, parent):
+                raise AssertionError(f"heap order violated at {index}")
+        for item, index in self._pos.items():
+            if self._entries[index][2] is not item and self._entries[index][2] != item:
+                raise AssertionError(f"position map stale for {item!r}")
+        if len(self._pos) != len(self._entries):
+            raise AssertionError("position map size mismatch")

@@ -1,0 +1,6 @@
+"""Make the tests directory importable (for the shared helpers module)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

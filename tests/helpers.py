@@ -1,0 +1,90 @@
+"""Shared test utilities: hand-driven scheduler harness and references."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.schedulers.base import Scheduler
+from repro.sim.packet import Packet
+
+
+def pkt(class_id: Any, size: float, created: float = 0.0) -> Packet:
+    return Packet(class_id, size, created=created)
+
+
+def drive(
+    scheduler: Scheduler,
+    arrivals: Iterable[Tuple[float, Any, float]],
+    until: float,
+    rate: Optional[float] = None,
+) -> List[Packet]:
+    """Drive a scheduler through a non-preemptive link by hand.
+
+    ``arrivals`` is an iterable of (time, class_id, size).  Returns the
+    packets in transmission order with ``dequeued`` and ``departed`` set.
+    This mirrors what :class:`repro.sim.link.Link` does, without the event
+    loop, so unit tests can assert on exact orderings.
+    """
+    link_rate = rate if rate is not None else scheduler.link_rate
+    pending = sorted(arrivals, key=lambda a: a[0])
+    index = 0
+    now = 0.0
+    served: List[Packet] = []
+    while now < until:
+        # Deliver all arrivals due at or before `now`, stamped with their
+        # true arrival times (see repro.sim.drive for the rationale).
+        while index < len(pending) and pending[index][0] <= now + 1e-12:
+            time, class_id, size = pending[index]
+            scheduler.enqueue(Packet(class_id, size, created=time), time)
+            index += 1
+        packet = scheduler.dequeue(now) if len(scheduler) else None
+        if packet is not None:
+            packet.departed = now + packet.size / link_rate
+            served.append(packet)
+            now = packet.departed
+            continue
+        # Idle: jump to the next arrival or scheduler-ready time.
+        candidates = []
+        if index < len(pending):
+            candidates.append(pending[index][0])
+        ready = scheduler.next_ready_time(now)
+        if ready is not None:
+            candidates.append(ready)
+        if not candidates:
+            break
+        now = max(now, min(candidates))
+    return served
+
+
+def service_by(
+    served: Sequence[Packet], class_id: Any, time: float
+) -> float:
+    """Total bytes of ``class_id`` fully transmitted by ``time``."""
+    return sum(
+        p.size for p in served if p.class_id == class_id and p.departed <= time + 1e-9
+    )
+
+
+def backlog_intervals(
+    arrivals: Sequence[Tuple[float, Any, float]], served: Sequence[Packet], class_id: Any
+) -> List[Tuple[float, float]]:
+    """(start, end) backlogged periods of a class, from the event record."""
+    events: List[Tuple[float, int]] = []
+    for time, cid, _size in arrivals:
+        if cid == class_id:
+            events.append((time, +1))
+    for p in served:
+        if p.class_id == class_id:
+            assert p.departed is not None
+            events.append((p.departed, -1))
+    events.sort()
+    intervals: List[Tuple[float, float]] = []
+    depth = 0
+    start = 0.0
+    for time, delta in events:
+        if depth == 0 and delta > 0:
+            start = time
+        depth += delta
+        if depth == 0 and delta < 0:
+            intervals.append((start, time))
+    return intervals

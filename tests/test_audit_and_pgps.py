@@ -1,0 +1,173 @@
+"""Formal eq. (1) audits and the Parekh-Gallager WFQ/GPS bound.
+
+Two of the literature's sharpest testable statements:
+
+* **Theorem 1 + Theorem 2 (this paper), via eq. (1) directly:** under
+  H-FSC, every leaf's service curve holds at every departure to within one
+  maximum packet, measured by reconstructing backlogged periods -- not via
+  the scheduler's own deadlines.
+* **Parekh-Gallager (PGPS):** each packet's WFQ departure time exceeds its
+  exact fluid-GPS departure time by at most ``L_max / C``.  Our WFQ has an
+  exact GPS emulation and :class:`repro.core.fluid.FluidGPS` is an
+  independent exact fluid implementation, so the theorem is checkable
+  packet by packet.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import drive
+from repro.analysis.audit import backlogged_period_starts, service_curve_violation
+from repro.core.curves import ServiceCurve, is_admissible
+from repro.core.fluid import FluidGPS
+from repro.core.hfsc import HFSC
+from repro.schedulers.wfq import WFQScheduler
+from repro.sim.packet import Packet
+
+
+class TestBackloggedPeriods:
+    def test_single_period(self):
+        arrivals = [(0.0, "a", 100.0), (0.5, "a", 100.0)]
+        packets = []
+        for departed in (1.0, 2.0):
+            p = Packet("a", 100.0)
+            p.departed = departed
+            packets.append(p)
+        assert backlogged_period_starts(arrivals, packets, "a") == [0.0]
+
+    def test_gap_creates_second_period(self):
+        arrivals = [(0.0, "a", 100.0), (5.0, "a", 100.0)]
+        packets = []
+        for departed in (1.0, 6.0):
+            p = Packet("a", 100.0)
+            p.departed = departed
+            packets.append(p)
+        assert backlogged_period_starts(arrivals, packets, "a") == [0.0, 5.0]
+
+    def test_no_arrivals(self):
+        assert backlogged_period_starts([], [], "a") == []
+
+
+class TestEq1Audit:
+    def test_detects_violation(self):
+        """A deliberately starved class shows a positive shortfall."""
+        arrivals = [(0.0, "a", 100.0)]
+        p = Packet("a", 100.0)
+        p.departed = 10.0  # served far too late for a 100 B/s curve
+        violation = service_curve_violation(
+            arrivals, [p], "a", ServiceCurve.linear(100.0)
+        )
+        assert violation > 0.0
+
+    def test_prompt_service_passes(self):
+        arrivals = [(0.0, "a", 100.0)]
+        p = Packet("a", 100.0)
+        p.departed = 1.0  # exactly the 100 B/s promise
+        violation = service_curve_violation(
+            arrivals, [p], "a", ServiceCurve.linear(100.0)
+        )
+        assert violation == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_hfsc_honors_eq1_within_one_packet(self, seed):
+        """The ground-truth audit: H-FSC leaves satisfy eq. (1) to within
+        one max-size packet on random admissible workloads."""
+        rng = random.Random(seed)
+        link = 1000.0
+        sched = HFSC(link, admission_control=False)
+        specs = {}
+        for index in range(rng.randint(2, 4)):
+            rate = link * rng.uniform(0.05, 0.2)
+            kind = rng.choice(["linear", "concave"])
+            if kind == "linear":
+                spec = ServiceCurve.linear(rate)
+            else:
+                spec = ServiceCurve(rate * rng.uniform(2, 3),
+                                    rng.uniform(0.05, 0.2), rate)
+            specs[index] = spec
+        while not is_admissible(list(specs.values()), link):
+            victim = rng.choice(list(specs))
+            specs[victim] = specs[victim].scaled(0.7)
+        for index, spec in specs.items():
+            sched.add_class(index, sc=spec)
+        max_size = 100.0
+        arrivals = []
+        for index in specs:
+            t = 0.0
+            while t < 4.0:
+                t += rng.expovariate(4.0)
+                for _ in range(rng.randint(1, 4)):
+                    arrivals.append((t, index, rng.uniform(40.0, max_size)))
+        served = drive(sched, arrivals, until=60.0)
+        assert len(served) == len(arrivals)
+        for index, spec in specs.items():
+            violation = service_curve_violation(arrivals, served, index, spec)
+            assert violation <= max_size + 1e-6, (
+                f"class {index}: eq.(1) shortfall {violation:.1f} bytes"
+            )
+
+
+class TestParekhGallager:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_wfq_within_lmax_of_fluid_gps(self, seed):
+        """PGPS theorem: WFQ departure <= GPS fluid departure + Lmax/C."""
+        rng = random.Random(seed)
+        link = 1000.0
+        n_flows = rng.randint(2, 4)
+        rates = [link * rng.uniform(0.1, 0.4) for _ in range(n_flows)]
+        scale = 0.95 * link / sum(rates)
+        rates = [r * scale for r in rates]
+        sched = WFQScheduler(link)
+        gps = FluidGPS(link)
+        for index, rate in enumerate(rates):
+            sched.add_flow(index, rate)
+            gps.add_flow(index, rate)
+        max_size = 150.0
+        arrivals = []
+        for index in range(n_flows):
+            t = 0.0
+            while t < 3.0:
+                t += rng.expovariate(5.0)
+                arrivals.append((t, index, rng.uniform(50.0, max_size)))
+        for t, fid, size in arrivals:
+            gps.arrive(t, fid, size)
+        served = drive(sched, arrivals, until=60.0)
+        assert len(served) == len(arrivals)
+        # Per-flow cumulative service marks each packet's fluid finish: the
+        # k-th byte-milestone of flow f finishes in GPS when service(f, t)
+        # reaches it.  Build per-flow milestone lists in arrival (=FIFO)
+        # order, then binary-search the fluid trajectory for each.
+        lmax_over_c = max_size / link
+        cumulative = {index: 0.0 for index in range(n_flows)}
+        # Packets depart the packet system in per-flow FIFO order, so
+        # pair them with per-flow cumulative byte milestones.
+        per_flow_packets = {index: [] for index in range(n_flows)}
+        for packet in served:
+            per_flow_packets[packet.class_id].append(packet)
+        for index in range(n_flows):
+            for packet in per_flow_packets[index]:
+                cumulative[index] += packet.size
+                milestone = cumulative[index]
+                gps_finish = self._fluid_finish(gps, index, milestone)
+                assert packet.departed <= gps_finish + lmax_over_c + 1e-6
+
+    @staticmethod
+    def _fluid_finish(gps: FluidGPS, flow, milestone: float) -> float:
+        """Earliest time the fluid system has served `milestone` bytes."""
+        lo, hi = 0.0, 1.0
+        while gps.service(flow, hi) < milestone - 1e-9:
+            hi *= 2.0
+            if hi > 1e7:
+                return hi
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            if gps.service(flow, mid) >= milestone - 1e-9:
+                hi = mid
+            else:
+                lo = mid
+        return hi

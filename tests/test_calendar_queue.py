@@ -1,0 +1,126 @@
+"""Tests for the calendar queue (reference [4] of the paper)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.calendar_queue import CalendarQueue
+
+
+class TestBasics:
+    def test_empty(self):
+        cq = CalendarQueue()
+        assert len(cq) == 0
+        assert cq.min_time() is None
+        with pytest.raises(IndexError):
+            cq.peek_min()
+
+    def test_insert_peek_pop(self):
+        cq = CalendarQueue(bucket_width=1.0)
+        cq.insert("a", 3.5)
+        cq.insert("b", 1.2)
+        assert cq.peek_min() == ("b", 1.2)
+        assert cq.pop_min() == ("b", 1.2)
+        assert cq.pop_min() == ("a", 3.5)
+        assert not cq
+
+    def test_same_bucket_ordering(self):
+        cq = CalendarQueue(bucket_width=10.0)
+        cq.insert("late", 7.0)
+        cq.insert("early", 2.0)
+        assert cq.pop_min() == ("early", 2.0)
+
+    def test_wraparound_year(self):
+        # Entries more than a full calendar apart must still come out in
+        # order (the "direct search" path).
+        cq = CalendarQueue(bucket_width=1.0, buckets=4)
+        cq.insert("far", 1000.0)
+        cq.insert("near", 0.5)
+        assert cq.pop_min()[0] == "near"
+        assert cq.pop_min()[0] == "far"
+
+    def test_remove(self):
+        cq = CalendarQueue()
+        cq.insert("a", 1.0)
+        cq.insert("b", 2.0)
+        assert cq.remove("a") == 1.0
+        assert "a" not in cq
+        assert cq.pop_min()[0] == "b"
+
+    def test_update(self):
+        cq = CalendarQueue()
+        cq.insert("a", 5.0)
+        cq.insert("b", 2.0)
+        cq.update("a", 1.0)
+        assert cq.pop_min()[0] == "a"
+
+    def test_pop_due(self):
+        cq = CalendarQueue(bucket_width=1.0)
+        for name, time in [("a", 0.5), ("b", 1.5), ("c", 3.0)]:
+            cq.insert(name, time)
+        due = list(cq.pop_due(2.0))
+        assert due == [("a", 0.5), ("b", 1.5)]
+        assert len(cq) == 1
+
+    def test_duplicate_rejected(self):
+        cq = CalendarQueue()
+        cq.insert("a", 1.0)
+        with pytest.raises(ValueError):
+            cq.insert("a", 2.0)
+
+    def test_resize_preserves_contents(self):
+        cq = CalendarQueue(bucket_width=0.5, buckets=4)
+        for index in range(100):
+            cq.insert(index, index * 0.37)
+        cq.check_invariants()
+        out = [cq.pop_min()[0] for _ in range(100)]
+        assert out == list(range(100))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(bucket_width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(buckets=0)
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(0, 1e4, allow_nan=False), min_size=1, max_size=150),
+        st.floats(0.01, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sorts_like_sorted(self, times, width):
+        cq = CalendarQueue(bucket_width=width)
+        for index, time in enumerate(times):
+            cq.insert(index, time)
+            cq.check_invariants()
+        out = [cq.pop_min()[1] for _ in range(len(times))]
+        assert out == sorted(times)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.floats(0, 1e3, allow_nan=False)),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_update_remove_model(self, ops):
+        cq = CalendarQueue(bucket_width=7.3)
+        model = {}
+        for item, time in ops:
+            if item in model:
+                if time < 500:
+                    cq.update(item, time)
+                    model[item] = time
+                else:
+                    cq.remove(item)
+                    del model[item]
+            else:
+                cq.insert(item, time)
+                model[item] = time
+            cq.check_invariants()
+        drained = []
+        while cq:
+            drained.append(cq.pop_min())
+        assert sorted(drained, key=lambda e: e[1]) == drained
+        assert {item for item, _ in drained} == set(model)

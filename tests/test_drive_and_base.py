@@ -1,0 +1,88 @@
+"""Tests for the drive helper, experiment base plumbing, and rng."""
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.hfsc import HFSC
+from repro.experiments.base import ExperimentResult, format_table
+from repro.schedulers.fifo import FIFOScheduler
+from repro.sim.drive import drive, rate_between, service_by
+from repro.util.rng import make_rng
+
+
+class TestDrive:
+    def test_respects_link_rate(self):
+        sched = FIFOScheduler(100.0)
+        served = drive(sched, [(0.0, "a", 50.0), (0.0, "a", 50.0)], until=10.0)
+        assert [p.departed for p in served] == [0.5, 1.0]
+
+    def test_idle_gap_jumps_to_next_arrival(self):
+        sched = FIFOScheduler(100.0)
+        served = drive(sched, [(0.0, "a", 50.0), (5.0, "a", 50.0)], until=10.0)
+        assert served[1].departed == pytest.approx(5.5)
+
+    def test_stops_at_horizon(self):
+        sched = FIFOScheduler(10.0)
+        served = drive(sched, [(0.0, "a", 100.0)] * 10, until=25.0)
+        assert len(served) == 3  # 10 s per packet; starts at 0, 10, 20
+
+    def test_non_work_conserving_uses_ready_time(self):
+        sched = HFSC(100.0)
+        sched.add_class("a", rt_sc=ServiceCurve(0.0, 0.0, 10.0))
+        served = drive(sched, [(0.0, "a", 10.0)] * 3, until=30.0)
+        # 10-byte packets eligible every 1 s at rate 10.
+        assert [round(p.departed, 1) for p in served] == [0.1, 1.1, 2.1]
+
+    def test_rate_override(self):
+        sched = FIFOScheduler(100.0)
+        served = drive(sched, [(0.0, "a", 50.0)], until=10.0, rate=50.0)
+        assert served[0].departed == pytest.approx(1.0)
+
+    def test_service_by_and_rate_between(self):
+        sched = FIFOScheduler(100.0)
+        served = drive(sched, [(0.0, "a", 100.0)] * 5, until=10.0)
+        assert service_by(served, "a", 3.0) == 300.0
+        assert rate_between(served, "a", 0.0, 5.0) == pytest.approx(100.0)
+        assert rate_between(served, "a", 5.0, 5.0) == 0.0
+
+
+class TestExperimentBase:
+    def test_format_table_alignment(self):
+        rows = [{"x": 1, "y": 2.5}, {"x": 10, "y": 0.00001}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert len(lines) == 4
+        assert "1e-05" in text or "1.000e-05" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_ragged_rows(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_result_passed(self):
+        ok = ExperimentResult("X", "t", checks={"a": True})
+        bad = ExperimentResult("X", "t", checks={"a": True, "b": False})
+        empty = ExperimentResult("X", "t")
+        assert ok.passed and not bad.passed and empty.passed
+
+    def test_summary_contains_checks(self):
+        result = ExperimentResult(
+            "X", "demo", rows=[{"v": 1}], checks={"works": True}, notes="n"
+        )
+        text = result.summary()
+        assert "[PASS] works" in text and "note: n" in text
+
+
+class TestRng:
+    def test_deterministic(self):
+        assert make_rng(1, "a").random() == make_rng(1, "a").random()
+
+    def test_label_independence(self):
+        assert make_rng(1, "a").random() != make_rng(1, "b").random()
+
+    def test_seed_independence(self):
+        assert make_rng(1, "a").random() != make_rng(2, "a").random()

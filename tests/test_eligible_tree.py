@@ -1,0 +1,141 @@
+"""Tests for the augmented treap behind the H-FSC real-time criterion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.eligible_tree import EligibleTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = EligibleTree()
+        assert len(tree) == 0
+        assert tree.min_eligible() is None
+        assert tree.min_deadline_eligible(now=100.0) is None
+
+    def test_single_request(self):
+        tree = EligibleTree()
+        tree.insert("a", eligible=1.0, deadline=5.0)
+        assert tree.min_eligible() == 1.0
+        assert tree.min_deadline_eligible(0.5) is None  # not yet eligible
+        assert tree.min_deadline_eligible(1.0) == ("a", 1.0, 5.0)
+
+    def test_min_deadline_among_eligible_only(self):
+        tree = EligibleTree()
+        tree.insert("early_late", eligible=0.0, deadline=10.0)
+        tree.insert("late_early", eligible=5.0, deadline=1.0)
+        # At t=2 only early_late is eligible, despite its later deadline.
+        assert tree.min_deadline_eligible(2.0)[0] == "early_late"
+        # At t=5 late_early's smaller deadline wins.
+        assert tree.min_deadline_eligible(5.0)[0] == "late_early"
+
+    def test_remove(self):
+        tree = EligibleTree()
+        tree.insert("a", 0.0, 1.0)
+        tree.insert("b", 0.0, 2.0)
+        tree.remove("a")
+        assert "a" not in tree
+        assert tree.min_deadline_eligible(0.0)[0] == "b"
+        with pytest.raises(KeyError):
+            tree.remove("a")
+
+    def test_update_deadline_only(self):
+        tree = EligibleTree()
+        tree.insert("a", 0.0, 5.0)
+        tree.insert("b", 0.0, 3.0)
+        tree.update_deadline("a", 1.0)
+        assert tree.min_deadline_eligible(0.0)[0] == "a"
+
+    def test_update_rekeys_eligible(self):
+        tree = EligibleTree()
+        tree.insert("a", 0.0, 1.0)
+        tree.update("a", eligible=7.0, deadline=1.0)
+        assert tree.min_deadline_eligible(3.0) is None
+        assert tree.min_deadline_eligible(7.0)[0] == "a"
+
+    def test_duplicate_insert_rejected(self):
+        tree = EligibleTree()
+        tree.insert("a", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            tree.insert("a", 2.0, 3.0)
+
+    def test_accessors(self):
+        tree = EligibleTree()
+        tree.insert("a", 2.5, 9.0)
+        assert tree.eligible_of("a") == 2.5
+        assert tree.deadline_of("a") == 9.0
+
+    def test_items_in_eligible_order(self):
+        tree = EligibleTree()
+        tree.insert("c", 3.0, 1.0)
+        tree.insert("a", 1.0, 2.0)
+        tree.insert("b", 2.0, 3.0)
+        assert [item for item, _, _ in tree.items()] == ["a", "b", "c"]
+
+    def test_deadline_tie_goes_to_oldest(self):
+        tree = EligibleTree()
+        tree.insert("first", 0.0, 4.0)
+        tree.insert("second", 0.0, 4.0)
+        assert tree.min_deadline_eligible(0.0)[0] == "first"
+
+
+@st.composite
+def tree_ops(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove", "update", "query"]),
+                st.integers(0, 20),
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+            ),
+            max_size=200,
+        )
+    )
+
+
+class TestProperties:
+    @given(tree_ops(), st.floats(0, 100, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_brute_force(self, ops, now):
+        """Every query result matches a brute-force scan of a dict model."""
+        tree = EligibleTree()
+        model = {}
+        order = {}
+        counter = 0
+        for op, item, eligible, deadline in ops:
+            if op == "insert" and item not in model:
+                tree.insert(item, eligible, deadline)
+                model[item] = (eligible, deadline)
+                order[item] = counter
+                counter += 1
+            elif op == "remove" and item in model:
+                tree.remove(item)
+                del model[item]
+            elif op == "update" and item in model:
+                tree.update(item, eligible, deadline)
+                model[item] = (eligible, deadline)
+                # Re-keying moves the request to the back of the tie order.
+                if model[item][0] != eligible or True:
+                    order[item] = counter
+                    counter += 1
+            elif op == "query":
+                got = tree.min_deadline_eligible(now)
+                eligible_items = {
+                    i: (e, d) for i, (e, d) in model.items() if e <= now
+                }
+                if not eligible_items:
+                    assert got is None
+                else:
+                    want_deadline = min(d for _, d in eligible_items.values())
+                    assert got is not None
+                    got_item, got_e, got_d = got
+                    assert got_d == want_deadline
+                    assert model[got_item] == (got_e, got_d)
+            tree.check_invariants()
+        # Final full check of min_eligible.
+        if model:
+            assert tree.min_eligible() == min(e for e, _ in model.values())
+        else:
+            assert tree.min_eligible() is None

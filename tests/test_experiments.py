@@ -1,0 +1,72 @@
+"""Integration tests: every paper experiment runs and its shape checks pass.
+
+These are the same ``run()`` functions the benchmark harness times; here
+they serve as end-to-end integration tests of the whole stack (curves ->
+schedulers -> simulator -> analysis).
+"""
+
+import pytest
+
+from repro.experiments import (
+    e1_sced_punishment,
+    e2_fair_sced,
+    e3_impossibility,
+    e4_link_sharing,
+    e5_decoupling,
+    e6_delay_bounds,
+    e7_depth,
+    e8_fairness,
+    e9_overhead,
+    e10_ls_accuracy,
+    e11_tcp,
+    e12_frame_curves,
+    e13_multihop,
+)
+from repro.experiments.base import ExperimentResult
+
+FAST_EXPERIMENTS = [
+    e1_sced_punishment,
+    e2_fair_sced,
+    e3_impossibility,
+    e4_link_sharing,
+    e5_decoupling,
+    e7_depth,
+    e8_fairness,
+    e10_ls_accuracy,
+    e11_tcp,
+    e12_frame_curves,
+]
+
+
+def test_e13_reduced_hops():
+    result = e13_multihop.run(hop_counts=[1, 3])
+    assert result.passed, result.summary()
+
+
+@pytest.mark.parametrize(
+    "module", FAST_EXPERIMENTS, ids=lambda m: m.__name__.rsplit(".", 1)[-1]
+)
+def test_experiment_checks_pass(module):
+    result = module.run()
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, "experiment produced no table rows"
+    assert result.passed, result.summary()
+
+
+def test_e6_reduced_seed_count():
+    result = e6_delay_bounds.run(seeds=4)
+    assert result.passed, result.summary()
+
+
+def test_e9_reduced_sizes():
+    result = e9_overhead.run(class_counts=[4, 64], packets=4000)
+    # Timing-based checks can be noisy at reduced size; require the rows
+    # to exist and the structural (non-timing) check to hold.
+    assert result.rows
+    assert result.checks["FIFO is the floor"], result.summary()
+
+
+def test_summaries_render():
+    result = e1_sced_punishment.run(horizon=8.0)
+    text = result.summary()
+    assert "E1" in text and "PASS" in text or "FAIL" in text

@@ -1,0 +1,195 @@
+"""Tests for the fluid reference models (GPS and FSC)."""
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.errors import ConfigurationError
+from repro.core.fluid import FluidFSC, FluidGPS
+
+
+def lin(rate):
+    return ServiceCurve.linear(rate)
+
+
+class TestFluidGPS:
+    def test_single_flow_full_rate(self):
+        gps = FluidGPS(100.0)
+        gps.add_flow("a", 1.0)
+        gps.arrive(0.0, "a", 500.0)
+        assert gps.service("a", 1.0) == pytest.approx(100.0)
+        assert gps.service("a", 5.0) == pytest.approx(500.0)
+        assert gps.service("a", 10.0) == pytest.approx(500.0)  # drained
+
+    def test_weighted_split(self):
+        gps = FluidGPS(100.0)
+        gps.add_flow("a", 3.0)
+        gps.add_flow("b", 1.0)
+        gps.arrive(0.0, "a", 1000.0)
+        gps.arrive(0.0, "b", 1000.0)
+        assert gps.service("a", 1.0) == pytest.approx(75.0)
+        assert gps.service("b", 1.0) == pytest.approx(25.0)
+
+    def test_rate_rises_after_drain(self):
+        gps = FluidGPS(100.0)
+        gps.add_flow("a", 1.0)
+        gps.add_flow("b", 1.0)
+        gps.arrive(0.0, "a", 50.0)    # drains at t=1 under 50/50
+        gps.arrive(0.0, "b", 500.0)
+        assert gps.service("b", 1.0) == pytest.approx(50.0)
+        # After a drains, b gets the full 100.
+        assert gps.service("b", 2.0) == pytest.approx(150.0)
+
+    def test_arrival_mid_busy_period(self):
+        gps = FluidGPS(100.0)
+        gps.add_flow("a", 1.0)
+        gps.add_flow("b", 1.0)
+        gps.arrive(0.0, "a", 1000.0)
+        gps.arrive(5.0, "b", 100.0)
+        assert gps.service("a", 5.0) == pytest.approx(500.0)
+        # From t=5 both split 50/50.
+        assert gps.service("a", 6.0) == pytest.approx(550.0)
+        assert gps.service("b", 6.0) == pytest.approx(50.0)
+
+    def test_idle_gap(self):
+        gps = FluidGPS(100.0)
+        gps.add_flow("a", 1.0)
+        gps.arrive(0.0, "a", 100.0)   # done at 1.0
+        gps.arrive(5.0, "a", 100.0)
+        assert gps.service("a", 3.0) == pytest.approx(100.0)
+        assert gps.service("a", 5.5) == pytest.approx(150.0)
+
+    def test_backlog_clear_time(self):
+        gps = FluidGPS(100.0)
+        gps.add_flow("a", 1.0)
+        gps.arrive(0.0, "a", 250.0)
+        assert gps.backlog_clear_time() == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FluidGPS(0.0)
+        gps = FluidGPS(1.0)
+        with pytest.raises(ConfigurationError):
+            gps.add_flow("a", 0.0)
+        gps.add_flow("a", 1.0)
+        with pytest.raises(ConfigurationError):
+            gps.add_flow("a", 1.0)
+        with pytest.raises(ConfigurationError):
+            gps.arrive(0.0, "ghost", 1.0)
+        with pytest.raises(ConfigurationError):
+            gps.arrive(0.0, "a", 0.0)
+
+    def test_matches_wf2q_within_one_packet(self):
+        """Packet WF2Q+ stays within one packet of the fluid trajectory."""
+        from repro.schedulers.wf2q import WF2QPlusScheduler
+        from repro.sim.drive import drive, service_by
+
+        rates = {"a": 60.0, "b": 40.0}
+        gps = FluidGPS(100.0)
+        sched = WF2QPlusScheduler(100.0)
+        for fid, rate in rates.items():
+            gps.add_flow(fid, rate)
+            sched.add_flow(fid, rate)
+        arrivals = [(0.0, "a", 10.0)] * 40 + [(0.0, "b", 10.0)] * 40
+        for t, fid, size in arrivals:
+            gps.arrive(t, fid, size)
+        served = drive(sched, arrivals, until=20.0)
+        for t in [1.0, 2.0, 4.0, 6.0]:
+            for fid in rates:
+                packet_service = service_by(served, fid, t)
+                fluid_service = gps.service(fid, t)
+                assert abs(packet_service - fluid_service) <= 10.0 + 1e-6
+
+
+class TestFluidFSC:
+    def test_single_class_full_rate(self):
+        model = FluidFSC(100.0)
+        model.add_class("a", sc=lin(50.0))
+        model.arrive(0.0, "a", 500.0)
+        samples = model.run(until=10.0, dt=0.01)
+        # Work conserving: the only class gets the full link.
+        assert model.service(samples, "a", 5.0) == pytest.approx(500.0, rel=0.02)
+
+    def test_two_classes_share_by_curves(self):
+        model = FluidFSC(100.0)
+        model.add_class("a", sc=lin(75.0))
+        model.add_class("b", sc=lin(25.0))
+        model.arrive(0.0, "a", 1000.0)
+        model.arrive(0.0, "b", 1000.0)
+        samples = model.run(until=4.0, dt=0.005)
+        assert model.service(samples, "a", 4.0) == pytest.approx(300.0, rel=0.03)
+        assert model.service(samples, "b", 4.0) == pytest.approx(100.0, rel=0.03)
+
+    def test_hierarchical_sibling_first_excess(self):
+        model = FluidFSC(100.0)
+        model.add_class("left", sc=lin(60.0))
+        model.add_class("right", sc=lin(40.0))
+        model.add_class("left.a", parent="left", sc=lin(30.0))
+        model.add_class("left.b", parent="left", sc=lin(30.0))
+        model.add_class("right.a", parent="right", sc=lin(40.0))
+        # left.b idle: left.a should get all of left's 60.
+        model.arrive(0.0, "left.a", 1000.0)
+        model.arrive(0.0, "right.a", 1000.0)
+        samples = model.run(until=5.0, dt=0.005)
+        assert model.service(samples, "left.a", 5.0) == pytest.approx(300.0, rel=0.05)
+        assert model.service(samples, "right.a", 5.0) == pytest.approx(200.0, rel=0.05)
+
+    def test_interior_service_is_sum_of_children(self):
+        model = FluidFSC(100.0)
+        model.add_class("g", sc=lin(100.0))
+        model.add_class("g.a", parent="g", sc=lin(50.0))
+        model.add_class("g.b", parent="g", sc=lin(50.0))
+        model.arrive(0.0, "g.a", 200.0)
+        model.arrive(0.0, "g.b", 300.0)
+        samples = model.run(until=6.0, dt=0.01)
+        for t in [1.0, 3.0, 5.0]:
+            total = model.service(samples, "g.a", t) + model.service(samples, "g.b", t)
+            assert model.service(samples, "g", t) == pytest.approx(total, rel=1e-6)
+
+    def test_concave_curve_priority_in_fluid(self):
+        """A concave class drains its burst ahead of a low-slope sibling:
+        the fluid model serves in proportion to curve slopes at the
+        current virtual times (80:20 while the burst lasts)."""
+        model = FluidFSC(100.0)
+        model.add_class("burst", sc=ServiceCurve(80.0, 1.0, 20.0))
+        model.add_class("steady", sc=lin(20.0))
+        model.arrive(0.0, "burst", 80.0)
+        model.arrive(0.0, "steady", 1000.0)
+        samples = model.run(until=2.0, dt=0.002)
+        # In the first second the burst class receives close to its 80.
+        assert model.service(samples, "burst", 1.0) >= 65.0
+
+    def test_validation(self):
+        model = FluidFSC(10.0)
+        with pytest.raises(ConfigurationError):
+            model.add_class("x", sc=None)
+        model.add_class("a", sc=lin(5.0))
+        with pytest.raises(ConfigurationError):
+            model.add_class("a", sc=lin(5.0))
+        with pytest.raises(ConfigurationError):
+            model.add_class("b", parent="ghost", sc=lin(1.0))
+        with pytest.raises(ConfigurationError):
+            model.arrive(0.0, "ghost", 1.0)
+        with pytest.raises(ConfigurationError):
+            model.run(until=1.0, dt=0.0)
+
+    def test_matches_hfsc_linear_case(self):
+        """H-FSC with linear curves tracks the fluid model within packets."""
+        from repro.core.hfsc import HFSC
+        from repro.sim.drive import drive, service_by
+
+        link = 1000.0
+        model = FluidFSC(link)
+        sched = HFSC(link)
+        for name, rate in [("a", 600.0), ("b", 400.0)]:
+            model.add_class(name, sc=lin(rate))
+            sched.add_class(name, sc=lin(rate))
+        arrivals = [(0.0, "a", 100.0)] * 60 + [(0.0, "b", 100.0)] * 60
+        for t, cid, size in arrivals:
+            model.arrive(t, cid, size)
+        samples = model.run(until=15.0, dt=0.01)
+        served = drive(sched, arrivals, until=15.0)
+        for t in [1.0, 3.0, 5.0, 8.0]:
+            for cid in ("a", "b"):
+                packet_service = service_by(served, cid, t)
+                fluid_service = model.service(samples, cid, t)
+                assert abs(packet_service - fluid_service) <= 300.0

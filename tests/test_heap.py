@@ -1,0 +1,161 @@
+"""Unit and property tests for the indexed binary heap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.heap import IndexedHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        heap = IndexedHeap()
+        assert len(heap) == 0
+        assert not heap
+        assert heap.min_key() is None
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_push_pop_single(self):
+        heap = IndexedHeap()
+        heap.push("a", 3.0)
+        assert heap.peek() == ("a", 3.0)
+        assert heap.pop() == ("a", 3.0)
+        assert not heap
+
+    def test_pop_order(self):
+        heap = IndexedHeap()
+        for item, key in [("a", 5), ("b", 1), ("c", 3), ("d", 4), ("e", 2)]:
+            heap.push(item, key)
+        assert [heap.pop()[0] for _ in range(5)] == ["b", "e", "c", "d", "a"]
+
+    def test_fifo_tie_break(self):
+        heap = IndexedHeap()
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        heap.push("third", 1.0)
+        assert [heap.pop()[0] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_duplicate_push_rejected(self):
+        heap = IndexedHeap()
+        heap.push("a", 1)
+        with pytest.raises(ValueError):
+            heap.push("a", 2)
+
+    def test_push_or_update(self):
+        heap = IndexedHeap()
+        heap.push_or_update("a", 5)
+        heap.push_or_update("a", 1)
+        assert heap.peek() == ("a", 1)
+
+    def test_update_decrease(self):
+        heap = IndexedHeap()
+        heap.push("a", 10)
+        heap.push("b", 5)
+        heap.update("a", 1)
+        assert heap.peek_item() == "a"
+
+    def test_update_increase(self):
+        heap = IndexedHeap()
+        heap.push("a", 1)
+        heap.push("b", 5)
+        heap.update("a", 10)
+        assert heap.peek_item() == "b"
+
+    def test_remove_middle(self):
+        heap = IndexedHeap()
+        for item, key in [("a", 1), ("b", 2), ("c", 3)]:
+            heap.push(item, key)
+        assert heap.remove("b") == 2
+        assert "b" not in heap
+        assert [heap.pop()[0] for _ in range(2)] == ["a", "c"]
+
+    def test_remove_missing_raises(self):
+        heap = IndexedHeap()
+        with pytest.raises(KeyError):
+            heap.remove("nope")
+
+    def test_key_of(self):
+        heap = IndexedHeap()
+        heap.push("a", 7)
+        assert heap.key_of("a") == 7
+
+    def test_contains_and_iter(self):
+        heap = IndexedHeap()
+        heap.push("a", 1)
+        heap.push("b", 2)
+        assert "a" in heap and "b" in heap and "c" not in heap
+        assert sorted(heap) == ["a", "b"]
+
+    def test_clear(self):
+        heap = IndexedHeap()
+        heap.push("a", 1)
+        heap.clear()
+        assert not heap and "a" not in heap
+
+    def test_tuple_keys(self):
+        heap = IndexedHeap()
+        heap.push("a", (1.0, 5))
+        heap.push("b", (1.0, 2))
+        assert heap.peek_item() == "b"
+
+
+@st.composite
+def heap_operations(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["push", "pop", "update", "remove"]),
+                st.integers(0, 15),
+                st.floats(-1e6, 1e6, allow_nan=False),
+            ),
+            max_size=200,
+        )
+    )
+    return ops
+
+
+class TestProperties:
+    @given(heap_operations())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_model(self, ops):
+        """The heap behaves like a dict popped in (key, insertion) order."""
+        heap = IndexedHeap()
+        model = {}
+        insertion = {}
+        counter = 0
+        for op, item, key in ops:
+            if op == "push" and item not in model:
+                heap.push(item, key)
+                model[item] = key
+                insertion[item] = counter
+                counter += 1
+            elif op == "pop" and model:
+                got_item, got_key = heap.pop()
+                want_item = min(model, key=lambda i: (model[i], insertion[i]))
+                assert got_item == want_item
+                assert got_key == model[want_item]
+                del model[want_item]
+            elif op == "update" and item in model:
+                heap.update(item, key)
+                model[item] = key
+            elif op == "remove" and item in model:
+                assert heap.remove(item) == model[item]
+                del model[item]
+            heap.check_invariants()
+        assert len(heap) == len(model)
+        # Drain and compare the full order.
+        drained = []
+        while heap:
+            drained.append(heap.pop()[0])
+        expected = sorted(model, key=lambda i: (model[i], insertion[i]))
+        assert drained == expected
+
+    @given(st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_heapsort(self, keys):
+        heap = IndexedHeap()
+        for index, key in enumerate(keys):
+            heap.push(index, key)
+        out = [heap.pop()[1] for _ in range(len(keys))]
+        assert out == sorted(keys)

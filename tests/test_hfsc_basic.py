@@ -1,0 +1,227 @@
+"""H-FSC construction and mechanics."""
+
+import pytest
+
+from helpers import drive, pkt
+from repro.core.curves import ServiceCurve
+from repro.core.errors import AdmissionError, ConfigurationError
+from repro.core.hfsc import HFSC, ROOT
+from repro.core.hierarchy import ClassSpec, build_hfsc, figure1_hierarchy
+from repro.sim.packet import Packet
+
+
+def lin(rate):
+    return ServiceCurve.linear(rate)
+
+
+class TestConstruction:
+    def test_add_class_defaults_to_root(self):
+        sched = HFSC(100.0)
+        cls = sched.add_class("a", sc=lin(10.0))
+        assert cls.parent is sched.root
+        assert sched["a"] is cls
+
+    def test_duplicate_name_rejected(self):
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(10.0))
+        with pytest.raises(ConfigurationError):
+            sched.add_class("a", sc=lin(10.0))
+
+    def test_unknown_parent_rejected(self):
+        sched = HFSC(100.0)
+        with pytest.raises(ConfigurationError):
+            sched.add_class("a", parent="ghost", sc=lin(10.0))
+
+    def test_no_curve_rejected(self):
+        sched = HFSC(100.0)
+        with pytest.raises(ConfigurationError):
+            sched.add_class("a")
+
+    def test_sc_and_split_curves_conflict(self):
+        sched = HFSC(100.0)
+        with pytest.raises(ConfigurationError):
+            sched.add_class("a", sc=lin(10.0), rt_sc=lin(10.0))
+
+    def test_child_under_rt_class_rejected(self):
+        """Real-time curves belong to leaves only (Section IV)."""
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(10.0))
+        with pytest.raises(ConfigurationError):
+            sched.add_class("b", parent="a", sc=lin(5.0))
+
+    def test_interior_class_via_ls_only(self):
+        sched = HFSC(100.0)
+        sched.add_class("agg", ls_sc=lin(50.0))
+        sched.add_class("leaf", parent="agg", sc=lin(10.0))
+        assert sched["leaf"].parent is sched["agg"]
+        assert sched["agg"].depth == 1 and sched["leaf"].depth == 2
+
+    def test_enqueue_to_interior_rejected(self):
+        sched = HFSC(100.0)
+        sched.add_class("agg", ls_sc=lin(50.0))
+        sched.add_class("leaf", parent="agg", sc=lin(10.0))
+        with pytest.raises(ConfigurationError):
+            sched.enqueue(Packet("agg", 10.0), 0.0)
+
+    def test_enqueue_unknown_class_rejected(self):
+        sched = HFSC(100.0)
+        with pytest.raises(ConfigurationError):
+            sched.enqueue(Packet("ghost", 10.0), 0.0)
+
+    def test_admission_control_lazy(self):
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(60.0))
+        sched.add_class("b", sc=lin(60.0))
+        with pytest.raises(AdmissionError):
+            sched.enqueue(Packet("a", 10.0), 0.0)
+
+    def test_admission_control_disabled(self):
+        sched = HFSC(100.0, admission_control=False)
+        sched.add_class("a", sc=lin(60.0))
+        sched.add_class("b", sc=lin(60.0))
+        sched.enqueue(Packet("a", 10.0), 0.0)  # no raise
+
+    def test_ls_only_leaf_not_admission_counted(self):
+        """Link-sharing-only classes carry no rt guarantee to admit."""
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(90.0))
+        sched.add_class("b", ls_sc=lin(90.0))
+        sched.check_admission()  # no raise
+
+    def test_leaf_classes_listing(self):
+        sched = HFSC(100.0)
+        sched.add_class("agg", ls_sc=lin(50.0))
+        sched.add_class("x", parent="agg", sc=lin(10.0))
+        sched.add_class("y", sc=lin(10.0))
+        names = {cls.name for cls in sched.leaf_classes()}
+        assert names == {"x", "y"}
+
+
+class TestMechanics:
+    def test_empty_dequeue(self):
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(10.0))
+        assert sched.dequeue(0.0) is None
+
+    def test_fifo_within_class(self):
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(50.0))
+        packets = [Packet("a", 10.0) for _ in range(3)]
+        for p in packets:
+            sched.enqueue(p, 0.0)
+        out = [sched.dequeue(0.1 * i) for i in range(3)]
+        assert out == packets
+
+    def test_work_conserving_with_ls_curves(self):
+        """Backlogged H-FSC with link-sharing curves always hands a packet."""
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(10.0))
+        sched.add_class("b", sc=lin(10.0))
+        for _ in range(5):
+            sched.enqueue(Packet("a", 10.0), 0.0)
+        got = 0
+        now = 0.0
+        while len(sched):
+            assert sched.dequeue(now) is not None
+            got += 1
+            now += 0.1
+        assert got == 5
+
+    def test_rt_only_leaf_is_non_work_conserving(self):
+        """With only an rt curve, the link idles between eligible times.
+
+        The convex eligible curve (the m2-slope line, Section IV-B)
+        pre-provisions, so the *first* packet is eligible immediately; the
+        second becomes eligible only after c/m2 = 10/10 = 1 s.
+        """
+        convex = ServiceCurve(m1=0.0, d=1.0, m2=10.0)
+        sched = HFSC(100.0)
+        sched.add_class("a", rt_sc=convex)
+        sched.enqueue(Packet("a", 10.0), 0.0)
+        sched.enqueue(Packet("a", 10.0), 0.0)
+        assert sched.dequeue(0.0) is not None  # pre-provisioned service
+        assert sched.dequeue(0.5) is None      # second not yet eligible
+        ready = sched.next_ready_time(0.5)
+        assert ready == pytest.approx(1.0)
+        assert sched.dequeue(ready) is not None
+
+    def test_byte_accounting(self):
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(50.0))
+        sched.enqueue(Packet("a", 30.0), 0.0)
+        assert sched.backlog_bytes == 30.0 and sched.backlog_packets == 1
+        sched.dequeue(0.0)
+        assert sched.backlog_bytes == 0.0 and len(sched) == 0
+
+    def test_served_packet_annotations(self):
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(50.0))
+        sched.enqueue(Packet("a", 10.0), 0.0)
+        packet = sched.dequeue(0.0)
+        assert packet.via_realtime in (True, False)
+        assert packet.deadline is not None
+
+    def test_virtual_times_view(self):
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=lin(30.0))
+        sched.add_class("b", sc=lin(30.0))
+        sched.enqueue(Packet("a", 10.0), 0.0)
+        sched.enqueue(Packet("b", 10.0), 0.0)
+        vts = sched.virtual_times()
+        assert set(vts) == {"a", "b"}
+
+    def test_work_of_tracks_interior(self):
+        sched = HFSC(100.0)
+        sched.add_class("agg", ls_sc=lin(60.0))
+        sched.add_class("x", parent="agg", sc=lin(30.0))
+        sched.enqueue(Packet("x", 25.0), 0.0)
+        sched.dequeue(0.0)
+        assert sched.work_of("x") == 25.0
+        assert sched.work_of("agg") == 25.0
+        assert sched.work_of(ROOT) == 25.0
+
+
+class TestHierarchyBuilder:
+    def test_build_resolves_out_of_order_parents(self):
+        specs = [
+            ClassSpec("leaf", parent="agg", rate=10.0),
+            ClassSpec("agg", rate=50.0),
+        ]
+        sched = build_hfsc(100.0, specs)
+        assert sched["leaf"].parent is sched["agg"]
+
+    def test_build_detects_cycles(self):
+        specs = [
+            ClassSpec("a", parent="b", rate=10.0),
+            ClassSpec("b", parent="a", rate=10.0),
+        ]
+        with pytest.raises(ConfigurationError):
+            build_hfsc(100.0, specs)
+
+    def test_classspec_rate_shorthand(self):
+        spec = ClassSpec("a", rate=10.0)
+        curves = spec.curves()
+        assert curves["sc"] == ServiceCurve.linear(10.0)
+
+    def test_classspec_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClassSpec("a").curves()
+        with pytest.raises(ConfigurationError):
+            ClassSpec("a", rate=1.0, sc=ServiceCurve.linear(1.0)).curves()
+        with pytest.raises(ConfigurationError):
+            ClassSpec(
+                "a", sc=ServiceCurve.linear(1.0), rt_sc=ServiceCurve.linear(1.0)
+            ).curves()
+
+    def test_figure1_hierarchy_builds_and_admits(self):
+        sched = build_hfsc(45e6 / 8, figure1_hierarchy())
+        sched.check_admission()
+        assert sched["cmu.video.lecture"].depth == 3
+        assert sched["pitt"].depth == 1
+        leaves = {cls.name for cls in sched.leaf_classes()}
+        assert "cmu.video.lecture" in leaves and "pitt.data" in leaves
+
+    def test_figure1_respects_custom_session_curves(self):
+        concave = ServiceCurve.from_delay(umax=160.0, dmax=0.005, rate=8000.0)
+        sched = build_hfsc(45e6 / 8, figure1_hierarchy(audio_sc=concave))
+        assert sched["cmu.audio.lecture"].rt_spec == concave

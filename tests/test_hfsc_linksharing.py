@@ -1,0 +1,198 @@
+"""H-FSC link-sharing semantics (Sections I, III, IV-C).
+
+The hierarchical link-sharing goals from the paper's introduction:
+
+1. each class receives its configured share under contention;
+2. excess bandwidth left by an idle class goes to its *siblings* before
+   leaking to other subtrees (the CMU audio/video before U.Pitt example);
+3. a class that borrowed excess is not punished afterwards;
+4. the virtual times of active siblings stay close (bounded fairness).
+"""
+
+import pytest
+
+from helpers import drive, service_by
+from repro.core.curves import ServiceCurve
+from repro.core.hfsc import HFSC
+
+
+def lin(rate):
+    return ServiceCurve.linear(rate)
+
+
+def greedy(cid, size, count, start=0.0):
+    return [(start, cid, size)] * count
+
+
+class TestProportionalSharing:
+    def test_flat_share_3_to_1(self):
+        sched = HFSC(1000.0)
+        sched.add_class("a", sc=lin(750.0))
+        sched.add_class("b", sc=lin(250.0))
+        arrivals = greedy("a", 100.0, 400) + greedy("b", 100.0, 400)
+        served = drive(sched, arrivals, until=20.0)
+        ratio = service_by(served, "a", 20.0) / service_by(served, "b", 20.0)
+        assert ratio == pytest.approx(3.0, rel=0.05)
+
+    def test_idle_class_excess_goes_to_active(self):
+        sched = HFSC(1000.0)
+        sched.add_class("a", sc=lin(750.0))
+        sched.add_class("b", sc=lin(250.0))
+        arrivals = greedy("b", 100.0, 300)  # a stays idle
+        served = drive(sched, arrivals, until=20.0)
+        # b gets the whole link, not just its 25%.
+        assert service_by(served, "b", 10.0) == pytest.approx(10_000.0, rel=0.05)
+
+    def test_share_respected_at_every_prefix(self):
+        """Shares hold over windows, not just in the long run."""
+        sched = HFSC(1000.0)
+        sched.add_class("a", sc=lin(600.0))
+        sched.add_class("b", sc=lin(400.0))
+        arrivals = greedy("a", 50.0, 900) + greedy("b", 50.0, 900)
+        served = drive(sched, arrivals, until=20.0)
+        for t in [2.0, 5.0, 10.0, 15.0]:
+            share_a = service_by(served, "a", t) / (1000.0 * t)
+            assert share_a == pytest.approx(0.6, abs=0.03)
+
+
+class TestHierarchicalSharing:
+    def _campus(self):
+        """A small Fig.-1-shaped tree: two organizations, typed leaves."""
+        sched = HFSC(1000.0)
+        sched.add_class("cmu", ls_sc=lin(600.0))
+        sched.add_class("pitt", ls_sc=lin(400.0))
+        sched.add_class("cmu.av", parent="cmu", sc=lin(200.0))
+        sched.add_class("cmu.data", parent="cmu", sc=lin(400.0))
+        sched.add_class("pitt.data", parent="pitt", sc=lin(400.0))
+        return sched
+
+    def test_organizations_split_link(self):
+        sched = self._campus()
+        arrivals = (
+            greedy("cmu.av", 100.0, 200)
+            + greedy("cmu.data", 100.0, 200)
+            + greedy("pitt.data", 100.0, 200)
+        )
+        served = drive(sched, arrivals, until=20.0)
+        cmu = service_by(served, "cmu.av", 20.0) + service_by(served, "cmu.data", 20.0)
+        pitt = service_by(served, "pitt.data", 20.0)
+        assert cmu / pitt == pytest.approx(1.5, rel=0.1)
+
+    def test_sibling_excess_stays_in_subtree(self):
+        """cmu.data idle: its share goes to cmu.av, NOT to pitt.
+
+        The paper's Section I: 'other traffic classes from CMU have
+        precedence to use this excess bandwidth over traffic classes from
+        U. Pitt'.
+        """
+        sched = self._campus()
+        arrivals = greedy("cmu.av", 100.0, 300) + greedy("pitt.data", 100.0, 300)
+        served = drive(sched, arrivals, until=20.0)
+        av = service_by(served, "cmu.av", 10.0)
+        pitt = service_by(served, "pitt.data", 10.0)
+        # cmu.av absorbs the whole CMU share (600), pitt keeps 400.
+        assert av == pytest.approx(6000.0, rel=0.07)
+        assert pitt == pytest.approx(4000.0, rel=0.07)
+
+    def test_whole_subtree_idle_excess_crosses(self):
+        """When ALL of CMU is idle, U.Pitt may use the full link."""
+        sched = self._campus()
+        arrivals = greedy("pitt.data", 100.0, 300)
+        served = drive(sched, arrivals, until=20.0)
+        assert service_by(served, "pitt.data", 10.0) == pytest.approx(
+            10_000.0, rel=0.05
+        )
+
+    def test_reactivated_subtree_reclaims_share(self):
+        sched = self._campus()
+        arrivals = greedy("pitt.data", 100.0, 600)
+        arrivals += greedy("cmu.data", 100.0, 400, start=10.0)
+        served = drive(sched, arrivals, until=30.0)
+        # After t=10 the 60/40 split must re-establish quickly.
+        cmu_rate = (service_by(served, "cmu.data", 15.0) - 0.0) / 5.0
+        pitt_rate = (
+            service_by(served, "pitt.data", 15.0)
+            - service_by(served, "pitt.data", 10.0)
+        ) / 5.0
+        assert cmu_rate == pytest.approx(600.0, rel=0.1)
+        assert pitt_rate == pytest.approx(400.0, rel=0.1)
+
+
+class TestNonPunishment:
+    def test_excess_user_keeps_guarantee(self):
+        """A leaf that ran alone (taking the full link) still receives its
+        configured share immediately once a sibling activates."""
+        sched = HFSC(1000.0)
+        sched.add_class("a", sc=lin(500.0))
+        sched.add_class("b", sc=lin(500.0))
+        arrivals = greedy("a", 100.0, 400)
+        arrivals += greedy("b", 100.0, 200, start=10.0)
+        served = drive(sched, arrivals, until=30.0)
+        # a received the full link before t=10 (excess).
+        assert service_by(served, "a", 10.0) == pytest.approx(10_000.0, rel=0.05)
+        # Immediately after b activates, a still gets ~its 50% share: no
+        # virtual-clock-style freeze-out.
+        window = service_by(served, "a", 12.0) - service_by(served, "a", 10.0)
+        assert window >= 0.5 * 2.0 * 500.0 * 0.9
+
+    def test_contrast_virtual_clock_punishes(self):
+        """The same scenario under virtual clock starves class a."""
+        from repro.schedulers.virtual_clock import VirtualClockScheduler
+
+        sched = VirtualClockScheduler(1000.0)
+        sched.add_flow("a", 500.0)
+        sched.add_flow("b", 500.0)
+        arrivals = greedy("a", 100.0, 400)
+        arrivals += greedy("b", 100.0, 200, start=10.0)
+        served = drive(sched, arrivals, until=30.0)
+        window = service_by(served, "a", 12.0) - service_by(served, "a", 10.0)
+        # Virtual clock charged a's auxVC far into the future: b dominates.
+        assert window <= 0.2 * 2.0 * 1000.0
+
+
+class TestVirtualTimeFairness:
+    def test_sibling_virtual_times_stay_close(self):
+        """Link-sharing keeps active siblings' virtual times within a
+        couple of packet times (Section IV-C's SSF + (vmin+vmax)/2)."""
+        sched = HFSC(1000.0, admission_control=False)
+        rates = [500.0, 300.0, 200.0]
+        for index, rate in enumerate(rates):
+            sched.add_class(index, ls_sc=lin(rate))
+        arrivals = []
+        for index in range(3):
+            arrivals += greedy(index, 100.0, 300)
+        spread = []
+        now = 0.0
+        for time, cid, size in arrivals:
+            from repro.sim.packet import Packet
+
+            sched.enqueue(Packet(cid, size), 0.0)
+        while len(sched):
+            sched.dequeue(now)
+            vts = list(sched.virtual_times().values())
+            if len(vts) == 3:
+                spread.append(max(vts) - min(vts))
+            now += 0.1
+        # Virtual time is in seconds of each class's own curve; one
+        # 100-byte packet moves the slowest class by 100/200 = 0.5.
+        assert max(spread) <= 2 * (100.0 / 200.0) + 1e-9
+
+    def test_virtual_times_monotone_per_class(self):
+        sched = HFSC(1000.0)
+        sched.add_class("a", sc=lin(600.0))
+        sched.add_class("b", sc=lin(400.0))
+        from repro.sim.packet import Packet
+
+        for _ in range(50):
+            sched.enqueue(Packet("a", 100.0), 0.0)
+            sched.enqueue(Packet("b", 100.0), 0.0)
+        last = {"a": -1.0, "b": -1.0}
+        now = 0.0
+        while len(sched):
+            sched.dequeue(now)
+            for name in ("a", "b"):
+                cls = sched[name]
+                if cls.ls_active:
+                    assert cls.vt >= last[name] - 1e-12
+                    last[name] = cls.vt
+            now += 0.1

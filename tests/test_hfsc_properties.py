@@ -1,0 +1,126 @@
+"""Stateful property tests: H-FSC under arbitrary operation sequences.
+
+A hypothesis state machine drives an H-FSC instance with random
+enqueue/dequeue interleavings over a random two-level hierarchy and checks
+after every step that
+
+* internal bookkeeping stays consistent (``check_invariants``),
+* bytes are conserved (enqueued == dequeued + backlog),
+* packets of one class depart in FIFO order,
+* virtual times of link-sharing classes never decrease,
+* the scheduler is work conserving while any ls-capable leaf is backlogged.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.curves import ServiceCurve
+from repro.core.hfsc import HFSC
+from repro.sim.packet import Packet
+
+
+class HFSCMachine(RuleBasedStateMachine):
+    LINK = 1000.0
+
+    @initialize(seed=st.integers(0, 2**32 - 1))
+    def setup(self, seed):
+        rng = random.Random(seed)
+        self.sched = HFSC(self.LINK, admission_control=False)
+        self.leaves = []
+        for g in range(rng.randint(1, 2)):
+            group = f"g{g}"
+            self.sched.add_class(
+                group, ls_sc=ServiceCurve.linear(rng.uniform(200.0, 500.0))
+            )
+            for l in range(rng.randint(1, 3)):
+                name = f"g{g}.l{l}"
+                rate = rng.uniform(30.0, 150.0)
+                shape = rng.choice(["linear", "concave", "convex"])
+                if shape == "linear":
+                    spec = ServiceCurve.linear(rate)
+                elif shape == "concave":
+                    spec = ServiceCurve(rate * 3, 0.05, rate)
+                else:
+                    spec = ServiceCurve(0.0, 0.05, rate)
+                self.sched.add_class(name, parent=group, sc=spec)
+                self.leaves.append(name)
+        self.now = 0.0
+        self.bytes_in = 0.0
+        self.bytes_out = 0.0
+        self.sent_uids = {name: [] for name in self.leaves}
+        self.got_uids = {name: [] for name in self.leaves}
+        self.last_vt = {}
+
+    @rule(leaf_index=st.integers(0, 5), size=st.floats(10.0, 200.0))
+    def enqueue(self, leaf_index, size):
+        name = self.leaves[leaf_index % len(self.leaves)]
+        packet = Packet(name, size)
+        self.sched.enqueue(packet, self.now)
+        self.bytes_in += size
+        self.sent_uids[name].append(packet.uid)
+
+    @rule(gap=st.floats(0.0, 0.5))
+    def dequeue(self, gap):
+        self.now += gap
+        packet = self.sched.dequeue(self.now)
+        if packet is None:
+            return
+        self.bytes_out += packet.size
+        self.got_uids[packet.class_id].append(packet.uid)
+        self.now += packet.size / self.LINK
+
+    @rule()
+    def drain_one_if_backlogged(self):
+        if len(self.sched):
+            packet = self.sched.dequeue(self.now)
+            # All leaves here have ls curves: backlogged implies a packet.
+            assert packet is not None, "work conservation violated"
+            self.bytes_out += packet.size
+            self.got_uids[packet.class_id].append(packet.uid)
+            self.now += packet.size / self.LINK
+
+    @invariant()
+    def consistent(self):
+        if not hasattr(self, "sched"):
+            return
+        self.sched.check_invariants()
+
+    @invariant()
+    def bytes_conserved(self):
+        if not hasattr(self, "sched"):
+            return
+        assert abs(
+            self.bytes_in - self.bytes_out - self.sched.backlog_bytes
+        ) < 1e-6
+
+    @invariant()
+    def fifo_per_class(self):
+        if not hasattr(self, "sched"):
+            return
+        for name in self.leaves:
+            got = self.got_uids[name]
+            assert got == self.sent_uids[name][: len(got)]
+
+    @invariant()
+    def virtual_times_monotone(self):
+        if not hasattr(self, "sched"):
+            return
+        for cls in self.sched.classes():
+            if cls.ls_spec is not None and cls.ls_active:
+                previous = self.last_vt.get(cls.name, float("-inf"))
+                assert cls.vt >= previous - 1e-9
+                self.last_vt[cls.name] = cls.vt
+
+
+TestHFSCStateMachine = HFSCMachine.TestCase
+TestHFSCStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,224 @@
+"""Tests for H-PFQ (hierarchy of WF2Q+ nodes), the paper's comparator."""
+
+import pytest
+
+from helpers import drive, service_by
+from repro.core.errors import ConfigurationError
+from repro.schedulers.hpfq import HPFQScheduler
+from repro.sim.packet import Packet
+
+
+def greedy(cid, size, count, start=0.0):
+    return [(start, cid, size)] * count
+
+
+class TestConstruction:
+    def test_duplicate_rejected(self):
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("a", rate=100.0)
+        with pytest.raises(ConfigurationError):
+            sched.add_class("a", rate=100.0)
+
+    def test_unknown_parent_rejected(self):
+        sched = HPFQScheduler(1000.0)
+        with pytest.raises(ConfigurationError):
+            sched.add_class("a", parent="ghost", rate=1.0)
+
+    def test_rate_required(self):
+        sched = HPFQScheduler(1000.0)
+        with pytest.raises(ConfigurationError):
+            sched.add_class("a", rate=0.0)
+
+    def test_enqueue_interior_rejected(self):
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("agg", rate=500.0)
+        sched.add_class("leaf", parent="agg", rate=100.0)
+        with pytest.raises(ConfigurationError):
+            sched.enqueue(Packet("agg", 10.0), 0.0)
+
+    def test_depth(self):
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("a", rate=500.0)
+        sched.add_class("b", parent="a", rate=100.0)
+        assert sched["a"].depth == 1 and sched["b"].depth == 2
+
+
+class TestScheduling:
+    def test_flat_shares(self):
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("a", rate=600.0)
+        sched.add_class("b", rate=400.0)
+        arrivals = greedy("a", 100.0, 200) + greedy("b", 100.0, 200)
+        served = drive(sched, arrivals, until=20.0)
+        ratio = service_by(served, "a", 20.0) / service_by(served, "b", 20.0)
+        assert ratio == pytest.approx(1.5, rel=0.1)
+
+    def test_hierarchical_shares(self):
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("x", rate=600.0)
+        sched.add_class("y", rate=400.0)
+        sched.add_class("x.1", parent="x", rate=400.0)
+        sched.add_class("x.2", parent="x", rate=200.0)
+        sched.add_class("y.1", parent="y", rate=400.0)
+        arrivals = (
+            greedy("x.1", 100.0, 200)
+            + greedy("x.2", 100.0, 200)
+            + greedy("y.1", 100.0, 200)
+        )
+        served = drive(sched, arrivals, until=20.0)
+        x1 = service_by(served, "x.1", 15.0)
+        x2 = service_by(served, "x.2", 15.0)
+        y1 = service_by(served, "y.1", 15.0)
+        assert (x1 + x2) / y1 == pytest.approx(1.5, rel=0.1)
+        assert x1 / x2 == pytest.approx(2.0, rel=0.1)
+
+    def test_sibling_excess_stays_in_subtree(self):
+        """Same link-sharing semantics as H-FSC: sibling excess first."""
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("x", rate=600.0)
+        sched.add_class("y", rate=400.0)
+        sched.add_class("x.1", parent="x", rate=400.0)
+        sched.add_class("x.2", parent="x", rate=200.0)
+        sched.add_class("y.1", parent="y", rate=400.0)
+        arrivals = greedy("x.1", 100.0, 300) + greedy("y.1", 100.0, 300)
+        served = drive(sched, arrivals, until=20.0)
+        x1 = service_by(served, "x.1", 10.0)
+        y1 = service_by(served, "y.1", 10.0)
+        assert x1 == pytest.approx(6000.0, rel=0.1)
+        assert y1 == pytest.approx(4000.0, rel=0.1)
+
+    def test_work_conserving(self):
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("a", rate=100.0)
+        sched.add_class("b", rate=900.0)
+        arrivals = greedy("a", 100.0, 50)
+        served = drive(sched, arrivals, until=20.0)
+        assert served[-1].departed == pytest.approx(5.0)
+
+    def test_no_punishment(self):
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("a", rate=500.0)
+        sched.add_class("b", rate=500.0)
+        arrivals = greedy("a", 100.0, 150) + greedy("b", 100.0, 60, start=10.0)
+        served = drive(sched, arrivals, until=30.0)
+        window = service_by(served, "a", 12.0) - service_by(served, "a", 10.0)
+        assert window >= 0.9 * 2.0 * 500.0 * 0.9
+
+    def test_per_class_fifo(self):
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("a", rate=500.0)
+        sched.add_class("b", rate=500.0)
+        arrivals = [(0.001 * i, "a", 50.0) for i in range(20)]
+        arrivals += greedy("b", 50.0, 20)
+        served = drive(sched, arrivals, until=10.0)
+        created = [p.created for p in served if p.class_id == "a"]
+        assert created == sorted(created)
+
+    def test_work_of(self):
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("agg", rate=500.0)
+        sched.add_class("leaf", parent="agg", rate=500.0)
+        sched.enqueue(Packet("leaf", 100.0), 0.0)
+        sched.dequeue(0.0)
+        assert sched.work_of("leaf") == 100.0
+        assert sched.work_of("agg") == 100.0
+
+    def test_mixed_packet_sizes_head_retag(self):
+        """Arrivals that change a subtree's next packet must not corrupt
+        accounting (the Fig. 5(b)-style finish retag)."""
+        sched = HPFQScheduler(1000.0)
+        sched.add_class("agg", rate=500.0)
+        sched.add_class("big", parent="agg", rate=250.0)
+        sched.add_class("small", parent="agg", rate=250.0)
+        sched.add_class("other", rate=500.0)
+        arrivals = greedy("big", 1000.0, 20) + greedy("other", 100.0, 100)
+        arrivals += [(0.5, "small", 10.0)] * 50
+        served = drive(sched, arrivals, until=60.0)
+        assert len(served) == len(arrivals)
+
+    def test_delay_grows_with_depth(self):
+        """Section IV-A: H-PFQ delay bounds accumulate with hierarchy depth
+        (the property H-FSC's flat real-time criterion removes, E7)."""
+
+        def max_delay_at_depth(depth):
+            link = 125_000.0
+            sched = HPFQScheduler(link)
+            parent = None
+            for level in range(depth - 1):
+                name = f"lvl{level}"
+                sched.add_class(
+                    name,
+                    parent=parent if parent else "__root__",
+                    rate=link / 2 if level == 0 else sched[parent].rate,
+                )
+                parent = name
+            audio_rate = 4000.0
+            sched.add_class(
+                "audio", parent=parent if parent else "__root__", rate=audio_rate
+            )
+            # Cross traffic at every level keeps all nodes busy.
+            sched.add_class("cross_root", rate=link / 2)
+            if parent:
+                sched.add_class(
+                    "cross_deep", parent=parent, rate=sched[parent].rate - audio_rate
+                )
+            arrivals = [(0.1 * k, "audio", 400.0) for k in range(50)]
+            arrivals += greedy("cross_root", 1500.0, 3000)
+            if parent:
+                arrivals += greedy("cross_deep", 1500.0, 3000)
+            served = drive(sched, arrivals, until=60.0)
+            return max(p.delay for p in served if p.class_id == "audio")
+
+        shallow = max_delay_at_depth(1)
+        deep = max_delay_at_depth(4)
+        assert deep > shallow
+
+
+class TestNodePolicies:
+    def _arrivals(self):
+        return (
+            greedy("x.1", 100.0, 200)
+            + greedy("x.2", 100.0, 200)
+            + greedy("y.1", 100.0, 200)
+        )
+
+    def _build(self, policy):
+        sched = HPFQScheduler(1000.0, node_policy=policy)
+        sched.add_class("x", rate=600.0)
+        sched.add_class("y", rate=400.0)
+        sched.add_class("x.1", parent="x", rate=400.0)
+        sched.add_class("x.2", parent="x", rate=200.0)
+        sched.add_class("y.1", parent="y", rate=400.0)
+        return sched
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HPFQScheduler(1000.0, node_policy="gps")
+
+    def test_sfq_nodes_share_hierarchically(self):
+        """H-SFQ keeps the same long-run shares as H-WF2Q+."""
+        from helpers import service_by
+
+        served = drive(self._build("sfq"), self._arrivals(), until=20.0)
+        x1 = service_by(served, "x.1", 15.0)
+        x2 = service_by(served, "x.2", 15.0)
+        y1 = service_by(served, "y.1", 15.0)
+        assert (x1 + x2) / y1 == pytest.approx(1.5, rel=0.1)
+        assert x1 / x2 == pytest.approx(2.0, rel=0.1)
+
+    def test_sfq_nodes_drain_everything(self):
+        served = drive(self._build("sfq"), self._arrivals(), until=120.0)
+        assert len(served) == 600
+
+    def test_policies_can_order_differently(self):
+        """SEFF's eligibility gate produces a different interleaving than
+        pure smallest-start-first on an uneven-weight workload."""
+        arrivals = greedy("x.1", 100.0, 30) + greedy("y.1", 100.0, 30)
+        order_wf2q = [
+            p.class_id for p in drive(self._build("wf2q"), list(arrivals), until=60.0)
+        ]
+        order_sfq = [
+            p.class_id for p in drive(self._build("sfq"), list(arrivals), until=60.0)
+        ]
+        assert sorted(order_wf2q) == sorted(order_sfq)  # same multiset
+        assert order_wf2q != order_sfq

@@ -1,0 +1,107 @@
+"""Small behaviours not covered elsewhere: reprs, edge accessors, guards."""
+
+import pytest
+
+from repro.core.curves import PiecewiseLinearCurve, ServiceCurve
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.hfsc import HFSC, HFSCClass
+from repro.schedulers.fifo import FIFOScheduler
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+from repro.sim.network import Network
+from repro.sim.packet import Packet
+from repro.sim.stats import ThroughputMeter
+
+
+class TestReprsAndAccessors:
+    def test_packet_repr_and_validation(self):
+        packet = Packet("a", 10.0)
+        assert "class_id='a'" in repr(packet)
+        with pytest.raises(ValueError):
+            Packet("a", 0.0)
+
+    def test_hfsc_class_repr_and_depth(self):
+        sched = HFSC(100.0)
+        sched.add_class("agg", ls_sc=ServiceCurve.linear(50.0))
+        sched.add_class("leaf", parent="agg", sc=ServiceCurve.linear(10.0))
+        assert repr(sched["leaf"]) == "HFSCClass('leaf')"
+        assert sched.root.is_root and not sched["leaf"].is_root
+        assert sched.root.depth == 0
+
+    def test_piecewise_repr_and_slopes(self):
+        curve = ServiceCurve(10.0, 1.0, 2.0).to_piecewise()
+        assert "PiecewiseLinearCurve" in repr(curve)
+        assert curve.slopes() == [10.0, 2.0]
+        assert curve.is_concave() and not curve.is_convex()
+
+    def test_piecewise_convexity(self):
+        curve = ServiceCurve(0.0, 1.0, 5.0).to_piecewise()
+        assert curve.is_convex() and not curve.is_concave()
+
+    def test_service_curve_knee(self):
+        curve = ServiceCurve(10.0, 2.0, 1.0)
+        assert curve.knee_y == 20.0
+        assert curve.rate == 1.0
+
+    def test_throughput_meter_classes(self):
+        meter = ThroughputMeter(None, window=1.0)
+        meter.on_departure(Packet("a", 10.0), 0.5)
+        assert meter.classes() == ["a"]
+        assert meter.series("missing") == []
+
+    def test_class_stats_empty_percentile(self):
+        from repro.sim.stats import ClassStats
+
+        stats = ClassStats("a")
+        assert stats.percentile(99) == 0.0
+        assert stats.throughput() == 0.0
+        assert stats.mean_delay == 0.0
+
+
+class TestGuards:
+    def test_scheduler_link_rate_guard(self):
+        with pytest.raises(ValueError):
+            FIFOScheduler(0.0)
+
+    def test_link_rate_guard(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            Link(loop, FIFOScheduler(10.0), rate=0.0)
+
+    def test_hop_delay_guard(self):
+        net = Network(EventLoop())
+        with pytest.raises(ConfigurationError):
+            net.add_hop("a", "b", FIFOScheduler(10.0), delay=-1.0)
+
+    def test_hfsc_system_vt_watermark(self):
+        """After all children passivate, the watermark carries the furthest
+        virtual time so a rejoining class cannot time-travel backwards."""
+        sched = HFSC(100.0)
+        sched.add_class("a", sc=ServiceCurve.linear(50.0))
+        sched.add_class("b", sc=ServiceCurve.linear(50.0))
+        for _ in range(4):
+            sched.enqueue(Packet("a", 50.0), 0.0)
+        now = 0.0
+        while len(sched):
+            sched.dequeue(now)
+            now += 0.5
+        watermark = sched.root.vt_watermark
+        assert watermark > 0.0
+        assert sched.root.system_vt() == watermark
+        sched.enqueue(Packet("b", 50.0), now)
+        assert sched["b"].vt >= watermark - 1e-9
+
+    def test_eventloop_peek_skips_cancelled(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        event.cancel()
+        assert loop.peek_time() == 2.0
+
+    def test_heap_peek_key_and_item(self):
+        from repro.util.heap import IndexedHeap
+
+        heap = IndexedHeap()
+        heap.push("a", 3)
+        assert heap.peek_key() == 3
+        assert heap.peek_item() == "a"

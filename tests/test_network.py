@@ -1,0 +1,145 @@
+"""Tests for the multi-hop network substrate."""
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.errors import ConfigurationError
+from repro.core.hfsc import HFSC
+from repro.schedulers.fifo import FIFOScheduler
+from repro.sim.engine import EventLoop
+from repro.sim.network import Network
+from repro.sim.packet import Packet
+from repro.sim.sources import CBRSource, GreedySource
+
+
+def fifo(rate=1000.0):
+    return FIFOScheduler(rate)
+
+
+class TestTopology:
+    def test_duplicate_hop_rejected(self):
+        net = Network(EventLoop())
+        net.add_hop("a", "b", fifo())
+        with pytest.raises(ConfigurationError):
+            net.add_hop("a", "b", fifo())
+
+    def test_route_needs_existing_hops(self):
+        net = Network(EventLoop())
+        net.add_hop("a", "b", fifo())
+        with pytest.raises(ConfigurationError):
+            net.add_route("f", ["a", "b", "c"])
+
+    def test_route_needs_two_nodes(self):
+        net = Network(EventLoop())
+        with pytest.raises(ConfigurationError):
+            net.add_route("f", ["a"])
+
+    def test_duplicate_route_rejected(self):
+        net = Network(EventLoop())
+        net.add_hop("a", "b", fifo())
+        net.add_route("f", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            net.add_route("f", ["a", "b"])
+
+    def test_ingress_requires_route(self):
+        net = Network(EventLoop())
+        with pytest.raises(ConfigurationError):
+            net.ingress("ghost")
+
+
+class TestForwarding:
+    def test_single_hop_delivery(self):
+        loop = EventLoop()
+        net = Network(loop)
+        net.add_hop("a", "b", fifo(1000.0), delay=0.5)
+        net.add_route("f", ["a", "b"])
+        deliveries = []
+        net.add_delivery_listener("f", lambda p, t: deliveries.append(t))
+        loop.schedule(0.0, net.ingress("f").offer, Packet("f", 100.0))
+        loop.run()
+        # 0.1 s transmission + 0.5 s propagation.
+        assert deliveries == [pytest.approx(0.6)]
+
+    def test_multi_hop_delay_adds_up(self):
+        loop = EventLoop()
+        net = Network(loop)
+        for src, dst in [("a", "b"), ("b", "c"), ("c", "d")]:
+            net.add_hop(src, dst, fifo(1000.0), delay=0.2)
+        net.add_route("f", ["a", "b", "c", "d"])
+        deliveries = []
+        net.add_delivery_listener("f", lambda p, t: deliveries.append(t))
+        loop.schedule(0.0, net.ingress("f").offer, Packet("f", 100.0))
+        loop.run()
+        # 3 x (0.1 tx + 0.2 wire)
+        assert deliveries == [pytest.approx(0.9)]
+
+    def test_flows_split_at_a_branch(self):
+        loop = EventLoop()
+        net = Network(loop)
+        net.add_hop("a", "b", fifo(1000.0))
+        net.add_hop("b", "c", fifo(1000.0))
+        net.add_hop("b", "d", fifo(1000.0))
+        net.add_route("to_c", ["a", "b", "c"])
+        net.add_route("to_d", ["a", "b", "d"])
+        got = {"to_c": [], "to_d": []}
+        net.add_delivery_listener("to_c", lambda p, t: got["to_c"].append(p))
+        net.add_delivery_listener("to_d", lambda p, t: got["to_d"].append(p))
+        loop.schedule(0.0, net.ingress("to_c").offer, Packet("to_c", 100.0))
+        loop.schedule(0.0, net.ingress("to_d").offer, Packet("to_d", 100.0))
+        loop.run()
+        assert len(got["to_c"]) == 1 and len(got["to_d"]) == 1
+
+    def test_end_to_end_order_preserved(self):
+        loop = EventLoop()
+        net = Network(loop)
+        net.add_hop("a", "b", fifo(1000.0), delay=0.05)
+        net.add_hop("b", "c", fifo(1000.0), delay=0.05)
+        net.add_route("f", ["a", "b", "c"])
+        uids = []
+        net.add_delivery_listener("f", lambda p, t: uids.append(p.uid))
+        packets = [Packet("f", 100.0) for _ in range(5)]
+        for p in packets:
+            loop.schedule(0.0, net.ingress("f").offer, p)
+        loop.run()
+        assert uids == [p.uid for p in packets]
+
+
+class TestHFSCPerHop:
+    def test_per_hop_curves_compose(self):
+        """An audio flow crossing two H-FSC hops, each promising dmax,
+        sees end-to-end delay <= 2 * (dmax + tau) + wire delays."""
+        loop = EventLoop()
+        net = Network(loop)
+        link = 125_000.0
+        dmax = 0.01
+
+        def hop_sched():
+            sched = HFSC(link)
+            sched.add_class(
+                "audio", sc=ServiceCurve.from_delay(160.0, dmax, 8_000.0)
+            )
+            sched.add_class(
+                "cross",
+                rt_sc=ServiceCurve.linear(80_000.0),
+                ls_sc=ServiceCurve.linear(110_000.0),
+            )
+            return sched
+
+        wire = 0.002
+        hop1 = net.add_hop("a", "b", hop_sched(), delay=wire)
+        hop2 = net.add_hop("b", "c", hop_sched(), delay=wire)
+        net.add_route("audio", ["a", "b", "c"])
+        net.add_route("cross", ["a", "b", "c"])
+        delays = []
+        net.add_delivery_listener(
+            "audio", lambda p, t: delays.append(t - p.created)
+        )
+        CBRSource(loop, net.ingress("audio"), "audio",
+                  rate=8_000.0, packet_size=160.0, stop=20.0)
+        GreedySource(loop, hop1.link, "cross", packet_size=1500.0)
+        GreedySource(loop, hop2.link, "cross", packet_size=1500.0)
+        loop.run(until=30.0)
+        tau = 1500.0 / link
+        bound = 2 * (dmax + tau) + 2 * wire
+        assert len(delays) > 100
+        assert max(delays) <= bound + 1e-9

@@ -1,0 +1,62 @@
+"""Tests for the run_all report machinery (without running all experiments)."""
+
+import pytest
+
+from repro.experiments import run_all
+from repro.experiments.base import ExperimentResult
+
+
+class TestMarkdown:
+    def test_renders_rows_and_checks(self):
+        result = ExperimentResult(
+            "EX", "demo title",
+            rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 0.25}],
+            checks={"holds": True, "fails": False},
+            notes="careful",
+        )
+        text = run_all.to_markdown(result)
+        assert "### EX: demo title" in text
+        assert "| a | b |" in text
+        assert "| 3 | 0.25 |" in text
+        assert "- **PASS** holds" in text
+        assert "- **FAIL** fails" in text
+        assert "- note: careful" in text
+
+    def test_rowless_result(self):
+        result = ExperimentResult("EX", "t", checks={"ok": True})
+        text = run_all.to_markdown(result)
+        assert "### EX" in text and "|" not in text
+
+    def test_registry_covers_all_modules(self):
+        assert len(run_all.ALL_EXPERIMENTS) == 13
+        names = [m.__name__.rsplit(".", 1)[-1] for m in run_all.ALL_EXPERIMENTS]
+        assert names[0] == "e1_sced_punishment"
+        assert names[-1] == "e13_multihop"
+
+
+class TestMainWiring:
+    def test_main_reports_failures(self, monkeypatch, capsys):
+        failing = ExperimentResult("EX", "t", checks={"nope": False})
+
+        class FakeModule:
+            @staticmethod
+            def run():
+                return failing
+
+        monkeypatch.setattr(run_all, "ALL_EXPERIMENTS", [FakeModule])
+        assert run_all.main([]) == 1
+        out = capsys.readouterr().out
+        assert "0/1" in out
+
+    def test_main_markdown_mode(self, monkeypatch, capsys):
+        passing = ExperimentResult("EX", "t", checks={"yep": True})
+
+        class FakeModule:
+            @staticmethod
+            def run():
+                return passing
+
+        monkeypatch.setattr(run_all, "ALL_EXPERIMENTS", [FakeModule])
+        assert run_all.main(["--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "### EX" in out and "1/1" in out

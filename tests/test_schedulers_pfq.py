@@ -1,0 +1,196 @@
+"""Tests for the packet fair queueing family: WFQ, SFQ, WF2Q+.
+
+Shared expectations (checked for each algorithm):
+
+* rate-proportional bandwidth shares under backlog;
+* work conservation;
+* no punishment of a flow that used idle bandwidth;
+* per-flow FIFO order.
+
+Algorithm-specific expectations:
+
+* WFQ's GPS virtual time matches hand-computed fluid trajectories;
+* WF2Q+ eligibility prevents a flow from running more than one packet
+  ahead of its fluid share (the worst-case fairness property);
+* SFQ serves in start-tag order.
+"""
+
+import pytest
+
+from helpers import drive, service_by
+from repro.core.errors import ConfigurationError
+from repro.schedulers.sfq import SFQScheduler
+from repro.schedulers.wf2q import WF2QPlusScheduler
+from repro.schedulers.wfq import WFQScheduler
+from repro.sim.packet import Packet
+
+ALGOS = [WFQScheduler, SFQScheduler, WF2QPlusScheduler]
+
+
+def build(algo, link=1000.0, rates=None):
+    sched = algo(link)
+    for flow_id, rate in (rates or {}).items():
+        sched.add_flow(flow_id, rate)
+    return sched
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+class TestFamilyProperties:
+    def test_proportional_shares(self, algo):
+        sched = build(algo, rates={"a": 700.0, "b": 300.0})
+        arrivals = [(0.0, "a", 70.0)] * 300 + [(0.0, "b", 70.0)] * 300
+        served = drive(sched, arrivals, until=20.0)
+        ratio = service_by(served, "a", 20.0) / service_by(served, "b", 20.0)
+        assert ratio == pytest.approx(7.0 / 3.0, rel=0.1)
+
+    def test_work_conserving(self, algo):
+        sched = build(algo, rates={"a": 100.0, "b": 900.0})
+        arrivals = [(0.0, "a", 50.0)] * 100  # only the small flow active
+        served = drive(sched, arrivals, until=10.0)
+        # All 5000 bytes drain at link speed: done by 5s.
+        assert served[-1].departed == pytest.approx(5.0)
+
+    def test_no_punishment(self, algo):
+        sched = build(algo, rates={"a": 500.0, "b": 500.0})
+        arrivals = [(0.0, "a", 100.0)] * 150
+        arrivals += [(10.0, "b", 100.0)] * 60
+        served = drive(sched, arrivals, until=30.0)
+        window = service_by(served, "a", 12.0) - service_by(served, "a", 10.0)
+        assert window >= 0.9 * 2.0 * 500.0 * 0.9
+
+    def test_per_flow_fifo(self, algo):
+        sched = build(algo, rates={"a": 500.0, "b": 500.0})
+        arrivals = [(0.001 * i, "a", 50.0) for i in range(20)]
+        arrivals += [(0.0, "b", 50.0)] * 20
+        served = drive(sched, arrivals, until=10.0)
+        created = [p.created for p in served if p.class_id == "a"]
+        assert created == sorted(created)
+
+    def test_unknown_flow_rejected(self, algo):
+        sched = build(algo)
+        with pytest.raises(ConfigurationError):
+            sched.enqueue(Packet("ghost", 1.0), 0.0)
+
+    def test_duplicate_flow_rejected(self, algo):
+        sched = build(algo, rates={"a": 1.0})
+        with pytest.raises(ConfigurationError):
+            sched.add_flow("a", 1.0)
+
+    def test_invalid_rate_rejected(self, algo):
+        sched = build(algo)
+        with pytest.raises(ConfigurationError):
+            sched.add_flow("x", 0.0)
+
+
+class TestWFQSpecifics:
+    def test_gps_virtual_time_single_flow(self):
+        """One backlogged flow of weight 250 on a 1000 link: V advances at
+        1000/250 = 4x real time until the fluid system drains the packet
+        (finish tag 2.0, reached at t = 0.5), then freezes."""
+        sched = WFQScheduler(1000.0)
+        sched.add_flow("a", 250.0)
+        sched.enqueue(Packet("a", 500.0), 0.0)
+        assert sched.virtual_time(0.25) == pytest.approx(1.0)
+        assert sched.virtual_time(1.0) == pytest.approx(2.0)
+
+    def test_gps_departure_slows_then_resumes(self):
+        """After the fluid system drains a flow, V speeds up."""
+        sched = WFQScheduler(1000.0)
+        sched.add_flow("a", 500.0)
+        sched.add_flow("b", 500.0)
+        sched.enqueue(Packet("a", 500.0), 0.0)  # finish tag 1.0
+        sched.enqueue(Packet("b", 1500.0), 0.0)  # finish tag 3.0
+        # Both busy: dV/dt = 1; a's fluid departure at V=1 (t=1).
+        assert sched.virtual_time(0.5) == pytest.approx(0.5)
+        # After t=1 only b is GPS-busy: dV/dt = 2.
+        assert sched.virtual_time(2.0) == pytest.approx(1.0 + 2.0 * 1.0)
+
+    def test_finish_tag_order(self):
+        sched = WFQScheduler(1000.0)
+        sched.add_flow("a", 900.0)
+        sched.add_flow("b", 100.0)
+        pa = Packet("a", 90.0)   # finish 0.1
+        pb = Packet("b", 100.0)  # finish 1.0
+        sched.enqueue(pb, 0.0)
+        sched.enqueue(pa, 0.0)
+        assert sched.dequeue(0.0) is pa
+
+    def test_time_goes_backwards_rejected(self):
+        sched = WFQScheduler(1000.0)
+        sched.add_flow("a", 100.0)
+        sched.enqueue(Packet("a", 10.0), 5.0)
+        with pytest.raises(ValueError):
+            sched.enqueue(Packet("a", 10.0), 1.0)
+
+
+class TestWF2QSpecifics:
+    def test_eligibility_blocks_future_starts(self):
+        """WF2Q+ may not serve a packet whose fluid start is in the future:
+        the classic example where WFQ bursts a high-weight flow ahead."""
+        link = 1.0
+        sched = WF2QPlusScheduler(link)
+        sched.add_flow("fast", 0.5)
+        sched.add_flow("slow", 0.5)
+        # fast queues 10 unit packets at once; slow queues 10 too.
+        arrivals = [(0.0, "fast", 1.0)] * 10 + [(0.0, "slow", 1.0)] * 10
+        served = drive(sched, arrivals, until=25.0, rate=link)
+        order = [p.class_id for p in served]
+        # Strict alternation: eligibility forbids running ahead.
+        for i in range(0, 19, 2):
+            assert {order[i], order[i + 1]} == {"fast", "slow"}
+
+    def test_wf2q_never_more_than_one_packet_ahead(self):
+        """Worst-case fairness: actual service <= fluid share + one packet."""
+        link = 1000.0
+        sched = WF2QPlusScheduler(link)
+        rates = {"a": 500.0, "b": 300.0, "c": 200.0}
+        for fid, rate in rates.items():
+            sched.add_flow(fid, rate)
+        size = 100.0
+        arrivals = []
+        for fid in rates:
+            arrivals += [(0.0, fid, size)] * 100
+        served = drive(sched, arrivals, until=40.0)
+        for t in [1.0, 2.0, 5.0, 8.0]:
+            for fid, rate in rates.items():
+                got = service_by(served, fid, t)
+                fluid = rate * t
+                assert got <= fluid + size + 1e-6
+
+    def test_virtual_time_floor(self):
+        """V jumps to the minimum start tag when all flows are 'future'."""
+        sched = WF2QPlusScheduler(1000.0)
+        sched.add_flow("a", 500.0)
+        sched.enqueue(Packet("a", 500.0), 0.0)
+        sched.dequeue(0.0)  # V = 0.5 after L/R advance
+        # Flow idle; new backlog gets start max(V, last_finish=1.0) = 1.0.
+        sched.enqueue(Packet("a", 500.0), 2.0)
+        assert sched.dequeue(2.0) is not None  # floor promotes it
+
+
+class TestSFQSpecifics:
+    def test_start_tag_order(self):
+        sched = SFQScheduler(1000.0)
+        sched.add_flow("a", 100.0)
+        sched.add_flow("b", 100.0)
+        pa1 = Packet("a", 100.0)  # S=0
+        pa2 = Packet("a", 100.0)  # S=1 (chained)
+        pb1 = Packet("b", 100.0)  # S=0
+        sched.enqueue(pa1, 0.0)
+        sched.enqueue(pa2, 0.0)
+        sched.enqueue(pb1, 0.0)
+        first = sched.dequeue(0.0)
+        second = sched.dequeue(0.1)
+        third = sched.dequeue(0.2)
+        assert {first, second} == {pa1, pb1}
+        assert third is pa2
+
+    def test_virtual_time_is_start_of_packet_in_service(self):
+        sched = SFQScheduler(1000.0)
+        sched.add_flow("a", 100.0)
+        sched.enqueue(Packet("a", 100.0), 0.0)
+        sched.enqueue(Packet("a", 100.0), 0.0)
+        sched.dequeue(0.0)
+        assert sched.virtual_time() == 0.0
+        sched.dequeue(0.1)
+        assert sched.virtual_time() == pytest.approx(1.0)

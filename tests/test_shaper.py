@@ -1,0 +1,147 @@
+"""Tests for the token-bucket shaper and policer."""
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.errors import ConfigurationError
+from repro.core.hfsc import HFSC
+from repro.analysis.delay import hfsc_delay_bound
+from repro.schedulers.fifo import FIFOScheduler
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.shaper import TokenBucketPolicer, TokenBucketShaper
+from repro.sim.sources import GreedySource, OnOffSource, CBRSource
+from repro.sim.stats import StatsCollector
+from repro.util.rng import make_rng
+
+
+class _Recorder:
+    def __init__(self, loop):
+        self.loop = loop
+        self.events = []
+
+    def offer(self, packet):
+        self.events.append((self.loop.now, packet.size))
+
+
+class TestShaper:
+    def test_conformant_stream_passes_untouched(self):
+        loop = EventLoop()
+        sink = _Recorder(loop)
+        shaper = TokenBucketShaper(loop, sink, sigma=200.0, rho=100.0)
+        for k in range(5):
+            loop.schedule(2.0 * k, shaper.offer, Packet("a", 100.0))
+        loop.run()
+        assert [t for t, _ in sink.events] == pytest.approx([0, 2, 4, 6, 8])
+        assert shaper.delayed == 0
+
+    def test_burst_is_spread_at_rho(self):
+        loop = EventLoop()
+        sink = _Recorder(loop)
+        shaper = TokenBucketShaper(loop, sink, sigma=100.0, rho=100.0)
+        for _ in range(4):
+            loop.schedule(0.0, shaper.offer, Packet("a", 100.0))
+        loop.run()
+        # First packet uses the full bucket; the rest wait 1 s each.
+        assert [t for t, _ in sink.events] == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_output_conforms_to_envelope(self):
+        """Property: cumulative output <= sigma + rho * t at all times."""
+        loop = EventLoop()
+        sink = _Recorder(loop)
+        sigma, rho = 500.0, 1000.0
+        shaper = TokenBucketShaper(loop, sink, sigma=sigma, rho=rho)
+        OnOffSource(loop, shaper, "a", peak_rate=20_000.0, packet_size=100.0,
+                    mean_on=0.1, mean_off=0.1, rng=make_rng(9, "shape"),
+                    stop=5.0)
+        loop.run(until=10.0)
+        cumulative = 0.0
+        for t, size in sink.events:
+            cumulative += size
+            assert cumulative <= sigma + rho * t + 1e-6
+
+    def test_peak_rate_spacing(self):
+        loop = EventLoop()
+        sink = _Recorder(loop)
+        shaper = TokenBucketShaper(loop, sink, sigma=1000.0, rho=1000.0,
+                                   peak=100.0)
+        for _ in range(3):
+            loop.schedule(0.0, shaper.offer, Packet("a", 100.0))
+        loop.run()
+        gaps = [b - a for (a, _), (b, _) in zip(sink.events, sink.events[1:])]
+        assert all(g >= 1.0 - 1e-9 for g in gaps)  # 100 B at peak 100 B/s
+
+    def test_oversized_packet_rejected(self):
+        loop = EventLoop()
+        shaper = TokenBucketShaper(loop, _Recorder(loop), sigma=50.0, rho=10.0)
+        with pytest.raises(ConfigurationError):
+            shaper.offer(Packet("a", 100.0))
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            TokenBucketShaper(loop, _Recorder(loop), sigma=0.0, rho=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucketShaper(loop, _Recorder(loop), sigma=1.0, rho=1.0, peak=0.0)
+
+    def test_end_to_end_bound_with_shaped_source(self):
+        """The analytic H-FSC bound holds for a shaped (sigma, rho) source
+        -- ties analysis.delay to the scheduler through the shaper."""
+        loop = EventLoop()
+        link_rate = 125_000.0
+        spec = ServiceCurve.from_delay(1000.0, 0.02, 10_000.0)
+        sched = HFSC(link_rate)
+        sched.add_class("rt", sc=spec)
+        sched.add_class("bulk",
+                        rt_sc=ServiceCurve.linear(60_000.0),
+                        ls_sc=ServiceCurve.linear(110_000.0))
+        link = Link(loop, sched)
+        stats = StatsCollector(link)
+        sigma, rho = 1000.0, 10_000.0
+        shaper = TokenBucketShaper(loop, link, sigma=sigma, rho=rho)
+        # Feed the shaper far more than (sigma, rho): bursts of 5 packets.
+        OnOffSource(loop, shaper, "rt", peak_rate=100_000.0, packet_size=200.0,
+                    mean_on=0.05, mean_off=0.05, rng=make_rng(11, "rt"),
+                    stop=20.0)
+        GreedySource(loop, link, "bulk", packet_size=1500.0)
+        loop.run(until=30.0)
+        bound = hfsc_delay_bound(spec, sigma, rho, max_packet=1500.0,
+                                 link_rate=link_rate)
+        assert stats["rt"].packets > 100
+        assert stats["rt"].max_delay <= bound + 1e-9
+
+
+class TestPolicer:
+    def test_conformant_passes(self):
+        loop = EventLoop()
+        sink = _Recorder(loop)
+        policer = TokenBucketPolicer(loop, sink, sigma=200.0, rho=100.0)
+        CBRSource(loop, policer, "a", rate=100.0, packet_size=100.0, stop=5.0)
+        loop.run(until=6.0)
+        assert policer.dropped == 0
+        assert policer.passed >= 4
+
+    def test_excess_dropped(self):
+        loop = EventLoop()
+        sink = _Recorder(loop)
+        policer = TokenBucketPolicer(loop, sink, sigma=100.0, rho=10.0)
+        for _ in range(5):
+            loop.schedule(0.0, policer.offer, Packet("a", 100.0))
+        loop.run()
+        assert policer.passed == 1
+        assert policer.dropped == 4
+
+    def test_tokens_refill(self):
+        loop = EventLoop()
+        sink = _Recorder(loop)
+        policer = TokenBucketPolicer(loop, sink, sigma=100.0, rho=100.0)
+        loop.schedule(0.0, policer.offer, Packet("a", 100.0))
+        loop.schedule(1.0, policer.offer, Packet("a", 100.0))
+        loop.run()
+        assert policer.passed == 2
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            TokenBucketPolicer(loop, _Recorder(loop), sigma=-1.0, rho=1.0)

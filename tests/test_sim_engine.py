@@ -1,0 +1,206 @@
+"""Tests for the event loop, link and measurement layers."""
+
+import math
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.errors import SimulationError
+from repro.core.hfsc import HFSC
+from repro.schedulers.fifo import FIFOScheduler
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.stats import ClassStats, StatsCollector, ThroughputMeter
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, fired.append, "b")
+        loop.schedule(1.0, fired.append, "a")
+        loop.schedule(3.0, fired.append, "c")
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        loop = EventLoop()
+        fired = []
+        for name in "abc":
+            loop.schedule(1.0, fired.append, name)
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_stops_clock(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, 1)
+        loop.schedule(5.0, fired.append, 5)
+        loop.run(until=2.0)
+        assert fired == [1]
+        assert loop.now == 2.0
+        loop.run()
+        assert fired == [1, 5]
+
+    def test_schedule_after(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(1.0, lambda: loop.schedule_after(0.5, lambda: times.append(loop.now)))
+        loop.run()
+        assert times == [1.5]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, fired.append, "x")
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule(1.0, lambda: None)
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for t in range(5):
+            loop.schedule(float(t), lambda: None)
+        loop.run()
+        assert loop.events_processed == 5
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def rearm():
+            loop.schedule_after(0.1, rearm)
+
+        loop.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            loop.run(until=1e12, max_events=100)
+
+
+class TestLink:
+    def test_transmission_time(self):
+        loop = EventLoop()
+        link = Link(loop, FIFOScheduler(1000.0))
+        packet = Packet("a", 500.0, created=0.0)
+        loop.schedule(0.0, link.offer, packet)
+        loop.run()
+        assert packet.departed == pytest.approx(0.5)
+
+    def test_serialization(self):
+        loop = EventLoop()
+        link = Link(loop, FIFOScheduler(1000.0))
+        packets = [Packet("a", 500.0) for _ in range(3)]
+        for p in packets:
+            loop.schedule(0.0, link.offer, p)
+        loop.run()
+        assert [p.departed for p in packets] == pytest.approx([0.5, 1.0, 1.5])
+
+    def test_listener_callbacks(self):
+        loop = EventLoop()
+        link = Link(loop, FIFOScheduler(1000.0))
+        seen, seen_class = [], []
+        link.add_listener(lambda p, t: seen.append((p.class_id, t)))
+        link.add_class_listener("a", lambda p, t: seen_class.append(t))
+        loop.schedule(0.0, link.offer, Packet("a", 100.0))
+        loop.schedule(0.0, link.offer, Packet("b", 100.0))
+        loop.run()
+        assert len(seen) == 2 and len(seen_class) == 1
+
+    def test_utilization(self):
+        loop = EventLoop()
+        link = Link(loop, FIFOScheduler(1000.0))
+        loop.schedule(0.0, link.offer, Packet("a", 500.0))
+        loop.run(until=1.0)
+        assert link.utilization() == pytest.approx(0.5)
+
+    def test_non_work_conserving_retry(self):
+        """The link re-polls when H-FSC declines to send (rt-only class)."""
+        loop = EventLoop()
+        sched = HFSC(100.0)
+        sched.add_class("a", rt_sc=ServiceCurve(0.0, 0.0, 10.0))
+        link = Link(loop, sched)
+        packets = [Packet("a", 10.0) for _ in range(3)]
+        for p in packets:
+            loop.schedule(0.0, link.offer, p)
+        loop.run()
+        # 10-byte packets at an eligible-rate of 10 B/s: spaced ~1 s.
+        assert packets[1].departed == pytest.approx(1.0, abs=0.2)
+        assert packets[2].departed == pytest.approx(2.0, abs=0.2)
+
+
+class TestStats:
+    def test_class_stats_aggregation(self):
+        stats = ClassStats("a")
+        for delay, size in [(0.1, 100.0), (0.3, 200.0)]:
+            packet = Packet("a", size)
+            packet.enqueued = 0.0
+            packet.departed = delay
+            stats.record(packet, delay)
+        assert stats.packets == 2
+        assert stats.bytes == 300.0
+        assert stats.mean_delay == pytest.approx(0.2)
+        assert stats.max_delay == pytest.approx(0.3)
+        assert stats.min_delay == pytest.approx(0.1)
+
+    def test_percentile(self):
+        stats = ClassStats("a")
+        for delay in [0.01 * i for i in range(1, 101)]:
+            packet = Packet("a", 1.0)
+            packet.enqueued = 0.0
+            packet.departed = delay
+            stats.record(packet, delay)
+        assert stats.percentile(50) == pytest.approx(0.5)
+        assert stats.percentile(99) == pytest.approx(0.99)
+
+    def test_stddev(self):
+        stats = ClassStats("a")
+        for delay in [0.1, 0.1, 0.1]:
+            packet = Packet("a", 1.0)
+            packet.enqueued = 0.0
+            packet.departed = delay
+            stats.record(packet, delay)
+        assert stats.stddev_delay == pytest.approx(0.0, abs=1e-9)
+
+    def test_deadline_miss_tracking(self):
+        stats = ClassStats("a")
+        packet = Packet("a", 1.0)
+        packet.enqueued = 0.0
+        packet.departed = 1.0
+        packet.deadline = 0.7
+        stats.record(packet, 1.0)
+        assert stats.worst_deadline_miss == pytest.approx(0.3)
+
+    def test_collector_on_link(self):
+        loop = EventLoop()
+        link = Link(loop, FIFOScheduler(1000.0))
+        stats = StatsCollector(link)
+        loop.schedule(0.0, link.offer, Packet("a", 100.0))
+        loop.schedule(0.0, link.offer, Packet("b", 200.0))
+        loop.run()
+        assert stats.total_packets == 2
+        assert stats["a"].bytes == 100.0
+        assert "b" in stats
+
+    def test_throughput_meter_windows(self):
+        meter = ThroughputMeter(None, window=1.0)
+        packet = Packet("a", 500.0)
+        meter.on_departure(packet, 0.5)
+        meter.on_departure(packet, 1.5)
+        series = meter.series("a")
+        assert series == [(0.0, 500.0), (1.0, 500.0)]
+        assert meter.rate_between("a", 0.0, 2.0) == pytest.approx(500.0)
+
+    def test_throughput_meter_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter(None, window=0.0)
+
+    def test_delay_of_undeparted_packet_raises(self):
+        packet = Packet("a", 1.0)
+        with pytest.raises(ValueError):
+            packet.delay

@@ -1,0 +1,175 @@
+"""Tests for the traffic sources."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+from repro.sim.sources import (
+    CBRSource,
+    GreedySource,
+    OnOffSource,
+    PoissonSource,
+    TraceSource,
+    VideoFrameSource,
+)
+from repro.schedulers.fifo import FIFOScheduler
+from repro.sim.stats import StatsCollector
+from repro.util.rng import make_rng
+
+
+def fast_link(loop, rate=1e9):
+    return Link(loop, FIFOScheduler(rate))
+
+
+class TestCBR:
+    def test_rate_and_spacing(self):
+        loop = EventLoop()
+        link = fast_link(loop)
+        stats = StatsCollector(link)
+        CBRSource(loop, link, "cbr", rate=1000.0, packet_size=100.0)
+        loop.run(until=10.0)
+        # 1000 B/s in 100-byte packets: one every 0.1 s, ~100 packets.
+        assert stats["cbr"].packets == pytest.approx(100, abs=2)
+
+    def test_start_stop_window(self):
+        loop = EventLoop()
+        link = fast_link(loop)
+        stats = StatsCollector(link)
+        CBRSource(loop, link, "cbr", rate=1000.0, packet_size=100.0,
+                  start=2.0, stop=4.0)
+        loop.run(until=10.0)
+        assert 15 <= stats["cbr"].packets <= 25
+        assert stats["cbr"].first_departure >= 2.0
+
+    def test_jitter_requires_rng(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            CBRSource(loop, fast_link(loop), "x", 100.0, 10.0, jitter=0.1)
+
+    def test_invalid_parameters(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            CBRSource(loop, fast_link(loop), "x", 0.0, 10.0)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        loop = EventLoop()
+        link = fast_link(loop)
+        stats = StatsCollector(link)
+        PoissonSource(loop, link, "p", rate=10_000.0, packet_size=100.0,
+                      rng=make_rng(1, "poisson"))
+        loop.run(until=50.0)
+        rate = stats["p"].bytes / 50.0
+        assert rate == pytest.approx(10_000.0, rel=0.1)
+
+    def test_interarrival_variability(self):
+        """Poisson arrivals are irregular (unlike CBR)."""
+        loop = EventLoop()
+        link = fast_link(loop)
+        times = []
+        link.add_listener(lambda p, t: times.append(t))
+        PoissonSource(loop, link, "p", rate=1000.0, packet_size=100.0,
+                      rng=make_rng(2, "poisson"))
+        loop.run(until=30.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        # Exponential: stddev == mean.
+        assert var ** 0.5 == pytest.approx(mean, rel=0.3)
+
+
+class TestOnOff:
+    def test_mean_rate_property(self):
+        loop = EventLoop()
+        link = fast_link(loop)
+        stats = StatsCollector(link)
+        source = OnOffSource(
+            loop, link, "oo", peak_rate=10_000.0, packet_size=100.0,
+            mean_on=0.1, mean_off=0.3, rng=make_rng(3, "onoff"),
+        )
+        assert source.mean_rate == pytest.approx(2500.0)
+        loop.run(until=100.0)
+        rate = stats["oo"].bytes / 100.0
+        assert rate == pytest.approx(source.mean_rate, rel=0.25)
+
+    def test_pareto_shape_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            OnOffSource(loop, fast_link(loop), "x", 100.0, 10.0, 1.0, 1.0,
+                        make_rng(0), pareto_shape=1.0)
+
+    def test_pareto_bursts(self):
+        loop = EventLoop()
+        link = fast_link(loop)
+        stats = StatsCollector(link)
+        OnOffSource(loop, link, "oo", peak_rate=10_000.0, packet_size=100.0,
+                    mean_on=0.1, mean_off=0.1, rng=make_rng(4, "pareto"),
+                    pareto_shape=1.5)
+        loop.run(until=50.0)
+        assert stats["oo"].packets > 0
+
+
+class TestGreedy:
+    def test_keeps_link_saturated(self):
+        loop = EventLoop()
+        link = Link(loop, FIFOScheduler(1000.0))
+        GreedySource(loop, link, "g", packet_size=100.0)
+        loop.run(until=10.0)
+        assert link.utilization(10.0) == pytest.approx(1.0, abs=0.02)
+
+    def test_stops_at_stop_time(self):
+        loop = EventLoop()
+        link = Link(loop, FIFOScheduler(1000.0))
+        stats = StatsCollector(link)
+        GreedySource(loop, link, "g", packet_size=100.0, stop=5.0, window=2)
+        loop.run(until=20.0)
+        # ~5000 bytes in 5 s plus the residual window.
+        assert stats["g"].bytes <= 5000.0 + 2 * 100.0 + 1e-9
+
+    def test_window_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            GreedySource(loop, Link(loop, FIFOScheduler(10.0)), "g", 10.0, window=0)
+
+
+class TestVideoFrames:
+    def test_frames_fragmented_to_mtu(self):
+        loop = EventLoop()
+        link = fast_link(loop)
+        sizes = []
+        link.add_listener(lambda p, t: sizes.append(p.size))
+        VideoFrameSource(loop, link, "v", fps=10.0, mean_frame=4000.0,
+                         rng=make_rng(5, "video"), mtu=1500.0)
+        loop.run(until=10.0)
+        assert max(sizes) <= 1500.0
+        assert len(sizes) > 100  # ~100 frames, multiple packets each
+
+    def test_frame_rate(self):
+        loop = EventLoop()
+        link = fast_link(loop)
+        source = VideoFrameSource(loop, link, "v", fps=25.0, mean_frame=2000.0,
+                                  rng=make_rng(6, "video"))
+        loop.run(until=4.0)
+        assert source.frames_sent == pytest.approx(100, abs=2)
+
+    def test_mean_frame_size(self):
+        loop = EventLoop()
+        link = fast_link(loop)
+        source = VideoFrameSource(loop, link, "v", fps=100.0, mean_frame=3000.0,
+                                  rng=make_rng(7, "video"), cv=0.3)
+        loop.run(until=50.0)
+        mean = source.bytes_sent / source.frames_sent
+        assert mean == pytest.approx(3000.0, rel=0.1)
+
+
+class TestTrace:
+    def test_replays_exact_times(self):
+        loop = EventLoop()
+        link = fast_link(loop)
+        seen = []
+        link.add_listener(lambda p, t: seen.append((round(p.created, 6), p.size)))
+        TraceSource(loop, link, "t", [(0.5, 100.0), (0.1, 50.0), (0.9, 75.0)])
+        loop.run()
+        assert seen == [(0.1, 50.0), (0.5, 100.0), (0.9, 75.0)]

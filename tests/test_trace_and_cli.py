@@ -1,0 +1,95 @@
+"""Tests for trace recording/replay and the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.hfsc import HFSC
+from repro.schedulers.fifo import FIFOScheduler
+from repro.sim.drive import drive
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.sources import PoissonSource
+from repro.sim.trace import (
+    TraceRecorder,
+    arrivals_from_trace,
+    load_trace,
+    save_trace,
+)
+from repro.util.rng import make_rng
+
+
+class TestTrace:
+    def _record_simulation(self):
+        loop = EventLoop()
+        sched = HFSC(10_000.0)
+        sched.add_class("a", sc=ServiceCurve.linear(4_000.0))
+        sched.add_class("b", sc=ServiceCurve.linear(4_000.0))
+        link = Link(loop, sched)
+        recorder = TraceRecorder(link)
+        PoissonSource(loop, link, "a", rate=3_000.0, packet_size=200.0,
+                      rng=make_rng(1, "a"), stop=3.0)
+        PoissonSource(loop, link, "b", rate=3_000.0, packet_size=400.0,
+                      rng=make_rng(1, "b"), stop=3.0)
+        loop.run(until=10.0)
+        return recorder
+
+    def test_recorder_captures_departures(self):
+        recorder = self._record_simulation()
+        assert len(recorder) > 20
+        first = recorder.records[0]
+        assert first.departed >= first.enqueued
+        assert first.via_realtime in (True, False)
+
+    def test_csv_round_trip(self, tmp_path):
+        recorder = self._record_simulation()
+        path = os.path.join(tmp_path, "trace.csv")
+        save_trace(recorder.records, path)
+        loaded = load_trace(path)
+        assert loaded == recorder.records
+
+    def test_load_rejects_foreign_csv(self, tmp_path):
+        path = os.path.join(tmp_path, "other.csv")
+        with open(path, "w") as handle:
+            handle.write("x,y\n1,2\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_replay_against_other_scheduler(self):
+        recorder = self._record_simulation()
+        arrivals = arrivals_from_trace(recorder.records)
+        served = drive(FIFOScheduler(10_000.0), arrivals, until=20.0)
+        assert len(served) == len(arrivals)
+        total_in = sum(size for _, _, size in arrivals)
+        total_out = sum(p.size for p in served)
+        assert total_out == pytest.approx(total_in)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E11" in out
+
+    def test_run_single(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "e1"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_run_markdown(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "E2", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| scheduler |" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "E99"]) == 2
