@@ -5,11 +5,13 @@ Usage::
     python -m repro list                 # experiment index
     python -m repro run E5               # one experiment, text report
     python -m repro run all --markdown   # everything, markdown
+    python -m repro bench --compare      # tracked benches vs the baseline
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List
 
@@ -25,7 +27,37 @@ def _registry() -> Dict[str, object]:
     return registry
 
 
+def _load_bench_harness():
+    """Import ``benchmarks/baseline.py`` (not an installed package)."""
+    import importlib.util
+
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+        "benchmarks",
+        "baseline.py",
+    )
+    if not os.path.exists(path):
+        return None
+    spec = importlib.util.spec_from_file_location("repro_bench_baseline", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``bench`` owns its own argparse (benchmarks/baseline.py); hand the
+    # remaining argv straight through so --compare/--quick/etc. work.
+    if argv and argv[0] == "bench":
+        harness = _load_bench_harness()
+        if harness is None:
+            print("benchmarks/baseline.py not found (source checkout only)",
+                  file=sys.stderr)
+            return 2
+        return harness.main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="H-FSC reproduction: run the paper's experiments",
@@ -36,6 +68,9 @@ def main(argv: List[str] = None) -> int:
     run_parser.add_argument("experiment", help="experiment id (e.g. E5) or 'all'")
     run_parser.add_argument(
         "--markdown", action="store_true", help="emit markdown tables"
+    )
+    subparsers.add_parser(
+        "bench", help="run the tracked benchmark set (see --help of 'bench')"
     )
     args = parser.parse_args(argv)
     registry = _registry()

@@ -37,7 +37,8 @@ Extensions beyond the paper, both off by default and marked in the API:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+from operator import attrgetter
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set
 
 from repro.core.curves import ServiceCurve, is_admissible
 from repro.core.errors import AdmissionError, ConfigurationError
@@ -48,6 +49,9 @@ from repro.util.eligible_set import make_eligible_set
 from repro.util.heap import IndexedHeap
 
 ROOT = "__root__"
+
+#: Sort key for virtual-time tie groups in the link-sharing descent.
+_creation_index = attrgetter("index")
 
 
 class HFSCClass:
@@ -62,6 +66,8 @@ class HFSCClass:
         "name",
         "parent",
         "children",
+        "index",
+        "ul_children",
         "rt_spec",
         "ls_spec",
         "ul_spec",
@@ -97,6 +103,14 @@ class HFSCClass:
         self.name = name
         self.parent = parent
         self.children: List["HFSCClass"] = []
+        # Creation order, assigned by the scheduler; the deterministic
+        # stand-in for the allocation-order tie-break of the original
+        # selection loop (see _link_sharing_select).
+        self.index = 0
+        # Number of direct children carrying an upper-limit curve; lets
+        # the link-sharing descent skip the fit-time filter at nodes with
+        # no upper-limited children.
+        self.ul_children = 0
         self.rt_spec = rt_spec
         self.ls_spec = ls_spec
         self.ul_spec = ul_spec
@@ -213,6 +227,11 @@ class HFSC(Scheduler):
         self._classes: Dict[Any, HFSCClass] = {ROOT: self.root}
         self._eligible = make_eligible_set(eligible_backend)
         self._ul_classes: List[HFSCClass] = []
+        self._next_index = 1
+        # Backlogged upper-limited leaves keyed by fit time, so
+        # next_ready_time() needs the earliest future fit rather than a
+        # scan of every upper-limited class.
+        self._ul_wait: IndexedHeap[HFSCClass] = IndexedHeap()
 
     # -- hierarchy construction ---------------------------------------------
 
@@ -260,10 +279,13 @@ class HFSC(Scheduler):
             )
         cls = HFSCClass(name, parent_cls, rt_sc, ls_sc, ul_sc)
         cls.vt_policy = self.vt_policy
+        cls.index = self._next_index
+        self._next_index += 1
         parent_cls.children.append(cls)
         self._classes[name] = cls
         if ul_sc is not None:
             self._ul_classes.append(cls)
+            parent_cls.ul_children += 1
         self._admission_checked = False
         return cls
 
@@ -296,6 +318,9 @@ class HFSC(Scheduler):
         del self._classes[name]
         if cls in self._ul_classes:
             self._ul_classes.remove(cls)
+            cls.parent.ul_children -= 1
+        if cls in self._ul_wait:
+            self._ul_wait.remove(cls)
         self._admission_checked = False
 
     def __getitem__(self, name: Any) -> HFSCClass:
@@ -353,16 +378,17 @@ class HFSC(Scheduler):
         return self._serve(leaf, realtime, now)
 
     def next_ready_time(self, now: float) -> Optional[float]:
-        candidates: List[float] = []
-        eligible = self._eligible.min_eligible()
-        if eligible is not None:
-            candidates.append(eligible)
-        for cls in self._ul_classes:
-            if cls.queue and cls.fit_time > now:
-                candidates.append(cls.fit_time)
-        if not candidates:
-            return None
-        return min(candidates)
+        best = self._eligible.min_eligible()
+        # The earliest *future* fit time among backlogged upper-limited
+        # leaves: ``_ul_wait`` is keyed by fit time, so walk it in key
+        # order and stop at the first entry beyond ``now`` (entries at or
+        # before ``now`` are schedulable already and don't need a wakeup).
+        for fit_time, _cls in self._ul_wait.iter_sorted():
+            if fit_time > now:
+                if best is None or fit_time < best:
+                    best = fit_time
+                break
+        return best
 
     # -- measurement hooks ----------------------------------------------------
 
@@ -384,6 +410,16 @@ class HFSC(Scheduler):
         """
         total_backlog_packets = 0
         total_backlog_bytes = 0.0
+        # One ancestor walk per backlogged leaf marks every interior class
+        # with backlogged descendants (the old per-interior leaf scan was
+        # quadratic in the class count).
+        with_backlog: Set[HFSCClass] = set()
+        for cls in self.classes():
+            if cls.is_leaf and cls.queue:
+                node: Optional[HFSCClass] = cls
+                while node is not None and node not in with_backlog:
+                    with_backlog.add(node)
+                    node = node.parent
         for cls in self.classes():
             if cls.is_leaf:
                 total_backlog_packets += len(cls.queue)
@@ -396,13 +432,15 @@ class HFSC(Scheduler):
                 assert cls.cumul_rt <= cls.total_work + 1e-6, (
                     f"{cls.name!r}: rt service exceeds total service"
                 )
+                if cls.ul_spec is not None:
+                    in_wait = cls in self._ul_wait
+                    expect = cls.ul_curve is not None and bool(cls.queue)
+                    assert in_wait == expect, (
+                        f"{cls.name!r}: _ul_wait membership inconsistent"
+                    )
                 has_backlog = bool(cls.queue)
             else:
-                has_backlog = any(
-                    leaf.queue
-                    for leaf in self.leaf_classes()
-                    if self._is_descendant(leaf, cls)
-                )
+                has_backlog = cls in with_backlog
                 assert cls.nactive == sum(
                     1 for child in cls.children if child.ls_active
                 ), f"{cls.name!r}: nactive count stale"
@@ -418,15 +456,6 @@ class HFSC(Scheduler):
                     assert has_backlog, f"{cls.name!r}: active but empty"
         assert total_backlog_packets == self._backlog_packets
         assert abs(total_backlog_bytes - self._backlog_bytes) < 1e-6
-
-    @staticmethod
-    def _is_descendant(node: HFSCClass, ancestor: HFSCClass) -> bool:
-        walker = node
-        while walker is not None:
-            if walker is ancestor:
-                return True
-            walker = walker.parent
-        return False
 
     # -- internals -------------------------------------------------------------
 
@@ -467,6 +496,7 @@ class HFSC(Scheduler):
             else:
                 leaf.ul_curve.min_with(leaf.ul_spec, now, leaf.total_work)
             leaf.fit_time = leaf.ul_curve.inverse(leaf.total_work)
+            self._ul_wait.push(leaf, leaf.fit_time)
         if leaf.ls_spec is not None:
             self._activate_ls(leaf)
 
@@ -507,25 +537,53 @@ class HFSC(Scheduler):
             node = parent
 
     def _link_sharing_select(self, now: float) -> Optional[HFSCClass]:
-        """Recursive smallest-virtual-time descent from the root (Fig. 4).
+        """Smallest-virtual-time descent from the root (Fig. 4).
 
-        Upper-limited classes whose fit time lies in the future are skipped
-        (extension); without upper limits this is a straight heap-peek
-        descent.
+        Without upper limits this is a straight heap-peek descent, O(1)
+        per level.  With upper limits in the hierarchy, classes whose fit
+        time lies in the future must be skipped (extension); the original
+        implementation sorted every sibling set on the way down, making
+        each dequeue linear in the fan-out.  Here each level peeks the
+        heap and falls back to a lazy in-order walk
+        (:meth:`IndexedHeap.iter_sorted`) only when the minimum is tied or
+        unfit, so the cost is O(log n) plus the number of skipped
+        children.
+
+        Virtual-time ties are broken by class creation order
+        (``HFSCClass.index``).  The original loop used ``id()``, i.e.
+        allocation order, which equals creation order for classes built in
+        one pass but is not stable across processes; pinning the explicit
+        index keeps schedules reproducible.
         """
         node = self.root
-        while node.nactive > 0:
-            if not self._ul_classes:
+        if not self._ul_classes:
+            while node.nactive > 0:
                 node = node.active_min.peek_item()
-                continue
-            chosen = None
-            for child in sorted(node.active_min, key=lambda c: (c.vt, id(c))):
-                if child.ul_curve is None or child.fit_time <= now:
-                    chosen = child
-                    break
-            if chosen is None:
-                return None
-            node = chosen
+        else:
+            while node.nactive > 0:
+                heap = node.active_min
+                if not heap.min_is_tied():
+                    child = heap.peek_item()
+                    if child.ul_curve is None or child.fit_time <= now:
+                        node = child
+                        continue
+                chosen = None
+                need_fit = node.ul_children > 0
+                group: List[HFSCClass] = []
+                group_vt: Optional[float] = None
+                for vt, child in heap.iter_sorted():
+                    if vt != group_vt and group:
+                        chosen = self._first_fit(group, need_fit, now)
+                        if chosen is not None:
+                            break
+                        group.clear()
+                    group_vt = vt
+                    group.append(child)
+                else:
+                    chosen = self._first_fit(group, need_fit, now)
+                if chosen is None:
+                    return None
+                node = chosen
         if node.is_root:
             return None
         if not node.queue:
@@ -534,8 +592,23 @@ class HFSC(Scheduler):
             )
         return node
 
+    @staticmethod
+    def _first_fit(
+        group: List[HFSCClass], need_fit: bool, now: float
+    ) -> Optional[HFSCClass]:
+        """Earliest-created fitting class in an equal-virtual-time group."""
+        if len(group) > 1:
+            group.sort(key=_creation_index)
+        if not need_fit:
+            return group[0]
+        for child in group:
+            if child.ul_curve is None or child.fit_time <= now:
+                return child
+        return None
+
     def _serve(self, leaf: HFSCClass, realtime: bool, now: float) -> Packet:
-        packet = leaf.queue.popleft()
+        queue = leaf.queue
+        packet = queue.popleft()
         packet.via_realtime = realtime
         rt_tracked = leaf.rt_spec is not None and self.realtime_enabled
         packet.deadline = leaf.deadline if rt_tracked else None
@@ -546,33 +619,45 @@ class HFSC(Scheduler):
             leaf.bytes_rt += size
         else:
             leaf.bytes_ls += size
+        backlogged = bool(queue)
         # Fig. 6 update_v: the leaf and all its ancestors account the
-        # service and advance their virtual times.
+        # service and advance their virtual times.  When the leaf's queue
+        # just emptied, the nodes _passivate_ls is about to remove from
+        # their parents' heaps skip the heap re-keying (their virtual
+        # times still advance -- the passivation watermark reads them).
         if leaf.ls_spec is not None:
             node: HFSCClass = leaf
-            while node.parent is not None:
+            dying = not backlogged
+            while True:
+                parent = node.parent
+                if parent is None:
+                    node.total_work += size  # the root's aggregate counter
+                    break
                 node.total_work += size
-                assert node.virtual_curve is not None
                 node.vt = node.virtual_curve.inverse(node.total_work)
-                node.parent.active_min.update(node, node.vt)
-                node.parent.active_max.update(node, -node.vt)
-                node = node.parent
-            node.total_work += size  # the root's aggregate counter
+                if dying:
+                    dying = parent.nactive == 1 and not parent.is_root
+                else:
+                    parent.active_min.update(node, node.vt)
+                    parent.active_max.update(node, -node.vt)
+                node = parent
         else:
             leaf.total_work += size
         if leaf.ul_curve is not None:
             leaf.fit_time = leaf.ul_curve.inverse(leaf.total_work)
-        if leaf.queue:
+            if backlogged:
+                self._ul_wait.update(leaf, leaf.fit_time)
+            else:
+                self._ul_wait.remove(leaf)
+        if backlogged:
             if rt_tracked:
                 # Fig. 5: after real-time service both e and d move (c
                 # changed); after link-sharing service only the deadline is
                 # recomputed for the (possibly different-sized) new head.
-                assert leaf.eligible_curve is not None
-                assert leaf.deadline_curve is not None
                 if realtime:
                     leaf.eligible = leaf.eligible_curve.inverse(leaf.cumul_rt)
                 leaf.deadline = leaf.deadline_curve.inverse(
-                    leaf.cumul_rt + leaf.queue[0].size
+                    leaf.cumul_rt + queue[0].size
                 )
                 self._eligible.update(leaf, leaf.eligible, leaf.deadline)
         else:

@@ -38,7 +38,7 @@ from repro.core.curves import INFINITY, PiecewiseLinearCurve, ServiceCurve
 class RuntimeCurve:
     """Two-piece linear curve anchored at ``(x0, y0)`` with O(1) updates."""
 
-    __slots__ = ("x0", "y0", "m1", "dx", "m2")
+    __slots__ = ("x0", "y0", "m1", "dx", "m2", "_kx", "_ky")
 
     def __init__(self, x0: float, y0: float, m1: float, dx: float, m2: float):
         self.x0 = x0
@@ -46,6 +46,15 @@ class RuntimeCurve:
         self.m1 = m1
         self.dx = dx
         self.m2 = m2
+        # Memoized knee (computed on first inverse() past y0, cleared by
+        # the mutating operations).  inverse() runs several times per
+        # packet served, and its operands advance monotonically, so the
+        # knee test dominates; caching it avoids recomputing the knee
+        # point on every call.  The cached values are the *same
+        # expressions* the uncached path evaluates, so results are
+        # bit-identical.
+        self._kx = 0.0
+        self._ky = None
 
     @classmethod
     def from_spec(cls, spec: ServiceCurve, x: float, y: float) -> "RuntimeCurve":
@@ -82,7 +91,13 @@ class RuntimeCurve:
         """
         if y <= self.y0:
             return self.x0
-        knee_x, knee_y = self.knee
+        knee_y = self._ky
+        if knee_y is None:
+            dx = self.dx
+            knee_x = self._kx = self.x0 + dx
+            knee_y = self._ky = self.y0 + self.m1 * dx
+        else:
+            knee_x = self._kx
         if y <= knee_y:
             # m1 > 0 here since knee_y > y0.
             return self.x0 + (y - self.y0) / self.m1
@@ -141,6 +156,7 @@ class RuntimeCurve:
         self.m1 = spec.m1
         self.dx = cross - x
         self.m2 = spec.m2
+        self._ky = None
 
     def _replace(self, spec: ServiceCurve, x: float, y: float) -> None:
         self.x0 = x
@@ -148,6 +164,7 @@ class RuntimeCurve:
         self.m1 = spec.m1
         self.dx = spec.d
         self.m2 = spec.m2
+        self._ky = None
 
     # -- interop ------------------------------------------------------------
 

@@ -4,34 +4,52 @@ Events are (time, sequence) ordered; same-time events fire in scheduling
 order, which makes simulations deterministic.  Components hold an
 :class:`EventLoop` reference and schedule callbacks; the loop itself knows
 nothing about networking.
+
+Hot-path design: heap entries are flat ``[time, seq, fn, args]`` records
+(:class:`Event` is a thin ``list`` subclass so ``heapq`` compares them as
+tuples -- ``seq`` is unique, so comparison never reaches the callback).
+Cancellation is lazy: ``cancel()`` just clears the callback slot and the
+entry is discarded when it surfaces, so no heap surgery happens off the
+fast path.  ``run()`` is a single fused loop -- the seed implementation's
+``peek_time()`` + ``step()`` pairing walked cancelled prefixes twice per
+iteration and advanced the clock to ``until`` even on abnormal exits.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.core.errors import SimulationError
 
+_INF = float("inf")
 
-class Event:
-    """Handle to a scheduled callback; ``cancel()`` prevents it firing."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+class Event(list):
+    """Heap entry ``[time, seq, fn, args]``; ``cancel()`` prevents firing.
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
+    A ``list`` subclass keeps scheduling allocation-light: the entry the
+    heap orders *is* the handle handed back to callers, and lazy
+    cancellation is a single slot write.
+    """
+
+    __slots__ = ()
+
+    @property
+    def time(self) -> float:
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        return self[1]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[2] is None
 
     def cancel(self) -> None:
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        self[2] = None
+        self[3] = ()
 
 
 class EventLoop:
@@ -39,9 +57,15 @@ class EventLoop:
 
     def __init__(self) -> None:
         self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self.now = 0.0
         self._processed = 0
+        # Inline-advance bookkeeping for the link's busy-serve fast path:
+        # the horizon is the active run(until=...) bound, the budget the
+        # remaining max_events allowance (inline serves count as events so
+        # the runaway guard still trips).
+        self._horizon = _INF
+        self._budget = _INF
 
     @property
     def events_processed(self) -> int:
@@ -49,11 +73,16 @@ class EventLoop:
 
     def schedule(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
         """Run ``fn(*args)`` at simulated ``time`` (>= now)."""
-        if time < self.now - 1e-12:
-            raise SimulationError(
-                f"cannot schedule event at {time:g}, clock is at {self.now:g}"
-            )
-        event = Event(max(time, self.now), next(self._seq), fn, args)
+        now = self.now
+        if time < now:
+            if time < now - 1e-12:
+                raise SimulationError(
+                    f"cannot schedule event at {time:g}, clock is at {now:g}"
+                )
+            time = now
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event((time, seq, fn, args))
         heapq.heappush(self._queue, event)
         return event
 
@@ -61,37 +90,84 @@ class EventLoop:
         return self.schedule(self.now + delay, fn, *args)
 
     def peek_time(self) -> Optional[float]:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2] is None:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
+
+    def try_advance(self, time: float) -> bool:
+        """Jump the clock to ``time`` iff nothing is pending before it.
+
+        The link's busy-serve fast path uses this to drain back-to-back
+        transmissions without a heap round-trip per packet: when the next
+        pending event is at or after the completion time (and the active
+        ``run(until=...)`` horizon allows it), the completion can run
+        inline.  Counts against the run budget like a normal event.
+        """
+        if time > self._horizon or self._budget <= 0:
+            return False
+        queue = self._queue
+        while queue and queue[0][2] is None:
+            heapq.heappop(queue)
+        if queue and queue[0][0] < time:
+            return False
+        self.now = time
+        self._processed += 1
+        self._budget -= 1
+        return True
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            fn = event[2]
+            if fn is None:
                 continue
-            if event.time < self.now - 1e-12:
+            time = event[0]
+            if time < self.now - 1e-12:
                 raise SimulationError("event queue returned a past event")
-            self.now = max(self.now, event.time)
+            if time > self.now:
+                self.now = time
             self._processed += 1
-            event.fn(*event.args)
+            fn(*event[3])
             return True
         return False
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
-        """Drain events, stopping after ``until`` (inclusive) if given."""
-        remaining = max_events
-        while remaining:
-            next_time = self.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
+        """Drain events, stopping after ``until`` (inclusive) if given.
+
+        The clock only advances to ``until`` on a clean exit (queue empty
+        or next event beyond the bound); exhausting ``max_events`` raises
+        without touching the clock.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        horizon = _INF if until is None else until
+        self._horizon = horizon
+        self._budget = max_events
+        try:
+            while queue:
+                event = queue[0]
+                fn = event[2]
+                if fn is None:
+                    pop(queue)
+                    continue
+                time = event[0]
+                if time > horizon:
+                    break
+                if self._budget <= 0:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events}"
+                    )
+                pop(queue)
+                self._budget -= 1
+                if time > self.now:
+                    self.now = time
+                self._processed += 1
+                fn(*event[3])
+            if until is not None and until > self.now:
                 self.now = until
-                return
-            self.step()
-            remaining -= 1
-        if remaining == 0:
-            raise SimulationError(f"run() exceeded max_events={max_events}")
-        if until is not None:
-            self.now = until
+        finally:
+            self._horizon = _INF
+            self._budget = _INF

@@ -76,23 +76,27 @@ class Link:
         if self._retry_event is not None:
             self._retry_event.cancel()
             self._retry_event = None
-        packet = self.scheduler.dequeue(self.loop.now)
+        now = self.loop.now
+        packet = self.scheduler.dequeue(now)
         if packet is None:
-            if len(self.scheduler) > 0:
-                ready = self.scheduler.next_ready_time(self.loop.now)
-                if ready is None:
-                    # Backlogged but nothing schedulable and no hint: wait
-                    # for the next arrival (offer() will kick again).
-                    return
-                if ready <= self.loop.now:
-                    raise SimulationError(
-                        "scheduler declined to send but claims to be ready"
-                    )
-                self._retry_event = self.loop.schedule(ready, self._retry)
+            self._arm_retry(now)
             return
-        tx_time = packet.size / self.rate
         self.busy = True
-        self.loop.schedule_after(tx_time, self._complete, packet)
+        self.loop.schedule(now + packet.size / self.rate, self._complete, packet)
+
+    def _arm_retry(self, now: float) -> None:
+        """Re-poll a backlogged non-work-conserving scheduler when ready."""
+        if len(self.scheduler) > 0:
+            ready = self.scheduler.next_ready_time(now)
+            if ready is None:
+                # Backlogged but nothing schedulable and no hint: wait
+                # for the next arrival (offer() will kick again).
+                return
+            if ready <= now:
+                raise SimulationError(
+                    "scheduler declined to send but claims to be ready"
+                )
+            self._retry_event = self.loop.schedule(ready, self._retry)
 
     def _retry(self) -> None:
         self._retry_event = None
@@ -100,13 +104,48 @@ class Link:
             self._kick()
 
     def _complete(self, packet: Packet) -> None:
-        now = self.loop.now
-        packet.departed = now
-        self.busy = False
-        self.bytes_sent += packet.size
-        self.busy_time += packet.size / self.rate
-        for listener in self._listeners:
-            listener(packet, now)
-        for listener in self._class_listeners.get(packet.class_id, ()):
-            listener(packet, now)
-        self._kick()
+        """Finish a transmission, then drain while the link stays busy.
+
+        Busy-serve fast path: when the next pending loop event is no
+        earlier than the next completion time, the completion runs inline
+        (``loop.try_advance``) instead of round-tripping through the heap
+        -- consecutive dequeues on a saturated link cost no event-queue
+        traffic at all.  Listener reentrancy is preserved: ``busy`` drops
+        before the callbacks run, and if a callback restarts the
+        transmitter itself (a greedy source calling ``offer``), the drain
+        stops.
+        """
+        loop = self.loop
+        rate = self.rate
+        dequeue = self.scheduler.dequeue
+        listeners = self._listeners
+        class_listeners = self._class_listeners
+        while True:
+            now = loop.now
+            size = packet.size
+            packet.departed = now
+            self.busy = False
+            self.bytes_sent += size
+            self.busy_time += size / rate
+            for listener in listeners:
+                listener(packet, now)
+            for listener in class_listeners.get(packet.class_id, ()):
+                listener(packet, now)
+            if self.busy:
+                # A departure callback refilled the queue and restarted the
+                # transmitter (offer -> _kick); the next completion is
+                # already scheduled.
+                return
+            if self._retry_event is not None:
+                self._retry_event.cancel()
+                self._retry_event = None
+            packet = dequeue(now)
+            if packet is None:
+                self._arm_retry(now)
+                return
+            self.busy = True
+            completion = now + packet.size / rate
+            if loop.try_advance(completion):
+                continue
+            loop.schedule(completion, self._complete, packet)
+            return

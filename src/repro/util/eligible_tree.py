@@ -96,12 +96,12 @@ class EligibleTree(Generic[ItemT]):
         node = _Node(eligible, self._seq, deadline, item, self._rng.random())
         self._seq += 1
         self._index[item] = node
-        self._root = self._insert(self._root, node)
+        self._insert(node)
 
     def remove(self, item: ItemT) -> None:
         """Remove the request for ``item`` (KeyError if absent)."""
         node = self._index.pop(item)
-        self._root = self._remove(self._root, node.key())
+        self._remove(node)
 
     def update(self, item: ItemT, eligible: float, deadline: float) -> None:
         """Change the request for ``item`` (re-keys the tree if needed)."""
@@ -154,73 +154,124 @@ class EligibleTree(Generic[ItemT]):
 
     # -- internals --------------------------------------------------------
 
-    def _insert(self, root: Optional[_Node[ItemT]], node: _Node[ItemT]) -> _Node[ItemT]:
-        if root is None:
-            return node
-        if node.key() < root.key():
-            root.left = self._insert(root.left, node)
-            if root.left.priority < root.priority:
-                root = self._rotate_right(root)
-        else:
-            root.right = self._insert(root.right, node)
-            if root.right.priority < root.priority:
-                root = self._rotate_left(root)
-        root.refresh()
-        return root
+    def _insert(self, node: _Node[ItemT]) -> None:
+        """Iterative treap insert (descend, attach, rotate back up).
 
-    def _remove(
-        self, root: Optional[_Node[ItemT]], key: Tuple[float, int]
-    ) -> Optional[_Node[ItemT]]:
-        if root is None:
-            raise KeyError(key)
-        if key < root.key():
-            root.left = self._remove(root.left, key)
-        elif key > root.key():
-            root.right = self._remove(root.right, key)
-        else:
-            if root.left is None:
-                return root.right
-            if root.right is None:
-                return root.left
-            if root.left.priority < root.right.priority:
-                root = self._rotate_right(root)
-                root.right = self._remove(root.right, key)
+        The shape produced is the canonical treap for the (key, priority)
+        pairs, identical to the classic recursive formulation; iterating
+        avoids a Python frame plus two key-tuple allocations per level.
+        """
+        cur = self._root
+        if cur is None:
+            self._root = node
+            return
+        eligible = node.eligible
+        seq = node.seq
+        path: List[_Node[ItemT]] = []
+        while cur is not None:
+            path.append(cur)
+            if eligible < cur.eligible or (
+                eligible == cur.eligible and seq < cur.seq
+            ):
+                cur = cur.left
             else:
-                root = self._rotate_left(root)
-                root.left = self._remove(root.left, key)
-        root.refresh()
-        return root
+                cur = cur.right
+        # ``sub`` is the root of the rebuilt subtree; rotations happen for
+        # a contiguous run from the attachment point upward, exactly while
+        # the new node's priority beats the ancestor's.
+        sub = node
+        priority = node.priority
+        i = len(path) - 1
+        while i >= 0 and priority < path[i].priority:
+            parent = path[i]
+            if eligible < parent.eligible or (
+                eligible == parent.eligible and seq < parent.seq
+            ):
+                parent.left = sub.right
+                sub.right = parent
+            else:
+                parent.right = sub.left
+                sub.left = parent
+            parent.refresh()
+            i -= 1
+        sub.refresh()
+        if i < 0:
+            self._root = sub
+            return
+        parent = path[i]
+        if eligible < parent.eligible or (
+            eligible == parent.eligible and seq < parent.seq
+        ):
+            parent.left = sub
+        else:
+            parent.right = sub
+        while i >= 0:
+            path[i].refresh()
+            i -= 1
+
+    def _remove(self, node: _Node[ItemT]) -> None:
+        """Iterative treap remove: rotate ``node`` down, splice it out."""
+        eligible = node.eligible
+        seq = node.seq
+        path: List[_Node[ItemT]] = []
+        cur = self._root
+        while cur is not None and cur is not node:
+            path.append(cur)
+            if eligible < cur.eligible or (
+                eligible == cur.eligible and seq < cur.seq
+            ):
+                cur = cur.left
+            else:
+                cur = cur.right
+        if cur is None:
+            raise KeyError((eligible, seq))
+        parent = path[-1] if path else None
+        while cur.left is not None and cur.right is not None:
+            # Rotate the smaller-priority child above ``cur``.
+            left = cur.left
+            right = cur.right
+            if left.priority < right.priority:
+                cur.left = left.right
+                left.right = cur
+                riser = left
+            else:
+                cur.right = right.left
+                right.left = cur
+                riser = right
+            if parent is None:
+                self._root = riser
+            elif parent.left is cur:
+                parent.left = riser
+            else:
+                parent.right = riser
+            path.append(riser)
+            parent = riser
+        replacement = cur.left if cur.left is not None else cur.right
+        if parent is None:
+            self._root = replacement
+        elif parent.left is cur:
+            parent.left = replacement
+        else:
+            parent.right = replacement
+        for entry in reversed(path):
+            entry.refresh()
 
     def _refresh_path(self, key: Tuple[float, int]) -> None:
+        eligible, seq = key
         path: List[_Node[ItemT]] = []
         node = self._root
         while node is not None:
             path.append(node)
-            if key == node.key():
+            if eligible == node.eligible and seq == node.seq:
                 break
-            node = node.left if key < node.key() else node.right
+            if eligible < node.eligible or (
+                eligible == node.eligible and seq < node.seq
+            ):
+                node = node.left
+            else:
+                node = node.right
         for entry in reversed(path):
             entry.refresh()
-
-    @staticmethod
-    def _rotate_right(node: "_Node[ItemT]") -> "_Node[ItemT]":
-        left = node.left
-        assert left is not None
-        node.left = left.right
-        left.right = node
-        node.refresh()
-        left.refresh()
-        return left
-
-    @staticmethod
-    def _rotate_left(node: "_Node[ItemT]") -> "_Node[ItemT]":
-        right = node.right
-        assert right is not None
-        node.right = right.left
-        right.left = node
-        node.refresh()
-        right.refresh()
-        return right
 
     def _min_deadline_prefix(self, node: Optional[_Node[ItemT]], now: float) -> float:
         """Min deadline over all requests with eligible time <= now."""

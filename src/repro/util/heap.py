@@ -10,10 +10,18 @@ and ``remove``.
 Ties are broken by insertion sequence number so that iteration order is
 deterministic, which both the schedulers (FIFO order within a class) and the
 tests rely on.
+
+This sits on the per-packet hot path (two heaps per interior class, several
+operations per serve), so the sift loops are written hole-style with the
+comparisons inlined: the moving entry is held out, parents/children shift
+into the hole, and keys are compared directly (key first, sequence only on
+ties) instead of building tuples or calling helpers.  The resulting heap
+layout is identical to the classic swap formulation.
 """
 
 from __future__ import annotations
 
+import heapq as _heapq
 from typing import Any, Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
 
 ItemT = TypeVar("ItemT", bound=Hashable)
@@ -58,9 +66,10 @@ class IndexedHeap(Generic[ItemT]):
             raise ValueError(f"item already in heap: {item!r}")
         entry = [key, self._seq, item]
         self._seq += 1
-        self._entries.append(entry)
-        self._pos[item] = len(self._entries) - 1
-        self._sift_up(len(self._entries) - 1)
+        entries = self._entries
+        entries.append(entry)
+        self._pos[item] = len(entries) - 1
+        self._sift_up(len(entries) - 1)
 
     def push_or_update(self, item: ItemT, key: Any) -> None:
         """Insert ``item`` or, if already present, change its key."""
@@ -72,8 +81,9 @@ class IndexedHeap(Generic[ItemT]):
     def update(self, item: ItemT, key: Any) -> None:
         """Change the key of ``item`` (KeyError if absent)."""
         index = self._pos[item]
-        old_key = self._entries[index][0]
-        self._entries[index][0] = key
+        entry = self._entries[index]
+        old_key = entry[0]
+        entry[0] = key
         if key < old_key:
             self._sift_up(index)
         else:
@@ -81,15 +91,17 @@ class IndexedHeap(Generic[ItemT]):
 
     def remove(self, item: ItemT) -> Any:
         """Remove ``item`` and return its key (KeyError if absent)."""
-        index = self._pos.pop(item)
-        entry = self._entries[index]
-        last = self._entries.pop()
-        if index < len(self._entries):
-            self._entries[index] = last
-            self._pos[last[2]] = index
+        pos = self._pos
+        entries = self._entries
+        index = pos.pop(item)
+        entry = entries[index]
+        last = entries.pop()
+        if index < len(entries):
+            entries[index] = last
+            pos[last[2]] = index
             # The moved entry may need to travel either direction.
             self._sift_up(index)
-            self._sift_down(self._pos[last[2]])
+            self._sift_down(pos[last[2]])
         return entry[0]
 
     def peek(self) -> Tuple[ItemT, Any]:
@@ -100,10 +112,14 @@ class IndexedHeap(Generic[ItemT]):
         return entry[2], entry[0]
 
     def peek_item(self) -> ItemT:
-        return self.peek()[0]
+        if not self._entries:
+            raise IndexError("peek from empty heap")
+        return self._entries[0][2]
 
     def peek_key(self) -> Any:
-        return self.peek()[1]
+        if not self._entries:
+            raise IndexError("peek from empty heap")
+        return self._entries[0][0]
 
     def pop(self) -> Tuple[ItemT, Any]:
         """Remove and return ``(item, key)`` with the smallest key."""
@@ -121,50 +137,114 @@ class IndexedHeap(Generic[ItemT]):
             return None
         return self._entries[0][0]
 
+    def min_is_tied(self) -> bool:
+        """True when more than one entry holds the minimal key.
+
+        O(1): by the heap property any entry with the root's key has
+        root-keyed ancestors all the way up, so a duplicate of the minimum
+        must sit at index 1 or 2.
+        """
+        entries = self._entries
+        key = entries[0][0]
+        if len(entries) > 1 and entries[1][0] == key:
+            return True
+        return len(entries) > 2 and entries[2][0] == key
+
+    def iter_sorted(self) -> Iterator[Tuple[Any, ItemT]]:
+        """Yield ``(key, item)`` in ascending (key, seq) order, lazily.
+
+        Reads the heap without mutating it by exploring entries through
+        their heap-children, so taking the first few items of an n-entry
+        heap costs O(s log s) for s items consumed -- this is what makes
+        the H-FSC link-sharing descent's fit-time skip-scan sub-linear.
+        The order is independent of the internal array layout (ties are
+        broken by insertion sequence, which is a total order).
+        """
+        entries = self._entries
+        if not entries:
+            return
+        heappush = _heapq.heappush
+        heappop = _heapq.heappop
+        first = entries[0]
+        frontier: List[Tuple[Any, int, int]] = [(first[0], first[1], 0)]
+        size = len(entries)
+        while frontier:
+            key, _seq, index = heappop(frontier)
+            yield key, entries[index][2]
+            child = 2 * index + 1
+            if child < size:
+                e = entries[child]
+                heappush(frontier, (e[0], e[1], child))
+                child += 1
+                if child < size:
+                    e = entries[child]
+                    heappush(frontier, (e[0], e[1], child))
+
     # -- internals --------------------------------------------------------
 
-    def _less(self, a: int, b: int) -> bool:
-        ea, eb = self._entries[a], self._entries[b]
-        return (ea[0], ea[1]) < (eb[0], eb[1])
-
-    def _swap(self, a: int, b: int) -> None:
-        entries = self._entries
-        entries[a], entries[b] = entries[b], entries[a]
-        self._pos[entries[a][2]] = a
-        self._pos[entries[b][2]] = b
-
     def _sift_up(self, index: int) -> None:
+        entries = self._entries
+        pos = self._pos
+        entry = entries[index]
+        key = entry[0]
+        seq = entry[1]
         while index > 0:
-            parent = (index - 1) >> 1
-            if self._less(index, parent):
-                self._swap(index, parent)
-                index = parent
+            parent_index = (index - 1) >> 1
+            parent = entries[parent_index]
+            parent_key = parent[0]
+            if key < parent_key or (key == parent_key and seq < parent[1]):
+                entries[index] = parent
+                pos[parent[2]] = index
+                index = parent_index
             else:
                 break
+        entries[index] = entry
+        pos[entry[2]] = index
 
     def _sift_down(self, index: int) -> None:
-        size = len(self._entries)
-        while True:
-            left = 2 * index + 1
-            right = left + 1
-            smallest = index
-            if left < size and self._less(left, smallest):
-                smallest = left
-            if right < size and self._less(right, smallest):
-                smallest = right
-            if smallest == index:
-                return
-            self._swap(index, smallest)
-            index = smallest
+        entries = self._entries
+        pos = self._pos
+        size = len(entries)
+        entry = entries[index]
+        key = entry[0]
+        seq = entry[1]
+        child = 2 * index + 1
+        while child < size:
+            candidate = entries[child]
+            right = child + 1
+            if right < size:
+                other = entries[right]
+                other_key = other[0]
+                candidate_key = candidate[0]
+                if other_key < candidate_key or (
+                    other_key == candidate_key and other[1] < candidate[1]
+                ):
+                    child = right
+                    candidate = other
+            candidate_key = candidate[0]
+            if candidate_key < key or (
+                candidate_key == key and candidate[1] < seq
+            ):
+                entries[index] = candidate
+                pos[candidate[2]] = index
+                index = child
+                child = 2 * index + 1
+            else:
+                break
+        entries[index] = entry
+        pos[entry[2]] = index
 
     def check_invariants(self) -> None:
         """Verify heap order and the position map (used by tests)."""
-        for index in range(1, len(self._entries)):
+        entries = self._entries
+        for index in range(1, len(entries)):
             parent = (index - 1) >> 1
-            if self._less(index, parent):
+            ek, es = entries[index][0], entries[index][1]
+            pk, ps = entries[parent][0], entries[parent][1]
+            if ek < pk or (ek == pk and es < ps):
                 raise AssertionError(f"heap order violated at {index}")
         for item, index in self._pos.items():
-            if self._entries[index][2] is not item and self._entries[index][2] != item:
+            if entries[index][2] is not item and entries[index][2] != item:
                 raise AssertionError(f"position map stale for {item!r}")
-        if len(self._pos) != len(self._entries):
+        if len(self._pos) != len(entries):
             raise AssertionError("position map size mismatch")

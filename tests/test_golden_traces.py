@@ -1,0 +1,46 @@
+"""Golden-trace equivalence: the hot path must not change schedules.
+
+Complements ``tests/test_golden_schedules.py`` (tiny hand-verified
+orderings) with full-scenario digests: the values in
+``tests/golden/golden_schedules.json`` were produced by the seed
+implementation, before the tuple event loop, the link busy-serve fast path
+and the heap-order link-sharing descent landed.  Every scenario is replayed
+through both eligible-set backends; a digest mismatch means the packet
+ordering or a departure timestamp changed -- i.e. an "optimization" altered
+scheduling semantics.  See ``tests/golden_scenarios.py`` for the scenario
+definitions and how to regenerate the file when a schedule change is
+*intended*.
+"""
+
+import pytest
+
+from tests.golden_scenarios import (
+    BACKENDS,
+    SCENARIOS,
+    load_golden,
+    schedule_digest,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_golden()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_schedule_matches_seed(golden, name, backend):
+    """Byte-identical replay: digest equals the seed implementation's."""
+    rows = SCENARIOS[name](backend)
+    assert rows, f"scenario {name!r} produced no departures"
+    assert schedule_digest(rows) == golden[name][backend], (
+        f"schedule for {name!r} ({backend} backend) diverged from the "
+        "seed implementation -- the hot path changed packet ordering or "
+        "departure timestamps"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_backends_agree(golden, name):
+    """Tree and calendar backends pin the *same* schedule per scenario."""
+    assert golden[name]["tree"] == golden[name]["calendar"]

@@ -93,3 +93,50 @@ class TestCLI:
         from repro.__main__ import main
 
         assert main(["run", "E99"]) == 2
+
+
+class TestBenchCLI:
+    def test_bench_quick_writes_report_and_compares(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        out = tmp_path / "BENCH_test.json"
+        assert main(["bench", "--quick", "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["quick"] is True
+        assert report["schema"] == 1
+        results = report["results"]
+        assert "e9/H-FSC/n256" in results
+        assert "ls_select_ul/n1024" in results
+        assert all(r["ops_per_sec"] > 0 for r in results.values())
+
+        # Comparison logic, driven directly off the written report: a
+        # slower baseline passes, a faster baseline trips the gate.
+        from repro.__main__ import _load_bench_harness
+
+        harness = _load_bench_harness()
+        slow = {
+            "results": {
+                name: {"ops_per_sec": r["ops_per_sec"] / 1000.0}
+                for name, r in results.items()
+            }
+        }
+        fast = {
+            "results": {
+                name: {"ops_per_sec": r["ops_per_sec"] * 1000.0}
+                for name, r in results.items()
+            }
+        }
+        ok, _lines = harness.compare(report, slow)
+        assert ok
+        ok, lines = harness.compare(report, fast)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_bench_compare_missing_baseline(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import _load_bench_harness
+
+        harness = _load_bench_harness()
+        monkeypatch.setattr(harness, "BASELINE_DIR", str(tmp_path / "none"))
+        assert harness.latest_baseline() is None
