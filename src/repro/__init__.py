@@ -34,6 +34,8 @@ from repro.core import (
     AdmissionError,
     ClassSpec,
     ConfigurationError,
+    OverloadError,
+    ReconfigurationError,
     FairCurveScheduler,
     HFSCClass,
     HFSCScheduler,
@@ -49,9 +51,12 @@ from repro.core import (
     sum_curves,
 )
 from repro.sim import (
+    ArrivalFaultGate,
+    ChaosInjector,
     ClassStats,
     DropTailBuffer,
     EventLoop,
+    FaultSchedule,
     Hop,
     Link,
     Network,
@@ -62,6 +67,9 @@ from repro.sim import (
     TokenBucketPolicer,
     TokenBucketShaper,
     TraceRecorder,
+    ViolationReport,
+    Watchdog,
+    run_chaos,
 )
 from repro.sim.sources import (
     CBRSource,
@@ -113,9 +121,18 @@ __all__ = [
     "GreedySource",
     "VideoFrameSource",
     "TraceSource",
+    # chaos injection
+    "FaultSchedule",
+    "ChaosInjector",
+    "ArrivalFaultGate",
+    "Watchdog",
+    "ViolationReport",
+    "run_chaos",
     # errors
     "ReproError",
     "ConfigurationError",
     "AdmissionError",
+    "OverloadError",
+    "ReconfigurationError",
     "SimulationError",
 ]

@@ -6,11 +6,13 @@ Usage::
     python -m repro run E5               # one experiment, text report
     python -m repro run all --markdown   # everything, markdown
     python -m repro bench --compare      # tracked benches vs the baseline
+    python -m repro chaos --runs 3       # seeded chaos sweep, all policies
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Dict, List
@@ -45,6 +47,48 @@ def _load_bench_harness():
     return module
 
 
+def _run_chaos_command(args) -> int:
+    from repro.core.hfsc import OVERLOAD_POLICIES
+    from repro.sim.faults import run_chaos
+
+    if args.policy == "all":
+        policies = list(OVERLOAD_POLICIES)
+    elif args.policy in OVERLOAD_POLICIES:
+        policies = [args.policy]
+    else:
+        print(f"unknown policy {args.policy!r}; "
+              f"expected one of {OVERLOAD_POLICIES} or 'all'", file=sys.stderr)
+        return 2
+
+    reports = []
+    failed = 0
+    for policy in policies:
+        for offset in range(args.runs):
+            seed = args.seed + offset
+            result = run_chaos(seed, duration=args.duration, policy=policy)
+            report = result.to_report()
+            reports.append(report)
+            violations = report["violations"]
+            books = report["conservation"]
+            status = "ok" if not violations and books["ok"] else "FAIL"
+            if status == "FAIL":
+                failed += 1
+            print(
+                f"chaos seed={seed} policy={policy:15} {status}  "
+                f"served={len(result.served)} rejected={books['rejected']} "
+                f"faults={len(report['faults_applied'])} "
+                f"violations={len(violations)}"
+            )
+            for violation in violations:
+                print(f"  - [{violation['kind']}] t={violation['time']:g} "
+                      f"{violation['detail']}", file=sys.stderr)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump({"runs": reports, "failed": failed}, fh, indent=2)
+        print(f"report written to {args.report}")
+    return 1 if failed else 0
+
+
 def main(argv: List[str] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -72,7 +116,30 @@ def main(argv: List[str] = None) -> int:
     subparsers.add_parser(
         "bench", help="run the tracked benchmark set (see --help of 'bench')"
     )
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="seeded chaos-injection sweep over the overload policies"
+    )
+    chaos_parser.add_argument("--seed", type=int, default=1, help="first seed")
+    chaos_parser.add_argument(
+        "--runs", type=int, default=1, help="number of seeds per policy"
+    )
+    chaos_parser.add_argument(
+        "--duration", type=float, default=2.0, help="simulated seconds per run"
+    )
+    chaos_parser.add_argument(
+        "--policy",
+        default="all",
+        help="overload policy to exercise, or 'all' (default)",
+    )
+    chaos_parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full JSON report (violations, fault logs) here",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "chaos":
+        return _run_chaos_command(args)
+
     registry = _registry()
 
     if args.command == "list":

@@ -18,7 +18,7 @@ contract.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.curves import ServiceCurve
 from repro.sim.packet import Packet
@@ -95,3 +95,24 @@ def service_curve_violation(
         if best is not None:
             worst = max(worst, best)
     return max(0.0, worst)
+
+
+def audit_guarantees(
+    arrivals: Sequence[Arrival],
+    served: Sequence[Packet],
+    guarantees: Mapping[object, ServiceCurve],
+    slack: float = 0.0,
+) -> Dict[object, float]:
+    """Eq. (1) shortfalls beyond ``slack`` for a set of classes at once.
+
+    Returns ``{class_id: excess}`` only for classes whose worst shortfall
+    exceeds ``slack`` (Theorem 2 entitles a packetized scheduler to one
+    max-packet of slack); an empty dict means every guarantee held.  This
+    is the watchdog's bulk entry point.
+    """
+    violations: Dict[object, float] = {}
+    for class_id, spec in guarantees.items():
+        worst = service_curve_violation(arrivals, served, class_id, spec)
+        if worst > slack:
+            violations[class_id] = worst - slack
+    return violations

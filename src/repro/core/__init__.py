@@ -3,6 +3,7 @@
 from repro.core.admission import (
     admissible_rate_headroom,
     max_admissible_scale,
+    uniform_admissible_scale,
     utilization_profile,
 )
 from repro.core.curves import (
@@ -15,10 +16,19 @@ from repro.core.fluid import FluidFSC, FluidGPS
 from repro.core.errors import (
     AdmissionError,
     ConfigurationError,
+    OverloadError,
+    ReconfigurationError,
     ReproError,
     SimulationError,
 )
-from repro.core.hfsc import HFSC, HFSCClass, HFSCScheduler, ROOT
+from repro.core.hfsc import (
+    HFSC,
+    HFSCClass,
+    HFSCScheduler,
+    OVERLOAD_POLICIES,
+    ROOT,
+    UNCHANGED,
+)
 from repro.core.hierarchy import ClassSpec, build_hfsc, figure1_hierarchy
 from repro.core.runtime_curves import RuntimeCurve, eligible_spec
 from repro.core.sced import FairCurveScheduler, SCEDScheduler
@@ -32,6 +42,7 @@ __all__ = [
     "is_admissible",
     "admissible_rate_headroom",
     "max_admissible_scale",
+    "uniform_admissible_scale",
     "utilization_profile",
     "FluidGPS",
     "FluidFSC",
@@ -41,11 +52,15 @@ __all__ = [
     "HFSCScheduler",
     "HFSCClass",
     "ROOT",
+    "UNCHANGED",
+    "OVERLOAD_POLICIES",
     "ClassSpec",
     "build_hfsc",
     "figure1_hierarchy",
     "ReproError",
     "ConfigurationError",
     "AdmissionError",
+    "OverloadError",
+    "ReconfigurationError",
     "SimulationError",
 ]

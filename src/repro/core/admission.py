@@ -85,6 +85,34 @@ def max_admissible_scale(
     return lo
 
 
+def uniform_admissible_scale(
+    curves: Sequence[ServiceCurve],
+    server_rate: float,
+    tolerance: float = 1e-6,
+) -> float:
+    """Largest k <= 1 such that ``[c.scaled(k) for c in curves]`` fits.
+
+    This is the "scale-rt" overload policy's knob: when churn or a
+    link-rate drop makes the admitted set infeasible, every real-time
+    guarantee is degraded by the same factor instead of rejecting flows.
+    Returns 1.0 when the set already fits (guarantees are never inflated
+    beyond what was requested).  Feasibility is monotone in k because
+    scaling is linear in the curve values.
+    """
+    if server_rate <= 0:
+        raise ConfigurationError("server_rate must be positive")
+    if not curves or is_admissible(list(curves), server_rate):
+        return 1.0
+    lo, hi = 0.0, 1.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if is_admissible([c.scaled(mid) for c in curves], server_rate):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
 def utilization_profile(
     curves: Sequence[ServiceCurve], server_rate: float
 ) -> List[Tuple[float, float]]:

@@ -1,6 +1,15 @@
-"""Exception types for the repro library."""
+"""Exception types for the repro library.
+
+The reconfiguration / overload errors carry *structured context* (class
+ids, demand, capacity, the operation that failed) so that supervisory
+code -- the chaos harness, the watchdog, an operator CLI -- can react to
+the failure programmatically instead of parsing a message string.  Every
+structured error exposes a ``context`` dict that is JSON-serializable.
+"""
 
 from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 
 class ReproError(Exception):
@@ -18,6 +27,69 @@ class AdmissionError(ReproError):
     curve (the admissibility condition at the end of Section II of the
     paper), unless the caller explicitly opts out of admission control.
     """
+
+
+class OverloadError(AdmissionError):
+    """The live leaf set became inadmissible (overload beyond admission).
+
+    Raised by :class:`repro.core.hfsc.HFSC` under the default
+    ``overload_policy="raise"`` when dynamic reconfiguration (class churn,
+    a link-rate drop) pushes the sum of leaf real-time curves past the
+    link capacity.  The degradation policies ("reject", "scale-rt",
+    "linkshare-only") handle the same condition without raising.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        capacity: Optional[float] = None,
+        demand_rate: Optional[float] = None,
+        classes: Sequence[Any] = (),
+    ) -> None:
+        super().__init__(message)
+        self.capacity = capacity
+        self.demand_rate = demand_rate
+        self.classes: Tuple[Any, ...] = tuple(classes)
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "demand_rate": self.demand_rate,
+            "classes": [repr(c) for c in self.classes],
+        }
+
+
+class ReconfigurationError(ConfigurationError):
+    """A live reconfiguration (update/remove/rebuild) was rejected.
+
+    ``operation`` names the attempted action ("update_class",
+    "remove_class", ...), ``class_id`` the target class, and ``reason`` a
+    short machine-friendly tag ("unknown-class", "has-children",
+    "queued-packets", ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        operation: Optional[str] = None,
+        class_id: Any = None,
+        reason: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.operation = operation
+        self.class_id = class_id
+        self.reason = reason
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        return {
+            "operation": self.operation,
+            "class_id": repr(self.class_id),
+            "reason": self.reason,
+        }
 
 
 class SimulationError(ReproError):

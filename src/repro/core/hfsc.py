@@ -40,8 +40,13 @@ from collections import deque
 from operator import attrgetter
 from typing import Any, Deque, Dict, Iterable, List, Optional, Set
 
+from repro.core.admission import uniform_admissible_scale
 from repro.core.curves import ServiceCurve, is_admissible
-from repro.core.errors import AdmissionError, ConfigurationError
+from repro.core.errors import (
+    ConfigurationError,
+    OverloadError,
+    ReconfigurationError,
+)
 from repro.core.runtime_curves import RuntimeCurve, eligible_spec
 from repro.schedulers.base import Scheduler
 from repro.sim.packet import Packet
@@ -52,6 +57,13 @@ ROOT = "__root__"
 
 #: Sort key for virtual-time tie groups in the link-sharing descent.
 _creation_index = attrgetter("index")
+
+#: Sentinel for "leave this curve unchanged" in :meth:`HFSC.update_class`
+#: (``None`` there means "remove the curve").
+UNCHANGED = object()
+
+#: Valid values for ``HFSC(overload_policy=...)``.
+OVERLOAD_POLICIES = ("raise", "reject", "scale-rt", "linkshare-only")
 
 
 class HFSCClass:
@@ -69,6 +81,8 @@ class HFSCClass:
         "index",
         "ul_children",
         "rt_spec",
+        "rt_requested",
+        "rt_admitted",
         "ls_spec",
         "ul_spec",
         "queue",
@@ -112,6 +126,12 @@ class HFSCClass:
         # no upper-limited children.
         self.ul_children = 0
         self.rt_spec = rt_spec
+        # The curve the user asked for; ``rt_spec`` is the *effective*
+        # curve, which the "scale-rt" overload policy may derate.
+        self.rt_requested = rt_spec
+        # False when the "reject" overload policy stripped this class's
+        # real-time guarantee (it then receives link-sharing service only).
+        self.rt_admitted = True
         self.ls_spec = ls_spec
         self.ul_spec = ul_spec
         # Leaf / real-time state (Fig. 5).
@@ -205,6 +225,23 @@ class HFSC(Scheduler):
         link-sharing.  This is an *ablation switch*: it demonstrates why
         the paper needs the real-time criterion (leaf curves get violated
         without it, cf. Section III-C).
+    overload_policy:
+        What to do when live reconfiguration (class churn,
+        :meth:`set_link_rate`) makes the leaf real-time set inadmissible:
+
+        * ``"raise"`` (default) -- raise :class:`OverloadError` from the
+          next ``enqueue`` (the seed behaviour, now with structured
+          context on the exception);
+        * ``"reject"`` -- strip the real-time guarantee of the newest
+          classes until the remainder fits; stripped classes degrade to
+          link-sharing-only service and are re-admitted automatically
+          when capacity returns;
+        * ``"scale-rt"`` -- derate every leaf's real-time curve by the
+          largest uniform factor that fits (proportional degradation);
+        * ``"linkshare-only"`` -- suspend the real-time criterion
+          globally until the set is admissible again.
+
+        Every degradation is recorded in :attr:`overload_events`.
     """
 
     def __init__(
@@ -214,19 +251,33 @@ class HFSC(Scheduler):
         eligible_backend: str = "tree",
         vt_policy: str = "mean",
         realtime: bool = True,
+        overload_policy: str = "raise",
     ):
         super().__init__(link_rate)
         if vt_policy not in ("mean", "min", "max"):
             raise ConfigurationError(f"unknown vt_policy: {vt_policy!r}")
+        if overload_policy not in OVERLOAD_POLICIES:
+            raise ConfigurationError(
+                f"unknown overload_policy: {overload_policy!r} "
+                f"(expected one of {OVERLOAD_POLICIES})"
+            )
         self._admission_control = admission_control
         self._admission_checked = True
         self.vt_policy = vt_policy
         self.realtime_enabled = realtime
+        self.overload_policy = overload_policy
+        #: True while the "linkshare-only" policy has the real-time
+        #: criterion suspended because the leaf set is inadmissible.
+        self.rt_suspended = False
+        #: Structured record of every degradation the overload policy
+        #: applied (dicts with "policy", "time"-free details; append-only).
+        self.overload_events: List[Dict[str, Any]] = []
         self.root = HFSCClass(ROOT, None, None, ServiceCurve.linear(link_rate), None)
         self.root.vt_policy = vt_policy
         self._classes: Dict[Any, HFSCClass] = {ROOT: self.root}
+        self._eligible_backend = eligible_backend
         self._eligible = make_eligible_set(eligible_backend)
-        self._ul_classes: List[HFSCClass] = []
+        self._ul_classes: Set[HFSCClass] = set()
         self._next_index = 1
         # Backlogged upper-limited leaves keyed by fit time, so
         # next_ready_time() needs the earliest future fit rather than a
@@ -284,43 +335,218 @@ class HFSC(Scheduler):
         parent_cls.children.append(cls)
         self._classes[name] = cls
         if ul_sc is not None:
-            self._ul_classes.append(cls)
+            self._ul_classes.add(cls)
             parent_cls.ul_children += 1
         self._admission_checked = False
         return cls
 
-    def remove_class(self, name: Any) -> None:
-        """Remove an idle leaf class (dynamic reconfiguration).
+    def remove_class(self, name: Any, force: bool = False) -> List[Packet]:
+        """Remove a class (dynamic reconfiguration); returns drained packets.
 
-        Mirrors what the ALTQ/Linux implementations allow: a class can be
-        deleted when it has no children and no queued packets.  Its
-        accumulated state (curves, counters) is discarded; the bandwidth
+        Without ``force`` this mirrors what the ALTQ/Linux implementations
+        allow: a class can be deleted only when it has no children and no
+        queued packets (the returned list is then empty).  With
+        ``force=True`` the whole subtree is removed even while backlogged:
+        queued packets are drained and *returned* to the caller (counted
+        in ``total_returned``, never as served), active ancestors are
+        passivated, and every derived structure (eligible set, upper-limit
+        wait heap, virtual-time heaps) is left consistent.  The bandwidth
         returns to the pool at the next admission check.
         """
         if name == ROOT:
-            raise ConfigurationError("cannot remove the root class")
+            raise ReconfigurationError(
+                "cannot remove the root class",
+                operation="remove_class", class_id=name, reason="root",
+            )
         try:
             cls = self._classes[name]
         except KeyError:
-            raise ConfigurationError(f"unknown class: {name!r}") from None
-        if cls.children:
-            raise ConfigurationError(
-                f"cannot remove {name!r}: it has child classes"
+            raise ReconfigurationError(
+                f"unknown class: {name!r}",
+                operation="remove_class", class_id=name, reason="unknown-class",
+            ) from None
+        if cls.children and not force:
+            raise ReconfigurationError(
+                f"cannot remove {name!r}: it has child classes",
+                operation="remove_class", class_id=name, reason="has-children",
             )
-        if cls.queue:
-            raise ConfigurationError(
-                f"cannot remove {name!r}: it has queued packets"
+        if cls.queue and not force:
+            raise ReconfigurationError(
+                f"cannot remove {name!r}: it has queued packets",
+                operation="remove_class", class_id=name, reason="queued-packets",
             )
-        if cls.ls_active:
-            self._passivate_ls(cls)
-        assert cls.parent is not None
-        cls.parent.children.remove(cls)
-        del self._classes[name]
-        if cls in self._ul_classes:
-            self._ul_classes.remove(cls)
-            cls.parent.ul_children -= 1
-        if cls in self._ul_wait:
-            self._ul_wait.remove(cls)
+        drained: List[Packet] = []
+        # Post-order: leaves drain (and cascade passivation up through the
+        # subtree) before their parents are unlinked.
+        for node in self._subtree_postorder(cls):
+            drained.extend(self._drain_leaf(node))
+            self._unlink(node)
+        self._admission_checked = False
+        return drained
+
+    def update_class(
+        self,
+        name: Any,
+        now: float,
+        sc: Any = UNCHANGED,
+        rt_sc: Any = UNCHANGED,
+        ls_sc: Any = UNCHANGED,
+        ul_sc: Any = UNCHANGED,
+    ) -> HFSCClass:
+        """Change a class's curves live, even while it is backlogged.
+
+        ``UNCHANGED`` (the default) leaves a role alone; ``None`` removes
+        that curve.  Changed curves are re-anchored *fresh* at the current
+        time / parent virtual time and the class's accumulated service --
+        the history kept by the ``min_with`` machinery belongs to the old
+        curve and would be meaningless under the new one.  Admission is
+        re-checked lazily before the next packet, exactly as for
+        :meth:`add_class` / :meth:`remove_class`.
+        """
+        if name == ROOT:
+            raise ReconfigurationError(
+                "cannot update the root class (use set_link_rate)",
+                operation="update_class", class_id=name, reason="root",
+            )
+        try:
+            cls = self._classes[name]
+        except KeyError:
+            raise ReconfigurationError(
+                f"unknown class: {name!r}",
+                operation="update_class", class_id=name, reason="unknown-class",
+            ) from None
+        if sc is not UNCHANGED:
+            if rt_sc is not UNCHANGED or ls_sc is not UNCHANGED:
+                raise ReconfigurationError(
+                    "pass either sc or rt_sc/ls_sc, not both",
+                    operation="update_class", class_id=name, reason="ambiguous-curves",
+                )
+            rt_sc, ls_sc = sc, sc
+        new_rt = cls.rt_requested if rt_sc is UNCHANGED else rt_sc
+        new_ls = cls.ls_spec if ls_sc is UNCHANGED else ls_sc
+        new_ul = cls.ul_spec if ul_sc is UNCHANGED else ul_sc
+        if new_ls is None and cls.children:
+            raise ReconfigurationError(
+                f"interior class {name!r} needs a link-sharing curve",
+                operation="update_class", class_id=name, reason="ls-required",
+            )
+        if new_rt is None and new_ls is None:
+            raise ReconfigurationError(
+                f"class {name!r} needs a service curve",
+                operation="update_class", class_id=name, reason="no-curves",
+            )
+        if new_rt is not None and not cls.is_leaf:
+            raise ReconfigurationError(
+                f"cannot give {name!r} a real-time curve: it has children",
+                operation="update_class", class_id=name, reason="rt-on-interior",
+            )
+        if new_rt is not cls.rt_requested:
+            cls.rt_requested = new_rt
+            cls.rt_spec = new_rt
+            cls.rt_admitted = True  # a fresh request; re-vetted lazily
+            if new_rt is None:
+                if cls in self._eligible:
+                    self._eligible.remove(cls)
+                cls.deadline_curve = None
+                cls.eligible_curve = None
+            else:
+                self._reanchor_rt(cls, now)
+        if new_ls is not cls.ls_spec:
+            cls.ls_spec = new_ls
+            if new_ls is None:
+                if cls.ls_active:
+                    self._passivate_ls(cls)
+                cls.virtual_curve = None
+            elif cls.ls_active:
+                parent = cls.parent
+                assert parent is not None
+                pvt = parent.system_vt()
+                cls.virtual_curve = RuntimeCurve.from_spec(
+                    new_ls, pvt, cls.total_work
+                )
+                cls.vt = cls.virtual_curve.inverse(cls.total_work)
+                parent.active_min.update(cls, cls.vt)
+                parent.active_max.update(cls, -cls.vt)
+            else:
+                cls.virtual_curve = None
+                if (cls.is_leaf and cls.queue) or cls.nactive > 0:
+                    self._activate_ls(cls)
+        if new_ul is not cls.ul_spec:
+            old_ul = cls.ul_spec
+            cls.ul_spec = new_ul
+            parent = cls.parent
+            assert parent is not None
+            if old_ul is None and new_ul is not None:
+                self._ul_classes.add(cls)
+                parent.ul_children += 1
+            elif old_ul is not None and new_ul is None:
+                self._ul_classes.discard(cls)
+                parent.ul_children -= 1
+            cls.ul_curve = None
+            cls.fit_time = 0.0
+            if cls in self._ul_wait:
+                self._ul_wait.remove(cls)
+            if new_ul is not None and cls.is_leaf and cls.queue:
+                cls.ul_curve = RuntimeCurve.from_spec(new_ul, now, cls.total_work)
+                cls.fit_time = cls.ul_curve.inverse(cls.total_work)
+                self._ul_wait.push(cls, cls.fit_time)
+        self._admission_checked = False
+        return cls
+
+    def set_link_rate(self, rate: float) -> None:
+        """Change the output capacity live (rate flap / renegotiation).
+
+        The root's fair-service curve follows the new rate and admission
+        is re-checked lazily, so a rate *drop* below the admitted
+        real-time demand triggers the configured overload policy.  The
+        :class:`~repro.sim.link.Link` transmitting for this scheduler must
+        be updated separately (``Link.set_rate``); the chaos injector does
+        both together.
+        """
+        if rate <= 0:
+            raise ReconfigurationError(
+                "link rate must be positive",
+                operation="set_link_rate", reason="non-positive-rate",
+            )
+        self.link_rate = float(rate)
+        self.root.ls_spec = ServiceCurve.linear(rate)
+        self._admission_checked = False
+
+    def rebuild(self, now: float) -> None:
+        """Reconstruct every piece of derived state from the queues.
+
+        Recovery action for the watchdog: throws away heaps, the eligible
+        set, runtime curves and virtual times, then re-activates every
+        backlogged leaf at ``now`` exactly as if its backlog had just
+        arrived.  Queue contents and cumulative service counters are the
+        ground truth and are preserved; virtual-time watermarks absorb the
+        old virtual times so link-sharing stays monotonic across the
+        rebuild.
+        """
+        self._eligible = make_eligible_set(self._eligible_backend)
+        self._ul_wait = IndexedHeap()
+        packets = 0
+        size = 0.0
+        for cls in self._classes.values():
+            cls.active_min.clear()
+            cls.active_max.clear()
+            cls.nactive = 0
+            if cls.virtual_curve is not None:
+                cls.vt_watermark = max(cls.vt_watermark, cls.vt)
+            cls.ls_active = False
+            cls.deadline_curve = None
+            cls.eligible_curve = None
+            cls.virtual_curve = None
+            cls.ul_curve = None
+            cls.fit_time = 0.0
+            if cls.is_leaf and not cls.is_root:
+                packets += len(cls.queue)
+                size += sum(p.size for p in cls.queue)
+        self._backlog_packets = packets
+        self._backlog_bytes = size
+        for cls in self._classes.values():
+            if cls.is_leaf and not cls.is_root and cls.queue:
+                self._activate(cls, now)
         self._admission_checked = False
 
     def __getitem__(self, name: Any) -> HFSCClass:
@@ -336,22 +562,29 @@ class HFSC(Scheduler):
         return [cls for cls in self.classes() if cls.is_leaf]
 
     def check_admission(self) -> None:
-        """Raise :class:`AdmissionError` if the leaf rt curves overbook."""
-        curves = [
-            cls.rt_spec for cls in self.leaf_classes() if cls.rt_spec is not None
+        """Raise :class:`OverloadError` if the leaf rt curves overbook.
+
+        Pure check over the *requested* curves; the degradation policies
+        are applied lazily on the enqueue path, not here.
+        """
+        leaves = [
+            cls for cls in self.leaf_classes() if cls.rt_requested is not None
         ]
+        curves = [cls.rt_requested for cls in leaves]
         if curves and not is_admissible(curves, self.link_rate):
-            raise AdmissionError(
-                "sum of leaf real-time service curves exceeds the link rate"
+            raise OverloadError(
+                "sum of leaf real-time service curves exceeds the link rate",
+                capacity=self.link_rate,
+                demand_rate=sum(spec.m2 for spec in curves),
+                classes=[cls.name for cls in leaves],
             )
-        self._admission_checked = True
 
     # -- scheduler interface (Fig. 4) ----------------------------------------
 
     def enqueue(self, packet: Packet, now: float) -> None:
         cls = self._leaf_for(packet)
         if self._admission_control and not self._admission_checked:
-            self.check_admission()
+            self._ensure_admissible(now)
         self._note_enqueue(packet, now)
         cls.queue.append(packet)
         if len(cls.queue) == 1:
@@ -362,7 +595,7 @@ class HFSC(Scheduler):
             return None
         leaf: Optional[HFSCClass] = None
         realtime = False
-        if self.realtime_enabled:
+        if self.realtime_enabled and not self.rt_suspended:
             request = self._eligible.min_deadline_eligible(now)
             if request is not None:
                 leaf = request[0]
@@ -378,7 +611,10 @@ class HFSC(Scheduler):
         return self._serve(leaf, realtime, now)
 
     def next_ready_time(self, now: float) -> Optional[float]:
-        best = self._eligible.min_eligible()
+        if self.realtime_enabled and not self.rt_suspended:
+            best = self._eligible.min_eligible()
+        else:
+            best = None
         # The earliest *future* fit time among backlogged upper-limited
         # leaves: ``_ul_wait`` is keyed by fit time, so walk it in key
         # order and stop at the first entry beyond ``now`` (entries at or
@@ -426,7 +662,7 @@ class HFSC(Scheduler):
                 total_backlog_bytes += sum(p.size for p in cls.queue)
                 if cls.rt_spec is not None and self.realtime_enabled:
                     in_set = cls in self._eligible
-                    assert in_set == bool(cls.queue), (
+                    assert in_set == (bool(cls.queue) and cls.rt_admitted), (
                         f"{cls.name!r}: eligible-set membership inconsistent"
                     )
                 assert cls.cumul_rt <= cls.total_work + 1e-6, (
@@ -472,9 +708,200 @@ class HFSC(Scheduler):
             )
         return cls
 
+    def _rt_tracked(self, cls: HFSCClass) -> bool:
+        """Is this leaf's real-time machinery live (spec set and admitted)?"""
+        return (
+            cls.rt_spec is not None
+            and self.realtime_enabled
+            and cls.rt_admitted
+        )
+
+    # -- overload policies -----------------------------------------------------
+
+    def _ensure_admissible(self, now: float) -> None:
+        """Lazy admission check + the configured degradation policy."""
+        rt_leaves = sorted(
+            (
+                cls
+                for cls in self.leaf_classes()
+                if cls.rt_requested is not None
+            ),
+            key=_creation_index,
+        )
+        policy = self.overload_policy
+        if policy == "scale-rt":
+            self._apply_scale_rt(rt_leaves, now)
+        elif policy == "linkshare-only":
+            self._apply_linkshare_only(rt_leaves, now)
+        elif policy == "reject":
+            self._apply_reject(rt_leaves, now)
+        else:  # "raise"
+            requested = [cls.rt_requested for cls in rt_leaves]
+            if requested and not is_admissible(requested, self.link_rate):
+                raise OverloadError(
+                    "sum of leaf real-time service curves exceeds the link rate",
+                    capacity=self.link_rate,
+                    demand_rate=sum(spec.m2 for spec in requested),
+                    classes=[cls.name for cls in rt_leaves],
+                )
+        self._admission_checked = True
+
+    def _apply_scale_rt(self, rt_leaves: List[HFSCClass], now: float) -> None:
+        requested = [cls.rt_requested for cls in rt_leaves]
+        factor = (
+            uniform_admissible_scale(requested, self.link_rate)
+            if requested
+            else 1.0
+        )
+        if factor < 1.0:
+            self._record_overload(
+                "scale-rt",
+                factor=factor,
+                classes=[cls.name for cls in rt_leaves],
+            )
+        for cls in rt_leaves:
+            target = (
+                cls.rt_requested
+                if factor >= 1.0
+                else cls.rt_requested.scaled(factor)
+            )
+            changed = cls.rt_spec != target or not cls.rt_admitted
+            cls.rt_spec = target
+            cls.rt_admitted = True
+            if changed:
+                self._reanchor_rt(cls, now)
+
+    def _apply_linkshare_only(self, rt_leaves: List[HFSCClass], now: float) -> None:
+        requested = [cls.rt_requested for cls in rt_leaves]
+        feasible = not requested or is_admissible(requested, self.link_rate)
+        if feasible and self.rt_suspended:
+            # Capacity returned: resume the real-time criterion with fresh
+            # curves (the suspended-era deadlines are ancient history and
+            # would otherwise release a burst of "overdue" service).
+            self.rt_suspended = False
+            for cls in rt_leaves:
+                self._reanchor_rt(cls, now)
+        elif not feasible and not self.rt_suspended:
+            self.rt_suspended = True
+            self._record_overload(
+                "linkshare-only",
+                classes=[cls.name for cls in rt_leaves],
+            )
+
+    def _apply_reject(self, rt_leaves: List[HFSCClass], now: float) -> None:
+        # Previously admitted classes keep their guarantees first (oldest
+        # first), then newcomers are admitted greedily in creation order;
+        # whatever does not fit is stripped to link-sharing-only service
+        # until a later check finds room again.
+        ordered = [cls for cls in rt_leaves if cls.rt_admitted] + [
+            cls for cls in rt_leaves if not cls.rt_admitted
+        ]
+        admitted: List[HFSCClass] = []
+        rejected: List[HFSCClass] = []
+        curves: List[ServiceCurve] = []
+        for cls in ordered:
+            trial = curves + [cls.rt_requested]
+            if is_admissible(trial, self.link_rate):
+                curves = trial
+                admitted.append(cls)
+            else:
+                rejected.append(cls)
+        for cls in admitted:
+            if not cls.rt_admitted:
+                cls.rt_admitted = True
+                self._reanchor_rt(cls, now)
+        stripped = [cls for cls in rejected if cls.rt_admitted]
+        for cls in stripped:
+            cls.rt_admitted = False
+            if cls in self._eligible:
+                self._eligible.remove(cls)
+            cls.deadline_curve = None
+            cls.eligible_curve = None
+        if stripped:
+            self._record_overload(
+                "reject",
+                rejected=[cls.name for cls in rejected],
+            )
+
+    def _reanchor_rt(self, leaf: HFSCClass, now: float) -> None:
+        """Fresh deadline/eligible curves after a live rt-spec change.
+
+        ``min_with`` history belongs to the old curve; a changed spec is
+        re-anchored at the class's current cumulative service as if its
+        backlog had just started.
+        """
+        if not self._rt_tracked(leaf):
+            leaf.deadline_curve = None
+            leaf.eligible_curve = None
+            if leaf in self._eligible:
+                self._eligible.remove(leaf)
+            return
+        if not leaf.queue:
+            # Idle: nothing to schedule; _activate rebuilds from the new
+            # spec when the next packet arrives.
+            leaf.deadline_curve = None
+            leaf.eligible_curve = None
+            return
+        spec = leaf.rt_spec
+        leaf.deadline_curve = RuntimeCurve.from_spec(spec, now, leaf.cumul_rt)
+        leaf.eligible_curve = RuntimeCurve.from_spec(
+            eligible_spec(spec), now, leaf.cumul_rt
+        )
+        leaf.eligible = leaf.eligible_curve.inverse(leaf.cumul_rt)
+        leaf.deadline = leaf.deadline_curve.inverse(
+            leaf.cumul_rt + leaf.queue[0].size
+        )
+        if leaf in self._eligible:
+            self._eligible.update(leaf, leaf.eligible, leaf.deadline)
+        else:
+            self._eligible.insert(leaf, leaf.eligible, leaf.deadline)
+
+    def _record_overload(self, policy: str, **details: Any) -> None:
+        event = {"policy": policy}
+        event.update(details)
+        self.overload_events.append(event)
+
+    # -- removal internals -----------------------------------------------------
+
+    def _subtree_postorder(self, cls: HFSCClass) -> List[HFSCClass]:
+        order: List[HFSCClass] = []
+        stack = [cls]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(node.children)
+        order.reverse()
+        return order
+
+    def _drain_leaf(self, leaf: HFSCClass) -> List[Packet]:
+        """Empty a leaf's queue and detach it from every derived structure."""
+        drained = list(leaf.queue)
+        leaf.queue.clear()
+        for packet in drained:
+            self._note_return(packet)
+        if leaf.rt_spec is not None and leaf in self._eligible:
+            self._eligible.remove(leaf)
+        if leaf.ul_spec is not None and leaf in self._ul_wait:
+            self._ul_wait.remove(leaf)
+        if leaf.ls_active:
+            self._passivate_ls(leaf)
+        return drained
+
+    def _unlink(self, cls: HFSCClass) -> None:
+        parent = cls.parent
+        assert parent is not None
+        parent.children.remove(cls)
+        del self._classes[cls.name]
+        if cls in self._ul_classes:
+            self._ul_classes.discard(cls)
+            parent.ul_children -= 1
+        # Sever the back-reference: a removed class must not keep the tree
+        # alive or be mistaken for a live node by stale external handles.
+        cls.parent = None
+
     def _activate(self, leaf: HFSCClass, now: float) -> None:
         """Fig. 5(a) update_ed + Fig. 6 update_v on passive->active."""
-        if leaf.rt_spec is not None and self.realtime_enabled:
+        if self._rt_tracked(leaf):
             spec = leaf.rt_spec
             if leaf.deadline_curve is None:
                 leaf.deadline_curve = RuntimeCurve.from_spec(spec, now, leaf.cumul_rt)
@@ -610,7 +1037,7 @@ class HFSC(Scheduler):
         queue = leaf.queue
         packet = queue.popleft()
         packet.via_realtime = realtime
-        rt_tracked = leaf.rt_spec is not None and self.realtime_enabled
+        rt_tracked = self._rt_tracked(leaf)
         packet.deadline = leaf.deadline if rt_tracked else None
         self._note_dequeue(packet, now)
         size = packet.size

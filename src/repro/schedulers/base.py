@@ -31,6 +31,10 @@ class Scheduler(ABC):
         self._backlog_bytes = 0.0
         self.total_enqueued = 0
         self.total_dequeued = 0
+        # Packets handed back to the caller without being served (forced
+        # class removal under live reconfiguration).  Packet conservation:
+        # total_enqueued == total_dequeued + total_returned + backlog.
+        self.total_returned = 0
 
     # -- interface ----------------------------------------------------------
 
@@ -69,6 +73,14 @@ class Scheduler(ABC):
         self._backlog_packets += 1
         self._backlog_bytes += packet.size
         self.total_enqueued += 1
+
+    def _note_return(self, packet: Packet) -> None:
+        """Account a queued packet handed back (not served) to the caller."""
+        self._backlog_packets -= 1
+        self._backlog_bytes -= packet.size
+        self.total_returned += 1
+        if self._backlog_packets < 0:
+            raise RuntimeError("scheduler backlog accounting underflow")
 
     def _note_dequeue(self, packet: Packet, now: float) -> None:
         packet.dequeued = now

@@ -10,7 +10,17 @@ measurement (:mod:`~repro.sim.stats`) and trace recording/replay
 (:mod:`~repro.sim.trace`).
 """
 
-from repro.sim.engine import Event, EventLoop
+from repro.sim.engine import Event, EventLoop, PeriodicTask
+from repro.sim.faults import (
+    ArrivalFaultGate,
+    ChaosInjector,
+    ChaosResult,
+    Fault,
+    FaultSchedule,
+    ViolationReport,
+    Watchdog,
+    run_chaos,
+)
 from repro.sim.link import Link
 from repro.sim.network import Hop, Network
 from repro.sim.packet import Packet
@@ -23,7 +33,16 @@ from repro.sim.trace import TraceRecorder, arrivals_from_trace, load_trace, save
 __all__ = [
     "Event",
     "EventLoop",
+    "PeriodicTask",
     "Link",
+    "Fault",
+    "FaultSchedule",
+    "ChaosInjector",
+    "ChaosResult",
+    "ArrivalFaultGate",
+    "ViolationReport",
+    "Watchdog",
+    "run_chaos",
     "Packet",
     "Network",
     "Hop",

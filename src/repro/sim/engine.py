@@ -52,6 +52,43 @@ class Event(list):
         self[3] = ()
 
 
+class PeriodicTask:
+    """Handle for :meth:`EventLoop.every`; ``cancel()`` stops the ticking."""
+
+    __slots__ = ("_loop", "_fn", "_args", "period", "until", "_event", "fired")
+
+    def __init__(self, loop: "EventLoop", period: float, fn, args, until):
+        self._loop = loop
+        self._fn = fn
+        self._args = args
+        self.period = period
+        self.until = _INF if until is None else until
+        self._event: Optional[Event] = None
+        self.fired = 0
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._fn = None
+
+    def _arm(self, time: float) -> None:
+        if self._fn is None or time > self.until:
+            self._event = None
+            return
+        self._event = self._loop.schedule(time, self._tick)
+
+    def _tick(self) -> None:
+        fn = self._fn
+        if fn is None:
+            return
+        self.fired += 1
+        fn(*self._args)
+        # Re-arm after the callback so a cancel() from inside it sticks,
+        # and from the *scheduled* tick time (now may have been equal).
+        self._arm(self._loop.now + self.period)
+
+
 class EventLoop:
     """Priority-queue driven simulation clock."""
 
@@ -88,6 +125,28 @@ class EventLoop:
 
     def schedule_after(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
         return self.schedule(self.now + delay, fn, *args)
+
+    def every(
+        self,
+        period: float,
+        fn: Callable[..., None],
+        *args: Any,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> PeriodicTask:
+        """Run ``fn(*args)`` every ``period`` seconds; returns a cancellable handle.
+
+        The first firing is at ``start`` (default ``now + period``); ticks
+        past ``until`` are not armed.  Watchdogs and fault schedules ride
+        on this -- a pending tick also fences the link's inline
+        busy-serve drain (``try_advance``), so periodic work observes a
+        consistent clock.
+        """
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        task = PeriodicTask(self, period, fn, args, until)
+        task._arm(self.now + period if start is None else start)
+        return task
 
     def peek_time(self) -> Optional[float]:
         queue = self._queue

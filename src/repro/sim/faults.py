@@ -1,0 +1,688 @@
+"""Chaos injection: deterministic fault schedules for the H-FSC stack.
+
+The paper's admission-control story assumes a well-behaved link and a
+static class hierarchy; production links flap, operators reconfigure
+hierarchies mid-run, and clocks jitter.  This module stress-tests the
+reproduction under exactly those conditions while keeping every run
+replayable from a seed:
+
+* :class:`FaultSchedule` / :class:`ChaosInjector` -- a timed list of
+  faults (link-rate flaps and outages, class churn, live curve updates,
+  state rebuilds) applied to a (link, scheduler) pair through the event
+  loop.  Reconfigurations the scheduler legitimately refuses
+  (:class:`~repro.core.errors.ReconfigurationError`, admission failures)
+  are recorded, never raised.
+* :class:`ArrivalFaultGate` -- wraps any ``offer`` target with arrival
+  loss and arrival-clock jitter, and converts
+  :class:`~repro.core.errors.OverloadError` from the scheduler's
+  admission check into counted rejections (the "raise" policy then
+  sheds load instead of crashing the run).
+* :class:`Watchdog` -- periodically runs the scheduler's
+  ``check_invariants`` and the eq. (1) guarantee audit
+  (:func:`repro.analysis.audit.audit_guarantees`), emitting structured
+  :class:`ViolationReport` records; optionally triggers
+  ``scheduler.rebuild`` on an invariant failure.
+* :func:`run_chaos` -- a canned, fully seeded chaos scenario returning a
+  :class:`ChaosResult` with conservation accounting, guarantee audits
+  and a departure-schedule digest (identical digests with faults
+  disabled prove the fault machinery is pay-for-what-you-use).
+
+Conservation is the load-bearing invariant: every packet offered to the
+gate is either dropped by the gate, rejected by admission, or enqueued;
+every enqueued packet is served, returned by a forced removal, or still
+queued.  :meth:`ChaosResult.conservation` balances those books.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.audit import audit_guarantees
+from repro.core.curves import ServiceCurve
+from repro.core.errors import (
+    AdmissionError,
+    ConfigurationError,
+    OverloadError,
+    SimulationError,
+)
+from repro.sim.engine import EventLoop, PeriodicTask
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.sources import CBRSource, PoissonSource
+from repro.util.rng import make_rng
+
+if TYPE_CHECKING:  # repro.core.hfsc imports the sim package; keep it lazy
+    from repro.core.hfsc import HFSC
+
+FAULT_KINDS = (
+    "set-rate",      # params: rate (0 = outage start)
+    "add-class",     # params: name, parent, rt_sc?, ls_sc?, ul_sc?, sc?
+    "remove-class",  # params: name, force?
+    "update-class",  # params: name + curve kwargs for HFSC.update_class
+    "rebuild",       # params: none
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One timed fault; ``params`` are kind-specific (see FAULT_KINDS)."""
+
+    time: float
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(f"unknown fault kind: {self.kind!r}")
+        if self.time < 0:
+            raise ConfigurationError("fault time must be non-negative")
+
+
+class FaultSchedule:
+    """An ordered, replayable list of faults.
+
+    Build one explicitly with the convenience methods, or draw a seeded
+    random schedule with :meth:`random`.  The schedule itself never
+    touches a scheduler -- :class:`ChaosInjector` applies it.
+    """
+
+    def __init__(self, faults: Optional[List[Fault]] = None):
+        self.faults: List[Fault] = sorted(faults or [], key=lambda f: f.time)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def add(self, fault: Fault) -> "FaultSchedule":
+        self.faults.append(fault)
+        self.faults.sort(key=lambda f: f.time)
+        return self
+
+    # -- convenience constructors ------------------------------------------
+
+    def set_rate(self, time: float, rate: float) -> "FaultSchedule":
+        return self.add(Fault(time, "set-rate", {"rate": float(rate)}))
+
+    def outage(self, start: float, duration: float, restore: float) -> "FaultSchedule":
+        """A full outage: rate 0 at ``start``, ``restore`` after ``duration``."""
+        if duration <= 0:
+            raise ConfigurationError("outage duration must be positive")
+        self.set_rate(start, 0.0)
+        return self.set_rate(start + duration, restore)
+
+    def add_class(self, time: float, name: Any, parent: Any, **curves: Any) -> "FaultSchedule":
+        return self.add(Fault(time, "add-class", {"name": name, "parent": parent, **curves}))
+
+    def remove_class(self, time: float, name: Any, force: bool = False) -> "FaultSchedule":
+        return self.add(Fault(time, "remove-class", {"name": name, "force": force}))
+
+    def update_class(self, time: float, name: Any, **curves: Any) -> "FaultSchedule":
+        return self.add(Fault(time, "update-class", {"name": name, **curves}))
+
+    def rebuild(self, time: float) -> "FaultSchedule":
+        return self.add(Fault(time, "rebuild", {}))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        duration: float,
+        link_rate: float,
+        flaps: int = 4,
+        flap_floor: float = 0.5,
+        outages: int = 1,
+        outage_duration: float = 0.05,
+        churn: int = 2,
+        churn_parent: Any = None,
+        churn_rate: float = 0.0,
+        rebuilds: int = 1,
+    ) -> "FaultSchedule":
+        """Draw a seeded schedule: rate flaps, outages, churn, rebuilds.
+
+        Flapped rates stay in ``[flap_floor, 1] * link_rate`` and the rate
+        is always restored to ``link_rate`` before ``duration`` ends, so a
+        caller keeping real-time demand below ``flap_floor * link_rate``
+        can still assert guarantees for unfaulted classes.  Churn adds a
+        link-sharing-only class under ``churn_parent`` and later removes
+        it (force-drained), which cannot perturb admitted rt guarantees.
+        """
+        rng = make_rng(seed, "fault-schedule")
+        schedule = cls()
+        for _ in range(flaps):
+            at = rng.uniform(0.05, 0.8) * duration
+            factor = flap_floor + (1.0 - flap_floor) * rng.random()
+            schedule.set_rate(at, factor * link_rate)
+            schedule.set_rate(at + rng.uniform(0.02, 0.1) * duration, link_rate)
+        for _ in range(outages):
+            at = rng.uniform(0.1, 0.7) * duration
+            schedule.outage(at, outage_duration, link_rate)
+        if churn and churn_parent is not None and churn_rate > 0:
+            for i in range(churn):
+                born = rng.uniform(0.05, 0.6) * duration
+                gone = born + rng.uniform(0.1, 0.3) * duration
+                name = f"churn-{i}"
+                schedule.add_class(
+                    born, name, churn_parent, ls_sc=ServiceCurve.linear(churn_rate)
+                )
+                schedule.remove_class(gone, name, force=True)
+        for _ in range(rebuilds):
+            schedule.rebuild(rng.uniform(0.2, 0.9) * duration)
+        return schedule
+
+
+class ChaosInjector:
+    """Applies a :class:`FaultSchedule` to a link + H-FSC scheduler pair.
+
+    Rate faults hit both layers: the physical transmitter
+    (:meth:`Link.set_rate`, including outages at rate 0) and -- for
+    positive rates -- the scheduler's capacity model
+    (:meth:`HFSC.set_link_rate`), so admission control and the root
+    link-sharing curve track the degraded link.  Outages leave the
+    scheduler's model alone: guarantees are re-audited, not silently
+    rewritten, when capacity vanishes entirely.
+
+    Reconfiguration faults the scheduler refuses are appended to
+    :attr:`rejected` with the error's message; everything applied cleanly
+    lands in :attr:`applied`.  Both lists are ``(time, fault, detail)``
+    tuples so reports stay structured.
+    """
+
+    def __init__(self, loop: EventLoop, link: Link, scheduler: HFSC):
+        self.loop = loop
+        self.link = link
+        self.scheduler = scheduler
+        self.applied: List[Tuple[float, Fault, str]] = []
+        self.rejected: List[Tuple[float, Fault, str]] = []
+        self.drained_packets: List[Packet] = []
+        self._events: List[Any] = []
+
+    def arm(self, schedule: FaultSchedule) -> None:
+        for fault in schedule:
+            self._events.append(self.loop.schedule(fault.time, self._fire, fault))
+
+    def cancel(self) -> None:
+        for event in self._events:
+            event.cancel()
+        self._events.clear()
+
+    # -- fault application --------------------------------------------------
+
+    def _fire(self, fault: Fault) -> None:
+        now = self.loop.now
+        try:
+            detail = self._apply(fault, now)
+        except (ConfigurationError, AdmissionError) as exc:
+            # The scheduler legitimately refused (unknown class, queued
+            # packets without force, inadmissible curve...): record it --
+            # chaos probes robustness, a refusal is a correct answer.
+            self.rejected.append((now, fault, str(exc)))
+            return
+        self.applied.append((now, fault, detail))
+
+    def _apply(self, fault: Fault, now: float) -> str:
+        kind, params = fault.kind, fault.params
+        if kind == "set-rate":
+            rate = params["rate"]
+            self.link.set_rate(rate)
+            if rate > 0:
+                self.scheduler.set_link_rate(rate)
+            return f"rate={rate:g}"
+        if kind == "add-class":
+            curves = {k: v for k, v in params.items() if k not in ("name", "parent")}
+            self.scheduler.add_class(params["name"], params["parent"], **curves)
+            return f"added {params['name']!r}"
+        if kind == "remove-class":
+            drained = self.scheduler.remove_class(
+                params["name"], force=params.get("force", False)
+            )
+            self.drained_packets.extend(drained)
+            return f"removed {params['name']!r} (drained {len(drained)})"
+        if kind == "update-class":
+            curves = {k: v for k, v in params.items() if k != "name"}
+            self.scheduler.update_class(params["name"], now, **curves)
+            return f"updated {params['name']!r}"
+        if kind == "rebuild":
+            self.scheduler.rebuild(now)
+            return "rebuilt"
+        raise SimulationError(f"unhandled fault kind {kind!r}")  # pragma: no cover
+
+
+class ArrivalFaultGate:
+    """Arrival-path fault injection in front of any ``offer`` target.
+
+    Drops arrivals with probability ``loss``, delays the rest by a
+    uniform jitter in ``[0, jitter]`` seconds (arrival-clock skew), and
+    absorbs :class:`OverloadError` from the target's admission check as
+    counted rejections -- under the "raise" overload policy the gate is
+    what turns a hard failure into load shedding.  With both knobs at
+    zero and no rng the gate is transparent: no random draws, no
+    deferral, byte-identical schedules.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        target: Any,
+        loss: float = 0.0,
+        jitter: float = 0.0,
+        rng=None,
+    ):
+        if not 0.0 <= loss <= 1.0:
+            raise ConfigurationError("loss probability must be in [0, 1]")
+        if jitter < 0:
+            raise ConfigurationError("jitter must be non-negative")
+        if (loss or jitter) and rng is None:
+            raise ConfigurationError("arrival faults require an rng (seeded replay)")
+        self.loop = loop
+        self.target = target
+        self.loss = loss
+        self.jitter = jitter
+        self.rng = rng
+        self.offered = 0
+        self.dropped = 0
+        self.delayed = 0
+        self.delivered = 0
+        self.rejections: List[Tuple[float, Any]] = []
+
+    def offer(self, packet: Packet) -> None:
+        self.offered += 1
+        rng = self.rng
+        if rng is not None:
+            if self.loss and rng.random() < self.loss:
+                self.dropped += 1
+                return
+            if self.jitter:
+                delay = self.jitter * rng.random()
+                if delay > 0.0:
+                    self.delayed += 1
+                    self.loop.schedule_after(delay, self._deliver, packet)
+                    return
+        self._deliver(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        # Deferred deliveries hit admission too: a reconfiguration may
+        # have landed between the original arrival and now.
+        try:
+            self.target.offer(packet)
+        except OverloadError:
+            self.rejections.append((self.loop.now, packet.class_id))
+            return
+        self.delivered += 1
+
+
+@dataclass
+class ViolationReport:
+    """One watchdog finding, structured for JSON reports and CI artifacts."""
+
+    time: float
+    kind: str  # "invariant" | "guarantee" | "conservation"
+    detail: str
+    class_id: Any = None
+    excess: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "detail": self.detail,
+            "class_id": None if self.class_id is None else str(self.class_id),
+            "excess": self.excess,
+        }
+
+
+class Watchdog:
+    """Periodic structural + contractual self-checks during a run.
+
+    Every ``period`` seconds it runs ``scheduler.check_invariants()``
+    (heap/bookkeeping structure) and, when given ``guarantees``, the
+    eq. (1) audit over the run's arrival/departure records with
+    ``slack`` bytes of Theorem-2 tolerance.  Findings become
+    :class:`ViolationReport` entries in :attr:`reports`; with
+    ``auto_rebuild`` the watchdog additionally invokes
+    ``scheduler.rebuild`` after an invariant failure (graceful
+    degradation: restore a serviceable state and keep going).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        scheduler: HFSC,
+        period: float,
+        arrivals: Optional[List[Tuple[float, Any, float]]] = None,
+        served: Optional[List[Packet]] = None,
+        guarantees: Optional[Dict[Any, ServiceCurve]] = None,
+        slack: float = 0.0,
+        auto_rebuild: bool = False,
+        until: Optional[float] = None,
+    ):
+        self.loop = loop
+        self.scheduler = scheduler
+        self.arrivals = arrivals
+        self.served = served
+        self.guarantees = guarantees
+        self.slack = slack
+        self.auto_rebuild = auto_rebuild
+        self.reports: List[ViolationReport] = []
+        self.checks_run = 0
+        self.rebuilds = 0
+        self._task: PeriodicTask = loop.every(period, self._check, until=until)
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    def check_now(self) -> List[ViolationReport]:
+        """Run one check immediately; returns the new reports."""
+        before = len(self.reports)
+        self._check()
+        return self.reports[before:]
+
+    def _check(self) -> None:
+        self.checks_run += 1
+        now = self.loop.now
+        try:
+            self.scheduler.check_invariants()
+        except (AssertionError, RuntimeError) as exc:
+            self.reports.append(ViolationReport(now, "invariant", str(exc)))
+            if self.auto_rebuild:
+                self.scheduler.rebuild(now)
+                self.rebuilds += 1
+        if self.guarantees and self.arrivals is not None and self.served is not None:
+            violations = audit_guarantees(
+                self.arrivals, self.served, self.guarantees, self.slack
+            )
+            for class_id, excess in sorted(violations.items(), key=lambda kv: str(kv[0])):
+                self.reports.append(
+                    ViolationReport(
+                        now,
+                        "guarantee",
+                        f"eq.(1) shortfall {excess:g} beyond slack {self.slack:g}",
+                        class_id=class_id,
+                        excess=excess,
+                    )
+                )
+
+
+# -- canned scenario ---------------------------------------------------------
+
+
+@dataclass
+class ChaosResult:
+    """Everything a chaos run produced, ready for assertions and reports."""
+
+    seed: int
+    policy: str
+    duration: float
+    scheduler: HFSC
+    link: Link
+    gates: Dict[Any, ArrivalFaultGate]
+    injector: ChaosInjector
+    watchdog: Watchdog
+    arrivals: List[Tuple[float, Any, float]]
+    served: List[Packet]
+    guarantees: Dict[Any, ServiceCurve]
+    slack: float
+
+    def conservation(self) -> Dict[str, float]:
+        """Balance the packet books; ``ok`` is the invariant."""
+        offered = sum(g.offered for g in self.gates.values())
+        gate_dropped = sum(g.dropped for g in self.gates.values())
+        rejected = sum(len(g.rejections) for g in self.gates.values())
+        in_flight = sum(
+            g.offered - g.dropped - g.delivered - len(g.rejections)
+            for g in self.gates.values()
+        )
+        sched = self.scheduler
+        backlog = len(sched)
+        books = {
+            "offered": offered,
+            "gate_dropped": gate_dropped,
+            "rejected": rejected,
+            "in_flight": in_flight,
+            "enqueued": sched.total_enqueued,
+            "dequeued": sched.total_dequeued,
+            "returned": sched.total_returned,
+            "backlog": backlog,
+        }
+        books["ok"] = (
+            offered == gate_dropped + rejected + in_flight + sched.total_enqueued
+            and sched.total_enqueued
+            == sched.total_dequeued + sched.total_returned + backlog
+        )
+        return books
+
+    def guarantee_violations(self) -> Dict[Any, float]:
+        """Eq. (1) excesses beyond Theorem-2 slack for the protected classes."""
+        return audit_guarantees(self.arrivals, self.served, self.guarantees, self.slack)
+
+    def schedule_digest(self) -> str:
+        """sha256 over the departure schedule (class, size, time) records."""
+        h = hashlib.sha256()
+        for p in self.served:
+            h.update(repr((p.class_id, p.size, p.departed)).encode())
+        return h.hexdigest()
+
+    def violations(self) -> List[ViolationReport]:
+        found = list(self.watchdog.reports)
+        books = self.conservation()
+        if not books["ok"]:
+            found.append(
+                ViolationReport(
+                    self.duration, "conservation", f"packet books do not balance: {books}"
+                )
+            )
+        for class_id, excess in sorted(
+            self.guarantee_violations().items(), key=lambda kv: str(kv[0])
+        ):
+            found.append(
+                ViolationReport(
+                    self.duration,
+                    "guarantee",
+                    f"final eq.(1) shortfall {excess:g} beyond slack {self.slack:g}",
+                    class_id=class_id,
+                    excess=excess,
+                )
+            )
+        return found
+
+    def to_report(self) -> Dict[str, Any]:
+        books = self.conservation()
+        return {
+            "seed": self.seed,
+            "policy": self.policy,
+            "duration": self.duration,
+            "conservation": books,
+            "violations": [v.to_dict() for v in self.violations()],
+            "faults_applied": [
+                {"time": t, "kind": f.kind, "detail": d}
+                for t, f, d in self.injector.applied
+            ],
+            "faults_rejected": [
+                {"time": t, "kind": f.kind, "detail": d}
+                for t, f, d in self.injector.rejected
+            ],
+            "overload_events": list(self.scheduler.overload_events),
+            "schedule_digest": self.schedule_digest(),
+            "bytes_sent": self.link.bytes_sent,
+            "utilization": self.link.utilization(self.duration),
+        }
+
+
+def run_chaos(
+    seed: int,
+    duration: float = 2.0,
+    policy: str = "raise",
+    link_rate: float = 400_000.0,
+    faults: bool = True,
+    overload_episode: bool = True,
+    arrival_faults: bool = True,
+    watchdog_period: float = 0.5,
+    auto_rebuild: bool = False,
+) -> ChaosResult:
+    """One seeded chaos scenario against a two-agency H-FSC hierarchy.
+
+    Topology (fractions of ``link_rate``): agencies A (ls 60%) and B
+    (ls 40%); leaves A/rt1 (rt+ls 25%, the *protected* class -- its
+    arrival gate is never impaired), A/ls1 (ls 35%), B/rt2 (rt+ls 15%),
+    B/ls2 (ls 25%, upper-limited at 60%).  Total rt demand is 40% of
+    nominal, below the 50% flap floor, so rt guarantees stay feasible
+    through every rate fault and eq. (1) must hold for rt1 to Theorem-2
+    slack in every policy -- except during the optional *overload
+    episode*, which grafts an inadmissible rt hog under B mid-run and
+    later force-removes it, exercising the configured ``policy``.
+
+    With ``faults=False`` (and the other toggles off) the scenario runs
+    the same sources on the same seeds with zero fault machinery in the
+    way; its :meth:`ChaosResult.schedule_digest` must match the faultless
+    baseline byte for byte.
+    """
+    from repro.core.hfsc import HFSC  # deferred: core imports the sim package
+
+    loop = EventLoop()
+    sched = HFSC(link_rate, overload_policy=policy)
+    sched.add_class("A", ls_sc=ServiceCurve.linear(0.60 * link_rate))
+    sched.add_class("B", ls_sc=ServiceCurve.linear(0.40 * link_rate))
+    sched.add_class("rt1", "A", sc=ServiceCurve.linear(0.25 * link_rate))
+    sched.add_class("ls1", "A", ls_sc=ServiceCurve.linear(0.35 * link_rate))
+    sched.add_class("rt2", "B", sc=ServiceCurve.linear(0.15 * link_rate))
+    sched.add_class(
+        "ls2",
+        "B",
+        ls_sc=ServiceCurve.linear(0.25 * link_rate),
+        ul_sc=ServiceCurve.linear(0.60 * link_rate),
+    )
+    link = Link(loop, sched)
+
+    arrivals: List[Tuple[float, Any, float]] = []
+    served: List[Packet] = []
+    link.add_listener(lambda p, t: served.append(p))
+
+    class _Recorder:
+        """Stamps the arrival record at actual enqueue time (post-gate)."""
+
+        def __init__(self, target):
+            self.target = target
+
+        def offer(self, packet: Packet) -> None:
+            self.target.offer(packet)
+            # Record only arrivals that were actually admitted: an
+            # OverloadError propagates to the gate before this line.
+            arrivals.append((loop.now, packet.class_id, packet.size))
+
+    recorder = _Recorder(link)
+    packet_size = 1000.0
+    gates: Dict[Any, ArrivalFaultGate] = {}
+    for class_id in ("rt1", "ls1", "rt2", "ls2"):
+        impaired = arrival_faults and class_id != "rt1"
+        gates[class_id] = ArrivalFaultGate(
+            loop,
+            recorder,
+            loss=0.02 if impaired else 0.0,
+            jitter=0.002 if impaired else 0.0,
+            rng=make_rng(seed, "gate", class_id) if impaired else None,
+        )
+
+    # Protected rt class at ~90% of its guarantee; the rest oversubscribe
+    # their link-sharing service so the hierarchy is genuinely contended.
+    CBRSource(loop, gates["rt1"], "rt1", 0.9 * 0.25 * link_rate, packet_size)
+    PoissonSource(
+        loop, gates["ls1"], "ls1", 0.5 * link_rate, packet_size, make_rng(seed, "src", "ls1")
+    )
+    CBRSource(loop, gates["rt2"], "rt2", 0.9 * 0.15 * link_rate, packet_size)
+    PoissonSource(
+        loop, gates["ls2"], "ls2", 0.4 * link_rate, packet_size, make_rng(seed, "src", "ls2")
+    )
+
+    injector = ChaosInjector(loop, link, sched)
+    outage_duration = 0.02 * duration
+    if faults:
+        schedule = FaultSchedule.random(
+            seed,
+            duration,
+            link_rate,
+            outage_duration=outage_duration,
+            churn_parent="B",
+            churn_rate=0.05 * link_rate,
+        )
+        # A live curve update on an unprotected leaf (ls2 sheds half its
+        # share, then gets it back).
+        schedule.update_class(
+            0.3 * duration, "ls2", ls_sc=ServiceCurve.linear(0.125 * link_rate)
+        )
+        schedule.update_class(
+            0.6 * duration, "ls2", ls_sc=ServiceCurve.linear(0.25 * link_rate)
+        )
+        if overload_episode:
+            # An rt hog that blows the admission budget; how the run
+            # degrades is exactly what overload_policy decides.
+            schedule.add_class(
+                0.45 * duration, "hog", "B", sc=ServiceCurve.linear(0.70 * link_rate)
+            )
+            schedule.remove_class(0.55 * duration, "hog", force=True)
+        injector.arm(schedule)
+        if overload_episode:
+            # A transparent gate (no impairment) still absorbs
+            # OverloadError, so under the "raise" policy the hog's own
+            # arrivals are shed as recorded rejections, not crashes.
+            gates["hog"] = ArrivalFaultGate(loop, recorder)
+            CBRSource(
+                loop,
+                gates["hog"],
+                "hog",
+                0.3 * link_rate,
+                packet_size,
+                start=0.46 * duration,
+                stop=0.549 * duration,
+            )
+
+    # Guarantee audit.  During the overload episode rt1's guarantee is
+    # legitimately degraded (that is the policy's job), so eq. (1) is only
+    # asserted in scenarios without the hog.  The slack term is the
+    # graceful-degradation contract: Theorem 2's packet slack (doubled for
+    # arrival-record timing), plus -- when capacity faults run -- the
+    # bytes the link physically could not send during outages.  A rate
+    # flap never needs slack: the flap floor keeps capacity above the
+    # admitted real-time demand, so deadlines stay feasible.
+    slack = 2.0 * packet_size
+    if faults:
+        slack += outage_duration * link_rate
+    guarantees: Dict[Any, ServiceCurve] = {}
+    if not (faults and overload_episode):
+        guarantees["rt1"] = ServiceCurve.linear(0.9 * 0.25 * link_rate)
+    watchdog = Watchdog(
+        loop,
+        sched,
+        watchdog_period,
+        arrivals=arrivals,
+        served=served,
+        guarantees=guarantees,
+        slack=slack,
+        auto_rebuild=auto_rebuild,
+        until=duration,
+    )
+
+    # Offered load exceeds capacity, so the run ends with a backlog; the
+    # hog source stops before its class is removed so remove_class sees a
+    # quiesced arrival stream (its queue may still hold packets -- that
+    # is what force-draining is for).
+    loop.run(until=duration)
+    watchdog.stop()
+    injector.cancel()
+
+    return ChaosResult(
+        seed=seed,
+        policy=policy,
+        duration=duration,
+        scheduler=sched,
+        link=link,
+        gates=gates,
+        injector=injector,
+        watchdog=watchdog,
+        arrivals=arrivals,
+        served=served,
+        guarantees=guarantees,
+        slack=slack,
+    )

@@ -10,6 +10,12 @@ departures.
 Non-work-conserving schedulers (H-FSC with rt-only or upper-limited
 classes) may decline to hand over a packet while backlogged; the link then
 re-polls at the scheduler's ``next_ready_time``.
+
+The rate may change *live* (:meth:`Link.set_rate`): an in-flight packet's
+departure is re-derived from the bytes still on the wire, and a rate of
+zero models a full outage -- the transmission freezes and resumes when a
+later ``set_rate`` restores capacity.  This is what the chaos subsystem
+(:mod:`repro.sim.faults`) drives for rate-flap and outage faults.
 """
 
 from __future__ import annotations
@@ -24,6 +30,14 @@ if TYPE_CHECKING:  # avoid a circular import; Scheduler is only a type hint
     from repro.schedulers.base import Scheduler
 
 DepartureListener = Callable[[Packet, float], None]
+
+#: How many times in a row (at one timestamp) the link will re-poll a
+#: scheduler that declines to hand over a packet while claiming to be
+#: ready *now*.  One or two re-polls are legitimate -- float round-off or
+#: a reconfiguration can land a fit/eligible time exactly on the clock --
+#: but an unbounded loop would livelock the event loop on a buggy
+#: scheduler, so past this bound the link raises.
+_MAX_READY_SPINS = 64
 
 
 class Link:
@@ -41,6 +55,18 @@ class Link:
         self._listeners: List[DepartureListener] = []
         self._class_listeners: Dict[Any, List[DepartureListener]] = {}
         self._retry_event: Optional[Event] = None
+        # In-flight transmission state (needed to re-derive the departure
+        # when the rate changes mid-packet): the packet on the wire, the
+        # bytes left at the last accounting point, that point's time, and
+        # the pending completion event (None while an outage freezes the
+        # packet, or when the busy-serve fast path runs the completion
+        # inline).
+        self._tx_packet: Optional[Packet] = None
+        self._tx_remaining = 0.0
+        self._tx_last = 0.0
+        self._tx_event: Optional[Event] = None
+        self._spin_time = -1.0
+        self._spin_count = 0
 
     # -- wiring ---------------------------------------------------------------
 
@@ -60,6 +86,45 @@ class Link:
         if not self.busy:
             self._kick()
 
+    def set_rate(self, rate: float) -> None:
+        """Change the transmission rate live; ``0`` starts an outage.
+
+        An in-flight packet keeps the bytes already transmitted: its
+        departure is re-derived from the remaining bytes at the new rate.
+        During an outage (rate 0) the packet freezes on the wire and the
+        link neither transmits nor polls the scheduler; a later positive
+        rate resumes exactly where it stopped.  Utilization accounting
+        stays consistent: busy time integrates only the intervals in
+        which bits actually flowed.
+        """
+        rate = float(rate)
+        if rate < 0:
+            raise SimulationError("link rate must be non-negative")
+        old = self.rate
+        if rate == old:
+            return
+        now = self.loop.now
+        self.rate = rate
+        if self.busy:
+            elapsed = now - self._tx_last
+            if old > 0 and elapsed > 0:
+                self._tx_remaining -= elapsed * old
+                if self._tx_remaining < 0.0:
+                    self._tx_remaining = 0.0
+                self.busy_time += elapsed
+            self._tx_last = now
+            if self._tx_event is not None:
+                self._tx_event.cancel()
+                self._tx_event = None
+            if rate > 0:
+                self._tx_event = self.loop.schedule(
+                    now + self._tx_remaining / rate, self._complete, self._tx_packet
+                )
+        elif rate > 0 and old == 0:
+            # Outage ended with nothing in flight: resume serving the
+            # backlog that may have built up meanwhile.
+            self._kick()
+
     def utilization(self, horizon: Optional[float] = None) -> float:
         """Fraction of time the transmitter was busy."""
         span = horizon if horizon is not None else self.loop.now
@@ -71,7 +136,7 @@ class Link:
 
     def _kick(self) -> None:
         """Try to start a transmission (no-op while one is in flight)."""
-        if self.busy:
+        if self.busy or self.rate <= 0:
             return
         if self._retry_event is not None:
             self._retry_event.cancel()
@@ -82,21 +147,42 @@ class Link:
             self._arm_retry(now)
             return
         self.busy = True
-        self.loop.schedule(now + packet.size / self.rate, self._complete, packet)
+        self._tx_packet = packet
+        self._tx_remaining = packet.size
+        self._tx_last = now
+        self._spin_count = 0
+        self._tx_event = self.loop.schedule(
+            now + packet.size / self.rate, self._complete, packet
+        )
 
     def _arm_retry(self, now: float) -> None:
         """Re-poll a backlogged non-work-conserving scheduler when ready."""
-        if len(self.scheduler) > 0:
-            ready = self.scheduler.next_ready_time(now)
-            if ready is None:
-                # Backlogged but nothing schedulable and no hint: wait
-                # for the next arrival (offer() will kick again).
-                return
-            if ready <= now:
-                raise SimulationError(
-                    "scheduler declined to send but claims to be ready"
-                )
-            self._retry_event = self.loop.schedule(ready, self._retry)
+        if len(self.scheduler) == 0:
+            return
+        ready = self.scheduler.next_ready_time(now)
+        if ready is None:
+            # Backlogged but nothing schedulable and no hint: wait
+            # for the next arrival (offer() will kick again).
+            return
+        if ready <= now:
+            # Float round-off (or a live reconfiguration) can land a fit
+            # or eligible time exactly on -- or a hair before -- the
+            # current clock right after a dequeue declined.  Re-poll
+            # immediately through the event loop; the spin guard bounds a
+            # scheduler that keeps declining while claiming readiness.
+            if now == self._spin_time:
+                self._spin_count += 1
+                if self._spin_count > _MAX_READY_SPINS:
+                    raise SimulationError(
+                        "scheduler declined to send but claims to be ready "
+                        f"({self._spin_count} consecutive re-polls at t={now:g})"
+                    )
+            else:
+                self._spin_time = now
+                self._spin_count = 1
+            self._retry_event = self.loop.schedule(now, self._retry)
+            return
+        self._retry_event = self.loop.schedule(ready, self._retry)
 
     def _retry(self) -> None:
         self._retry_event = None
@@ -113,10 +199,10 @@ class Link:
         traffic at all.  Listener reentrancy is preserved: ``busy`` drops
         before the callbacks run, and if a callback restarts the
         transmitter itself (a greedy source calling ``offer``), the drain
-        stops.
+        stops.  The rate is re-read every iteration because a departure
+        listener may change it (or start an outage) mid-drain.
         """
         loop = self.loop
-        rate = self.rate
         dequeue = self.scheduler.dequeue
         listeners = self._listeners
         class_listeners = self._class_listeners
@@ -126,7 +212,13 @@ class Link:
             packet.departed = now
             self.busy = False
             self.bytes_sent += size
-            self.busy_time += size / rate
+            # The final segment of this transmission ran at the current
+            # rate (any mid-flight set_rate already accounted the earlier
+            # segments and re-derived the completion time).
+            self.busy_time += self._tx_remaining / self.rate
+            self._tx_packet = None
+            self._tx_remaining = 0.0
+            self._tx_event = None
             for listener in listeners:
                 listener(packet, now)
             for listener in class_listeners.get(packet.class_id, ()):
@@ -139,13 +231,21 @@ class Link:
             if self._retry_event is not None:
                 self._retry_event.cancel()
                 self._retry_event = None
+            rate = self.rate
+            if rate <= 0:
+                # A departure listener started an outage.
+                return
             packet = dequeue(now)
             if packet is None:
                 self._arm_retry(now)
                 return
             self.busy = True
+            self._tx_packet = packet
+            self._tx_remaining = packet.size
+            self._tx_last = now
+            self._spin_count = 0
             completion = now + packet.size / rate
             if loop.try_advance(completion):
                 continue
-            loop.schedule(completion, self._complete, packet)
+            self._tx_event = loop.schedule(completion, self._complete, packet)
             return

@@ -30,7 +30,15 @@ DeliveryListener = Callable[[Packet, float], None]
 
 
 class Hop:
-    """One directed hop: a scheduled link plus a propagation wire."""
+    """One directed hop: a scheduled link plus a propagation wire.
+
+    The wire can be *impaired* (:meth:`impair`) for fault injection:
+    per-packet loss, duplication and reordering are applied on the egress
+    side, after the scheduler and the link have done their work -- the
+    scheduling guarantees of this hop are unaffected, only what the next
+    hop sees changes.  All randomness flows through the injected rng so
+    fault runs replay exactly from a seed.
+    """
 
     def __init__(self, loop: EventLoop, scheduler: "Scheduler", delay: float = 0.0):
         if delay < 0:
@@ -40,12 +48,49 @@ class Hop:
         self.delay = delay
         self._forward: Optional[Callable[[Packet], None]] = None
         self.link.add_listener(self._on_departure)
+        # Egress impairment state (chaos injection); counters are public
+        # so conservation audits can balance the books.
+        self.lost_packets = 0
+        self.duplicated_packets = 0
+        self.reordered_packets = 0
+        self._loss = 0.0
+        self._dup = 0.0
+        self._reorder = 0.0
+        self._reorder_delay = 0.0
+        self._impair_rng = None
 
     def connect(self, forward: Callable[[Packet], None]) -> None:
         self._forward = forward
 
     def offer(self, packet: Packet) -> None:
         self.link.offer(packet)
+
+    def impair(
+        self,
+        loss: float = 0.0,
+        dup: float = 0.0,
+        reorder: float = 0.0,
+        reorder_delay: float = 0.0,
+        rng=None,
+    ) -> None:
+        """Configure egress fault injection (pass all zeros to clear).
+
+        ``loss``/``dup``/``reorder`` are per-packet probabilities;
+        reordered packets are held back a uniform extra delay in
+        ``[0, reorder_delay]`` so later packets can overtake them.
+        """
+        for name, p in (("loss", loss), ("dup", dup), ("reorder", reorder)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} probability must be in [0, 1]")
+        if reorder_delay < 0:
+            raise ConfigurationError("reorder_delay must be non-negative")
+        if (loss or dup or reorder) and rng is None:
+            raise ConfigurationError("impairment requires an rng (seeded replay)")
+        self._loss = loss
+        self._dup = dup
+        self._reorder = reorder
+        self._reorder_delay = reorder_delay
+        self._impair_rng = rng
 
     def _on_departure(self, packet: Packet, now: float) -> None:
         if self._forward is None:
@@ -54,6 +99,23 @@ class Hop:
         # that other departure listeners on this hop -- statistics
         # collectors in particular -- observe the packet's timing fields
         # before the next hop reuses them.
+        rng = self._impair_rng
+        if rng is not None:
+            if self._loss and rng.random() < self._loss:
+                self.lost_packets += 1
+                return
+            if self._dup and rng.random() < self._dup:
+                # The duplicate is a fresh Packet: per-hop bookkeeping
+                # mutates timing fields in place, so forwarding the same
+                # object twice would corrupt both copies.
+                self.duplicated_packets += 1
+                copy = Packet(packet.class_id, packet.size, created=now)
+                self.loop.schedule_after(self.delay, self._forward, copy)
+            if self._reorder and rng.random() < self._reorder:
+                self.reordered_packets += 1
+                extra = self._reorder_delay * rng.random()
+                self.loop.schedule_after(self.delay + extra, self._forward, packet)
+                return
         self.loop.schedule_after(self.delay, self._forward, packet)
 
 
