@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import datetime
+import fnmatch
 import glob
 import json
 import os
@@ -208,6 +209,33 @@ def bench_e9_macro(kind: str, n_classes: int, packets: int) -> Tuple[float, int]
     return time_ops(work)
 
 
+def bench_e9_macro_telemetry(kind: str, n_classes: int,
+                             packets: int) -> Tuple[float, int]:
+    """The same macro churn with the telemetry hub *enabled*.
+
+    ``e9/H-FSC/n256`` vs this bench is the enabled-telemetry overhead;
+    ``e9/H-FSC/n256`` vs the committed baseline is the disabled-taps
+    overhead gate (the taps are compiled in either way -- disabled they
+    must cost one attribute check, which --compare enforces).
+    """
+    from repro.obs.core import TELEMETRY
+
+    def work() -> int:
+        TELEMETRY.reset()
+        TELEMETRY.record_packets = False
+        TELEMETRY.enable()
+        try:
+            sched = e9_overhead.build_scheduler(kind, n_classes)
+            e9_overhead.churn(sched, n_classes, packets)
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.record_packets = True
+            TELEMETRY.reset()
+        return packets + n_classes
+
+    return time_ops(work)
+
+
 # -- harness -----------------------------------------------------------------
 
 
@@ -234,6 +262,9 @@ def tracked_benches(quick: bool) -> Dict[str, Callable[[], Tuple[float, int]]]:
             benches[f"e9/{kind}/n{n}"] = (
                 lambda kind=kind, n=n: bench_e9_macro(kind, n, macro_packets)
             )
+    benches["telemetry/e9_hfsc_on/n256"] = (
+        lambda: bench_e9_macro_telemetry("H-FSC", 256, macro_packets)
+    )
     return benches
 
 
@@ -251,9 +282,12 @@ def _git_head() -> Optional[str]:
         return None
 
 
-def run_benches(quick: bool = False, verbose: bool = True) -> Dict:
+def run_benches(quick: bool = False, verbose: bool = True,
+                only: Optional[str] = None) -> Dict:
     results: Dict[str, Dict[str, float]] = {}
     for name, bench in tracked_benches(quick).items():
+        if only is not None and not fnmatch.fnmatch(name, only):
+            continue
         elapsed, ops = bench()
         ops_per_sec = ops / elapsed if elapsed > 0 else float("inf")
         results[name] = {
@@ -345,14 +379,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="small workloads (CI smoke; numbers are noisy, do not commit)",
     )
+    parser.add_argument(
+        "--only",
+        metavar="PATTERN",
+        default=None,
+        help="run only benches whose name matches this fnmatch pattern "
+        "(e.g. 'e9/H-FSC/*'); comparison then covers just those",
+    )
     args = parser.parse_args(argv)
 
     print(f"running tracked benches ({'quick' if args.quick else 'full'})...")
-    report = run_benches(quick=args.quick)
+    report = run_benches(quick=args.quick, only=args.only)
+    if not report["results"]:
+        print(f"no tracked bench matches --only {args.only!r}", file=sys.stderr)
+        return 2
 
     output = args.output
     if output is None:
-        output = default_output_path(args.tag)
+        # A filtered run is not a full baseline; never write one by default.
+        output = "-" if args.only else default_output_path(args.tag)
     if output != "-":
         os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
         with open(output, "w") as handle:

@@ -11,6 +11,9 @@ Public API map:
   sources, simplified TCP, measurement;
 * :mod:`repro.analysis` -- delay-bound, fairness and link-sharing accuracy
   computations;
+* :mod:`repro.obs` -- telemetry: zero-cost-when-off counters and
+  histograms, a flight recorder of scheduling events, a periodic
+  sampler, JSON/Prometheus/CSV exporters and the ``repro top`` view;
 * :mod:`repro.experiments` -- the paper's experiments E1..E11, shared by
   the examples and the benchmark harness.
 
@@ -50,9 +53,11 @@ from repro.core import (
     is_admissible,
     sum_curves,
 )
+from repro.obs import TELEMETRY, Sampler, Telemetry, telemetry_session
 from repro.sim import (
     ArrivalFaultGate,
     ChaosInjector,
+    ChaosScenario,
     ClassStats,
     DropTailBuffer,
     EventLoop,
@@ -69,6 +74,7 @@ from repro.sim import (
     TraceRecorder,
     ViolationReport,
     Watchdog,
+    prepare_chaos,
     run_chaos,
 )
 from repro.sim.sources import (
@@ -124,10 +130,17 @@ __all__ = [
     # chaos injection
     "FaultSchedule",
     "ChaosInjector",
+    "ChaosScenario",
     "ArrivalFaultGate",
     "Watchdog",
     "ViolationReport",
+    "prepare_chaos",
     "run_chaos",
+    # telemetry
+    "TELEMETRY",
+    "Telemetry",
+    "telemetry_session",
+    "Sampler",
     # errors
     "ReproError",
     "ConfigurationError",

@@ -7,6 +7,8 @@ Usage::
     python -m repro run all --markdown   # everything, markdown
     python -m repro bench --compare      # tracked benches vs the baseline
     python -m repro chaos --runs 3       # seeded chaos sweep, all policies
+    python -m repro stats --scenario e4  # telemetry snapshot of a live run
+    python -m repro top --scenario chaos # live per-class terminal view
 """
 
 from __future__ import annotations
@@ -47,6 +49,84 @@ def _load_bench_harness():
     return module
 
 
+def _run_stats_command(args) -> int:
+    from repro.obs import Sampler, build_scenario, to_csv, to_json, to_prometheus
+    from repro.obs.core import telemetry_session
+
+    with telemetry_session(record_packets=not args.no_packets,
+                           capacity=args.ring):
+        scenario = build_scenario(
+            args.scenario, seed=args.seed,
+            duration=args.duration, policy=args.policy,
+        )
+        sampler = Sampler(
+            scenario.loop,
+            scheduler=scenario.scheduler,
+            link=scenario.link,
+            period=args.sample_period,
+            until=scenario.duration,
+        )
+        scenario.loop.run(until=scenario.duration)
+        if scenario.finish is not None:
+            scenario.finish()
+        if args.format == "prometheus":
+            text = to_prometheus(scheduler=scenario.scheduler,
+                                 link=scenario.link)
+        elif args.format == "csv":
+            text = to_csv(sampler)
+        else:
+            text = to_json(
+                sampler=sampler,
+                scheduler=scenario.scheduler,
+                link=scenario.link,
+                recorder_tail=args.tail,
+                include_series=args.series,
+            )
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"{args.format} stats written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _run_top_command(args) -> int:
+    from repro.obs import build_scenario, run_top
+    from repro.obs.core import telemetry_session
+
+    with telemetry_session():
+        scenario = build_scenario(
+            args.scenario, seed=args.seed,
+            duration=args.duration, policy=args.policy,
+        )
+        run_top(
+            scenario,
+            refresh=args.refresh,
+            wall_interval=args.interval,
+        )
+        if scenario.finish is not None:
+            scenario.finish()
+    return 0
+
+
+def _add_scenario_arguments(parser, duration_help: str) -> None:
+    from repro.obs.scenarios import SCENARIOS
+
+    parser.add_argument(
+        "--scenario", choices=SCENARIOS, default="chaos",
+        help="which live scenario to observe (default: chaos)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="scenario seed")
+    parser.add_argument(
+        "--duration", type=float, default=None, help=duration_help
+    )
+    parser.add_argument(
+        "--policy", default="raise",
+        help="overload policy for the chaos scenario (default: raise)",
+    )
+
+
 def _run_chaos_command(args) -> int:
     from repro.core.hfsc import OVERLOAD_POLICIES
     from repro.sim.faults import run_chaos
@@ -60,13 +140,26 @@ def _run_chaos_command(args) -> int:
               f"expected one of {OVERLOAD_POLICIES} or 'all'", file=sys.stderr)
         return 2
 
+    import contextlib
+
+    from repro.obs.core import telemetry_session
+
     reports = []
     failed = 0
     for policy in policies:
         for offset in range(args.runs):
             seed = args.seed + offset
-            result = run_chaos(seed, duration=args.duration, policy=policy)
-            report = result.to_report()
+            # With --telemetry each run gets a fresh session so its
+            # report's "telemetry" section (counters + flight-recorder
+            # tail) covers exactly that run.
+            session = (
+                telemetry_session(record_packets=False)
+                if args.telemetry
+                else contextlib.nullcontext()
+            )
+            with session:
+                result = run_chaos(seed, duration=args.duration, policy=policy)
+                report = result.to_report()
             reports.append(report)
             violations = report["violations"]
             books = report["conservation"]
@@ -135,10 +228,70 @@ def main(argv: List[str] = None) -> int:
         "--report", metavar="PATH", default=None,
         help="write the full JSON report (violations, fault logs) here",
     )
+    chaos_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="run with telemetry enabled; reports gain a 'telemetry' "
+             "section (counters + flight-recorder tail)",
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="run a live scenario with telemetry and export metrics"
+    )
+    _add_scenario_arguments(
+        stats_parser, "simulated seconds (default: scenario-specific)"
+    )
+    stats_parser.add_argument(
+        "--format", choices=("json", "prometheus", "csv"), default="json",
+        help="export format (default: json)",
+    )
+    stats_parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the export here instead of stdout ('-' = stdout)",
+    )
+    stats_parser.add_argument(
+        "--sample-period", type=float, default=0.1,
+        help="sampler period in simulated seconds (default: 0.1)",
+    )
+    stats_parser.add_argument(
+        "--ring", type=int, default=4096,
+        help="flight-recorder capacity in events (default: 4096)",
+    )
+    stats_parser.add_argument(
+        "--tail", type=int, default=64,
+        help="flight-recorder events in the JSON export (default: 64)",
+    )
+    stats_parser.add_argument(
+        "--series", action="store_true",
+        help="include the full per-class sampler timeseries in the JSON",
+    )
+    stats_parser.add_argument(
+        "--no-packets", action="store_true",
+        help="keep per-packet events out of the flight recorder",
+    )
+
+    top_parser = subparsers.add_parser(
+        "top", help="live per-class terminal view of a running scenario"
+    )
+    _add_scenario_arguments(
+        top_parser, "simulated seconds to run (default: scenario-specific)"
+    )
+    top_parser.add_argument(
+        "--refresh", type=float, default=0.1,
+        help="simulated seconds per frame (default: 0.1)",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=0.25,
+        help="wall-clock seconds between frames (default: 0.25; 0 = as "
+             "fast as the simulation runs)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "chaos":
         return _run_chaos_command(args)
+    if args.command == "stats":
+        return _run_stats_command(args)
+    if args.command == "top":
+        return _run_top_command(args)
 
     registry = _registry()
 

@@ -48,6 +48,7 @@ from repro.core.errors import (
     ReconfigurationError,
 )
 from repro.core.runtime_curves import RuntimeCurve, eligible_spec
+from repro.obs.core import TELEMETRY as _TELEM
 from repro.schedulers.base import Scheduler
 from repro.sim.packet import Packet
 from repro.util.eligible_set import make_eligible_set
@@ -338,6 +339,8 @@ class HFSC(Scheduler):
             self._ul_classes.add(cls)
             parent_cls.ul_children += 1
         self._admission_checked = False
+        if _TELEM.enabled:
+            _TELEM.on_reconfig(None, "add-class", name, {"parent": str(parent)})
         return cls
 
     def remove_class(self, name: Any, force: bool = False) -> List[Packet]:
@@ -382,6 +385,9 @@ class HFSC(Scheduler):
             drained.extend(self._drain_leaf(node))
             self._unlink(node)
         self._admission_checked = False
+        if _TELEM.enabled:
+            _TELEM.on_reconfig(None, "remove-class", name,
+                               {"force": force, "drained": len(drained)})
         return drained
 
     def update_class(
@@ -491,6 +497,8 @@ class HFSC(Scheduler):
                 cls.fit_time = cls.ul_curve.inverse(cls.total_work)
                 self._ul_wait.push(cls, cls.fit_time)
         self._admission_checked = False
+        if _TELEM.enabled:
+            _TELEM.on_reconfig(now, "update-class", name)
         return cls
 
     def set_link_rate(self, rate: float) -> None:
@@ -511,6 +519,8 @@ class HFSC(Scheduler):
         self.link_rate = float(rate)
         self.root.ls_spec = ServiceCurve.linear(rate)
         self._admission_checked = False
+        if _TELEM.enabled:
+            _TELEM.on_reconfig(None, "set-link-rate", None, {"rate": rate})
 
     def rebuild(self, now: float) -> None:
         """Reconstruct every piece of derived state from the queues.
@@ -548,6 +558,9 @@ class HFSC(Scheduler):
             if cls.is_leaf and not cls.is_root and cls.queue:
                 self._activate(cls, now)
         self._admission_checked = False
+        if _TELEM.enabled:
+            _TELEM.on_reconfig(now, "rebuild", None,
+                               {"backlog_packets": packets})
 
     def __getitem__(self, name: Any) -> HFSCClass:
         return self._classes[name]
@@ -636,6 +649,10 @@ class HFSC(Scheduler):
     def work_of(self, name: Any) -> float:
         """Total link-sharing-tracked service of a class, in bytes."""
         return self._classes[name].total_work
+
+    def eligible_count(self) -> int:
+        """Number of leaves currently in the real-time eligible set."""
+        return len(self._eligible)
 
     def check_invariants(self) -> None:
         """Verify internal consistency (used by the property tests).
@@ -756,6 +773,7 @@ class HFSC(Scheduler):
         if factor < 1.0:
             self._record_overload(
                 "scale-rt",
+                now=now,
                 factor=factor,
                 classes=[cls.name for cls in rt_leaves],
             )
@@ -785,6 +803,7 @@ class HFSC(Scheduler):
             self.rt_suspended = True
             self._record_overload(
                 "linkshare-only",
+                now=now,
                 classes=[cls.name for cls in rt_leaves],
             )
 
@@ -820,6 +839,7 @@ class HFSC(Scheduler):
         if stripped:
             self._record_overload(
                 "reject",
+                now=now,
                 rejected=[cls.name for cls in rejected],
             )
 
@@ -856,10 +876,13 @@ class HFSC(Scheduler):
         else:
             self._eligible.insert(leaf, leaf.eligible, leaf.deadline)
 
-    def _record_overload(self, policy: str, **details: Any) -> None:
+    def _record_overload(self, policy: str, now: Optional[float] = None,
+                         **details: Any) -> None:
         event = {"policy": policy}
         event.update(details)
         self.overload_events.append(event)
+        if _TELEM.enabled:
+            _TELEM.on_overload(now, policy, dict(details))
 
     # -- removal internals -----------------------------------------------------
 
@@ -1041,6 +1064,8 @@ class HFSC(Scheduler):
         packet.deadline = leaf.deadline if rt_tracked else None
         self._note_dequeue(packet, now)
         size = packet.size
+        if _TELEM.enabled:
+            _TELEM.on_hfsc_serve(leaf.name, size, now, realtime, packet.deadline)
         if realtime:
             leaf.cumul_rt += size
             leaf.bytes_rt += size

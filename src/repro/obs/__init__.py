@@ -1,0 +1,77 @@
+"""repro.obs -- the telemetry subsystem.
+
+Always-on observability for the H-FSC stack: an instrumentation core
+that costs one attribute check per tap when disabled
+(:mod:`repro.obs.core`), a periodic sampler that turns counters into
+per-class timeseries (:mod:`repro.obs.sampler`), exporters for JSON /
+Prometheus / CSV (:mod:`repro.obs.export`), the live terminal view
+behind ``repro top`` (:mod:`repro.obs.top`), and the canned scenarios
+the CLI observes (:mod:`repro.obs.scenarios`).
+
+Quickstart::
+
+    from repro.obs import TELEMETRY, Sampler, to_prometheus
+
+    TELEMETRY.enable()
+    sampler = Sampler(loop, scheduler=sched, link=link, period=0.1)
+    loop.run(until=10.0)
+    print(to_prometheus(scheduler=sched, link=link))
+
+See docs/OBSERVABILITY.md for the metric catalog and event types.
+"""
+
+from repro.obs.core import (
+    EVENT_KINDS,
+    TELEMETRY,
+    ClassTelemetry,
+    Counter,
+    FlightRecorder,
+    Gauge,
+    LogLinearHistogram,
+    Telemetry,
+    telemetry_session,
+)
+from repro.obs.export import snapshot, to_csv, to_json, to_prometheus
+from repro.obs.sampler import Sampler
+
+# scenarios/top pull in the scheduler and simulator packages, which
+# themselves import repro.obs.core for their tap points; loading them
+# lazily keeps this package importable from inside that chain.
+_LAZY = {
+    "LiveScenario": "repro.obs.scenarios",
+    "SCENARIOS": "repro.obs.scenarios",
+    "build_scenario": "repro.obs.scenarios",
+    "render_top": "repro.obs.top",
+    "run_top": "repro.obs.top",
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
+__all__ = [
+    "TELEMETRY",
+    "Telemetry",
+    "telemetry_session",
+    "Counter",
+    "Gauge",
+    "LogLinearHistogram",
+    "FlightRecorder",
+    "ClassTelemetry",
+    "EVENT_KINDS",
+    "Sampler",
+    "snapshot",
+    "to_json",
+    "to_prometheus",
+    "to_csv",
+    "render_top",
+    "run_top",
+    "LiveScenario",
+    "SCENARIOS",
+    "build_scenario",
+]

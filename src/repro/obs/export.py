@@ -1,0 +1,252 @@
+"""Metric exporters: JSON snapshot, Prometheus text format, CSV timeseries.
+
+All three read the same sources -- the :class:`~repro.obs.core.Telemetry`
+hub, an optional :class:`~repro.obs.sampler.Sampler`, and optional live
+scheduler/link objects -- and are pure functions of that state: they can
+be called mid-run (the API path) or after a run (the ``repro stats`` CLI
+path) without perturbing anything.
+
+Formats
+-------
+
+* :func:`snapshot` / :func:`to_json` -- a single JSON document: global
+  counters, per-class metric summaries (with histogram quantiles), the
+  flight-recorder tail, and scheduler/link gauges;
+* :func:`to_prometheus` -- the Prometheus text exposition format
+  (``# TYPE`` / ``# HELP`` headers, ``class`` labels, quantile labels on
+  summaries), parseable by any Prometheus scraper;
+* :func:`to_csv` -- the sampler's per-class timeseries as CSV, one row
+  per (tick, class).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.core import TELEMETRY, ClassTelemetry, Telemetry
+from repro.obs.sampler import CLASS_FIELDS, Sampler
+
+#: (attribute, metric name, help) for per-class counters.
+_CLASS_COUNTERS = (
+    ("enqueued_packets", "repro_enqueued_packets_total", "Packets accepted by the scheduler"),
+    ("enqueued_bytes", "repro_enqueued_bytes_total", "Bytes accepted by the scheduler"),
+    ("dequeued_packets", "repro_dequeued_packets_total", "Packets selected for transmission"),
+    ("dequeued_bytes", "repro_dequeued_bytes_total", "Bytes selected for transmission"),
+    ("departed_packets", "repro_departed_packets_total", "Packets fully transmitted"),
+    ("departed_bytes", "repro_departed_bytes_total", "Bytes fully transmitted"),
+    ("returned_packets", "repro_returned_packets_total", "Packets returned by forced class removal"),
+    ("dropped_packets", "repro_dropped_packets_total", "Packets lost on the arrival path"),
+    ("rejected_packets", "repro_rejected_packets_total", "Packets rejected by admission control"),
+    ("rt_packets", "repro_rt_packets_total", "Packets served by the real-time criterion"),
+    ("rt_bytes", "repro_rt_bytes_total", "Bytes served by the real-time criterion"),
+    ("ls_packets", "repro_ls_packets_total", "Packets served by the link-sharing criterion"),
+    ("ls_bytes", "repro_ls_bytes_total", "Bytes served by the link-sharing criterion"),
+    ("deadlines_set", "repro_deadlines_total", "Packets dequeued carrying an H-FSC deadline"),
+    ("deadline_misses", "repro_deadline_misses_total", "Departures after their H-FSC deadline"),
+)
+
+_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+def _class_summary(entry: ClassTelemetry) -> Dict[str, Any]:
+    delays = entry.delay_hist
+    summary: Dict[str, Any] = {
+        attr: getattr(entry, attr) for attr, _name, _help in _CLASS_COUNTERS
+    }
+    summary["worst_deadline_miss"] = entry.worst_deadline_miss
+    summary["delay"] = {
+        "count": delays.count,
+        "mean": delays.mean,
+        "min": delays.min if delays.count else None,
+        "max": delays.max if delays.count else None,
+        "quantiles": {str(q): delays.quantile(q) for q in _QUANTILES},
+    }
+    slack = entry.slack_hist
+    summary["deadline_slack"] = {
+        "count": slack.count,
+        "mean": slack.mean,
+        "min": slack.min if slack.count else None,
+        "quantiles": {str(q): slack.quantile(q) for q in _QUANTILES},
+    }
+    return summary
+
+
+def snapshot(
+    telemetry: Optional[Telemetry] = None,
+    sampler: Optional[Sampler] = None,
+    scheduler=None,
+    link=None,
+    recorder_tail: Optional[int] = None,
+    include_series: bool = False,
+) -> Dict[str, Any]:
+    """One JSON-ready document describing everything observed so far."""
+    telemetry = telemetry if telemetry is not None else TELEMETRY
+    doc: Dict[str, Any] = {
+        "schema": 1,
+        "enabled": telemetry.enabled,
+        "counters": {
+            name: counter.value for name, counter in sorted(telemetry.counters.items())
+        },
+        "gauges": {
+            name: gauge.value for name, gauge in sorted(telemetry.gauges.items())
+        },
+        "classes": {
+            str(class_id): _class_summary(entry)
+            for class_id, entry in sorted(telemetry.per_class.items(), key=lambda kv: str(kv[0]))
+        },
+        "flight_recorder": {
+            "capacity": telemetry.recorder.capacity,
+            "recorded": telemetry.recorder.recorded,
+            "dropped": telemetry.recorder.dropped,
+            "events": telemetry.recorder.to_dicts(recorder_tail),
+        },
+    }
+    if scheduler is not None:
+        doc["scheduler"] = {
+            "backlog_packets": scheduler.backlog_packets,
+            "backlog_bytes": scheduler.backlog_bytes,
+            "total_enqueued": scheduler.total_enqueued,
+            "total_dequeued": scheduler.total_dequeued,
+            "total_returned": scheduler.total_returned,
+        }
+        if hasattr(scheduler, "eligible_count"):
+            doc["scheduler"]["eligible_set_size"] = scheduler.eligible_count()
+        if hasattr(scheduler, "overload_events"):
+            doc["scheduler"]["overload_events"] = list(scheduler.overload_events)
+    if link is not None:
+        doc["link"] = {
+            "rate": link.rate,
+            "bytes_sent": link.bytes_sent,
+            "busy_time": link.busy_time,
+            "utilization": link.utilization(),
+        }
+    if sampler is not None:
+        doc["sampler"] = {
+            "period": sampler.period,
+            "ticks": sampler.ticks,
+            "classes": [str(c) for c in sampler.classes()],
+        }
+        if include_series:
+            doc["sampler"]["class_rows"] = [
+                {**row, "class_id": str(row["class_id"])}
+                for row in sampler.class_rows
+            ]
+            doc["sampler"]["global_rows"] = list(sampler.global_rows)
+    return doc
+
+
+def to_json(
+    telemetry: Optional[Telemetry] = None,
+    sampler: Optional[Sampler] = None,
+    scheduler=None,
+    link=None,
+    indent: int = 2,
+    **kwargs: Any,
+) -> str:
+    return json.dumps(
+        snapshot(telemetry, sampler, scheduler, link, **kwargs),
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+
+def _escape_label(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(
+    telemetry: Optional[Telemetry] = None,
+    scheduler=None,
+    link=None,
+) -> str:
+    """Render the hub in the Prometheus text exposition format."""
+    telemetry = telemetry if telemetry is not None else TELEMETRY
+    out = io.StringIO()
+    entries = sorted(telemetry.per_class.items(), key=lambda kv: str(kv[0]))
+    for attr, name, help_text in _CLASS_COUNTERS:
+        out.write(f"# HELP {name} {help_text}\n")
+        out.write(f"# TYPE {name} counter\n")
+        for class_id, entry in entries:
+            label = _escape_label(class_id)
+            out.write(f'{name}{{class="{label}"}} {_fmt(getattr(entry, attr))}\n')
+    out.write("# HELP repro_worst_deadline_miss_seconds Largest departure-past-deadline per class\n")
+    out.write("# TYPE repro_worst_deadline_miss_seconds gauge\n")
+    for class_id, entry in entries:
+        label = _escape_label(class_id)
+        out.write(
+            f'repro_worst_deadline_miss_seconds{{class="{label}"}} '
+            f"{_fmt(entry.worst_deadline_miss)}\n"
+        )
+    out.write("# HELP repro_delay_seconds Arrival-to-departure delay distribution\n")
+    out.write("# TYPE repro_delay_seconds summary\n")
+    for class_id, entry in entries:
+        label = _escape_label(class_id)
+        hist = entry.delay_hist
+        for q in _QUANTILES:
+            out.write(
+                f'repro_delay_seconds{{class="{label}",quantile="{q}"}} '
+                f"{_fmt(hist.quantile(q))}\n"
+            )
+        out.write(f'repro_delay_seconds_sum{{class="{label}"}} {_fmt(hist.total)}\n')
+        out.write(f'repro_delay_seconds_count{{class="{label}"}} {_fmt(hist.count)}\n')
+    for name, counter in sorted(telemetry.counters.items()):
+        metric = f"repro_{name}_total"
+        out.write(f"# TYPE {metric} counter\n")
+        out.write(f"{metric} {_fmt(counter.value)}\n")
+    for name, gauge in sorted(telemetry.gauges.items()):
+        metric = f"repro_{name}"
+        out.write(f"# TYPE {metric} gauge\n")
+        out.write(f"{metric} {_fmt(gauge.value)}\n")
+    if scheduler is not None:
+        out.write("# TYPE repro_backlog_packets gauge\n")
+        out.write(f"repro_backlog_packets {_fmt(scheduler.backlog_packets)}\n")
+        out.write("# TYPE repro_backlog_bytes gauge\n")
+        out.write(f"repro_backlog_bytes {_fmt(scheduler.backlog_bytes)}\n")
+        if hasattr(scheduler, "eligible_count"):
+            out.write("# TYPE repro_eligible_set_size gauge\n")
+            out.write(f"repro_eligible_set_size {_fmt(scheduler.eligible_count())}\n")
+    if link is not None:
+        out.write("# TYPE repro_link_bytes_sent_total counter\n")
+        out.write(f"repro_link_bytes_sent_total {_fmt(link.bytes_sent)}\n")
+        out.write("# TYPE repro_link_utilization gauge\n")
+        out.write(f"repro_link_utilization {_fmt(link.utilization())}\n")
+    out.write("# TYPE repro_flight_recorder_events_total counter\n")
+    out.write(f"repro_flight_recorder_events_total {_fmt(telemetry.recorder.recorded)}\n")
+    return out.getvalue()
+
+
+# -- CSV timeseries -----------------------------------------------------------
+
+
+def to_csv(sampler: Sampler) -> str:
+    """The sampler's per-class rows as CSV (header + one row per sample)."""
+    out = io.StringIO()
+    out.write(",".join(CLASS_FIELDS) + "\n")
+    for row in sampler.class_rows:
+        cells: List[str] = []
+        for field in CLASS_FIELDS:
+            value = row.get(field)
+            if value is None:
+                cells.append("")
+            elif field == "class_id":
+                text = str(value)
+                if "," in text or '"' in text:
+                    text = '"' + text.replace('"', '""') + '"'
+                cells.append(text)
+            else:
+                cells.append(f"{value:.9g}" if isinstance(value, float) else str(value))
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()

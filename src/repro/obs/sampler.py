@@ -1,0 +1,160 @@
+"""Periodic sampler: turns counters into per-class timeseries.
+
+Rides :meth:`repro.sim.engine.EventLoop.every`.  Each tick reads the
+telemetry hub's per-class counters, the scheduler's live state (backlog,
+virtual-time lag, eligible-set size -- all read-only) and the link, and
+appends one row per class plus one global row.  The rows are what the
+CSV exporter and ``repro top`` render.
+
+The sampler never touches scheduler state: like every other tap it is
+read-only, so sampled and unsampled runs produce byte-identical
+schedules (the tick events interleave with scheduling events but only
+observe them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.core import TELEMETRY, Telemetry
+
+#: Column order for per-class rows (the CSV exporter's header).
+CLASS_FIELDS = (
+    "time", "class_id", "rate_bps", "backlog_packets", "backlog_bytes",
+    "p99_delay_s", "worst_deadline_miss_s", "vt_lag", "drops",
+)
+
+#: Column order for global rows.
+GLOBAL_FIELDS = (
+    "time", "events_processed", "events_per_tick", "backlog_packets",
+    "backlog_bytes", "eligible_set_size", "link_bytes_sent", "utilization",
+)
+
+
+class Sampler:
+    """Attach to a loop; collect per-class + global rows every ``period``."""
+
+    def __init__(
+        self,
+        loop,
+        scheduler=None,
+        link=None,
+        telemetry: Optional[Telemetry] = None,
+        period: float = 0.1,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ):
+        if period <= 0:
+            raise ValueError("sampler period must be positive")
+        self.loop = loop
+        self.scheduler = scheduler
+        self.link = link
+        self.telemetry = telemetry if telemetry is not None else TELEMETRY
+        self.period = period
+        self.class_rows: List[Dict[str, Any]] = []
+        self.global_rows: List[Dict[str, Any]] = []
+        self.ticks = 0
+        self._last_departed: Dict[Any, float] = {}
+        self._last_events = 0
+        self._task = loop.every(period, self.sample_now, start=start, until=until)
+
+    def cancel(self) -> None:
+        self._task.cancel()
+
+    # -- sampling ------------------------------------------------------------
+
+    def _hfsc_state(self) -> Dict[Any, Dict[str, Any]]:
+        """Read-only per-class scheduler state, duck-typed for H-FSC."""
+        state: Dict[Any, Dict[str, Any]] = {}
+        sched = self.scheduler
+        if sched is None or not hasattr(sched, "classes"):
+            return state
+        for cls in sched.classes():
+            row: Dict[str, Any] = {}
+            if cls.is_leaf:
+                row["backlog_packets"] = len(cls.queue)
+                row["backlog_bytes"] = sum(p.size for p in cls.queue)
+            parent = cls.parent
+            if parent is not None and cls.ls_active:
+                row["vt_lag"] = cls.vt - parent.system_vt()
+            state[cls.name] = row
+        return state
+
+    def sample_now(self) -> None:
+        """Take one sample immediately (also the periodic tick body)."""
+        now = self.loop.now
+        telemetry = self.telemetry
+        self.ticks += 1
+        per_class_state = self._hfsc_state()
+        class_ids = set(telemetry.per_class) | set(per_class_state)
+        for class_id in sorted(class_ids, key=str):
+            entry = telemetry.per_class.get(class_id)
+            state = per_class_state.get(class_id, {})
+            departed = entry.departed_bytes if entry is not None else 0.0
+            previous = self._last_departed.get(class_id, 0.0)
+            self._last_departed[class_id] = departed
+            rate = (departed - previous) * 8.0 / self.period
+            row: Dict[str, Any] = {
+                "time": now,
+                "class_id": class_id,
+                "rate_bps": rate,
+                "backlog_packets": state.get("backlog_packets"),
+                "backlog_bytes": state.get("backlog_bytes"),
+                "p99_delay_s": (
+                    entry.delay_hist.quantile(0.99) if entry is not None else 0.0
+                ),
+                "worst_deadline_miss_s": (
+                    entry.worst_deadline_miss if entry is not None else 0.0
+                ),
+                "vt_lag": state.get("vt_lag"),
+                "drops": (
+                    entry.dropped_packets + entry.rejected_packets
+                    if entry is not None
+                    else 0
+                ),
+            }
+            self.class_rows.append(row)
+        events = self.loop.events_processed
+        sched = self.scheduler
+        link = self.link
+        eligible = None
+        if sched is not None and hasattr(sched, "eligible_count"):
+            eligible = sched.eligible_count()
+        self.global_rows.append({
+            "time": now,
+            "events_processed": events,
+            "events_per_tick": events - self._last_events,
+            "backlog_packets": sched.backlog_packets if sched is not None else None,
+            "backlog_bytes": sched.backlog_bytes if sched is not None else None,
+            "eligible_set_size": eligible,
+            "link_bytes_sent": link.bytes_sent if link is not None else None,
+            "utilization": link.utilization() if link is not None else None,
+        })
+        self._last_events = events
+        if telemetry.enabled:
+            telemetry.recorder.record(now, "sample", None,
+                                      {"tick": self.ticks})
+
+    # -- views ---------------------------------------------------------------
+
+    def classes(self) -> List[Any]:
+        seen = []
+        for row in self.class_rows:
+            if row["class_id"] not in seen:
+                seen.append(row["class_id"])
+        return seen
+
+    def latest(self) -> Dict[Any, Dict[str, Any]]:
+        """Most recent row per class (what ``repro top`` renders)."""
+        latest: Dict[Any, Dict[str, Any]] = {}
+        for row in self.class_rows:
+            latest[row["class_id"]] = row
+        return latest
+
+    def series(self, class_id: Any, field: str) -> List[tuple]:
+        """(time, value) pairs of one field for one class."""
+        return [
+            (row["time"], row[field])
+            for row in self.class_rows
+            if row["class_id"] == class_id
+        ]

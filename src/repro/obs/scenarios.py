@@ -1,0 +1,116 @@
+"""Canned live scenarios for ``repro stats`` and ``repro top``.
+
+Both CLI commands need a *running* simulation to observe.  This module
+prepares (but does not run) two:
+
+* ``chaos`` -- the seeded chaos scenario of :mod:`repro.sim.faults`
+  (rate flaps, outages, churn, an overload episode), via
+  :func:`repro.sim.faults.prepare_chaos`;
+* ``e4`` -- the paper's Fig. 1 CMU / U.Pitt link-sharing hierarchy
+  (experiment E4) driven through its three phases by CBR sources on the
+  event loop, scaled to the requested duration.
+
+The caller attaches telemetry/samplers to ``loop`` and then either runs
+to completion (``repro stats``) or steps the clock frame by frame
+(``repro top``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.curves import ServiceCurve
+from repro.core.hfsc import HFSC
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+from repro.sim.sources import CBRSource
+
+SCENARIOS = ("chaos", "e4")
+
+
+@dataclass
+class LiveScenario:
+    """A prepared simulation: run ``loop`` yourself, then ``finish()``."""
+
+    name: str
+    loop: EventLoop
+    scheduler: Any
+    link: Link
+    duration: float
+    description: str = ""
+    #: Optional end-of-run hook returning a result object (chaos only).
+    finish: Optional[Callable[[], Any]] = None
+
+
+def _build_e4(duration: float) -> LiveScenario:
+    """The Fig. 1 hierarchy under phased greedy CBR load.
+
+    Phases scale with ``duration`` (each a third of it): all leaves
+    active, then cmu.data idle (its bandwidth must go to cmu.av), then
+    all of CMU idle (U.Pitt takes the link).  Rates follow experiment
+    E4: each intended-active leaf is fed at 1.05x its fair share.
+    """
+    from repro.experiments.e4_link_sharing import LEAVES, LINK, PKT, TREE
+
+    loop = EventLoop()
+    sched = HFSC(LINK)
+    for name, parent, frac in TREE:
+        curve = ServiceCurve.linear(frac * LINK)
+        if name in LEAVES:
+            sched.add_class(name, parent=parent or "__root__", sc=curve)
+        else:
+            sched.add_class(name, parent=parent or "__root__", ls_sc=curve)
+    link = Link(loop, sched)
+
+    t1 = duration / 3.0
+    t2 = 2.0 * duration / 3.0
+
+    def supply(cid: str, start: float, stop: float, share: float) -> None:
+        CBRSource(loop, link, cid, 1.05 * share * LINK, PKT,
+                  start=start, stop=stop)
+
+    supply("cmu.av", 0.0, t1, 12.0 / 45.0)
+    supply("cmu.av", t1, t2, 25.0 / 45.0)
+    supply("cmu.data", 0.0, t1, 13.0 / 45.0)
+    supply("pitt.av", 0.0, t2, 12.0 / 45.0)
+    supply("pitt.av", t2, duration, 12.0 / 20.0)
+    supply("pitt.data", 0.0, t2, 8.0 / 45.0)
+    supply("pitt.data", t2, duration, 8.0 / 20.0)
+    return LiveScenario(
+        name="e4",
+        loop=loop,
+        scheduler=sched,
+        link=link,
+        duration=duration,
+        description="Fig. 1 CMU/U.Pitt link-sharing hierarchy, 3 phases",
+    )
+
+
+def _build_chaos(seed: int, duration: float, policy: str) -> LiveScenario:
+    from repro.sim.faults import prepare_chaos
+
+    scenario = prepare_chaos(seed, duration=duration, policy=policy)
+    return LiveScenario(
+        name="chaos",
+        loop=scenario.loop,
+        scheduler=scenario.scheduler,
+        link=scenario.link,
+        duration=duration,
+        description=f"seeded chaos scenario (seed={seed}, policy={policy})",
+        finish=scenario.finish,
+    )
+
+
+def build_scenario(
+    name: str,
+    seed: int = 1,
+    duration: Optional[float] = None,
+    policy: str = "raise",
+) -> LiveScenario:
+    """Prepare a named scenario; see :data:`SCENARIOS`."""
+    if name == "chaos":
+        return _build_chaos(seed, duration if duration is not None else 2.0, policy)
+    if name == "e4":
+        return _build_e4(duration if duration is not None else 6.0)
+    raise ValueError(f"unknown scenario {name!r} (expected one of {SCENARIOS})")

@@ -1,0 +1,159 @@
+"""``repro top``: a live terminal view of a running simulation.
+
+Renders, once per refresh interval of *simulated* time, a table of
+per-class rate / backlog / p99 delay / worst deadline miss fed by the
+:class:`~repro.obs.sampler.Sampler`, plus a header of global gauges
+(clock, event rate, link utilization, drop and violation counters).
+
+The renderer is a pure function (:func:`render_top`) so tests can
+assert on frames without a terminal; :func:`run_top` drives a
+:class:`~repro.obs.scenarios.LiveScenario` clock forward frame by frame,
+optionally pacing wall time and using ANSI home/clear when writing to a
+real terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, List, Optional
+
+from repro.obs.core import TELEMETRY, Telemetry
+from repro.obs.sampler import Sampler
+from repro.obs.scenarios import LiveScenario
+
+_ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_rate(bps: Optional[float]) -> str:
+    if bps is None:
+        return "-"
+    for unit, scale in (("Gb/s", 1e9), ("Mb/s", 1e6), ("kb/s", 1e3)):
+        if abs(bps) >= scale:
+            return f"{bps / scale:7.2f} {unit}"
+    return f"{bps:7.1f}  b/s"
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:.3f}"
+
+
+def _fmt_int(value: Optional[Any]) -> str:
+    return "-" if value is None else str(int(value))
+
+
+def render_top(
+    sampler: Sampler,
+    loop,
+    scheduler=None,
+    link=None,
+    telemetry: Optional[Telemetry] = None,
+    title: str = "",
+) -> str:
+    """One frame of the live view, as plain text."""
+    telemetry = telemetry if telemetry is not None else TELEMETRY
+    lines: List[str] = []
+    header = f"repro top -- t={loop.now:.3f}s"
+    if title:
+        header += f"  [{title}]"
+    lines.append(header)
+    global_row = sampler.global_rows[-1] if sampler.global_rows else {}
+    parts = [f"events {loop.events_processed}"]
+    if global_row.get("events_per_tick") is not None:
+        parts.append(f"(+{global_row['events_per_tick']}/tick)")
+    if link is not None:
+        parts.append(f"link {_fmt_rate(link.rate * 8.0).strip()}")
+        parts.append(f"util {link.utilization():.1%}")
+    if scheduler is not None:
+        parts.append(
+            f"backlog {scheduler.backlog_packets}p/"
+            f"{scheduler.backlog_bytes:.0f}B"
+        )
+    lines.append("  ".join(parts))
+    counters = telemetry.counters
+    counter_bits = []
+    for key in ("drops", "deadline_misses", "overload_events",
+                "reconfigurations", "violations", "rate_changes"):
+        counter = counters.get(key)
+        if counter is not None and counter.value:
+            counter_bits.append(f"{key}={int(counter.value)}")
+    lines.append("  ".join(counter_bits) if counter_bits else "no incidents")
+    lines.append("")
+    lines.append(
+        f"{'CLASS':<12} {'RATE':>12} {'BACKLOG':>9} {'BYTES':>10} "
+        f"{'P99(ms)':>9} {'MISS(ms)':>9} {'DROPS':>6}"
+    )
+    latest = sampler.latest()
+    ordered = sorted(
+        latest.items(),
+        key=lambda kv: -(kv[1].get("rate_bps") or 0.0),
+    )
+    for class_id, row in ordered:
+        backlog_bytes = row.get("backlog_bytes")
+        lines.append(
+            f"{str(class_id):<12} {_fmt_rate(row.get('rate_bps')):>12} "
+            f"{_fmt_int(row.get('backlog_packets')):>9} "
+            f"{'-' if backlog_bytes is None else format(backlog_bytes, '.0f'):>10} "
+            f"{_fmt_ms(row.get('p99_delay_s')):>9} "
+            f"{_fmt_ms(row.get('worst_deadline_miss_s')):>9} "
+            f"{_fmt_int(row.get('drops')):>6}"
+        )
+    if not latest:
+        lines.append("(no samples yet)")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    scenario: LiveScenario,
+    refresh: float = 0.1,
+    sample_period: Optional[float] = None,
+    out=None,
+    ansi: Optional[bool] = None,
+    wall_interval: float = 0.0,
+    telemetry: Optional[Telemetry] = None,
+) -> int:
+    """Drive ``scenario`` to completion, one frame per ``refresh`` sim-seconds.
+
+    Returns the number of frames rendered.  ``wall_interval`` throttles
+    real time between frames (0 = as fast as the simulation runs);
+    ``ansi=None`` auto-detects a tty on ``out``.
+    """
+    if refresh <= 0:
+        raise ValueError("refresh must be positive")
+    out = out if out is not None else sys.stdout
+    if ansi is None:
+        ansi = bool(getattr(out, "isatty", lambda: False)())
+    telemetry = telemetry if telemetry is not None else TELEMETRY
+    sampler = Sampler(
+        scenario.loop,
+        scheduler=scenario.scheduler,
+        link=scenario.link,
+        telemetry=telemetry,
+        period=sample_period if sample_period is not None else refresh,
+        until=scenario.duration,
+    )
+    frames = 0
+    now = 0.0
+    while now < scenario.duration - 1e-12:
+        now = min(now + refresh, scenario.duration)
+        scenario.loop.run(until=now)
+        frame = render_top(
+            sampler,
+            scenario.loop,
+            scheduler=scenario.scheduler,
+            link=scenario.link,
+            telemetry=telemetry,
+            title=scenario.description or scenario.name,
+        )
+        if ansi:
+            out.write(_ANSI_CLEAR + frame)
+        else:
+            out.write(frame + "\n")
+        out.flush()
+        frames += 1
+        if wall_interval > 0.0:
+            time.sleep(wall_interval)
+    sampler.cancel()
+    return frames

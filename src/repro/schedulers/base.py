@@ -17,6 +17,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Optional
 
+from repro.obs.core import TELEMETRY as _TELEM
 from repro.sim.packet import Packet
 
 
@@ -73,6 +74,8 @@ class Scheduler(ABC):
         self._backlog_packets += 1
         self._backlog_bytes += packet.size
         self.total_enqueued += 1
+        if _TELEM.enabled:
+            _TELEM.on_enqueue(packet.class_id, packet.size, now)
 
     def _note_return(self, packet: Packet) -> None:
         """Account a queued packet handed back (not served) to the caller."""
@@ -81,6 +84,8 @@ class Scheduler(ABC):
         self.total_returned += 1
         if self._backlog_packets < 0:
             raise RuntimeError("scheduler backlog accounting underflow")
+        if _TELEM.enabled:
+            _TELEM.on_return(packet.class_id, packet.size)
 
     def _note_dequeue(self, packet: Packet, now: float) -> None:
         packet.dequeued = now
@@ -89,3 +94,5 @@ class Scheduler(ABC):
         self.total_dequeued += 1
         if self._backlog_packets < 0:
             raise RuntimeError("scheduler backlog accounting underflow")
+        if _TELEM.enabled:
+            _TELEM.on_dequeue(packet.class_id, packet.size, now)

@@ -15,10 +15,12 @@ from repro.sim.faults import (
     ArrivalFaultGate,
     ChaosInjector,
     ChaosResult,
+    ChaosScenario,
     Fault,
     FaultSchedule,
     ViolationReport,
     Watchdog,
+    prepare_chaos,
     run_chaos,
 )
 from repro.sim.link import Link
@@ -39,9 +41,11 @@ __all__ = [
     "FaultSchedule",
     "ChaosInjector",
     "ChaosResult",
+    "ChaosScenario",
     "ArrivalFaultGate",
     "ViolationReport",
     "Watchdog",
+    "prepare_chaos",
     "run_chaos",
     "Packet",
     "Network",

@@ -21,6 +21,7 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from repro.core.errors import SimulationError
+from repro.obs.core import TELEMETRY as _TELEM
 
 _INF = float("inf")
 
@@ -205,6 +206,10 @@ class EventLoop:
         horizon = _INF if until is None else until
         self._horizon = horizon
         self._budget = max_events
+        # Telemetry tap: run() boundaries only -- the per-event loop below
+        # stays untouched so a disabled (or enabled) run pays nothing here.
+        if _TELEM.enabled:
+            _TELEM.on_run_boundary(self.now, "start", self._processed)
         try:
             while queue:
                 event = queue[0]
@@ -230,3 +235,5 @@ class EventLoop:
         finally:
             self._horizon = _INF
             self._budget = _INF
+            if _TELEM.enabled:
+                _TELEM.on_run_boundary(self.now, "end", self._processed)

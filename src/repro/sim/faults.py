@@ -47,6 +47,7 @@ from repro.core.errors import (
     OverloadError,
     SimulationError,
 )
+from repro.obs.core import TELEMETRY as _TELEM
 from repro.sim.engine import EventLoop, PeriodicTask
 from repro.sim.link import Link
 from repro.sim.packet import Packet
@@ -294,6 +295,8 @@ class ArrivalFaultGate:
         if rng is not None:
             if self.loss and rng.random() < self.loss:
                 self.dropped += 1
+                if _TELEM.enabled:
+                    _TELEM.on_drop(packet.class_id, self.loop.now, "loss")
                 return
             if self.jitter:
                 delay = self.jitter * rng.random()
@@ -310,6 +313,8 @@ class ArrivalFaultGate:
             self.target.offer(packet)
         except OverloadError:
             self.rejections.append((self.loop.now, packet.class_id))
+            if _TELEM.enabled:
+                _TELEM.on_drop(packet.class_id, self.loop.now, "overload")
             return
         self.delivered += 1
 
@@ -383,6 +388,7 @@ class Watchdog:
     def _check(self) -> None:
         self.checks_run += 1
         now = self.loop.now
+        before = len(self.reports)
         try:
             self.scheduler.check_invariants()
         except (AssertionError, RuntimeError) as exc:
@@ -403,6 +409,12 @@ class Watchdog:
                         class_id=class_id,
                         excess=excess,
                     )
+                )
+        if _TELEM.enabled:
+            for report in self.reports[before:]:
+                _TELEM.on_violation(
+                    report.time, report.kind, report.detail,
+                    report.class_id, report.excess,
                 )
 
 
@@ -490,7 +502,7 @@ class ChaosResult:
 
     def to_report(self) -> Dict[str, Any]:
         books = self.conservation()
-        return {
+        report: Dict[str, Any] = {
             "seed": self.seed,
             "policy": self.policy,
             "duration": self.duration,
@@ -509,9 +521,69 @@ class ChaosResult:
             "bytes_sent": self.link.bytes_sent,
             "utilization": self.link.utilization(self.duration),
         }
+        if _TELEM.enabled:
+            # Chaos findings land in the flight recorder (violation /
+            # overload / reconfig events); surface the telemetry view in
+            # the same report so CI artifacts carry both.
+            report["telemetry"] = {
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(_TELEM.counters.items())
+                },
+                "flight_recorder": _TELEM.recorder.to_dicts(256),
+                "events_dropped": _TELEM.recorder.dropped,
+            }
+        return report
 
 
-def run_chaos(
+@dataclass
+class ChaosScenario:
+    """A fully wired chaos run that has not been executed yet.
+
+    :func:`prepare_chaos` builds one; callers either :meth:`run` it to
+    completion (what :func:`run_chaos` does) or step ``loop`` themselves
+    -- ``repro top`` advances the clock frame by frame -- and then call
+    :meth:`finish` for the :class:`ChaosResult`.
+    """
+
+    seed: int
+    policy: str
+    duration: float
+    loop: EventLoop
+    scheduler: HFSC
+    link: Link
+    gates: Dict[Any, ArrivalFaultGate]
+    injector: ChaosInjector
+    watchdog: Watchdog
+    arrivals: List[Tuple[float, Any, float]]
+    served: List[Packet]
+    guarantees: Dict[Any, ServiceCurve]
+    slack: float
+
+    def run(self) -> None:
+        self.loop.run(until=self.duration)
+
+    def finish(self) -> ChaosResult:
+        """Stop the periodic machinery and package the result."""
+        self.watchdog.stop()
+        self.injector.cancel()
+        return ChaosResult(
+            seed=self.seed,
+            policy=self.policy,
+            duration=self.duration,
+            scheduler=self.scheduler,
+            link=self.link,
+            gates=self.gates,
+            injector=self.injector,
+            watchdog=self.watchdog,
+            arrivals=self.arrivals,
+            served=self.served,
+            guarantees=self.guarantees,
+            slack=self.slack,
+        )
+
+
+def prepare_chaos(
     seed: int,
     duration: float = 2.0,
     policy: str = "raise",
@@ -521,23 +593,12 @@ def run_chaos(
     arrival_faults: bool = True,
     watchdog_period: float = 0.5,
     auto_rebuild: bool = False,
-) -> ChaosResult:
-    """One seeded chaos scenario against a two-agency H-FSC hierarchy.
+) -> ChaosScenario:
+    """Wire up the canned chaos scenario without running it.
 
-    Topology (fractions of ``link_rate``): agencies A (ls 60%) and B
-    (ls 40%); leaves A/rt1 (rt+ls 25%, the *protected* class -- its
-    arrival gate is never impaired), A/ls1 (ls 35%), B/rt2 (rt+ls 15%),
-    B/ls2 (ls 25%, upper-limited at 60%).  Total rt demand is 40% of
-    nominal, below the 50% flap floor, so rt guarantees stay feasible
-    through every rate fault and eq. (1) must hold for rt1 to Theorem-2
-    slack in every policy -- except during the optional *overload
-    episode*, which grafts an inadmissible rt hog under B mid-run and
-    later force-removes it, exercising the configured ``policy``.
-
-    With ``faults=False`` (and the other toggles off) the scenario runs
-    the same sources on the same seeds with zero fault machinery in the
-    way; its :meth:`ChaosResult.schedule_digest` must match the faultless
-    baseline byte for byte.
+    Same parameters and topology as :func:`run_chaos` (see there for the
+    full story); returned unexecuted so observers -- the ``repro top``
+    live view, samplers -- can attach to ``loop`` before time advances.
     """
     from repro.core.hfsc import HFSC  # deferred: core imports the sim package
 
@@ -664,18 +725,11 @@ def run_chaos(
         until=duration,
     )
 
-    # Offered load exceeds capacity, so the run ends with a backlog; the
-    # hog source stops before its class is removed so remove_class sees a
-    # quiesced arrival stream (its queue may still hold packets -- that
-    # is what force-draining is for).
-    loop.run(until=duration)
-    watchdog.stop()
-    injector.cancel()
-
-    return ChaosResult(
+    return ChaosScenario(
         seed=seed,
         policy=policy,
         duration=duration,
+        loop=loop,
         scheduler=sched,
         link=link,
         gates=gates,
@@ -686,3 +740,51 @@ def run_chaos(
         guarantees=guarantees,
         slack=slack,
     )
+
+
+def run_chaos(
+    seed: int,
+    duration: float = 2.0,
+    policy: str = "raise",
+    link_rate: float = 400_000.0,
+    faults: bool = True,
+    overload_episode: bool = True,
+    arrival_faults: bool = True,
+    watchdog_period: float = 0.5,
+    auto_rebuild: bool = False,
+) -> ChaosResult:
+    """One seeded chaos scenario against a two-agency H-FSC hierarchy.
+
+    Topology (fractions of ``link_rate``): agencies A (ls 60%) and B
+    (ls 40%); leaves A/rt1 (rt+ls 25%, the *protected* class -- its
+    arrival gate is never impaired), A/ls1 (ls 35%), B/rt2 (rt+ls 15%),
+    B/ls2 (ls 25%, upper-limited at 60%).  Total rt demand is 40% of
+    nominal, below the 50% flap floor, so rt guarantees stay feasible
+    through every rate fault and eq. (1) must hold for rt1 to Theorem-2
+    slack in every policy -- except during the optional *overload
+    episode*, which grafts an inadmissible rt hog under B mid-run and
+    later force-removes it, exercising the configured ``policy``.
+
+    With ``faults=False`` (and the other toggles off) the scenario runs
+    the same sources on the same seeds with zero fault machinery in the
+    way; its :meth:`ChaosResult.schedule_digest` must match the faultless
+    baseline byte for byte.
+
+    Offered load exceeds capacity, so the run ends with a backlog; the
+    hog source stops before its class is removed so remove_class sees a
+    quiesced arrival stream (its queue may still hold packets -- that
+    is what force-draining is for).
+    """
+    scenario = prepare_chaos(
+        seed,
+        duration=duration,
+        policy=policy,
+        link_rate=link_rate,
+        faults=faults,
+        overload_episode=overload_episode,
+        arrival_faults=arrival_faults,
+        watchdog_period=watchdog_period,
+        auto_rebuild=auto_rebuild,
+    )
+    scenario.run()
+    return scenario.finish()

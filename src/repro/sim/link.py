@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.core.errors import SimulationError
+from repro.obs.core import TELEMETRY as _TELEM
 from repro.sim.engine import Event, EventLoop
 from repro.sim.packet import Packet
 
@@ -105,6 +106,8 @@ class Link:
             return
         now = self.loop.now
         self.rate = rate
+        if _TELEM.enabled:
+            _TELEM.on_rate_change(now, rate, old)
         if self.busy:
             elapsed = now - self._tx_last
             if old > 0 and elapsed > 0:
@@ -219,6 +222,12 @@ class Link:
             self._tx_packet = None
             self._tx_remaining = 0.0
             self._tx_event = None
+            if _TELEM.enabled:
+                _TELEM.on_depart(
+                    packet.class_id, size, now,
+                    now - packet.enqueued if packet.enqueued is not None else 0.0,
+                    packet.deadline,
+                )
             for listener in listeners:
                 listener(packet, now)
             for listener in class_listeners.get(packet.class_id, ()):

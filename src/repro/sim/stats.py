@@ -18,10 +18,25 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.link import Link
 from repro.sim.packet import Packet
+from repro.util.quantile import P2Quantile
+
+#: Quantiles estimated online when delay samples are not kept.
+_P2_QUANTILES = (50.0, 90.0, 99.0, 99.9)
 
 
 class ClassStats:
-    """Online delay and volume statistics for one class."""
+    """Online delay and volume statistics for one class.
+
+    ``min_delay`` / ``worst_deadline_miss`` use ``inf`` / ``-inf``
+    sentinels internally so ``record`` stays branch-light; use
+    :meth:`summary` for a report-ready view with those normalized
+    (``None`` / ``0.0``).
+
+    With ``keep_samples=False`` no per-packet list is kept;
+    :meth:`percentile` then falls back to streaming P² estimators
+    (:class:`repro.util.quantile.P2Quantile`) for the quantiles in
+    ``_P2_QUANTILES``, so p99/p999 still work in unbounded soak runs.
+    """
 
     __slots__ = (
         "class_id",
@@ -36,6 +51,7 @@ class ClassStats:
         "worst_deadline_miss",
         "first_departure",
         "last_departure",
+        "_p2",
     )
 
     def __init__(self, class_id: Any, keep_samples: bool = True):
@@ -51,6 +67,11 @@ class ClassStats:
         self.worst_deadline_miss = -math.inf
         self.first_departure: Optional[float] = None
         self.last_departure: Optional[float] = None
+        self._p2: Optional[Dict[float, P2Quantile]] = (
+            None
+            if keep_samples
+            else {q: P2Quantile(q / 100.0) for q in _P2_QUANTILES}
+        )
 
     def record(self, packet: Packet, now: float) -> None:
         delay = packet.delay
@@ -62,6 +83,9 @@ class ClassStats:
         self.min_delay = min(self.min_delay, delay)
         if self.keep_samples:
             self.delays.append(delay)
+        else:
+            for estimator in self._p2.values():
+                estimator.observe(delay)
         if packet.deadline is not None:
             self.worst_deadline_miss = max(
                 self.worst_deadline_miss, now - packet.deadline
@@ -83,12 +107,50 @@ class ClassStats:
         return math.sqrt(max(var, 0.0))
 
     def percentile(self, q: float) -> float:
-        """q-th percentile of delay (requires keep_samples)."""
-        if not self.delays:
-            return 0.0
-        ordered = sorted(self.delays)
-        index = min(len(ordered) - 1, max(0, int(math.ceil(q / 100.0 * len(ordered))) - 1))
-        return ordered[index]
+        """q-th percentile of delay; 0.0 when no packets were recorded.
+
+        Exact over the kept samples, or a streaming P² estimate with
+        ``keep_samples=False`` (only for the tracked quantiles -- 50,
+        90, 99 and 99.9; anything else raises).
+        """
+        if self.delays:
+            ordered = sorted(self.delays)
+            index = min(len(ordered) - 1, max(0, int(math.ceil(q / 100.0 * len(ordered))) - 1))
+            return ordered[index]
+        if self._p2 is not None and self.packets:
+            estimator = self._p2.get(float(q))
+            if estimator is None:
+                raise ValueError(
+                    f"percentile({q!r}) untracked with keep_samples=False; "
+                    f"tracked quantiles: {_P2_QUANTILES}"
+                )
+            return estimator.value()
+        return 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """Report-ready view: empty-class sentinels normalized.
+
+        ``min_delay`` becomes ``None`` when no packet was recorded
+        (internally ``inf``) and ``worst_deadline_miss`` becomes ``0.0``
+        when no audited packet departed (internally ``-inf``) --
+        the raw sentinels leak into JSON as ``Infinity`` otherwise.
+        """
+        return {
+            "class_id": self.class_id,
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "mean_delay": self.mean_delay,
+            "stddev_delay": self.stddev_delay,
+            "max_delay": self.max_delay if self.packets else None,
+            "min_delay": None if self.min_delay == math.inf else self.min_delay,
+            "p99_delay": self.percentile(99.0) if self.packets else 0.0,
+            "worst_deadline_miss": (
+                0.0
+                if self.worst_deadline_miss == -math.inf
+                else self.worst_deadline_miss
+            ),
+            "throughput": self.throughput(),
+        }
 
     def throughput(self) -> float:
         """Average rate (bytes/s) between first and last departure."""
@@ -135,6 +197,21 @@ class StatsCollector:
             if s.worst_deadline_miss != -math.inf
         ]
         return max(misses) if misses else -math.inf
+
+    def summary(self) -> Dict[str, Any]:
+        """Report-ready roll-up: per-class summaries, sentinels normalized."""
+        worst = self.worst_deadline_miss()
+        return {
+            "total_packets": self.total_packets,
+            "total_bytes": self.total_bytes,
+            "worst_deadline_miss": 0.0 if worst == -math.inf else worst,
+            "classes": {
+                str(class_id): stats.summary()
+                for class_id, stats in sorted(
+                    self.per_class.items(), key=lambda kv: str(kv[0])
+                )
+            },
+        }
 
 
 class BacklogMeter:

@@ -1,0 +1,129 @@
+"""The ``repro chaos`` CLI: JSON report schema, stability, exit codes.
+
+The chaos report is a CI artifact (``.github/workflows/ci.yml`` uploads
+it on failure), so its schema is a contract: these tests pin the
+top-level and per-run keys, check the document round-trips through JSON
+cleanly (no ``Infinity``/``NaN``), and assert same-seed runs produce
+byte-identical reports -- the replayability story of the chaos
+subsystem surfaced at the CLI layer.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.obs.core import TELEMETRY
+
+#: Per-run keys the report contract guarantees (telemetry is optional,
+#: present only under --telemetry).
+RUN_KEYS = {
+    "seed", "policy", "duration", "conservation", "violations",
+    "faults_applied", "faults_rejected", "overload_events",
+    "schedule_digest", "bytes_sent", "utilization",
+}
+
+CONSERVATION_KEYS = {
+    "offered", "gate_dropped", "rejected", "in_flight",
+    "enqueued", "dequeued", "returned", "backlog", "ok",
+}
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+def _run_report(tmp_path, name, *extra):
+    path = tmp_path / f"{name}.json"
+    argv = ["chaos", "--seed", "7", "--runs", "1", "--duration", "0.6",
+            "--policy", "raise", "--report", str(path), *extra]
+    rc = cli_main(argv)
+    return rc, json.loads(path.read_text())
+
+
+def test_report_schema(tmp_path, capsys):
+    rc, doc = _run_report(tmp_path, "schema")
+    capsys.readouterr()
+    assert rc == 0
+    assert set(doc) == {"runs", "failed"}
+    assert doc["failed"] == 0
+    assert len(doc["runs"]) == 1
+    run = doc["runs"][0]
+    assert RUN_KEYS <= set(run)
+    assert "telemetry" not in run
+    assert set(run["conservation"]) == CONSERVATION_KEYS
+    assert run["conservation"]["ok"] is True
+    assert run["seed"] == 7 and run["policy"] == "raise"
+    assert len(run["schedule_digest"]) == 64
+    int(run["schedule_digest"], 16)
+    for fault in run["faults_applied"] + run["faults_rejected"]:
+        assert set(fault) == {"time", "kind", "detail"}
+    for violation in run["violations"]:
+        assert set(violation) == {"time", "kind", "detail", "class_id", "excess"}
+
+
+def test_report_round_trips_strict_json(tmp_path, capsys):
+    _rc, doc = _run_report(tmp_path, "strict")
+    capsys.readouterr()
+    # Strict JSON: re-encoding with allow_nan=False raises on any
+    # Infinity/NaN leaking from internal sentinels.
+    text = json.dumps(doc, allow_nan=False, sort_keys=True)
+    assert json.loads(text) == doc
+
+
+def test_same_seed_reports_are_identical(tmp_path, capsys):
+    _rc, first = _run_report(tmp_path, "a")
+    _rc, second = _run_report(tmp_path, "b")
+    capsys.readouterr()
+    assert first == second
+    # ...and not trivially: a different seed changes the schedule.
+    path = tmp_path / "other.json"
+    rc = cli_main(["chaos", "--seed", "8", "--runs", "1", "--duration",
+                   "0.6", "--policy", "raise", "--report", str(path)])
+    capsys.readouterr()
+    assert rc == 0
+    other = json.loads(path.read_text())
+    assert (other["runs"][0]["schedule_digest"]
+            != first["runs"][0]["schedule_digest"])
+
+
+def test_telemetry_flag_adds_section_per_run(tmp_path, capsys):
+    rc, doc = _run_report(tmp_path, "telem", "--telemetry")
+    capsys.readouterr()
+    assert rc == 0
+    run = doc["runs"][0]
+    assert set(run["telemetry"]) == {
+        "counters", "flight_recorder", "events_dropped"
+    }
+    assert run["telemetry"]["counters"]
+    kinds = {event["kind"] for event in run["telemetry"]["flight_recorder"]}
+    assert "rate-change" in kinds
+    json.dumps(doc, allow_nan=False)
+    # The flag must not change the schedule itself.
+    _rc, plain = _run_report(tmp_path, "plain")
+    capsys.readouterr()
+    assert (run["schedule_digest"]
+            == plain["runs"][0]["schedule_digest"])
+
+
+def test_unknown_policy_fails_cleanly(capsys):
+    rc = cli_main(["chaos", "--policy", "nope"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "unknown policy" in captured.err
+
+
+def test_all_policies_sweep(tmp_path, capsys):
+    path = tmp_path / "sweep.json"
+    rc = cli_main(["chaos", "--runs", "1", "--duration", "0.5",
+                   "--report", str(path)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    doc = json.loads(path.read_text())
+    policies = [run["policy"] for run in doc["runs"]]
+    assert len(policies) == len(set(policies)) >= 3
+    assert captured.out.count("chaos seed=") == len(policies)
