@@ -201,10 +201,41 @@ def main(argv: List[str] = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list all experiments")
-    run_parser = subparsers.add_parser("run", help="run experiment(s)")
-    run_parser.add_argument("experiment", help="experiment id (e.g. E5) or 'all'")
+    run_parser = subparsers.add_parser(
+        "run", help="run experiment(s) or a checkpointable scenario"
+    )
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. E5), 'all', or a checkpointable "
+             "scenario name (e.g. e4_phases; see 'list')",
+    )
     run_parser.add_argument(
         "--markdown", action="store_true", help="emit markdown tables"
+    )
+    run_parser.add_argument(
+        "--backend", choices=("tree", "calendar"), default="tree",
+        help="H-FSC eligible-set backend for checkpointable scenarios",
+    )
+    run_parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write crash-safe snapshots here (atomic tmp+rename)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint every N events (drive scenarios: every N packets)",
+    )
+    run_parser.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="restore from a snapshot file and continue the run",
+    )
+    run_parser.add_argument(
+        "--crash-at", metavar="SPEC", default=None,
+        help="kill the run at a crash point: event:K, packet:K or time:T "
+             "(writes the checkpoint, exits 3)",
+    )
+    run_parser.add_argument(
+        "--digest-out", metavar="PATH", default=None,
+        help="write the finished run's departure-schedule digest here",
     )
     subparsers.add_parser(
         "bench", help="run the tracked benchmark set (see --help of 'bench')"
@@ -232,6 +263,11 @@ def main(argv: List[str] = None) -> int:
         "--telemetry", action="store_true",
         help="run with telemetry enabled; reports gain a 'telemetry' "
              "section (counters + flight-recorder tail)",
+    )
+    chaos_parser.add_argument(
+        "--replay", metavar="REPORT.json", default=None,
+        help="re-run the failing runs from a prior --report file and "
+             "compare departure-schedule digests",
     )
 
     stats_parser = subparsers.add_parser(
@@ -287,6 +323,10 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "chaos":
+        if args.replay:
+            from repro.persist.cli import replay_chaos_command
+
+            return replay_chaos_command(args)
         return _run_chaos_command(args)
     if args.command == "stats":
         return _run_stats_command(args)
@@ -299,7 +339,24 @@ def main(argv: List[str] = None) -> int:
         for short, module in registry.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{short:5} {doc}")
+        from repro.persist.cli import scenario_names
+
+        print("checkpointable scenarios (run with --checkpoint-every/"
+              "--resume/--crash-at):")
+        for name in scenario_names():
+            print(f"      {name}")
         return 0
+
+    # Checkpointable scenarios route to the persistence runner, either by
+    # name or because a checkpoint flag was given.
+    persist_flags = (args.checkpoint, args.checkpoint_every, args.resume,
+                     args.crash_at, args.digest_out)
+    from repro.persist.cli import run_scenario_command, scenario_names
+
+    if args.experiment in scenario_names() or any(
+        flag is not None for flag in persist_flags
+    ):
+        return run_scenario_command(args)
 
     if args.experiment.lower() == "all":
         return runner.main(["--markdown"] if args.markdown else [])

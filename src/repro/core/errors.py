@@ -94,3 +94,28 @@ class ReconfigurationError(ConfigurationError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot could not be produced, or a restore was refused.
+
+    Raised by :mod:`repro.persist` for every load-time defect -- checksum
+    mismatch, schema-version skew, unknown fields, unresolvable component
+    references, state that fails cross-validation against re-derived
+    invariants.  ``reason`` is a short machine-friendly tag
+    ("checksum-mismatch", "schema-version", "unknown-field", ...) and
+    ``context`` carries JSON-serializable detail.  Restores are atomic:
+    when this is raised the running objects are untouched (the restore
+    builds a fresh context and only hands it over on success).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: Optional[str] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.context: Dict[str, Any] = dict(context or {})

@@ -36,9 +36,10 @@ Extensions beyond the paper, both off by default and marked in the API:
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from operator import attrgetter
-from typing import Any, Deque, Dict, Iterable, List, Optional, Set
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set
 
 from repro.core.admission import uniform_admissible_scale
 from repro.core.curves import ServiceCurve, is_admissible
@@ -46,6 +47,7 @@ from repro.core.errors import (
     ConfigurationError,
     OverloadError,
     ReconfigurationError,
+    SnapshotError,
 )
 from repro.core.runtime_curves import RuntimeCurve, eligible_spec
 from repro.obs.core import TELEMETRY as _TELEM
@@ -65,6 +67,61 @@ UNCHANGED = object()
 
 #: Valid values for ``HFSC(overload_policy=...)``.
 OVERLOAD_POLICIES = ("raise", "reject", "scale-rt", "linkshare-only")
+
+
+# -- snapshot codec helpers (shared with repro.persist) ----------------------
+
+def _sc_doc(spec: Optional[ServiceCurve]):
+    """ServiceCurve -> JSON-able triple (or None)."""
+    return None if spec is None else [spec.m1, spec.d, spec.m2]
+
+
+def _sc_from(doc) -> Optional[ServiceCurve]:
+    if doc is None:
+        return None
+    try:
+        m1, d, m2 = doc
+        return ServiceCurve(m1, d, m2)
+    except (TypeError, ValueError, ConfigurationError) as exc:
+        raise SnapshotError(
+            f"malformed service-curve document {doc!r}: {exc}",
+            reason="bad-curve",
+        ) from exc
+
+
+def _rc_doc(curve: Optional[RuntimeCurve]):
+    return None if curve is None else list(curve.to_doc())
+
+
+def _rc_from(doc) -> Optional[RuntimeCurve]:
+    if doc is None:
+        return None
+    try:
+        return RuntimeCurve.from_doc(doc)
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"malformed runtime-curve document {doc!r}: {exc}",
+            reason="bad-curve",
+        ) from exc
+
+
+def _require_keys(doc: Any, keys: Iterable[Any], what: str) -> None:
+    """Strict field check: unknown *and* missing keys are refused."""
+    if not isinstance(doc, dict):
+        raise SnapshotError(
+            f"{what}: expected a mapping, got {type(doc).__name__}",
+            reason="bad-document",
+        )
+    expected = frozenset(keys)
+    present = frozenset(doc)
+    if present != expected:
+        unknown = sorted(str(k) for k in present - expected)
+        missing = sorted(str(k) for k in expected - present)
+        raise SnapshotError(
+            f"{what}: unknown fields {unknown}, missing fields {missing}",
+            reason="unknown-field" if unknown else "missing-field",
+            context={"unknown": unknown, "missing": missing},
+        )
 
 
 class HFSCClass:
@@ -709,6 +766,405 @@ class HFSC(Scheduler):
                     assert has_backlog, f"{cls.name!r}: active but empty"
         assert total_backlog_packets == self._backlog_packets
         assert abs(total_backlog_bytes - self._backlog_bytes) < 1e-6
+
+    # -- snapshot/restore (used by repro.persist) -----------------------------
+    #
+    # The split follows one rule: anything ``rebuild()`` can reconstruct
+    # from the queues (heap memberships, the eligible set, ``_ul_wait``,
+    # ``nactive``/``ls_active``, backlog counters) is RE-DERIVED on
+    # restore and cross-validated against the snapshot; anything it
+    # cannot (runtime curves, whose ``min_with`` history spans active
+    # periods; virtual times; cumulative service; queues; overload
+    # bookkeeping) is STORED.  A restore that disagrees with its own
+    # re-derivation is refused -- never partially applied.
+
+    def snapshot_state(self, add_packet: Callable[[Packet], int]) -> Dict[str, Any]:
+        """Serialize the complete scheduler state to a JSON-able document.
+
+        ``add_packet`` interns a packet and returns its table id (the
+        packet table is shared with the link/event-loop snapshot so the
+        in-flight packet stays the same object as its queue references).
+        """
+        classes = []
+        for cls in self._classes.values():
+            if cls.is_root:
+                continue
+            if not isinstance(cls.name, (str, int)):
+                raise SnapshotError(
+                    f"class name {cls.name!r} is not snapshot-serializable "
+                    "(str or int required)",
+                    reason="unsupported-name",
+                )
+            classes.append({
+                "name": cls.name,
+                "parent": cls.parent.name,
+                "index": cls.index,
+                "rt_requested": _sc_doc(cls.rt_requested),
+                "rt_spec": _sc_doc(cls.rt_spec),
+                "rt_admitted": cls.rt_admitted,
+                "ls_spec": _sc_doc(cls.ls_spec),
+                "ul_spec": _sc_doc(cls.ul_spec),
+                "queue": [add_packet(p) for p in cls.queue],
+                "cumul_rt": cls.cumul_rt,
+                "total_work": cls.total_work,
+                "bytes_rt": cls.bytes_rt,
+                "bytes_ls": cls.bytes_ls,
+                "deadline_curve": _rc_doc(cls.deadline_curve),
+                "eligible_curve": _rc_doc(cls.eligible_curve),
+                "virtual_curve": _rc_doc(cls.virtual_curve),
+                "ul_curve": _rc_doc(cls.ul_curve),
+                "eligible": cls.eligible,
+                "deadline": cls.deadline,
+                "vt": cls.vt,
+                "fit_time": cls.fit_time,
+                "vt_watermark": cls.vt_watermark,
+                # Insertion order, not key order: IndexedHeap.update keeps
+                # the original sequence number, so re-pushing in this order
+                # preserves how future exact-key ties will break.
+                "active_order": [
+                    child.name for child in cls.active_min.iter_insertion()
+                ],
+            })
+        return {
+            "type": "HFSC",
+            "config": {
+                "link_rate": self.link_rate,
+                "admission_control": self._admission_control,
+                "eligible_backend": self._eligible_backend,
+                "vt_policy": self.vt_policy,
+                "realtime": self.realtime_enabled,
+                "overload_policy": self.overload_policy,
+            },
+            "runtime": {
+                "admission_checked": self._admission_checked,
+                "rt_suspended": self.rt_suspended,
+                "overload_events": [dict(e) for e in self.overload_events],
+                "next_index": self._next_index,
+            },
+            "counters": {
+                "backlog_packets": self._backlog_packets,
+                "backlog_bytes": self._backlog_bytes,
+                "enqueued": self.total_enqueued,
+                "dequeued": self.total_dequeued,
+                "returned": self.total_returned,
+            },
+            "root": {
+                "total_work": self.root.total_work,
+                "vt_watermark": self.root.vt_watermark,
+                "active_order": [
+                    child.name for child in self.root.active_min.iter_insertion()
+                ],
+            },
+            "ul_wait_order": [
+                cls.name for cls in self._ul_wait.iter_insertion()
+            ],
+            "classes": classes,
+        }
+
+    _CLASS_DOC_KEYS = frozenset((
+        "name", "parent", "index", "rt_requested", "rt_spec", "rt_admitted",
+        "ls_spec", "ul_spec", "queue", "cumul_rt", "total_work", "bytes_rt",
+        "bytes_ls", "deadline_curve", "eligible_curve", "virtual_curve",
+        "ul_curve", "eligible", "deadline", "vt", "fit_time", "vt_watermark",
+        "active_order",
+    ))
+
+    @classmethod
+    def restore_state(
+        cls, doc: Dict[str, Any], get_packet: Callable[[int], Packet]
+    ) -> "HFSC":
+        """Rebuild a scheduler from :meth:`snapshot_state` output.
+
+        Returns a *fresh* scheduler (atomic: nothing pre-existing is
+        mutated; on any validation failure the partially-built object is
+        simply discarded).  Derived structures are reconstructed from the
+        queues and cross-checked against the snapshot's own record of
+        them, then :meth:`check_invariants` gets the final word.
+        """
+        _require_keys(doc, ("type", "config", "runtime", "counters", "root",
+                            "ul_wait_order", "classes"), "HFSC snapshot")
+        if doc["type"] != "HFSC":
+            raise SnapshotError(
+                f"scheduler type mismatch: expected 'HFSC', got {doc['type']!r}",
+                reason="scheduler-type",
+            )
+        config = doc["config"]
+        _require_keys(config, ("link_rate", "admission_control",
+                               "eligible_backend", "vt_policy", "realtime",
+                               "overload_policy"), "HFSC config")
+        try:
+            sched = cls(
+                link_rate=config["link_rate"],
+                admission_control=config["admission_control"],
+                eligible_backend=config["eligible_backend"],
+                vt_policy=config["vt_policy"],
+                realtime=config["realtime"],
+                overload_policy=config["overload_policy"],
+            )
+        except ConfigurationError as exc:
+            raise SnapshotError(
+                f"snapshot carries an invalid configuration: {exc}",
+                reason="bad-config",
+            ) from exc
+        for cdoc in doc["classes"]:
+            _require_keys(cdoc, cls._CLASS_DOC_KEYS, f"class {cdoc.get('name')!r}")
+            try:
+                node = sched.add_class(
+                    cdoc["name"],
+                    parent=cdoc["parent"],
+                    rt_sc=_sc_from(cdoc["rt_requested"]),
+                    ls_sc=_sc_from(cdoc["ls_spec"]),
+                    ul_sc=_sc_from(cdoc["ul_spec"]),
+                )
+            except ConfigurationError as exc:
+                raise SnapshotError(
+                    f"snapshot hierarchy is not constructible: {exc}",
+                    reason="bad-hierarchy",
+                ) from exc
+            node.index = cdoc["index"]
+            node.rt_spec = _sc_from(cdoc["rt_spec"])
+            node.rt_admitted = cdoc["rt_admitted"]
+            node.queue.extend(get_packet(uid) for uid in cdoc["queue"])
+            node.cumul_rt = cdoc["cumul_rt"]
+            node.total_work = cdoc["total_work"]
+            node.bytes_rt = cdoc["bytes_rt"]
+            node.bytes_ls = cdoc["bytes_ls"]
+            node.deadline_curve = _rc_from(cdoc["deadline_curve"])
+            node.eligible_curve = _rc_from(cdoc["eligible_curve"])
+            node.virtual_curve = _rc_from(cdoc["virtual_curve"])
+            node.ul_curve = _rc_from(cdoc["ul_curve"])
+            node.eligible = cdoc["eligible"]
+            node.deadline = cdoc["deadline"]
+            node.vt = cdoc["vt"]
+            node.fit_time = cdoc["fit_time"]
+            node.vt_watermark = cdoc["vt_watermark"]
+        runtime = doc["runtime"]
+        _require_keys(runtime, ("admission_checked", "rt_suspended",
+                                "overload_events", "next_index"), "HFSC runtime")
+        sched._next_index = runtime["next_index"]
+        sched.rt_suspended = runtime["rt_suspended"]
+        sched.overload_events = [dict(e) for e in runtime["overload_events"]]
+        root_doc = doc["root"]
+        _require_keys(root_doc, ("total_work", "vt_watermark", "active_order"),
+                      "HFSC root")
+        sched.root.total_work = root_doc["total_work"]
+        sched.root.vt_watermark = root_doc["vt_watermark"]
+        sched._rederive_from_queues(doc)
+        counters = doc["counters"]
+        _require_keys(counters, ("backlog_packets", "backlog_bytes",
+                                 "enqueued", "dequeued", "returned"),
+                      "HFSC counters")
+        derived_packets = sum(
+            len(c.queue) for c in sched.classes() if c.is_leaf
+        )
+        derived_bytes = sum(
+            p.size for c in sched.classes() if c.is_leaf for p in c.queue
+        )
+        if derived_packets != counters["backlog_packets"] or (
+            abs(derived_bytes - counters["backlog_bytes"]) > 1e-6
+        ):
+            raise SnapshotError(
+                "stored backlog counters disagree with the queue contents",
+                reason="counter-mismatch",
+                context={
+                    "stored": [counters["backlog_packets"],
+                               counters["backlog_bytes"]],
+                    "derived": [derived_packets, derived_bytes],
+                },
+            )
+        sched._backlog_packets = counters["backlog_packets"]
+        sched._backlog_bytes = counters["backlog_bytes"]
+        sched.total_enqueued = counters["enqueued"]
+        sched.total_dequeued = counters["dequeued"]
+        sched.total_returned = counters["returned"]
+        sched._admission_checked = runtime["admission_checked"]
+        try:
+            sched.check_invariants()
+        except AssertionError as exc:
+            raise SnapshotError(
+                f"restored state failed invariant cross-validation: {exc}",
+                reason="invariant-violation",
+            ) from exc
+        return sched
+
+    def _rederive_from_queues(self, doc: Dict[str, Any]) -> None:
+        """Reconstruct everything ``rebuild`` could, validating as we go.
+
+        Heap memberships, the eligible set, ``_ul_wait``, ``nactive`` and
+        ``ls_active`` all re-derive from the queues plus the stored
+        scalars; the snapshot's order lists pin same-virtual-time heap
+        tie-breaks and are cross-checked against the derived memberships.
+        """
+        # Activity: a non-root class is link-sharing active iff it is a
+        # backlogged leaf with an ls curve, or has an active child.
+        # _classes preserves creation order (parents first), so the
+        # reversed walk sees children before their parents.
+        active: Dict[HFSCClass, bool] = {}
+        for node in reversed(list(self.classes())):
+            if node.is_leaf:
+                active[node] = bool(node.queue) and node.ls_spec is not None
+            else:
+                active[node] = any(active[child] for child in node.children)
+        order_by_parent: Dict[Any, List[Any]] = {
+            cdoc["name"]: cdoc["active_order"] for cdoc in doc["classes"]
+        }
+        order_by_parent[ROOT] = doc["root"]["active_order"]
+        for parent in self._classes.values():
+            if not parent.children:
+                continue
+            parent.nactive = sum(
+                1 for child in parent.children if active[child]
+            )
+            expected = {child.name for child in parent.children if active[child]}
+            order = order_by_parent.get(parent.name, [])
+            if set(order) != expected or len(order) != len(expected):
+                raise SnapshotError(
+                    f"stored active-child order of {parent.name!r} disagrees "
+                    "with the re-derived active set",
+                    reason="active-set-mismatch",
+                    context={"stored": list(order), "derived": sorted(
+                        str(name) for name in expected)},
+                )
+            for name in order:
+                child = self._classes[name]
+                if child.virtual_curve is None:
+                    raise SnapshotError(
+                        f"active class {name!r} has no virtual curve",
+                        reason="missing-curve",
+                    )
+                parent.active_min.push(child, child.vt)
+                parent.active_max.push(child, -child.vt)
+        for node in self.classes():
+            node.ls_active = active[node]
+        # The real-time eligible set: membership is fully derivable
+        # (backlogged + admitted + rt curve, tracked even while
+        # rt_suspended); eligible/deadline values come from the stored
+        # scalars, inserted in creation order.
+        for node in self.classes():
+            if not node.is_leaf or node.rt_spec is None:
+                continue
+            if not (self.realtime_enabled and node.rt_admitted and node.queue):
+                continue
+            if node.deadline_curve is None or node.eligible_curve is None:
+                raise SnapshotError(
+                    f"eligible leaf {node.name!r} has no deadline/eligible "
+                    "curve",
+                    reason="missing-curve",
+                )
+            self._eligible.insert(node, node.eligible, node.deadline)
+        # Upper-limit wait heap, in the stored fit-time order.
+        expected_wait = {
+            node.name
+            for node in self.classes()
+            if node.is_leaf and node.ul_curve is not None and node.queue
+        }
+        order = doc["ul_wait_order"]
+        if set(order) != expected_wait or len(order) != len(expected_wait):
+            raise SnapshotError(
+                "stored _ul_wait order disagrees with the re-derived "
+                "membership",
+                reason="ul-wait-mismatch",
+                context={"stored": list(order),
+                         "derived": sorted(str(n) for n in expected_wait)},
+            )
+        for name in order:
+            node = self._classes[name]
+            self._ul_wait.push(node, node.fit_time)
+
+    # -- long-run drift hardening ---------------------------------------------
+
+    def renormalize_vt(self) -> int:
+        """Pull virtual-time origins back toward zero; returns domains shifted.
+
+        Each interior class's children share a private virtual-time
+        domain that only ever grows (``system_vt`` is monotonic); after
+        ~1e15 bytes of service the float ulp at the working point
+        approaches a packet size and same-``vt`` tie-breaks start to
+        decay.  This subtracts a power-of-two offset from every quantity
+        in such a domain (child ``vt``, curve anchor ``x0``, the parent's
+        idle watermark), which by Sterbenz's lemma is exact for values in
+        ``[delta, 2*delta)`` and keeps relative order in general.  Called
+        by :class:`repro.sim.faults.DriftGuard` on long soaks; not part
+        of the per-packet hot path.
+
+        Renormalization is *not* digest-transparent in every case --
+        shifting can perturb sub-ulp near-ties -- so the guard treats it
+        as a maintenance action with bounded-lag assertions, not a
+        byte-identical transform.
+        """
+        shifted = 0
+        for parent in self._classes.values():
+            if not parent.children:
+                continue
+            # The shiftable floor is the minimum over the *live* domain
+            # quantities (virtual times and curve anchors).  The idle
+            # watermark is deliberately excluded while any child is live:
+            # it lags far below the active virtual times during long busy
+            # periods (it only advances on passivation), and it is only a
+            # floor -- clamping it at zero after the shift keeps every
+            # property it is used for.  With no live children it *is* the
+            # domain, so it drives the shift alone.
+            base = math.inf
+            live = False
+            for child in parent.children:
+                if child.virtual_curve is not None:
+                    live = True
+                    # Fold the curve's dead history (below the live
+                    # working point) into its anchor; a never-passive
+                    # class otherwise pins x0 at the activation origin
+                    # and the domain could never shift.
+                    child.virtual_curve.rebase(child.vt)
+                    if child.vt < base:
+                        base = child.vt
+                    if child.virtual_curve.x0 < base:
+                        base = child.virtual_curve.x0
+            if not live:
+                base = parent.vt_watermark
+            if not (base > 2.0) or not math.isfinite(base):
+                continue
+            delta = 2.0 ** math.floor(math.log2(base))
+            # Insertion order so exact-tie behaviour survives the rebuild
+            # (IndexedHeap.update keeps original sequence numbers).
+            order = list(parent.active_min.iter_insertion())
+            parent.active_min.clear()
+            parent.active_max.clear()
+            parent.vt_watermark = max(parent.vt_watermark - delta, 0.0)
+            for child in parent.children:
+                if child.virtual_curve is not None:
+                    child.vt -= delta
+                    child.virtual_curve.shift_x(-delta)
+            for child in order:
+                parent.active_min.push(child, child.vt)
+                parent.active_max.push(child, -child.vt)
+            shifted += 1
+        return shifted
+
+    def max_vt_lag(self) -> float:
+        """Largest (v_max - v_min) spread over any active sibling set.
+
+        The paper bounds sibling virtual-time divergence for fair
+        link-sharing; a spread that grows without bound signals drift
+        (or a bug), which is what :class:`repro.sim.faults.DriftGuard`
+        audits on long runs.
+        """
+        worst = 0.0
+        for parent in self._classes.values():
+            if parent.nactive >= 2:
+                spread = -parent.active_max.peek_key() - parent.active_min.peek_key()
+                if spread > worst:
+                    worst = spread
+        return worst
+
+    def max_vt_magnitude(self) -> float:
+        """Largest |virtual time| in any domain (drift-guard trigger)."""
+        worst = 0.0
+        for parent in self._classes.values():
+            if parent.vt_watermark > worst:
+                worst = parent.vt_watermark
+            for child in parent.children:
+                if child.virtual_curve is not None and child.vt > worst:
+                    worst = child.vt
+        return worst
 
     # -- internals -------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+"""Crash-safe checkpoint/restore with deterministic resume.
+
+Public surface:
+
+* :mod:`repro.persist.codec` -- versioned, checksummed snapshot
+  envelope; packet table; atomic file IO;
+* :mod:`repro.persist.schedulers` -- scheduler codec dispatch (H-FSC,
+  H-PFQ, CBQ, FIFO, DRR);
+* :mod:`repro.persist.runtime` -- :class:`RunContext`, whole-simulation
+  snapshot/restore (event loop, link, sources, collectors, RNG streams);
+* :mod:`repro.persist.harness` -- crash-injection harness and the
+  crash-equivalence oracle;
+* :mod:`repro.persist.scenarios` -- the checkpointable reference
+  scenarios shared with the golden-schedule tests.
+
+Attribute access is lazy (PEP 562) so importing ``repro.persist`` from
+core modules can never create an import cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "FORMAT": "repro.persist.codec",
+    "SCHEMA_VERSION": "repro.persist.codec",
+    "PacketTable": "repro.persist.codec",
+    "body_checksum": "repro.persist.codec",
+    "dumps_snapshot": "repro.persist.codec",
+    "loads_snapshot": "repro.persist.codec",
+    "save_snapshot": "repro.persist.codec",
+    "load_snapshot": "repro.persist.codec",
+    "restore_packets": "repro.persist.codec",
+    "SCHEDULER_TYPES": "repro.persist.schedulers",
+    "snapshot_scheduler": "repro.persist.schedulers",
+    "restore_scheduler": "repro.persist.schedulers",
+    "RunContext": "repro.persist.runtime",
+    "DriveRun": "repro.persist.harness",
+    "SignalCheckpointRequest": "repro.persist.harness",
+    "run_checkpointed": "repro.persist.harness",
+    "schedule_digest": "repro.persist.harness",
+    "crash_and_resume_drive": "repro.persist.harness",
+    "crash_and_resume_runtime": "repro.persist.harness",
+    "drive_rows": "repro.persist.harness",
+    "runtime_rows": "repro.persist.harness",
+    "DRIVE_SETUPS": "repro.persist.scenarios",
+    "RUNTIME_SETUPS": "repro.persist.scenarios",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.persist' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return __all__

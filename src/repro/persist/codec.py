@@ -1,0 +1,262 @@
+"""Snapshot document codec: envelope, integrity checksum, packet table.
+
+A snapshot is a single self-describing JSON document::
+
+    {"format": "repro-snapshot", "schema": 1,
+     "checksum": "sha256:...", "body": {...}}
+
+The ``body`` is produced by the scheduler / runtime codecs
+(:mod:`repro.persist.schedulers`, :mod:`repro.persist.runtime`); this
+module owns everything around it:
+
+* **versioning** -- ``schema`` is bumped whenever the body layout
+  changes; a loader refuses documents from a different schema rather
+  than guessing (``SnapshotError(reason="schema-version")``);
+* **integrity** -- ``checksum`` is the SHA-256 of the body's canonical
+  serialization (sorted keys, no whitespace); any bit flip inside the
+  body is caught before a single field is applied;
+* **strictness** -- unknown envelope fields are rejected, as is every
+  unknown field further down (each codec validates its own level), so
+  a snapshot written by a newer minor revision cannot be half-applied;
+* **float exactness** -- Python's ``json`` round-trips floats through
+  ``repr`` (shortest round-trip), so every timestamp, virtual time and
+  curve parameter survives bit-for-bit.  ``inf`` sentinels ride along
+  as JSON ``Infinity`` literals (the Python dialect; snapshots are a
+  private format, not an interchange one);
+* **atomic writes** -- :func:`save_snapshot` writes a temp file and
+  ``os.replace``\\ s it, so a crash mid-write never corrupts an
+  existing checkpoint.
+
+Restores are atomic by construction: every codec builds fresh objects
+and only hands them over on success, so a refused document leaves no
+half-applied state anywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Callable, Dict
+
+import repro.sim.packet as _packet_mod
+from repro.core.errors import SnapshotError
+from repro.sim.packet import Packet
+
+FORMAT = "repro-snapshot"
+SCHEMA_VERSION = 1
+
+_ENVELOPE_KEYS = frozenset({"format", "schema", "checksum", "body"})
+
+#: Packet-table entry layout (positional, in this order).
+_PACKET_FIELDS = (
+    "class_id",
+    "size",
+    "created",
+    "enqueued",
+    "dequeued",
+    "departed",
+    "deadline",
+    "via_realtime",
+)
+
+
+def body_checksum(body: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical serialization of ``body``."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def dumps_snapshot(body: Dict[str, Any]) -> str:
+    """Wrap ``body`` in the versioned, checksummed envelope."""
+    envelope = {
+        "format": FORMAT,
+        "schema": SCHEMA_VERSION,
+        "checksum": body_checksum(body),
+        "body": body,
+    }
+    return json.dumps(envelope, sort_keys=True)
+
+
+def loads_snapshot(text: str) -> Dict[str, Any]:
+    """Parse and verify an envelope; returns the body.
+
+    Refuses -- with a structured :class:`SnapshotError`, never a partial
+    result -- anything that is not a JSON object, carries unknown
+    envelope fields, claims a different format or schema version, or
+    fails the checksum.
+    """
+    try:
+        envelope = json.loads(text)
+    except ValueError as exc:
+        raise SnapshotError(
+            f"snapshot is not valid JSON: {exc}", reason="bad-json"
+        ) from exc
+    if not isinstance(envelope, dict):
+        raise SnapshotError(
+            "snapshot envelope is not a JSON object", reason="bad-format"
+        )
+    if set(envelope) != _ENVELOPE_KEYS:
+        extra = sorted(map(str, set(envelope) - _ENVELOPE_KEYS))
+        missing = sorted(_ENVELOPE_KEYS - set(envelope))
+        raise SnapshotError(
+            "malformed snapshot envelope",
+            reason="unknown-field" if extra else "missing-field",
+            context={"extra": extra, "missing": missing},
+        )
+    if envelope["format"] != FORMAT:
+        raise SnapshotError(
+            f"not a repro snapshot (format={envelope['format']!r})",
+            reason="bad-format",
+        )
+    if envelope["schema"] != SCHEMA_VERSION:
+        raise SnapshotError(
+            f"snapshot schema version {envelope['schema']!r} is not "
+            f"supported (this build reads version {SCHEMA_VERSION})",
+            reason="schema-version",
+            context={"stored": envelope["schema"], "supported": SCHEMA_VERSION},
+        )
+    body = envelope["body"]
+    if not isinstance(body, dict):
+        raise SnapshotError("snapshot body is not a JSON object", reason="bad-format")
+    expected = envelope["checksum"]
+    actual = body_checksum(body)
+    if expected != actual:
+        raise SnapshotError(
+            "snapshot checksum mismatch: the document is corrupted",
+            reason="checksum-mismatch",
+            context={"stored": expected, "computed": actual},
+        )
+    return body
+
+
+def save_snapshot(path: str, body: Dict[str, Any]) -> None:
+    """Atomically write ``body`` (enveloped) to ``path``.
+
+    The document lands under a temporary name first and is
+    ``os.replace``\\ d into place, so an interrupted write -- the whole
+    point of checkpointing -- can never corrupt the previous snapshot.
+    """
+    text = dumps_snapshot(body)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot {path!r}: {exc}", reason="io-error"
+        ) from exc
+    return loads_snapshot(text)
+
+
+# -- packet table ------------------------------------------------------------
+
+
+class PacketTable:
+    """Interns packets referenced anywhere in a snapshot body.
+
+    Queues, in-flight transmission state and pending events all point at
+    the same :class:`Packet` objects; the table stores each packet once,
+    keyed by its ``uid``, and the referencing codecs store bare uids --
+    so object identity survives the round trip (a packet queued *and*
+    referenced by a pending event is one object again after restore).
+    """
+
+    def __init__(self) -> None:
+        self._by_uid: Dict[int, Packet] = {}
+
+    def add(self, packet: Packet) -> int:
+        if packet.payload is not None:
+            raise SnapshotError(
+                f"packet {packet.uid} carries a non-serializable payload",
+                reason="unsupported-payload",
+                context={"class_id": str(packet.class_id)},
+            )
+        if not isinstance(packet.class_id, (str, int)):
+            raise SnapshotError(
+                f"packet class id {packet.class_id!r} is not JSON-safe",
+                reason="unsupported-name",
+            )
+        existing = self._by_uid.get(packet.uid)
+        if existing is not None and existing is not packet:
+            raise SnapshotError(
+                f"two distinct packets share uid {packet.uid}",
+                reason="uid-collision",
+            )
+        self._by_uid[packet.uid] = packet
+        return packet.uid
+
+    def __len__(self) -> int:
+        return len(self._by_uid)
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            str(uid): [getattr(p, field) for field in _PACKET_FIELDS]
+            for uid, p in self._by_uid.items()
+        }
+
+
+def restore_packets(doc: Dict[str, Any]) -> Callable[[int], Packet]:
+    """Rebuild the packet table; returns the ``get_packet`` resolver.
+
+    The process-global uid counter is advanced past every restored uid
+    so packets created *after* the restore can never collide with a
+    restored one -- a second checkpoint taken later in the resumed run
+    must key its table unambiguously.
+    """
+    import itertools
+
+    by_uid: Dict[int, Packet] = {}
+    max_uid = -1
+    for key, fields in doc.items():
+        try:
+            uid = int(key)
+        except ValueError:
+            raise SnapshotError(
+                f"malformed packet uid {key!r}", reason="bad-packet"
+            ) from None
+        if not isinstance(fields, list) or len(fields) != len(_PACKET_FIELDS):
+            raise SnapshotError(
+                f"malformed packet record for uid {uid}", reason="bad-packet"
+            )
+        class_id, size, created = fields[0], fields[1], fields[2]
+        try:
+            packet = Packet(class_id, size, created=created)
+        except (TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"invalid packet record for uid {uid}: {exc}", reason="bad-packet"
+            ) from exc
+        packet.uid = uid
+        packet.enqueued = fields[3]
+        packet.dequeued = fields[4]
+        packet.departed = fields[5]
+        packet.deadline = fields[6]
+        packet.via_realtime = fields[7]
+        by_uid[uid] = packet
+        if uid > max_uid:
+            max_uid = uid
+    _packet_mod._packet_ids = itertools.count(max_uid + 1)
+
+    def get_packet(uid: int) -> Packet:
+        try:
+            return by_uid[uid]
+        except KeyError:
+            raise SnapshotError(
+                f"snapshot references unknown packet uid {uid}",
+                reason="unknown-packet",
+            ) from None
+
+    return get_packet

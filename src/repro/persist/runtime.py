@@ -1,0 +1,449 @@
+"""Whole-simulation snapshot/restore: the :class:`RunContext`.
+
+A live run is more than its scheduler: the event loop holds pending
+callbacks (source ticks, transmission completions, periodic tasks), the
+link holds an in-flight packet, sources hold RNG positions and
+counters, collectors hold statistics.  A :class:`RunContext` names each
+of those parts once, at build time, and then:
+
+* :meth:`RunContext.snapshot_body` serializes everything into one JSON
+  body (shared :class:`~repro.persist.codec.PacketTable`, events stored
+  as ``(time, seq, owner-key, method, args)`` tuples);
+* :meth:`RunContext.restore_body` overlays a body onto a **freshly
+  built** context -- the same builder that made the crashed run makes
+  the new one, and the restore only rebinds runtime state: pending
+  events keep their original ``(time, seq)`` keys so same-time ordering
+  resumes exactly, periodic tasks adopt their saved next tick
+  (no missed-tick burst), RNG streams refuse to load into a stream with
+  a different seed/label identity.
+
+Callbacks themselves are never serialized.  An event is stored as the
+*name* of a registered component plus a method name; restore resolves
+the name against the fresh context and refuses documents that
+reference components the builder did not recreate
+(``SnapshotError(reason="context-mismatch")``).  That is the
+process-equivalence contract: a snapshot can only be restored into a
+context wired the same way as the one that wrote it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.errors import SnapshotError
+from repro.persist.codec import PacketTable, restore_packets
+from repro.persist.schedulers import restore_scheduler, snapshot_scheduler
+from repro.sim.engine import Event, EventLoop, PeriodicTask
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.sources import OnOffSource, Source, VideoFrameSource
+from repro.sim.stats import (
+    BacklogMeter,
+    ClassStats,
+    StatsCollector,
+    ThroughputMeter,
+)
+from repro.sim.trace import TraceRecord, TraceRecorder
+from repro.util.rng import restore_rng_state, rng_state_doc
+
+_BODY_KEYS = frozenset(
+    {"kind", "clock", "scheduler", "link", "events", "tasks", "components", "packets"}
+)
+
+
+def _check_keys(doc: Dict[str, Any], expected: frozenset, what: str) -> None:
+    if set(doc) != expected:
+        extra = sorted(map(str, set(doc) - expected))
+        missing = sorted(map(str, expected - set(doc)))
+        raise SnapshotError(
+            f"malformed {what} document",
+            reason="unknown-field" if extra else "missing-field",
+            context={"extra": extra, "missing": missing},
+        )
+
+
+# -- component codecs --------------------------------------------------------
+#
+# Each supported component type stores its runtime state (counters, RNG
+# position, accumulated records); configuration is *not* stored -- the
+# fresh builder supplies it, and cheap identity fields (class_id, type
+# name) are cross-checked so a snapshot cannot land on the wrong part.
+
+
+def _source_state(source: Source) -> Dict[str, Any]:
+    state: Dict[str, Any] = {
+        "class_id": source.class_id,
+        "packets_sent": source.packets_sent,
+        "bytes_sent": source.bytes_sent,
+        "rng": (
+            rng_state_doc(source.rng)
+            if getattr(source, "rng", None) is not None
+            else None
+        ),
+    }
+    if isinstance(source, OnOffSource):
+        state["on_until"] = source._on_until
+    if isinstance(source, VideoFrameSource):
+        state["frames_sent"] = source.frames_sent
+    return state
+
+
+def _restore_source(source: Source, state: Dict[str, Any]) -> None:
+    if state["class_id"] != source.class_id:
+        raise SnapshotError(
+            f"source class id mismatch: snapshot has "
+            f"{state['class_id']!r}, context has {source.class_id!r}",
+            reason="context-mismatch",
+        )
+    source.packets_sent = state["packets_sent"]
+    source.bytes_sent = state["bytes_sent"]
+    rng_doc = state["rng"]
+    live_rng = getattr(source, "rng", None)
+    if (rng_doc is None) != (live_rng is None):
+        raise SnapshotError(
+            "source RNG presence differs between snapshot and context",
+            reason="context-mismatch",
+        )
+    if rng_doc is not None:
+        try:
+            restore_rng_state(live_rng, rng_doc)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SnapshotError(
+                f"cannot restore RNG stream: {exc}", reason="rng-mismatch"
+            ) from exc
+    if isinstance(source, OnOffSource):
+        source._on_until = state["on_until"]
+    if isinstance(source, VideoFrameSource):
+        source.frames_sent = state["frames_sent"]
+
+
+def _component_doc(obj: Any) -> Dict[str, Any]:
+    if isinstance(obj, Source):
+        state = _source_state(obj)
+    elif isinstance(obj, StatsCollector):
+        state = {
+            "total_packets": obj.total_packets,
+            "total_bytes": obj.total_bytes,
+            "classes": [stats.state_doc() for stats in obj.per_class.values()],
+        }
+    elif isinstance(obj, TraceRecorder):
+        state = {
+            "records": [
+                [r.departed, r.class_id, r.size, r.enqueued, r.deadline, r.via_realtime]
+                for r in obj.records
+            ]
+        }
+    elif isinstance(obj, BacklogMeter):
+        state = {"samples": [list(sample) for sample in obj.samples]}
+    elif isinstance(obj, ThroughputMeter):
+        state = {
+            "buckets": [
+                [class_id, sorted(per_bucket.items())]
+                for class_id, per_bucket in obj._bytes.items()
+            ]
+        }
+    else:
+        raise SnapshotError(
+            f"component type {type(obj).__name__} has no snapshot codec",
+            reason="unsupported-component",
+        )
+    return {"type": type(obj).__name__, "state": state}
+
+
+def _restore_component(obj: Any, doc: Dict[str, Any]) -> None:
+    _check_keys(doc, frozenset({"type", "state"}), "component")
+    if doc["type"] != type(obj).__name__:
+        raise SnapshotError(
+            f"component type mismatch: snapshot has {doc['type']!r}, "
+            f"context has {type(obj).__name__!r}",
+            reason="context-mismatch",
+        )
+    state = doc["state"]
+    if isinstance(obj, Source):
+        _restore_source(obj, state)
+    elif isinstance(obj, StatsCollector):
+        obj.total_packets = state["total_packets"]
+        obj.total_bytes = state["total_bytes"]
+        obj.per_class = {}
+        for sub in state["classes"]:
+            stats = ClassStats.from_state(sub)
+            obj.per_class[stats.class_id] = stats
+    elif isinstance(obj, TraceRecorder):
+        obj.records[:] = [TraceRecord(*row) for row in state["records"]]
+    elif isinstance(obj, BacklogMeter):
+        obj.samples[:] = [tuple(sample) for sample in state["samples"]]
+    elif isinstance(obj, ThroughputMeter):
+        obj._bytes = {
+            class_id: {int(b): v for b, v in buckets}
+            for class_id, buckets in state["buckets"]
+        }
+    else:  # pragma: no cover -- _component_doc already refused this type
+        raise SnapshotError(
+            f"component type {type(obj).__name__} has no snapshot codec",
+            reason="unsupported-component",
+        )
+
+
+# -- the run context ---------------------------------------------------------
+
+
+class RunContext:
+    """Names the parts of a live simulation so they can round-trip.
+
+    Build the simulation, registering every component that either owns
+    pending events or accumulates state::
+
+        ctx = RunContext(loop, link)
+        ctx.register("src.voice", CBRSource(loop, link, "voice", ...))
+        ctx.register("recorder", TraceRecorder(link))
+        ctx.task("meter", loop.every(0.1, meter.tick))
+
+    A resumed run re-executes the same builder, then calls
+    :meth:`restore_body` on the fresh context.
+    """
+
+    def __init__(self, loop: EventLoop, link: Link):
+        self.loop = loop
+        self.link = link
+        self.scheduler = link.scheduler
+        self._components: Dict[str, Any] = {}
+        self._tasks: Dict[str, PeriodicTask] = {}
+
+    def register(self, key: str, component: Any) -> Any:
+        if key in self._components or key in ("link",):
+            raise SnapshotError(
+                f"duplicate component key {key!r}", reason="context-mismatch"
+            )
+        self._components[key] = component
+        return component
+
+    def task(self, key: str, task: PeriodicTask) -> PeriodicTask:
+        if key in self._tasks:
+            raise SnapshotError(
+                f"duplicate task key {key!r}", reason="context-mismatch"
+            )
+        self._tasks[key] = task
+        return task
+
+    def component(self, key: str) -> Any:
+        return self._components[key]
+
+    # -- snapshot ---------------------------------------------------------
+
+    def _owner_keys(self) -> Dict[int, str]:
+        owners: Dict[int, str] = {id(self.link): "link"}
+        for key, component in self._components.items():
+            owners[id(component)] = key
+        for key, task in self._tasks.items():
+            owners[id(task)] = f"task:{key}"
+        return owners
+
+    def _encode_event(
+        self, event: Event, owners: Dict[int, str], table: PacketTable
+    ) -> Dict[str, Any]:
+        fn = event[2]
+        owner = getattr(fn, "__self__", None)
+        key = owners.get(id(owner)) if owner is not None else None
+        if key is None:
+            raise SnapshotError(
+                f"pending event at t={event[0]:g} is owned by an "
+                f"unregistered component ({fn!r}); register it on the "
+                "RunContext or cancel it before checkpointing",
+                reason="unsupported-event",
+            )
+        args: List[Any] = []
+        for arg in event[3]:
+            if isinstance(arg, Packet):
+                args.append(["p", table.add(arg)])
+            elif arg is None or isinstance(arg, (bool, int, float, str)):
+                args.append(["v", arg])
+            else:
+                raise SnapshotError(
+                    f"pending event argument {arg!r} is not serializable",
+                    reason="unsupported-event",
+                )
+        return {
+            "time": event[0],
+            "seq": event[1],
+            "owner": key,
+            "method": fn.__name__,
+            "args": args,
+        }
+
+    def snapshot_body(self) -> Dict[str, Any]:
+        table = PacketTable()
+        owners = self._owner_keys()
+        events = [
+            self._encode_event(event, owners, table)
+            for event in sorted(self.loop.pending_events(), key=lambda e: (e[0], e[1]))
+        ]
+        tasks = {}
+        for key, task in self._tasks.items():
+            pending = task._event
+            if pending is not None and pending.cancelled:
+                pending = None
+            tasks[key] = {
+                "event": None if pending is None else pending[1],
+                "fired": task.fired,
+                "period": task.period,
+                "until": None if task.until == float("inf") else task.until,
+            }
+        return {
+            "kind": "runtime",
+            "clock": self.loop.snapshot_clock(),
+            "scheduler": snapshot_scheduler(self.scheduler, table.add),
+            "link": self.link.snapshot_state(table.add),
+            "events": events,
+            "tasks": tasks,
+            "components": {
+                key: _component_doc(component)
+                for key, component in self._components.items()
+            },
+            "packets": table.to_doc(),
+        }
+
+    # -- restore ----------------------------------------------------------
+
+    def _rebind_scheduler(self, scheduler: Any) -> None:
+        old = self.scheduler
+        self.scheduler = scheduler
+        self.link.scheduler = scheduler
+        for component in self._components.values():
+            if getattr(component, "scheduler", None) is old:
+                component.scheduler = scheduler
+
+    def restore_body(self, body: Dict[str, Any]) -> None:
+        """Overlay a :meth:`snapshot_body` document onto this fresh context.
+
+        Validation happens up front (key sets, component identities,
+        event owners); the mutating phase only starts once the whole
+        document has resolved, so a refused restore leaves the fresh
+        context untouched except for having never run.
+        """
+        _check_keys(body, _BODY_KEYS, "runtime snapshot")
+        if body["kind"] != "runtime":
+            raise SnapshotError(
+                f"snapshot kind {body['kind']!r} is not a runtime snapshot",
+                reason="bad-format",
+            )
+        if set(body["components"]) != set(self._components):
+            raise SnapshotError(
+                "snapshot components do not match the rebuilt context",
+                reason="context-mismatch",
+                context={
+                    "snapshot": sorted(body["components"]),
+                    "context": sorted(self._components),
+                },
+            )
+        if set(body["tasks"]) != set(self._tasks):
+            raise SnapshotError(
+                "snapshot periodic tasks do not match the rebuilt context",
+                reason="context-mismatch",
+                context={
+                    "snapshot": sorted(body["tasks"]),
+                    "context": sorted(self._tasks),
+                },
+            )
+        # Component and task docs are shape-checked up front so a refusal
+        # cannot land after the mutating phase has started below.
+        for key, component in self._components.items():
+            cdoc = body["components"][key]
+            _check_keys(dict(cdoc), frozenset({"type", "state"}), "component")
+            if cdoc["type"] != type(component).__name__:
+                raise SnapshotError(
+                    f"component type mismatch at {key!r}: snapshot has "
+                    f"{cdoc['type']!r}, context has {type(component).__name__!r}",
+                    reason="context-mismatch",
+                )
+        for key in self._tasks:
+            _check_keys(
+                dict(body["tasks"][key]),
+                frozenset({"event", "fired", "period", "until"}),
+                "task",
+            )
+        get_packet = restore_packets(body["packets"])
+        scheduler = restore_scheduler(body["scheduler"], get_packet)
+
+        # Resolve every event against the fresh wiring before mutating
+        # anything.
+        resolvable: Dict[str, Any] = {"link": self.link}
+        resolvable.update(self._components)
+        for key, task in self._tasks.items():
+            resolvable[f"task:{key}"] = task
+        events: List[Event] = []
+        by_seq: Dict[int, Event] = {}
+        clock = body["clock"]
+        _check_keys(dict(clock), frozenset({"now", "seq", "processed"}), "clock")
+        for edoc in body["events"]:
+            _check_keys(
+                dict(edoc),
+                frozenset({"time", "seq", "owner", "method", "args"}),
+                "event",
+            )
+            owner = resolvable.get(edoc["owner"])
+            if owner is None:
+                raise SnapshotError(
+                    f"event owner {edoc['owner']!r} is not part of the "
+                    "rebuilt context",
+                    reason="context-mismatch",
+                )
+            fn = getattr(owner, edoc["method"], None)
+            if not callable(fn):
+                raise SnapshotError(
+                    f"event method {edoc['owner']}.{edoc['method']} does "
+                    "not exist on the rebuilt context",
+                    reason="unsupported-event",
+                )
+            args = []
+            for tag_value in edoc["args"]:
+                tag, value = tag_value
+                if tag == "p":
+                    args.append(get_packet(value))
+                elif tag == "v":
+                    args.append(value)
+                else:
+                    raise SnapshotError(
+                        f"unknown event argument tag {tag!r}",
+                        reason="unsupported-event",
+                    )
+            if edoc["seq"] >= clock["seq"]:
+                raise SnapshotError(
+                    "event sequence number runs ahead of the stored clock",
+                    reason="bad-format",
+                )
+            event = Event((edoc["time"], edoc["seq"], fn, tuple(args)))
+            events.append(event)
+            if edoc["seq"] in by_seq:
+                raise SnapshotError(
+                    f"duplicate event sequence number {edoc['seq']}",
+                    reason="bad-format",
+                )
+            by_seq[edoc["seq"]] = event
+
+        def get_event(seq: int) -> Event:
+            try:
+                return by_seq[seq]
+            except KeyError:
+                raise SnapshotError(
+                    f"snapshot references unknown event seq {seq}",
+                    reason="bad-format",
+                ) from None
+
+        # -- mutate: everything below only runs on a fully resolved doc.
+        self._rebind_scheduler(scheduler)
+        self.loop.restore_clock(clock)
+        self.loop.adopt_events(events)
+        self.link.restore_state(body["link"], get_packet, get_event)
+        for key, task in self._tasks.items():
+            tdoc = body["tasks"][key]
+            _check_keys(
+                dict(tdoc), frozenset({"event", "fired", "period", "until"}), "task"
+            )
+            task.adopt_tick(
+                None if tdoc["event"] is None else get_event(tdoc["event"]),
+                tdoc["fired"],
+                tdoc["period"],
+                tdoc["until"],
+            )
+        for key, component in self._components.items():
+            _restore_component(component, body["components"][key])

@@ -1,0 +1,58 @@
+"""Scheduler snapshot dispatch.
+
+Every scheduler that supports checkpointing implements the
+``snapshot_state`` / ``restore_state`` protocol declared on
+:class:`repro.schedulers.base.Scheduler`; this module is just the typed
+registry that turns a stored ``type`` tag back into the right class.
+The per-scheduler codecs live next to their schedulers -- the split of
+what is *stored* versus *re-derived and cross-checked* is scheduler
+internals, not persistence policy (see the codec docstrings in
+``repro/core/hfsc.py`` and ``repro/schedulers/*.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Type
+
+from repro.core.errors import SnapshotError
+from repro.core.hfsc import HFSC
+from repro.schedulers.base import Scheduler
+from repro.schedulers.cbq import CBQScheduler
+from repro.schedulers.drr import DRRScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hpfq import HPFQScheduler
+from repro.sim.packet import Packet
+
+SCHEDULER_TYPES: Dict[str, Type[Scheduler]] = {
+    "HFSC": HFSC,
+    "HPFQ": HPFQScheduler,
+    "CBQ": CBQScheduler,
+    "FIFO": FIFOScheduler,
+    "DRR": DRRScheduler,
+}
+
+
+def snapshot_scheduler(
+    scheduler: Scheduler, add_packet: Callable[[Packet], int]
+) -> Dict[str, Any]:
+    """Serialize ``scheduler``; raises for types without a codec."""
+    return scheduler.snapshot_state(add_packet)
+
+
+def restore_scheduler(
+    doc: Dict[str, Any], get_packet: Callable[[int], Packet]
+) -> Scheduler:
+    """Dispatch on the stored ``type`` tag and rebuild the scheduler."""
+    if not isinstance(doc, dict) or "type" not in doc:
+        raise SnapshotError(
+            "scheduler document carries no type tag", reason="bad-format"
+        )
+    kind = doc["type"]
+    cls = SCHEDULER_TYPES.get(kind)
+    if cls is None:
+        raise SnapshotError(
+            f"unknown scheduler type {kind!r} in snapshot",
+            reason="unknown-scheduler",
+            context={"known": sorted(SCHEDULER_TYPES)},
+        )
+    return cls.restore_state(doc, get_packet)

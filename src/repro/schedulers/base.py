@@ -15,8 +15,9 @@ re-poll at the right moment.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional
+from typing import Any, Callable, Dict, Optional
 
+from repro.core.errors import SnapshotError
 from repro.obs.core import TELEMETRY as _TELEM
 from repro.sim.packet import Packet
 
@@ -55,6 +56,78 @@ class Scheduler(ABC):
         packet arrives".
         """
         return None
+
+    # -- snapshot/restore protocol (repro.persist) ---------------------------
+
+    def snapshot_state(self, add_packet: Callable[[Packet], int]) -> Dict[str, Any]:
+        """Serialize full runtime state to a JSON-able document.
+
+        ``add_packet`` interns queued packets into the snapshot's shared
+        packet table and returns their ids.  Schedulers that keep
+        cross-packet state must override this (H-FSC, H-PFQ, CBQ, FIFO
+        and DRR do); the default refuses with a structured error rather
+        than silently dropping state.
+        """
+        raise SnapshotError(
+            f"scheduler {type(self).__name__} does not support snapshots",
+            reason="unsupported-scheduler",
+            context={"scheduler": type(self).__name__},
+        )
+
+    @classmethod
+    def restore_state(
+        cls, doc: Dict[str, Any], get_packet: Callable[[int], Packet]
+    ) -> "Scheduler":
+        """Build a fresh scheduler from :meth:`snapshot_state` output.
+
+        Restores are atomic: implementations construct and validate a new
+        instance and only return it on success, so a failed restore
+        leaves no half-applied state anywhere.
+        """
+        raise SnapshotError(
+            f"scheduler {cls.__name__} does not support snapshots",
+            reason="unsupported-scheduler",
+            context={"scheduler": cls.__name__},
+        )
+
+    def _counters_doc(self) -> Dict[str, Any]:
+        """The base-class conservation counters, for subclass snapshots."""
+        return {
+            "backlog_packets": self._backlog_packets,
+            "backlog_bytes": self._backlog_bytes,
+            "enqueued": self.total_enqueued,
+            "dequeued": self.total_dequeued,
+            "returned": self.total_returned,
+        }
+
+    def _restore_counters(self, doc: Dict[str, Any]) -> None:
+        """Load counters saved by :meth:`_counters_doc`, cross-validated.
+
+        The stored backlog must equal what the restored queues actually
+        hold -- a mismatch means the document lies about its own state.
+        """
+        expected = set(self._counters_doc())
+        if set(doc) != expected:
+            raise SnapshotError(
+                f"malformed counters document: {sorted(map(str, doc))}",
+                reason="unknown-field",
+            )
+        if self._backlog_packets != doc["backlog_packets"] or (
+            abs(self._backlog_bytes - doc["backlog_bytes"]) > 1e-6
+        ):
+            raise SnapshotError(
+                "stored backlog counters disagree with the restored queues",
+                reason="counter-mismatch",
+                context={
+                    "stored": [doc["backlog_packets"], doc["backlog_bytes"]],
+                    "derived": [self._backlog_packets, self._backlog_bytes],
+                },
+            )
+        self._backlog_packets = doc["backlog_packets"]
+        self._backlog_bytes = doc["backlog_bytes"]
+        self.total_enqueued = doc["enqueued"]
+        self.total_dequeued = doc["dequeued"]
+        self.total_returned = doc["returned"]
 
     # -- shared bookkeeping ---------------------------------------------------
 

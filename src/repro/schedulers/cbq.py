@@ -29,9 +29,9 @@ sluggish convergence to the configured shares and coupled delay/bandwidth
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, SnapshotError
 from repro.schedulers.base import Scheduler
 from repro.sim.packet import Packet
 
@@ -154,6 +154,200 @@ class CBQScheduler(Scheduler):
 
     def work_of(self, name: Any) -> float:
         return self._classes[name].bytes_served
+
+    # -- snapshot/restore (repro.persist) ----------------------------------------
+
+    _CLASS_DOC_KEYS = frozenset(
+        {
+            "name",
+            "parent",
+            "rate",
+            "priority",
+            "borrow",
+            "queue",
+            "avgidle",
+            "last_departure",
+            "bytes_served",
+            "deficit",
+        }
+    )
+
+    @staticmethod
+    def _estimator_doc(cls: "CBQClass") -> Dict[str, Any]:
+        return {
+            "avgidle": cls.avgidle,
+            "last_departure": cls.last_departure,
+            "bytes_served": cls.bytes_served,
+        }
+
+    def snapshot_state(self, add_packet: Callable[[Packet], int]) -> Dict[str, Any]:
+        """Serialize the full CBQ runtime state.
+
+        ``quantum`` and ``maxidle`` are pure functions of the config and
+        are re-derived on restore; the estimator (``avgidle``,
+        ``last_departure``), the DRR deficits, and the WRR ring
+        rotations/grant flags are genuine history and are stored.
+        """
+        classes = []
+        for cls in self._classes.values():
+            if cls is self.root:
+                continue
+            if not isinstance(cls.name, (str, int)):
+                raise SnapshotError(
+                    f"class name {cls.name!r} is not JSON-safe",
+                    reason="unsupported-name",
+                )
+            classes.append(
+                {
+                    "name": cls.name,
+                    "parent": cls.parent.name if cls.parent is not None else None,
+                    "rate": cls.rate,
+                    "priority": cls.priority,
+                    "borrow": cls.borrow,
+                    "queue": [add_packet(p) for p in cls.queue],
+                    "deficit": cls.deficit,
+                    **self._estimator_doc(cls),
+                }
+            )
+        return {
+            "type": "CBQ",
+            "config": {
+                "link_rate": self.link_rate,
+                "ewma_gain": self._gain,
+                "maxidle_seconds": self._maxidle,
+                "round_seconds": self._round_seconds,
+            },
+            "counters": self._counters_doc(),
+            "root": self._estimator_doc(self.root),
+            "grant_pending": [
+                [priority, bool(flag)]
+                for priority, flag in self._grant_pending.items()
+            ],
+            "rounds": [
+                [priority, [leaf.name for leaf in ring]]
+                for priority, ring in self._rounds.items()
+            ],
+            "classes": classes,
+        }
+
+    @classmethod
+    def restore_state(
+        cls, doc: Dict[str, Any], get_packet: Callable[[int], Packet]
+    ) -> "CBQScheduler":
+        def check_keys(d: Dict[str, Any], expected: frozenset, what: str) -> None:
+            if set(d) != expected:
+                extra = sorted(map(str, set(d) - expected))
+                missing = sorted(map(str, expected - set(d)))
+                raise SnapshotError(
+                    f"malformed {what} document",
+                    reason="unknown-field" if extra else "missing-field",
+                    context={"extra": extra, "missing": missing},
+                )
+
+        check_keys(
+            doc,
+            frozenset(
+                {"type", "config", "counters", "root", "grant_pending", "rounds", "classes"}
+            ),
+            "CBQ snapshot",
+        )
+        if doc["type"] != "CBQ":
+            raise SnapshotError(
+                f"scheduler type mismatch: expected CBQ, got {doc['type']!r}",
+                reason="scheduler-type",
+            )
+        cfg = doc["config"]
+        check_keys(
+            cfg,
+            frozenset({"link_rate", "ewma_gain", "maxidle_seconds", "round_seconds"}),
+            "CBQ config",
+        )
+        try:
+            sched = cls(
+                cfg["link_rate"],
+                ewma_gain=cfg["ewma_gain"],
+                maxidle_seconds=cfg["maxidle_seconds"],
+                round_seconds=cfg["round_seconds"],
+            )
+        except ConfigurationError as exc:
+            raise SnapshotError(str(exc), reason="bad-config") from exc
+        root_doc = doc["root"]
+        check_keys(
+            root_doc,
+            frozenset({"avgidle", "last_departure", "bytes_served"}),
+            "CBQ root",
+        )
+        for cdoc in doc["classes"]:
+            check_keys(cdoc, cls._CLASS_DOC_KEYS, f"CBQ class {cdoc.get('name')!r}")
+            try:
+                node = sched.add_class(
+                    cdoc["name"],
+                    parent=ROOT if cdoc["parent"] is None else cdoc["parent"],
+                    rate=cdoc["rate"],
+                    priority=cdoc["priority"],
+                    borrow=cdoc["borrow"],
+                )
+            except ConfigurationError as exc:
+                raise SnapshotError(str(exc), reason="bad-hierarchy") from exc
+            node.queue.extend(get_packet(uid) for uid in cdoc["queue"])
+            node.avgidle = cdoc["avgidle"]
+            node.last_departure = cdoc["last_departure"]
+            node.bytes_served = cdoc["bytes_served"]
+            node.deficit = cdoc["deficit"]
+            sched._backlog_packets += len(node.queue)
+            sched._backlog_bytes += sum(p.size for p in node.queue)
+        sched.root.avgidle = root_doc["avgidle"]
+        sched.root.last_departure = root_doc["last_departure"]
+        sched.root.bytes_served = root_doc["bytes_served"]
+        # WRR rings: membership must equal the backlogged leaves at each
+        # priority; the stored rotation order itself is history we adopt.
+        backlogged: Dict[int, set] = {}
+        for node in sched._classes.values():
+            if node is not sched.root and node.queue:
+                backlogged.setdefault(node.priority, set()).add(node.name)
+        seen_priorities = set()
+        for priority, names in doc["rounds"]:
+            if priority in seen_priorities:
+                raise SnapshotError(
+                    f"duplicate WRR ring for priority {priority}",
+                    reason="ring-mismatch",
+                )
+            seen_priorities.add(priority)
+            members = []
+            for name in names:
+                node = sched._classes.get(name)
+                if node is None or node is sched.root:
+                    raise SnapshotError(
+                        f"WRR ring references unknown class {name!r}",
+                        reason="ring-mismatch",
+                    )
+                members.append(node)
+            if {m.name for m in members} != backlogged.get(priority, set()) or len(
+                set(names)
+            ) != len(names):
+                raise SnapshotError(
+                    f"stored WRR ring for priority {priority} disagrees with "
+                    "the backlogged leaves derived from the restored queues",
+                    reason="ring-mismatch",
+                    context={
+                        "stored": sorted(map(str, names)),
+                        "derived": sorted(
+                            map(str, backlogged.get(priority, set()))
+                        ),
+                    },
+                )
+            sched._rounds[priority] = deque(members)
+        missing = set(backlogged) - seen_priorities
+        if missing:
+            raise SnapshotError(
+                "backlogged priority levels missing from the stored WRR rings",
+                reason="ring-mismatch",
+                context={"priorities": sorted(missing)},
+            )
+        for priority, flag in doc["grant_pending"]:
+            sched._grant_pending[priority] = bool(flag)
+        sched._restore_counters(doc["counters"])
+        return sched
 
     # -- scheduler interface -----------------------------------------------------
 

@@ -11,9 +11,9 @@ coupled to round length, not to reserved rate.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, SnapshotError
 from repro.schedulers.base import Scheduler
 from repro.sim.packet import Packet
 
@@ -85,3 +85,82 @@ class DRRScheduler(Scheduler):
             self._active.rotate(-1)
             self._grant_pending = True
         return None
+
+    # -- snapshot/restore (repro.persist) -----------------------------------
+
+    def snapshot_state(self, add_packet: Callable[[Packet], int]) -> Dict[str, Any]:
+        for flow_id in self._flows:
+            if not isinstance(flow_id, (str, int)):
+                raise SnapshotError(
+                    f"flow id {flow_id!r} is not JSON-safe",
+                    reason="unsupported-name",
+                )
+        return {
+            "type": "DRR",
+            "config": {"link_rate": self.link_rate},
+            "counters": self._counters_doc(),
+            "flows": [
+                {
+                    "id": flow_id,
+                    "quantum": flow.quantum,
+                    "deficit": flow.deficit,
+                    "queue": [add_packet(p) for p in flow.queue],
+                }
+                for flow_id, flow in self._flows.items()
+            ],
+            "active": list(self._active),
+            "grant_pending": self._grant_pending,
+        }
+
+    @classmethod
+    def restore_state(
+        cls, doc: Dict[str, Any], get_packet: Callable[[int], Packet]
+    ) -> "DRRScheduler":
+        expected = {"type", "config", "counters", "flows", "active", "grant_pending"}
+        if set(doc) != expected:
+            raise SnapshotError(
+                f"malformed DRR snapshot: {sorted(map(str, doc))}",
+                reason="unknown-field",
+            )
+        if doc["type"] != "DRR":
+            raise SnapshotError(
+                f"scheduler type mismatch: expected DRR, got {doc['type']!r}",
+                reason="scheduler-type",
+            )
+        if set(doc["config"]) != {"link_rate"}:
+            raise SnapshotError(
+                "malformed DRR config document", reason="unknown-field"
+            )
+        sched = cls(doc["config"]["link_rate"])
+        for fdoc in doc["flows"]:
+            if set(fdoc) != {"id", "quantum", "deficit", "queue"}:
+                raise SnapshotError(
+                    f"malformed DRR flow document: {sorted(map(str, fdoc))}",
+                    reason="unknown-field",
+                )
+            try:
+                sched.add_flow(fdoc["id"], fdoc["quantum"])
+            except ConfigurationError as exc:
+                raise SnapshotError(str(exc), reason="bad-config") from exc
+            flow = sched._flows[fdoc["id"]]
+            flow.deficit = fdoc["deficit"]
+            flow.queue.extend(get_packet(uid) for uid in fdoc["queue"])
+            sched._backlog_packets += len(flow.queue)
+            sched._backlog_bytes += sum(p.size for p in flow.queue)
+        # The round-robin ring is rotation history we adopt, but its
+        # membership must equal the backlogged flows.
+        backlogged = {fid for fid, flow in sched._flows.items() if flow.queue}
+        active = list(doc["active"])
+        if set(active) != backlogged or len(set(active)) != len(active):
+            raise SnapshotError(
+                "stored DRR active ring disagrees with the restored queues",
+                reason="ring-mismatch",
+                context={
+                    "stored": sorted(map(str, active)),
+                    "derived": sorted(map(str, backlogged)),
+                },
+            )
+        sched._active = deque(active)
+        sched._grant_pending = bool(doc["grant_pending"])
+        sched._restore_counters(doc["counters"])
+        return sched

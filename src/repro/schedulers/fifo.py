@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Any, Callable, Deque, Dict, Optional
 
+from repro.core.errors import SnapshotError
 from repro.schedulers.base import Scheduler
 from repro.sim.packet import Packet
 
@@ -31,3 +32,38 @@ class FIFOScheduler(Scheduler):
         packet = self._queue.popleft()
         self._note_dequeue(packet, now)
         return packet
+
+    # -- snapshot/restore (repro.persist) -----------------------------------
+
+    def snapshot_state(self, add_packet: Callable[[Packet], int]) -> Dict[str, Any]:
+        return {
+            "type": "FIFO",
+            "config": {"link_rate": self.link_rate},
+            "counters": self._counters_doc(),
+            "queue": [add_packet(p) for p in self._queue],
+        }
+
+    @classmethod
+    def restore_state(
+        cls, doc: Dict[str, Any], get_packet: Callable[[int], Packet]
+    ) -> "FIFOScheduler":
+        if set(doc) != {"type", "config", "counters", "queue"}:
+            raise SnapshotError(
+                f"malformed FIFO snapshot: {sorted(map(str, doc))}",
+                reason="unknown-field",
+            )
+        if doc["type"] != "FIFO":
+            raise SnapshotError(
+                f"scheduler type mismatch: expected FIFO, got {doc['type']!r}",
+                reason="scheduler-type",
+            )
+        if set(doc["config"]) != {"link_rate"}:
+            raise SnapshotError(
+                "malformed FIFO config document", reason="unknown-field"
+            )
+        sched = cls(doc["config"]["link_rate"])
+        sched._queue.extend(get_packet(uid) for uid in doc["queue"])
+        sched._backlog_packets = len(sched._queue)
+        sched._backlog_bytes = sum(p.size for p in sched._queue)
+        sched._restore_counters(doc["counters"])
+        return sched

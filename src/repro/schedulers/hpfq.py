@@ -24,9 +24,9 @@ a subtree head), mirroring the deadline update of H-FSC's Fig. 5(b).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, SnapshotError
 from repro.schedulers.base import Scheduler
 from repro.sim.packet import Packet
 from repro.util.heap import IndexedHeap
@@ -193,6 +193,198 @@ class HPFQScheduler(Scheduler):
     def work_of(self, name: Any) -> float:
         """Total bytes transmitted from the subtree rooted at ``name``."""
         return self._classes[name].bytes_served
+
+    # -- snapshot/restore (repro.persist) -----------------------------------
+    #
+    # Stored: per-class WF2Q+ tags, node virtual times, queues and which
+    # heap each backlogged child sits in (the lazy ``_promote`` split of
+    # waiting vs eligible is genuine history -- it cannot be re-derived
+    # from the tags alone).  Re-derived and validated: ``backlog_count``
+    # and the backlogged flags, from the restored queues.
+
+    def _node_doc(self, cls: HPFQClass) -> Dict[str, Any]:
+        return {
+            "vtime": cls.vtime,
+            "bytes_served": cls.bytes_served,
+            "backlog_count": cls.backlog_count,
+            # Insertion order (see IndexedHeap.iter_insertion): re-pushing
+            # in this order preserves how future exact-key ties will break.
+            "waiting_order": [
+                child.name for child in cls.waiting.iter_insertion()
+            ],
+            "eligible_order": [
+                child.name for child in cls.eligible.iter_insertion()
+            ],
+        }
+
+    def snapshot_state(self, add_packet: Callable[[Packet], int]) -> Dict[str, Any]:
+        classes = []
+        for cls in self._classes.values():
+            if cls.is_root:
+                continue
+            in_waiting = cls in cls.parent.waiting
+            in_eligible = cls in cls.parent.eligible
+            classes.append({
+                "name": cls.name,
+                "parent": cls.parent.name,
+                "rate": cls.rate,
+                "queue": [add_packet(p) for p in cls.queue],
+                "start": cls.start,
+                "finish": cls.finish,
+                "last_finish": cls.last_finish,
+                "tagged_size": cls.tagged_size,
+                "backlogged": cls.backlogged,
+                "heap": (
+                    "waiting" if in_waiting
+                    else "eligible" if in_eligible
+                    else None
+                ),
+                "node": self._node_doc(cls),
+            })
+        return {
+            "type": "HPFQ",
+            "config": {
+                "link_rate": self.link_rate,
+                "node_policy": self.node_policy,
+            },
+            "counters": self._counters_doc(),
+            "root": self._node_doc(self.root),
+            "classes": classes,
+        }
+
+    _CLASS_DOC_KEYS = frozenset((
+        "name", "parent", "rate", "queue", "start", "finish", "last_finish",
+        "tagged_size", "backlogged", "heap", "node",
+    ))
+    _NODE_DOC_KEYS = frozenset((
+        "vtime", "bytes_served", "backlog_count", "waiting_order",
+        "eligible_order",
+    ))
+
+    @classmethod
+    def restore_state(
+        cls, doc: Dict[str, Any], get_packet: Callable[[int], Packet]
+    ) -> "HPFQScheduler":
+        def check_keys(mapping, keys, what):
+            if not isinstance(mapping, dict) or set(mapping) != set(keys):
+                raise SnapshotError(
+                    f"{what}: malformed document (fields "
+                    f"{sorted(map(str, mapping)) if isinstance(mapping, dict) else mapping!r})",
+                    reason="unknown-field",
+                )
+
+        check_keys(doc, ("type", "config", "counters", "root", "classes"),
+                   "HPFQ snapshot")
+        if doc["type"] != "HPFQ":
+            raise SnapshotError(
+                f"scheduler type mismatch: expected 'HPFQ', got {doc['type']!r}",
+                reason="scheduler-type",
+            )
+        config = doc["config"]
+        check_keys(config, ("link_rate", "node_policy"), "HPFQ config")
+        try:
+            sched = cls(config["link_rate"], node_policy=config["node_policy"])
+        except (ConfigurationError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot carries an invalid configuration: {exc}",
+                reason="bad-config",
+            ) from exc
+        node_docs: Dict[Any, Dict[str, Any]] = {}
+        for cdoc in doc["classes"]:
+            check_keys(cdoc, cls._CLASS_DOC_KEYS, f"class {cdoc.get('name')!r}")
+            check_keys(cdoc["node"], cls._NODE_DOC_KEYS,
+                       f"class {cdoc.get('name')!r} node")
+            try:
+                node = sched.add_class(cdoc["name"], parent=cdoc["parent"],
+                                       rate=cdoc["rate"])
+            except ConfigurationError as exc:
+                raise SnapshotError(
+                    f"snapshot hierarchy is not constructible: {exc}",
+                    reason="bad-hierarchy",
+                ) from exc
+            node.queue.extend(get_packet(uid) for uid in cdoc["queue"])
+            node.start = cdoc["start"]
+            node.finish = cdoc["finish"]
+            node.last_finish = cdoc["last_finish"]
+            node.tagged_size = cdoc["tagged_size"]
+            node.vtime = cdoc["node"]["vtime"]
+            node.bytes_served = cdoc["node"]["bytes_served"]
+            node_docs[node.name] = cdoc
+        check_keys(doc["root"], cls._NODE_DOC_KEYS, "HPFQ root")
+        sched.root.vtime = doc["root"]["vtime"]
+        sched.root.bytes_served = doc["root"]["bytes_served"]
+        # Re-derive backlog counts / flags from the queues; validate the
+        # stored values and rebuild each node's heaps in stored order.
+        derived: Dict[Any, int] = {}
+        for node in reversed(list(sched._classes.values())):
+            count = len(node.queue) + sum(
+                derived[child.name] for child in node.children
+            )
+            derived[node.name] = count
+            stored = (doc["root"]["backlog_count"] if node.is_root
+                      else node_docs[node.name]["node"]["backlog_count"])
+            if stored != count:
+                raise SnapshotError(
+                    f"stored backlog_count of {node.name!r} disagrees with "
+                    "the restored queues",
+                    reason="backlog-mismatch",
+                    context={"class": str(node.name), "stored": stored,
+                             "derived": count},
+                )
+            node.backlog_count = count
+            if not node.is_root:
+                cdoc = node_docs[node.name]
+                backlogged = count > 0
+                if cdoc["backlogged"] != backlogged or (
+                    (cdoc["heap"] is not None) != backlogged
+                ):
+                    raise SnapshotError(
+                        f"stored backlog flags of {node.name!r} disagree with "
+                        "the restored queues",
+                        reason="backlog-mismatch",
+                        context={"class": str(node.name)},
+                    )
+                node.backlogged = backlogged
+        for node in sched._classes.values():
+            ndoc = (doc["root"] if node.is_root else node_docs[node.name]["node"])
+            members = set(ndoc["waiting_order"]) | set(ndoc["eligible_order"])
+            expected = {c.name for c in node.children if c.backlogged}
+            if members != expected or (
+                len(ndoc["waiting_order"]) + len(ndoc["eligible_order"])
+                != len(expected)
+            ):
+                raise SnapshotError(
+                    f"stored heap orders of {node.name!r} disagree with the "
+                    "re-derived backlogged children",
+                    reason="heap-mismatch",
+                    context={"class": str(node.name)},
+                )
+            for name in ndoc["waiting_order"]:
+                child = sched._classes[name]
+                if node_docs[name]["heap"] != "waiting":
+                    raise SnapshotError(
+                        f"class {name!r} heap tag disagrees with its parent's "
+                        "waiting order",
+                        reason="heap-mismatch",
+                    )
+                node.waiting.push(child, child.start)
+            for name in ndoc["eligible_order"]:
+                child = sched._classes[name]
+                if node_docs[name]["heap"] != "eligible":
+                    raise SnapshotError(
+                        f"class {name!r} heap tag disagrees with its parent's "
+                        "eligible order",
+                        reason="heap-mismatch",
+                    )
+                node.eligible.push(child, child.finish)
+        sched._backlog_packets = sched.root.backlog_count
+        sched._backlog_bytes = sum(
+            p.size
+            for node in sched._classes.values()
+            for p in node.queue
+        )
+        sched._restore_counters(doc["counters"])
+        return sched
 
     # -- internals ----------------------------------------------------------------
 

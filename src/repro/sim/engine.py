@@ -89,6 +89,29 @@ class PeriodicTask:
         # and from the *scheduled* tick time (now may have been equal).
         self._arm(self._loop.now + self.period)
 
+    @property
+    def next_time(self) -> Optional[float]:
+        """Scheduled time of the next tick, or None when not armed."""
+        return None if self._event is None else self._event[0]
+
+    def adopt_tick(self, event: Optional[Event], fired: int,
+                   period: float, until: Optional[float]) -> None:
+        """Restore semantics for :mod:`repro.persist`.
+
+        A freshly-built scenario arms its periodic tasks from t=0; a
+        resumed run must instead continue the *saved* cadence -- the next
+        tick fires exactly where the crashed run had scheduled it (no
+        burst of missed ticks, no silently dropped task).  ``event`` is
+        the restored pending tick event (already re-queued in the loop)
+        or ``None`` when the task had run off its ``until`` bound.
+        """
+        if self._event is not None and self._event is not event:
+            self._event.cancel()
+        self._event = event
+        self.fired = fired
+        self.period = period
+        self.until = _INF if until is None else until
+
 
 class EventLoop:
     """Priority-queue driven simulation clock."""
@@ -194,12 +217,21 @@ class EventLoop:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+        stop_on_budget: bool = False,
+    ) -> bool:
         """Drain events, stopping after ``until`` (inclusive) if given.
 
-        The clock only advances to ``until`` on a clean exit (queue empty
-        or next event beyond the bound); exhausting ``max_events`` raises
-        without touching the clock.
+        Returns True on a clean exit (queue drained or next event beyond
+        the bound) -- only then does the clock advance to ``until``.
+        Exhausting ``max_events`` raises without touching the clock, or,
+        with ``stop_on_budget=True``, returns False with the clock parked
+        at the last processed event so the caller can checkpoint and call
+        ``run`` again (the crash/resume chunk loop).  The flag costs
+        nothing per event: it is only consulted on exhaustion.
         """
         queue = self._queue
         pop = heapq.heappop
@@ -221,6 +253,8 @@ class EventLoop:
                 if time > horizon:
                     break
                 if self._budget <= 0:
+                    if stop_on_budget:
+                        return False
                     raise SimulationError(
                         f"run() exceeded max_events={max_events}"
                     )
@@ -232,8 +266,34 @@ class EventLoop:
                 fn(*event[3])
             if until is not None and until > self.now:
                 self.now = until
+            return True
         finally:
             self._horizon = _INF
             self._budget = _INF
             if _TELEM.enabled:
                 _TELEM.on_run_boundary(self.now, "end", self._processed)
+
+    # -- snapshot/restore support (used by repro.persist) ----------------
+
+    def pending_events(self) -> List[Event]:
+        """Live (non-cancelled) events, in no particular order."""
+        return [event for event in self._queue if event[2] is not None]
+
+    def snapshot_clock(self) -> dict:
+        return {"now": self.now, "seq": self._seq, "processed": self._processed}
+
+    def restore_clock(self, doc: dict) -> None:
+        self.now = doc["now"]
+        self._seq = doc["seq"]
+        self._processed = doc["processed"]
+
+    def adopt_events(self, events: List[Event]) -> None:
+        """Replace the queue wholesale with restored events.
+
+        The events keep their original (time, seq) keys so same-time
+        ordering on resume matches the crashed run exactly; callers must
+        also restore the clock so ``_seq`` stays ahead of every adopted
+        sequence number.
+        """
+        self._queue = list(events)
+        heapq.heapify(self._queue)

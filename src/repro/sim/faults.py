@@ -418,6 +418,131 @@ class Watchdog:
                 )
 
 
+@dataclass(frozen=True)
+class CrashPoint:
+    """Where the crash-injection harness kills a run.
+
+    Exactly one of the two coordinates is set: ``at_event`` kills after
+    the loop has processed that many events (a *structural* crash point
+    -- it lands between two scheduler operations regardless of their
+    timestamps), ``at_time`` kills once the clock reaches that simulated
+    time.  :func:`repro.persist.harness.run_checkpointed` consumes these:
+    the run stops at the crash point with a snapshot on disk, and the
+    resume must continue to a byte-identical departure schedule.
+    """
+
+    at_event: Optional[int] = None
+    at_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.at_event is None) == (self.at_time is None):
+            raise ConfigurationError(
+                "CrashPoint needs exactly one of at_event / at_time"
+            )
+        if self.at_event is not None and self.at_event < 0:
+            raise ConfigurationError("at_event must be non-negative")
+        if self.at_time is not None and self.at_time < 0:
+            raise ConfigurationError("at_time must be non-negative")
+
+    @classmethod
+    def parse(cls, spec: str) -> "CrashPoint":
+        """Parse a CLI spec: ``event:K`` / ``packet:K`` or ``time:T``."""
+        kind, _, value = spec.partition(":")
+        if not value:
+            raise ConfigurationError(
+                f"crash point {spec!r} is not of the form kind:value"
+            )
+        if kind in ("event", "packet"):
+            return cls(at_event=int(value))
+        if kind == "time":
+            return cls(at_time=float(value))
+        raise ConfigurationError(
+            f"unknown crash point kind {kind!r} (expected event, packet or time)"
+        )
+
+
+class DriftGuard:
+    """Long-run virtual-time drift audit riding :meth:`EventLoop.every`.
+
+    Virtual times and curve anchors grow monotonically; after enough
+    service (~1e7 events and beyond) their float spacing coarsens and
+    tie-free orderings can start to collapse.  The guard periodically:
+
+    * asserts the paper's bounded-lag property -- within one parent the
+      spread between the smallest and largest active virtual time stays
+      below ``lag_bound`` (eq. 12 keeps siblings clustered; unbounded
+      spread means a bookkeeping leak, not workload variance);
+    * watches the absolute virtual-time magnitude and, past
+      ``renorm_threshold``, calls :meth:`repro.core.hfsc.HFSC.renormalize_vt`
+      to pull every per-parent virtual-time domain back toward zero.
+
+    Renormalization subtracts a power of two common to a whole domain,
+    so *within* the domain every comparison is exact-shift invariant
+    (Sterbenz: the subtraction is exact for every shifted value); it is
+    still not digest-transparent in general -- future curve updates
+    compute from smaller magnitudes and may round differently (that is
+    the point) -- so the guard belongs in soaks and long-lived
+    deployments, not in golden-schedule replays.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        scheduler: "HFSC",
+        period: float,
+        lag_bound: float = 1e9,
+        renorm_threshold: float = 2.0 ** 40,
+        until: Optional[float] = None,
+    ):
+        if lag_bound <= 0 or renorm_threshold <= 0:
+            raise ConfigurationError(
+                "lag_bound and renorm_threshold must be positive"
+            )
+        self.loop = loop
+        self.scheduler = scheduler
+        self.lag_bound = lag_bound
+        self.renorm_threshold = renorm_threshold
+        self.checks_run = 0
+        self.renormalizations = 0
+        self.domains_shifted = 0
+        self.max_lag_seen = 0.0
+        self.max_magnitude_seen = 0.0
+        self.reports: List[ViolationReport] = []
+        self._task: PeriodicTask = loop.every(period, self._check, until=until)
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    def check_now(self) -> List[ViolationReport]:
+        before = len(self.reports)
+        self._check()
+        return self.reports[before:]
+
+    def _check(self) -> None:
+        self.checks_run += 1
+        now = self.loop.now
+        lag = self.scheduler.max_vt_lag()
+        magnitude = self.scheduler.max_vt_magnitude()
+        if lag > self.max_lag_seen:
+            self.max_lag_seen = lag
+        if magnitude > self.max_magnitude_seen:
+            self.max_magnitude_seen = magnitude
+        if lag > self.lag_bound:
+            self.reports.append(
+                ViolationReport(
+                    now,
+                    "invariant",
+                    f"virtual-time lag {lag:g} exceeds bound {self.lag_bound:g}",
+                    excess=lag - self.lag_bound,
+                )
+            )
+        if magnitude > self.renorm_threshold:
+            shifted = self.scheduler.renormalize_vt()
+            if shifted:
+                self.renormalizations += 1
+                self.domains_shifted += shifted
+
+
 # -- canned scenario ---------------------------------------------------------
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
-from repro.core.errors import SimulationError
+from repro.core.errors import SimulationError, SnapshotError
 from repro.obs.core import TELEMETRY as _TELEM
 from repro.sim.engine import Event, EventLoop
 from repro.sim.packet import Packet
@@ -54,7 +54,9 @@ class Link:
         self.bytes_sent = 0.0
         self.busy_time = 0.0
         self._listeners: List[DepartureListener] = []
+        self._listener_keys: List[str] = []
         self._class_listeners: Dict[Any, List[DepartureListener]] = {}
+        self._class_listener_keys: Dict[Any, List[str]] = {}
         self._retry_event: Optional[Event] = None
         # In-flight transmission state (needed to re-derive the departure
         # when the rate changes mid-packet): the packet on the wire, the
@@ -71,13 +73,116 @@ class Link:
 
     # -- wiring ---------------------------------------------------------------
 
-    def add_listener(self, listener: DepartureListener) -> None:
+    @staticmethod
+    def _listener_key(listener: DepartureListener) -> str:
+        """Stable registration key derived from the callback's identity.
+
+        A snapshot stores the key sequence, and a restore demands the
+        freshly-built context registered listeners under the same keys in
+        the same order -- the cheap proof that the resumed wiring matches
+        the crashed run's (callbacks themselves cannot be serialized).
+        """
+        owner = getattr(listener, "__self__", None)
+        name = getattr(listener, "__name__", type(listener).__name__)
+        if owner is not None:
+            return f"{type(owner).__name__}.{name}"
+        return name
+
+    def add_listener(self, listener: DepartureListener,
+                     key: Optional[str] = None) -> None:
         """Call ``listener(packet, departure_time)`` for every departure."""
         self._listeners.append(listener)
+        self._listener_keys.append(key or self._listener_key(listener))
 
-    def add_class_listener(self, class_id: Any, listener: DepartureListener) -> None:
+    def add_class_listener(self, class_id: Any, listener: DepartureListener,
+                           key: Optional[str] = None) -> None:
         """Departure callback restricted to one class (used by greedy/TCP sources)."""
         self._class_listeners.setdefault(class_id, []).append(listener)
+        self._class_listener_keys.setdefault(class_id, []).append(
+            key or self._listener_key(listener)
+        )
+
+    # -- snapshot/restore (used by repro.persist) -----------------------------
+
+    def snapshot_state(self, add_packet: Callable[[Packet], int]) -> Dict[str, Any]:
+        """Serialize transmitter state; ``add_packet`` interns packets.
+
+        Event handles are stored as their loop sequence numbers; the
+        restore side rebinds them to the re-queued events so cancelling
+        (e.g. a later ``set_rate``) still works on the resumed run.
+        """
+        return {
+            "rate": self.rate,
+            "busy": self.busy,
+            "bytes_sent": self.bytes_sent,
+            "busy_time": self.busy_time,
+            "tx_packet": (
+                None if self._tx_packet is None else add_packet(self._tx_packet)
+            ),
+            "tx_remaining": self._tx_remaining,
+            "tx_last": self._tx_last,
+            "tx_event": None if self._tx_event is None else self._tx_event[1],
+            "retry_event": (
+                None if self._retry_event is None else self._retry_event[1]
+            ),
+            "spin_time": self._spin_time,
+            "spin_count": self._spin_count,
+            "listeners": list(self._listener_keys),
+            "class_listeners": {
+                str(class_id): list(keys)
+                for class_id, keys in self._class_listener_keys.items()
+            },
+        }
+
+    def restore_state(
+        self,
+        doc: Dict[str, Any],
+        get_packet: Callable[[int], Packet],
+        get_event: Callable[[int], Event],
+    ) -> None:
+        """Overlay a :meth:`snapshot_state` document onto this (fresh) link.
+
+        Refuses documents whose listener registration keys do not match
+        the wiring of the freshly-built context: a listener missing on
+        resume would silently drop departures from records/statistics.
+        """
+        live = {
+            "listeners": list(self._listener_keys),
+            "class_listeners": {
+                str(class_id): list(keys)
+                for class_id, keys in self._class_listener_keys.items()
+            },
+        }
+        saved = {
+            "listeners": list(doc["listeners"]),
+            "class_listeners": {
+                key: list(keys) for key, keys in doc["class_listeners"].items()
+            },
+        }
+        if live != saved:
+            raise SnapshotError(
+                "link listener registration keys do not match the rebuilt "
+                "context",
+                reason="listener-mismatch",
+                context={"snapshot": saved, "live": live},
+            )
+        self.rate = doc["rate"]
+        self.busy = doc["busy"]
+        self.bytes_sent = doc["bytes_sent"]
+        self.busy_time = doc["busy_time"]
+        self._tx_packet = (
+            None if doc["tx_packet"] is None else get_packet(doc["tx_packet"])
+        )
+        self._tx_remaining = doc["tx_remaining"]
+        self._tx_last = doc["tx_last"]
+        self._tx_event = (
+            None if doc["tx_event"] is None else get_event(doc["tx_event"])
+        )
+        self._retry_event = (
+            None if doc["retry_event"] is None else get_event(doc["retry_event"])
+        )
+        self._spin_time = doc["spin_time"]
+        self._spin_count = doc["spin_count"]
 
     # -- data path --------------------------------------------------------------
 

@@ -162,6 +162,53 @@ class ClassStats:
             return 0.0
         return self.bytes / (self.last_departure - self.first_departure)
 
+    def state_doc(self) -> Dict[str, Any]:
+        """Bit-exact JSON-able state (for :mod:`repro.persist`).
+
+        The ``inf``/``-inf`` sentinels ride along as JSON ``Infinity``
+        literals (Python's JSON dialect); P² estimator state is embedded
+        when sample retention is off.
+        """
+        return {
+            "class_id": self.class_id,
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "delay_sum": self.delay_sum,
+            "delay_sq_sum": self.delay_sq_sum,
+            "max_delay": self.max_delay,
+            "min_delay": self.min_delay,
+            "keep_samples": self.keep_samples,
+            "delays": list(self.delays),
+            "worst_deadline_miss": self.worst_deadline_miss,
+            "first_departure": self.first_departure,
+            "last_departure": self.last_departure,
+            "p2": (
+                None
+                if self._p2 is None
+                else {repr(q): est.state_doc() for q, est in self._p2.items()}
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, doc: Dict[str, Any]) -> "ClassStats":
+        stats = cls(doc["class_id"], keep_samples=doc["keep_samples"])
+        stats.packets = doc["packets"]
+        stats.bytes = doc["bytes"]
+        stats.delay_sum = doc["delay_sum"]
+        stats.delay_sq_sum = doc["delay_sq_sum"]
+        stats.max_delay = doc["max_delay"]
+        stats.min_delay = doc["min_delay"]
+        stats.delays = list(doc["delays"])
+        stats.worst_deadline_miss = doc["worst_deadline_miss"]
+        stats.first_departure = doc["first_departure"]
+        stats.last_departure = doc["last_departure"]
+        if doc["p2"] is not None:
+            stats._p2 = {
+                float(key): P2Quantile.from_state(sub)
+                for key, sub in doc["p2"].items()
+            }
+        return stats
+
 
 class StatsCollector:
     """Link observer that aggregates :class:`ClassStats` per class."""

@@ -180,6 +180,18 @@ class IndexedHeap(Generic[ItemT]):
                     e = entries[child]
                     heappush(frontier, (e[0], e[1], child))
 
+    def iter_insertion(self) -> Iterator[ItemT]:
+        """Yield items in ascending insertion-sequence order.
+
+        :meth:`update` keeps an entry's original sequence number, so two
+        members whose keys later converge to an exact tie break that tie
+        by *push* order, not by their current key order.  Snapshot/restore
+        relies on this iterator: re-pushing members in insertion order
+        onto a fresh heap assigns the same relative sequence numbers, so
+        future exact-key ties resolve identically to the original run.
+        """
+        return (entry[2] for entry in sorted(self._entries, key=lambda e: e[1]))
+
     # -- internals --------------------------------------------------------
 
     def _sift_up(self, index: int) -> None:

@@ -16,7 +16,7 @@ once a few hundred observations have been absorbed.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Any, Dict, List
 
 
 class P2Quantile:
@@ -87,6 +87,32 @@ class P2Quantile:
         q, n = self._q, self._n
         j = i + int(d)
         return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def state_doc(self) -> Dict[str, Any]:
+        """Full estimator state as a JSON-able document.
+
+        The five marker heights/positions plus the observation count are
+        the estimator's entire state, so ``from_state(state_doc())``
+        continues the stream bit-exactly.
+        """
+        return {
+            "p": self.p,
+            "q": list(self._q),
+            "n": list(self._n),
+            "np": list(self._np),
+            "dn": list(self._dn),
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_state(cls, doc: Dict[str, Any]) -> "P2Quantile":
+        est = cls(doc["p"])
+        est._q = [float(v) for v in doc["q"]]
+        est._n = [float(v) for v in doc["n"]]
+        est._np = [float(v) for v in doc["np"]]
+        est._dn = [float(v) for v in doc["dn"]]
+        est.count = int(doc["count"])
+        return est
 
     def value(self) -> float:
         """Current estimate (0.0 before any observation).

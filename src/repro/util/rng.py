@@ -5,19 +5,89 @@ generators) draws from a ``random.Random`` created here so that experiments
 are exactly reproducible from a run seed.  Sub-streams are derived by
 hashing the parent seed with a label, which keeps sources statistically
 independent without coordinating state.
+
+For crash-safe checkpointing (:mod:`repro.persist`), :func:`make_rng`
+returns a :class:`SeededStream` -- a ``random.Random`` that remembers its
+``(seed, labels)`` derivation so a snapshot can record *which* sub-stream
+a saved generator state belongs to, and a restore can refuse to load a
+state into the wrong stream.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+from typing import Any, Dict, Optional, Tuple
 
 
-def make_rng(seed: int, *labels: object) -> random.Random:
+def _derive(seed: int, labels: Tuple[object, ...]) -> int:
+    digest = hashlib.sha256(repr((seed,) + labels).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class SeededStream(random.Random):
+    """A ``random.Random`` carrying its ``(seed, labels)`` identity.
+
+    Behaves exactly like the generator :func:`make_rng` has always
+    returned (same derived seed, same draw sequence); the extra
+    attributes exist only so snapshots can validate stream identity.
+    """
+
+    def __init__(self, seed: int, labels: Tuple[object, ...] = ()):
+        self.stream_seed = seed
+        self.stream_labels = tuple(labels)
+        super().__init__(_derive(seed, self.stream_labels))
+
+    def identity_doc(self) -> Dict[str, Any]:
+        """JSON-able identity: the derivation path of this sub-stream."""
+        return {
+            "seed": self.stream_seed,
+            "labels": [repr(label) for label in self.stream_labels],
+        }
+
+
+def make_rng(seed: int, *labels: object) -> SeededStream:
     """Return a ``random.Random`` derived from ``seed`` and a label path.
 
     ``make_rng(7, "source", 3)`` always yields the same stream, and streams
     with different labels are independent for practical purposes.
     """
-    digest = hashlib.sha256(repr((seed,) + labels).encode("utf-8")).digest()
-    return random.Random(int.from_bytes(digest[:8], "big"))
+    return SeededStream(seed, labels)
+
+
+def rng_state_doc(rng: random.Random) -> Dict[str, Any]:
+    """Serialize a generator's position (and identity, if it has one).
+
+    ``random.Random.getstate()`` is ``(version, tuple_of_ints, gauss_next)``
+    -- all JSON-representable.  The document restores bit-exactly via
+    :func:`restore_rng_state`.
+    """
+    version, internal, gauss_next = rng.getstate()
+    doc: Dict[str, Any] = {
+        "version": version,
+        "internal": list(internal),
+        "gauss_next": gauss_next,
+    }
+    if isinstance(rng, SeededStream):
+        doc["stream"] = rng.identity_doc()
+    else:
+        doc["stream"] = None
+    return doc
+
+
+def restore_rng_state(rng: random.Random, doc: Dict[str, Any]) -> None:
+    """Load a :func:`rng_state_doc` into ``rng``.
+
+    Raises ``ValueError`` when the document's stream identity does not
+    match ``rng``'s (restoring a state into the wrong sub-stream would
+    silently desynchronize every later draw); callers in
+    :mod:`repro.persist` convert that into a structured ``SnapshotError``.
+    """
+    stream = doc.get("stream")
+    if stream is not None and isinstance(rng, SeededStream):
+        if stream != rng.identity_doc():
+            raise ValueError(
+                f"rng stream identity mismatch: snapshot {stream!r} "
+                f"vs live {rng.identity_doc()!r}"
+            )
+    rng.setstate((doc["version"], tuple(doc["internal"]), doc["gauss_next"]))

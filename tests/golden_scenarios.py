@@ -9,6 +9,12 @@ schedules produced by the seed implementation;
 ``tests/test_golden_traces.py`` replays every scenario through both
 eligible-set backends and asserts the digests still match.
 
+The workload *setups* live in :mod:`repro.persist.scenarios` and are shared
+with the crash/resume harness, so crash-equivalence (crash -> restore ->
+continue produces the same digest) is asserted against exactly the
+schedules pinned here.  :func:`schedule_digest` likewise comes from
+:mod:`repro.persist.harness`.
+
 Scenarios deliberately avoid exact deadline / virtual-time ties: tie-break
 order is the one place the two backends (and any reimplementation of the
 selection loops) may legitimately differ, so rates are perturbed per class
@@ -21,194 +27,64 @@ Regenerate the golden file (only when a schedule change is *intended*)::
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from typing import Any, Callable, Dict, List, Tuple
 
-from repro.core.curves import ServiceCurve
-from repro.core.hfsc import HFSC
-from repro.sim.drive import Arrival, drive
-from repro.sim.engine import EventLoop
-from repro.sim.link import Link
+from repro.persist.harness import schedule_digest  # re-export for tests
+from repro.persist.scenarios import (
+    DRIVE_SETUPS,
+    RUNTIME_SETUPS,
+    e4_phases_setup,
+    e5_decoupling_setup,
+    eventloop_mixed_context,
+    rt_only_setup,
+    ul_caps_setup,
+)
+from repro.sim.drive import drive
 from repro.sim.packet import Packet
-from repro.sim.sources import CBRSource, PoissonSource
-from repro.sim.trace import TraceRecorder
-from repro.util.rng import make_rng
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "golden_schedules.json")
 
 BACKENDS = ("tree", "calendar")
 
-lin = ServiceCurve.linear
-
-
-def schedule_digest(rows: List[Tuple[Any, float, float, Any]]) -> str:
-    """SHA-256 over (class_id, size, departed, via_realtime) rows.
-
-    ``repr`` of the floats keeps full precision, so two schedules hash
-    equal only when departure times agree bit-for-bit.
-    """
-    h = hashlib.sha256()
-    for class_id, size, departed, via_rt in rows:
-        h.update(f"{class_id}|{size!r}|{departed!r}|{via_rt}\n".encode())
-    return h.hexdigest()
+__all__ = [
+    "BACKENDS", "GOLDEN_PATH", "SCENARIOS", "schedule_digest",
+    "compute_digests", "load_golden",
+]
 
 
 def _served_rows(served: List[Packet]) -> List[Tuple[Any, float, float, Any]]:
     return [(p.class_id, p.size, p.departed, p.via_realtime) for p in served]
 
 
-# -- scenario builders ------------------------------------------------------
-#
-# Each builder returns (schedule rows) for a given eligible backend.  All
-# randomness flows through make_rng so runs are reproducible cross-process.
+def _drive_scenario(setup) -> Callable[[str], List[Tuple[Any, float, float, Any]]]:
+    def runner(backend: str) -> List[Tuple[Any, float, float, Any]]:
+        sched, arrivals, until = setup(backend)
+        return _served_rows(drive(sched, arrivals, until=until))
 
-
-def _cbr(arrivals: List[Arrival], cid: Any, rate: float, size: float,
-         start: float, stop: float) -> None:
-    interval = size / rate
-    t = start
-    while t < stop:
-        arrivals.append((t, cid, size))
-        t += interval
-
-
-def e4_phases(backend: str) -> List[Tuple[Any, float, float, Any]]:
-    """The Fig. 1 CMU / U.Pitt hierarchy through three activity phases.
-
-    Rates are perturbed per leaf (the two ".av" shares would otherwise be
-    identical and produce exact deadline ties).
-    """
-    link = 1_250_000.0
-    tree = [
-        ("cmu", None, 25.0 / 45.0),
-        ("pitt", None, 20.0 / 45.0),
-        ("cmu.av", "cmu", 12.0 / 45.0),
-        ("cmu.data", "cmu", 12.9 / 45.0),
-        ("pitt.av", "pitt", 12.2 / 45.0),
-        ("pitt.data", "pitt", 7.7 / 45.0),
-    ]
-    leaves = {"cmu.av", "cmu.data", "pitt.av", "pitt.data"}
-    sched = HFSC(link, eligible_backend=backend)
-    for name, parent, frac in tree:
-        curve = lin(frac * link)
-        if name in leaves:
-            sched.add_class(name, parent=parent or "__root__", sc=curve)
-        else:
-            sched.add_class(name, parent=parent or "__root__", ls_sc=curve)
-    arrivals: List[Arrival] = []
-    _cbr(arrivals, "cmu.av", 1.05 * 12.0 / 45.0 * link, 1000.0, 0.0, 3.0)
-    _cbr(arrivals, "cmu.av", 1.05 * 25.0 / 45.0 * link, 1000.0, 3.0, 6.0)
-    _cbr(arrivals, "cmu.data", 1.05 * 12.9 / 45.0 * link, 1000.0, 0.0, 3.0)
-    _cbr(arrivals, "pitt.av", 1.05 * 12.2 / 45.0 * link, 1000.0, 0.0, 6.0)
-    _cbr(arrivals, "pitt.av", 1.05 * 12.2 / 20.0 * link, 1000.0, 6.0, 8.0)
-    _cbr(arrivals, "pitt.data", 1.05 * 7.7 / 45.0 * link, 1000.0, 0.0, 6.0)
-    _cbr(arrivals, "pitt.data", 1.05 * 7.7 / 20.0 * link, 1000.0, 6.0, 8.0)
-    return _served_rows(drive(sched, arrivals, until=8.0))
-
-
-def e5_decoupling(backend: str) -> List[Tuple[Any, float, float, Any]]:
-    """Audio + video + greedy ftp with concave curves (the E5 workload)."""
-    link = 1_250_000.0
-    audio_sc = ServiceCurve.from_delay(160.0, 0.005, 8_000.0)
-    video_sc = ServiceCurve.from_delay(8_000.0, 0.010, 125_000.0)
-    sched = HFSC(link, eligible_backend=backend)
-    sched.add_class("audio", sc=audio_sc)
-    sched.add_class("video", sc=video_sc)
-    sched.add_class(
-        "ftp",
-        rt_sc=lin(link - audio_sc.m1 - video_sc.m1 - 10_000.0),
-        ls_sc=lin(link - 8_000.0 - 125_000.0),
-    )
-    arrivals: List[Arrival] = []
-    _cbr(arrivals, "audio", 8_000.0, 160.0, 0.0, 4.0)
-    t = 0.0
-    while t < 4.0:
-        for _ in range(8):
-            arrivals.append((t, "video", 1000.0))
-        t += 1.0 / 15.0
-    arrivals += [(0.0, "ftp", 1500.0)] * int(link * 4.0 / 1500.0)
-    return _served_rows(drive(sched, arrivals, until=6.0))
-
-
-def ul_caps(backend: str) -> List[Tuple[Any, float, float, Any]]:
-    """Upper-limited classes among plain siblings (non-work-conserving).
-
-    One capped leaf per agency plus uncapped siblings exercises the
-    fit-time skip in the link-sharing descent and the idle-link
-    ``next_ready_time`` wakeups.  Distinct rates and staggered starts keep
-    virtual times tie-free.
-    """
-    link = 100_000.0
-    sched = HFSC(link, admission_control=False, eligible_backend=backend)
-    sched.add_class("agency", ls_sc=lin(0.61 * link))
-    sched.add_class("rest", ls_sc=lin(0.39 * link))
-    sched.add_class("a.capped", parent="agency", ls_sc=lin(0.31 * link),
-                    ul_sc=ServiceCurve(0.22 * link, 0.13, 0.11 * link))
-    sched.add_class("a.free", parent="agency", ls_sc=lin(0.29 * link))
-    sched.add_class("r.capped", parent="rest", ls_sc=lin(0.23 * link),
-                    ul_sc=lin(0.07 * link))
-    sched.add_class("r.free", parent="rest", ls_sc=lin(0.17 * link))
-    arrivals: List[Arrival] = []
-    _cbr(arrivals, "a.capped", 0.41 * link, 500.0, 0.000, 6.0)
-    _cbr(arrivals, "a.free", 0.37 * link, 700.0, 0.011, 6.0)
-    _cbr(arrivals, "r.capped", 0.29 * link, 300.0, 0.023, 6.0)
-    _cbr(arrivals, "r.free", 0.31 * link, 900.0, 0.037, 3.0)
-    # A late second burst after everything drains: reactivation paths.
-    _cbr(arrivals, "r.free", 0.83 * link, 900.0, 8.0, 9.0)
-    _cbr(arrivals, "a.capped", 0.47 * link, 500.0, 8.3, 9.0)
-    return _served_rows(drive(sched, arrivals, until=14.0))
-
-
-def rt_only(backend: str) -> List[Tuple[Any, float, float, Any]]:
-    """Real-time-only leaves: the scheduler declines while ineligible."""
-    link = 10_000.0
-    sched = HFSC(link, admission_control=False, eligible_backend=backend)
-    sched.add_class("slow", rt_sc=ServiceCurve(0.0, 0.07, 1_100.0))
-    sched.add_class("fast", rt_sc=ServiceCurve(2_900.0, 0.05, 1_300.0))
-    sched.add_class("bulk", sc=lin(3_700.0))
-    arrivals: List[Arrival] = []
-    _cbr(arrivals, "slow", 1_500.0, 250.0, 0.0, 4.0)
-    _cbr(arrivals, "fast", 1_700.0, 410.0, 0.005, 4.0)
-    _cbr(arrivals, "bulk", 5_100.0, 730.0, 0.013, 2.0)
-    return _served_rows(drive(sched, arrivals, until=8.0))
+    return runner
 
 
 def eventloop_mixed(backend: str) -> List[Tuple[Any, float, float, Any]]:
-    """Full event-driven run: EventLoop + Link + stochastic sources.
-
-    Exercises the fused ``run()`` loop and the link's busy-serve fast path
-    against H-FSC with a mix of concave, convex and linear curves.
-    """
-    loop = EventLoop()
-    link_rate = 50_000.0
-    sched = HFSC(link_rate, admission_control=False, eligible_backend=backend)
-    sched.add_class("voice", sc=ServiceCurve.from_delay(120.0, 0.004, 6_100.0))
-    sched.add_class("video", sc=ServiceCurve(23_000.0, 0.017, 11_000.0))
-    sched.add_class("data", rt_sc=ServiceCurve(0.0, 0.03, 7_900.0),
-                    ls_sc=lin(29_000.0))
-    link = Link(loop, sched)
-    recorder = TraceRecorder(link)
-    CBRSource(loop, link, "voice", rate=6_100.0, packet_size=122.0, stop=5.0)
-    PoissonSource(loop, link, "video", rate=13_000.0, packet_size=640.0,
-                  rng=make_rng(42, "video"), stop=5.0)
-    PoissonSource(loop, link, "data", rate=31_000.0, packet_size=970.0,
-                  rng=make_rng(42, "data"), stop=5.0)
-    loop.run(until=9.0)
+    """Full event-driven run: EventLoop + Link + stochastic sources."""
+    ctx, until = eventloop_mixed_context(backend)
+    ctx.loop.run(until=until)
     return [
         (r.class_id, r.size, r.departed, r.via_realtime)
-        for r in recorder.records
+        for r in ctx.component("recorder").records
     ]
 
 
 SCENARIOS: Dict[str, Callable[[str], List[Tuple[Any, float, float, Any]]]] = {
-    "e4_phases": e4_phases,
-    "e5_decoupling": e5_decoupling,
-    "ul_caps": ul_caps,
-    "rt_only": rt_only,
+    "e4_phases": _drive_scenario(e4_phases_setup),
+    "e5_decoupling": _drive_scenario(e5_decoupling_setup),
+    "ul_caps": _drive_scenario(ul_caps_setup),
+    "rt_only": _drive_scenario(rt_only_setup),
     "eventloop_mixed": eventloop_mixed,
 }
+
+assert set(SCENARIOS) == set(DRIVE_SETUPS) | set(RUNTIME_SETUPS)
 
 
 def compute_digests() -> Dict[str, Dict[str, str]]:

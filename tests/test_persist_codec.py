@@ -1,0 +1,152 @@
+"""Snapshot envelope codec: versioning, integrity, strictness, atomic IO."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import SnapshotError
+from repro.persist.codec import (
+    FORMAT,
+    SCHEMA_VERSION,
+    PacketTable,
+    body_checksum,
+    dumps_snapshot,
+    load_snapshot,
+    loads_snapshot,
+    restore_packets,
+    save_snapshot,
+)
+from repro.sim.packet import Packet
+
+BODY = {"kind": "drive", "x": 1.5, "nested": {"a": [1, 2, 3]}}
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        assert loads_snapshot(dumps_snapshot(BODY)) == BODY
+
+    def test_envelope_fields(self):
+        doc = json.loads(dumps_snapshot(BODY))
+        assert set(doc) == {"format", "schema", "checksum", "body"}
+        assert doc["format"] == FORMAT
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["checksum"] == body_checksum(BODY)
+
+    def test_not_json(self):
+        with pytest.raises(SnapshotError) as err:
+            loads_snapshot("{nope")
+        assert err.value.reason == "bad-json"
+
+    def test_wrong_format(self):
+        doc = json.loads(dumps_snapshot(BODY))
+        doc["format"] = "other-tool"
+        with pytest.raises(SnapshotError) as err:
+            loads_snapshot(json.dumps(doc))
+        assert err.value.reason == "bad-format"
+
+    def test_version_skew_refused(self):
+        doc = json.loads(dumps_snapshot(BODY))
+        doc["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(SnapshotError) as err:
+            loads_snapshot(json.dumps(doc))
+        assert err.value.reason == "schema-version"
+
+    def test_checksum_tamper(self):
+        doc = json.loads(dumps_snapshot(BODY))
+        doc["body"]["x"] = 2.5
+        with pytest.raises(SnapshotError) as err:
+            loads_snapshot(json.dumps(doc))
+        assert err.value.reason == "checksum-mismatch"
+
+    def test_unknown_envelope_field(self):
+        doc = json.loads(dumps_snapshot(BODY))
+        doc["extra"] = True
+        with pytest.raises(SnapshotError) as err:
+            loads_snapshot(json.dumps(doc))
+        assert err.value.reason == "unknown-field"
+
+    def test_missing_envelope_field(self):
+        doc = json.loads(dumps_snapshot(BODY))
+        del doc["checksum"]
+        with pytest.raises(SnapshotError) as err:
+            loads_snapshot(json.dumps(doc))
+        assert err.value.reason == "missing-field"
+
+    def test_float_precision_survives(self):
+        body = {"f": [0.1 + 0.2, 1e-309, float("inf"), -0.0, 8.31813072173728]}
+        restored = loads_snapshot(dumps_snapshot(body))
+        assert [repr(x) for x in restored["f"]] == [repr(x) for x in body["f"]]
+
+
+class TestFileIO:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(str(path), BODY)
+        assert load_snapshot(str(path)) == BODY
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(str(path), BODY)
+        save_snapshot(str(path), {"kind": "drive", "x": 2})
+        assert load_snapshot(str(path))["x"] == 2
+        assert os.listdir(tmp_path) == ["snap.json"]  # no tmp leftovers
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError) as err:
+            load_snapshot(str(tmp_path / "absent.json"))
+        assert err.value.reason == "io-error"
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(str(path), BODY)
+        text = path.read_text()
+        path.write_text(text.replace('"x": 1.5', '"x": 9.5'))
+        with pytest.raises(SnapshotError) as err:
+            load_snapshot(str(path))
+        assert err.value.reason == "checksum-mismatch"
+
+
+class TestPacketTable:
+    def test_round_trip(self):
+        table = PacketTable()
+        p = Packet("audio", 160.0, created=1.25)
+        p.enqueued = 1.25
+        p.dequeued = 1.5
+        p.departed = 1.75
+        p.deadline = 2.0
+        p.via_realtime = True
+        uid = table.add(p)
+        assert table.add(p) == uid  # interning
+        doc = json.loads(json.dumps(table.to_doc()))
+        get_packet = restore_packets(doc)
+        q = get_packet(uid)
+        assert (q.class_id, q.size, q.created) == ("audio", 160.0, 1.25)
+        assert (q.enqueued, q.dequeued, q.departed) == (1.25, 1.5, 1.75)
+        assert (q.deadline, q.via_realtime) == (2.0, True)
+
+    def test_payload_refused(self):
+        table = PacketTable()
+        with pytest.raises(SnapshotError) as err:
+            table.add(Packet("a", 100.0, payload=object()))
+        assert err.value.reason == "unsupported-payload"
+
+    def test_exotic_class_id_refused(self):
+        table = PacketTable()
+        with pytest.raises(SnapshotError) as err:
+            table.add(Packet(("tuple", "id"), 100.0))
+        assert err.value.reason == "unsupported-name"
+
+    def test_unknown_uid(self):
+        get_packet = restore_packets(PacketTable().to_doc())
+        with pytest.raises(SnapshotError) as err:
+            get_packet(7)
+        assert err.value.reason == "unknown-packet"
+
+    def test_restored_uids_do_not_collide(self):
+        table = PacketTable()
+        uid = table.add(Packet("a", 100.0))
+        get_packet = restore_packets(table.to_doc())
+        restored = get_packet(uid)
+        fresh = Packet("b", 10.0)
+        assert fresh.uid > restored.uid

@@ -1,0 +1,387 @@
+"""Per-scheduler snapshot round-trips, tamper rejection, and the
+property-based crash/restore equivalence sweep.
+
+The deterministic tests build each scheduler mid-backlog (some packets
+queued, some already served), round-trip through the full envelope codec
+and assert the restored instance continues *identically*.  The
+hypothesis tests draw random hierarchies, arrival prefixes and crash
+indices and assert snapshot -> restore -> continue equals the
+uninterrupted run for H-FSC, H-PFQ and CBQ.
+"""
+
+import json
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.errors import SnapshotError
+from repro.core.hfsc import HFSC
+from repro.persist.codec import (
+    PacketTable,
+    dumps_snapshot,
+    loads_snapshot,
+    restore_packets,
+)
+from repro.persist.schedulers import restore_scheduler, snapshot_scheduler
+from repro.schedulers.cbq import CBQScheduler
+from repro.schedulers.drr import DRRScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hpfq import HPFQScheduler
+from repro.sim.packet import Packet
+
+lin = ServiceCurve.linear
+
+
+def roundtrip(sched):
+    """Snapshot through the real envelope (JSON text) and restore."""
+    table = PacketTable()
+    body = {"scheduler": snapshot_scheduler(sched, table.add),
+            "packets": table.to_doc()}
+    body = loads_snapshot(dumps_snapshot(body))
+    get_packet = restore_packets(body["packets"])
+    return restore_scheduler(body["scheduler"], get_packet)
+
+
+def drain(sched, now):
+    """Deterministically drain a scheduler; returns (class_id, size) rows."""
+    rows = []
+    for _ in range(100_000):
+        if not len(sched):
+            break
+        packet = sched.dequeue(now)
+        if packet is None:
+            ready = sched.next_ready_time(now)
+            now = ready if ready is not None and ready > now else now + 0.005
+            continue
+        now += packet.size / sched.link_rate
+        rows.append((packet.class_id, packet.size))
+    assert not len(sched)
+    return rows
+
+
+def counters(sched):
+    return (sched.total_enqueued, sched.total_dequeued,
+            sched.total_returned, sched.backlog_packets, sched.backlog_bytes)
+
+
+def tampered_body(sched, mutate):
+    table = PacketTable()
+    doc = snapshot_scheduler(sched, table.add)
+    doc = json.loads(json.dumps(doc))  # deep copy through JSON
+    mutate(doc)
+    return doc, restore_packets(table.to_doc())
+
+
+# -- builders ----------------------------------------------------------------
+
+
+def build_hfsc():
+    sched = HFSC(100_000.0, admission_control=False)
+    sched.add_class("org", ls_sc=lin(60_000.0))
+    sched.add_class("rt", parent="org", sc=ServiceCurve(30_000.0, 0.02, 9_000.0))
+    sched.add_class("ls", parent="org", ls_sc=lin(20_000.0))
+    sched.add_class("capped", ls_sc=lin(30_000.0), ul_sc=lin(12_000.0))
+    now = 0.0
+    for i in range(24):
+        sched.enqueue(Packet(("rt", "ls", "capped")[i % 3], 400.0 + 100 * (i % 4),
+                             created=now), now)
+        if i % 4 == 3:
+            p = sched.dequeue(now)
+            if p is not None:
+                now += p.size / sched.link_rate
+        now += 0.003
+    return sched, now
+
+
+def build_hpfq():
+    sched = HPFQScheduler(100_000.0)
+    sched.add_class("a", rate=60_000.0)
+    sched.add_class("a1", parent="a", rate=35_000.0)
+    sched.add_class("a2", parent="a", rate=25_000.0)
+    sched.add_class("b", rate=40_000.0)
+    now = 0.0
+    for i in range(18):
+        sched.enqueue(Packet(("a1", "a2", "b")[i % 3], 500.0 + 50 * (i % 3),
+                             created=now), now)
+        if i % 5 == 4:
+            p = sched.dequeue(now)
+            now += p.size / sched.link_rate
+        now += 0.002
+    return sched, now
+
+
+def build_cbq():
+    sched = CBQScheduler(100_000.0)
+    sched.add_class("agency", rate=60_000.0, priority=1)
+    sched.add_class("voice", parent="agency", rate=20_000.0, priority=1)
+    sched.add_class("data", parent="agency", rate=40_000.0, priority=2)
+    sched.add_class("rest", rate=40_000.0, priority=2)
+    now = 0.0
+    for i in range(21):
+        sched.enqueue(Packet(("voice", "data", "rest")[i % 3], 300.0 + 100 * (i % 5),
+                             created=now), now)
+        if i % 6 == 5:
+            p = sched.dequeue(now)
+            if p is not None:
+                now += p.size / sched.link_rate
+        now += 0.004
+    return sched, now
+
+
+def build_fifo():
+    sched = FIFOScheduler(50_000.0)
+    now = 0.0
+    for i in range(9):
+        sched.enqueue(Packet("flow", 200.0 + i * 10, created=now), now)
+        now += 0.001
+    sched.dequeue(now)
+    return sched, now
+
+
+def build_drr():
+    sched = DRRScheduler(50_000.0)
+    sched.add_flow("x", quantum=500.0)
+    sched.add_flow("y", quantum=900.0)
+    sched.add_flow("z", quantum=700.0)
+    now = 0.0
+    for i in range(15):
+        sched.enqueue(Packet(("x", "y", "z")[i % 3], 300.0 + 40 * (i % 4),
+                             created=now), now)
+        if i % 7 == 6:
+            sched.dequeue(now)
+        now += 0.002
+    return sched, now
+
+
+BUILDERS = {
+    "HFSC": build_hfsc,
+    "HPFQ": build_hpfq,
+    "CBQ": build_cbq,
+    "FIFO": build_fifo,
+    "DRR": build_drr,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+def test_roundtrip_continues_identically(kind):
+    sched, now = BUILDERS[kind]()
+    restored = roundtrip(sched)
+    assert type(restored) is type(sched)
+    assert counters(restored) == counters(sched)
+    assert drain(restored, now) == drain(sched, now)
+    assert counters(restored) == counters(sched)
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+def test_invariants_hold_after_restore(kind):
+    sched, _ = BUILDERS[kind]()
+    restored = roundtrip(sched)
+    if hasattr(restored, "check_invariants"):
+        restored.check_invariants()
+
+
+def test_unknown_scheduler_type_refused():
+    sched, _ = build_fifo()
+    doc, get_packet = tampered_body(sched, lambda d: d.update(type="WFQ2000"))
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "unknown-scheduler"
+
+
+def test_missing_type_tag_refused():
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler({"no": "type"}, lambda uid: None)
+    assert err.value.reason == "bad-format"
+
+
+def test_hfsc_unknown_class_field_refused():
+    sched, _ = build_hfsc()
+    doc, get_packet = tampered_body(
+        sched, lambda d: d["classes"][0].update(surprise=1))
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "unknown-field"
+
+
+def test_hfsc_counter_tamper_refused():
+    sched, _ = build_hfsc()
+
+    def mutate(doc):
+        doc["counters"]["backlog_packets"] += 1
+
+    doc, get_packet = tampered_body(sched, mutate)
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "counter-mismatch"
+
+
+def test_hfsc_active_order_tamper_refused():
+    sched, _ = build_hfsc()
+
+    def mutate(doc):
+        for cdoc in doc["classes"]:
+            if cdoc["active_order"]:
+                cdoc["active_order"].pop()
+                return
+        doc["root"]["active_order"].pop()
+
+    doc, get_packet = tampered_body(sched, mutate)
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "active-set-mismatch"
+
+
+def test_hpfq_heap_membership_tamper_refused():
+    sched, _ = build_hpfq()
+
+    def mutate(doc):
+        for cdoc in doc["classes"]:
+            node = cdoc["node"]
+            pool = node["waiting_order"] or node["eligible_order"]
+            if pool:
+                pool.append(pool[0])  # duplicate membership
+                return
+        raise AssertionError("expected a backlogged interior node")
+
+    doc, get_packet = tampered_body(sched, mutate)
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason in ("heap-mismatch", "backlog-mismatch")
+
+
+def test_cbq_ring_tamper_refused():
+    sched, _ = build_cbq()
+
+    def mutate(doc):
+        rounds = doc["rounds"]
+        assert rounds, "expected backlogged WRR rings"
+        rounds[0][1].pop()
+
+    doc, get_packet = tampered_body(sched, mutate)
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "ring-mismatch"
+
+
+def test_drr_ring_tamper_refused():
+    sched, _ = build_drr()
+
+    def mutate(doc):
+        assert doc["active"], "expected backlogged flows"
+        doc["active"].pop()
+
+    doc, get_packet = tampered_body(sched, mutate)
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "ring-mismatch"
+
+
+def test_refused_restore_leaves_no_partial_state():
+    # A refused document must raise before any global state is touched:
+    # restoring a good snapshot afterwards still works.
+    sched, now = build_hfsc()
+    doc, get_packet = tampered_body(
+        sched, lambda d: d["counters"].update(backlog_packets=999))
+    with pytest.raises(SnapshotError):
+        restore_scheduler(doc, get_packet)
+    restored = roundtrip(sched)
+    assert drain(restored, now) == drain(sched, now)
+
+
+# -- property-based crash/restore equivalence --------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+def _hfsc_random(weights):
+    sched = HFSC(100_000.0, admission_control=False)
+    sched.add_class("p", ls_sc=lin(50_000.0))
+    leaves = []
+    for i, w in enumerate(weights):
+        name = f"f{i}"
+        parent = "p" if i % 2 else "__root__"
+        sched.add_class(name, parent=parent, ls_sc=lin(w))
+        leaves.append(name)
+    return sched, leaves
+
+
+def _hpfq_random(weights):
+    sched = HPFQScheduler(100_000.0)
+    sched.add_class("p", rate=55_000.0)
+    leaves = []
+    for i, w in enumerate(weights):
+        parent = "p" if i % 2 else "__root__"
+        name = f"f{i}"
+        sched.add_class(name, parent=parent, rate=w)
+        leaves.append(name)
+    return sched, leaves
+
+
+def _cbq_random(weights):
+    sched = CBQScheduler(100_000.0)
+    sched.add_class("p", rate=55_000.0, priority=1)
+    leaves = []
+    for i, w in enumerate(weights):
+        parent = "p" if i % 2 else "__root__"
+        name = f"f{i}"
+        sched.add_class(name, parent=parent, rate=w,
+                        priority=1 + (i % 2))
+        leaves.append(name)
+    return sched, leaves
+
+
+RANDOM_BUILDERS = {"HFSC": _hfsc_random, "HPFQ": _hpfq_random,
+                   "CBQ": _cbq_random}
+
+
+def _apply_ops(sched, leaves, ops, start, end, drain_after):
+    """Replay enqueue/dequeue ops in ``[start, end)``; returns rows.
+
+    Op times depend only on the op's absolute index, so the original and
+    the resumed run see identical timelines.
+    """
+    rows = []
+    for step in range(start, end):
+        kind, leaf_index, size = ops[step]
+        t = step * 0.002
+        if kind == 0:
+            sched.enqueue(
+                Packet(leaves[leaf_index % len(leaves)], float(size),
+                       created=t), t)
+        elif len(sched):
+            packet = sched.dequeue(t)
+            if packet is not None:
+                rows.append((packet.class_id, packet.size))
+    if drain_after:
+        rows += drain(sched, len(ops) * 0.002)
+    return rows
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    kind=st.sampled_from(sorted(RANDOM_BUILDERS)),
+    weights=st.lists(st.integers(5_000, 30_000).map(float),
+                     min_size=2, max_size=4),
+    ops=st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 3),
+                  st.integers(100, 1500)),
+        min_size=4, max_size=60),
+    crash_fraction=st.floats(0.0, 1.0),
+)
+def test_random_crash_restore_equivalence(kind, weights, ops, crash_fraction):
+    crash_index = int(crash_fraction * len(ops))
+    build = RANDOM_BUILDERS[kind]
+
+    sched, leaves = build(weights)
+    _apply_ops(sched, leaves, ops, 0, crash_index, drain_after=False)
+
+    restored = roundtrip(sched)
+
+    tail_a = _apply_ops(sched, leaves, ops, crash_index, len(ops),
+                        drain_after=True)
+    tail_b = _apply_ops(restored, leaves, ops, crash_index, len(ops),
+                        drain_after=True)
+    assert tail_a == tail_b
+    assert counters(restored) == counters(sched)

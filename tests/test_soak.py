@@ -12,6 +12,8 @@ greedy + TCP traffic, a token-bucket shaper, and measurement instruments
 * link utilization ~1 while demand exceeds capacity.
 """
 
+import os
+
 import pytest
 
 from repro.core.curves import ServiceCurve
@@ -143,3 +145,78 @@ class TestSoak:
     def test_backlog_bounded(self, soak):
         # Stability: the backlog never exceeds a few seconds of link rate.
         assert soak["backlog"].max_backlog_bytes() < 3.0 * LINK
+
+
+# -- long-run drift hardening -------------------------------------------------
+
+
+def _drift_run(horizon, renorm_threshold, lag_bound=1e9):
+    """A saturated two-level H-FSC run with a DriftGuard riding the loop."""
+    from repro.sim.faults import DriftGuard
+    from repro.sim.sources import GreedySource
+
+    loop = EventLoop()
+    rate = 500_000.0
+    sched = HFSC(rate, admission_control=False)
+    lin = ServiceCurve.linear
+    sched.add_class("left", ls_sc=lin(0.55 * rate))
+    sched.add_class("right", ls_sc=lin(0.45 * rate))
+    sched.add_class("l.a", parent="left", ls_sc=lin(0.31 * rate))
+    sched.add_class("l.b", parent="left", ls_sc=lin(0.23 * rate))
+    sched.add_class("r.a", parent="right", ls_sc=lin(0.29 * rate))
+    link = Link(loop, sched)
+    for name in ("l.a", "l.b", "r.a"):
+        GreedySource(loop, link, name, packet_size=1_000.0, stop=horizon)
+    guard = DriftGuard(loop, sched, period=0.25, lag_bound=lag_bound,
+                       renorm_threshold=renorm_threshold, until=horizon)
+    loop.run(until=horizon + 5.0)
+    return sched, link, guard
+
+
+class TestDriftGuard:
+    def test_renormalization_triggers_and_run_stays_sane(self):
+        # A low threshold forces several renormalizations mid-run; the
+        # scheduler must stay invariant-clean and work-conserving through
+        # every origin shift.
+        horizon = 20.0
+        sched, link, guard = _drift_run(horizon, renorm_threshold=2.0 ** 2)
+        assert guard.checks_run > 50
+        assert guard.renormalizations > 0
+        assert guard.domains_shifted >= guard.renormalizations
+        assert guard.reports == []  # bounded lag throughout
+        sched.check_invariants()
+        assert link.utilization(horizon) > 0.95
+        assert sched.backlog_packets == 0
+
+    def test_magnitude_actually_bounded_by_renormalization(self):
+        # Without the guard the max virtual-time magnitude grows with
+        # total service; with it, the post-run magnitude stays near the
+        # threshold instead of the total-work scale.
+        horizon = 20.0
+        threshold = 2.0 ** 2
+        _, _, unguarded = _drift_run(horizon, renorm_threshold=2.0 ** 60)
+        sched, _, guard = _drift_run(horizon, renorm_threshold=threshold)
+        assert unguarded.max_magnitude_seen > 4 * threshold
+        assert sched.max_vt_magnitude() < 4 * threshold
+
+    def test_lag_violation_reported(self):
+        # An absurdly tight lag bound must produce structured reports
+        # (and only reports -- the run itself is not interfered with).
+        _, _, guard = _drift_run(5.0, renorm_threshold=2.0 ** 60,
+                                 lag_bound=1e-6)
+        assert guard.reports
+        assert all(r.kind == "invariant" for r in guard.reports)
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_SOAK_EVENTS"),
+        reason="set REPRO_SOAK_EVENTS to run the long drift soak",
+    )
+    def test_long_soak_bounded_lag(self):
+        # Driven by CI's nightly/soak lane: a multi-hour-of-sim-time run
+        # (>= ~1e7 events at the default setting) with default bounds.
+        target_events = int(os.environ["REPRO_SOAK_EVENTS"])
+        horizon = max(60.0, target_events / 2_000.0)
+        sched, link, guard = _drift_run(horizon, renorm_threshold=2.0 ** 40)
+        assert guard.reports == []
+        sched.check_invariants()
+        assert link.utilization(horizon) > 0.95
