@@ -9,6 +9,10 @@ Usage::
     python -m repro chaos --runs 3       # seeded chaos sweep, all policies
     python -m repro stats --scenario e4  # telemetry snapshot of a live run
     python -m repro top --scenario chaos # live per-class terminal view
+    python -m repro scenarios            # every canned scenario, one line each
+    python -m repro serve --udp 127.0.0.1:9000 --control /tmp/repro.ctl
+    python -m repro load 127.0.0.1:9000 --rate 2000
+    python -m repro ctl /tmp/repro.ctl '{"op": "stats"}'
 """
 
 from __future__ import annotations
@@ -199,6 +203,11 @@ def main(argv: List[str] = None) -> int:
         prog="repro",
         description="H-FSC reproduction: run the paper's experiments",
     )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list all experiments")
     run_parser = subparsers.add_parser(
@@ -320,8 +329,34 @@ def main(argv: List[str] = None) -> int:
         help="wall-clock seconds between frames (default: 0.25; 0 = as "
              "fast as the simulation runs)",
     )
+    from repro.serve import cli as serve_cli
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run a scheduler backend as a wall-clock service"
+    )
+    serve_cli.add_serve_arguments(serve_parser)
+    load_parser = subparsers.add_parser(
+        "load", help="open-loop load generator against a running service"
+    )
+    serve_cli.add_load_arguments(load_parser)
+    ctl_parser = subparsers.add_parser(
+        "ctl", help="send JSON control requests to a running service"
+    )
+    serve_cli.add_ctl_arguments(ctl_parser)
+    subparsers.add_parser(
+        "scenarios", help="list every canned scenario with a description"
+    )
+
     args = parser.parse_args(argv)
 
+    if args.command == "serve":
+        return serve_cli.serve_command(args)
+    if args.command == "load":
+        return serve_cli.load_command(args)
+    if args.command == "ctl":
+        return serve_cli.ctl_command(args)
+    if args.command == "scenarios":
+        return serve_cli.scenarios_command(args)
     if args.command == "chaos":
         if args.replay:
             from repro.persist.cli import replay_chaos_command

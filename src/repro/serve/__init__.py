@@ -1,0 +1,53 @@
+"""Wall-clock serving: run any scheduler backend as a long-lived service.
+
+The simulator (:mod:`repro.sim`) drives schedulers in *simulated* time;
+this package is the layer that couples the same machinery to the real
+world, the shape the paper's Section VII NetBSD implementation (and every
+deployed hierarchical link-sharing system) takes:
+
+* :class:`~repro.serve.driver.RealTimeDriver` -- paces an
+  :class:`~repro.sim.engine.EventLoop` against a monotonic wall clock
+  (``time_scale`` wall seconds per simulated second; ``0`` = as fast as
+  possible, byte-identical to the event-driven :class:`~repro.sim.link.Link`);
+* :class:`~repro.serve.ingress.Dataplane` -- UDP / unix-datagram ingress
+  with a pluggable flow->class classifier, bounded per-class buffers and
+  overload shedding;
+* :class:`~repro.serve.control.ControlServer` -- JSON control plane on a
+  unix socket: class add/update/remove with admission control, live link
+  rate changes, telemetry snapshots, persist snapshots;
+* :class:`~repro.serve.service.ServeService` -- the assembled service
+  behind ``repro serve``;
+* :mod:`~repro.serve.loadgen` -- the ``repro load`` open-loop generator.
+"""
+
+from repro.serve.driver import RealTimeDriver
+from repro.serve.hierarchy import (
+    HIERARCHY_PRESETS,
+    build_scheduler,
+    hierarchy_from_file,
+    hierarchy_preset,
+)
+from repro.serve.ingress import Dataplane
+from repro.serve.wire import (
+    MapClassifier,
+    SuffixClassifier,
+    decode_departure,
+    decode_packet,
+    encode_departure,
+    encode_packet,
+)
+
+__all__ = [
+    "RealTimeDriver",
+    "Dataplane",
+    "MapClassifier",
+    "SuffixClassifier",
+    "encode_packet",
+    "decode_packet",
+    "encode_departure",
+    "decode_departure",
+    "HIERARCHY_PRESETS",
+    "build_scheduler",
+    "hierarchy_from_file",
+    "hierarchy_preset",
+]

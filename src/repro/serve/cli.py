@@ -1,0 +1,368 @@
+"""CLI entry points for the serving subsystem.
+
+``repro serve``  -- run a scheduler backend as a long-lived wall-clock
+service (UDP / unix-datagram ingress, JSON control socket, PR-4 snapshot
+on SIGTERM).
+
+``repro load``   -- open-loop load generator against a running service;
+prints a JSON report (goodput per class, loss, latency quantiles).
+
+``repro ctl``    -- send one control-plane request line and print the
+response (the scriptable face of the control socket).
+
+``repro scenarios`` -- list every canned scenario name across the
+subsystems with a one-line description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import socket as socket_module
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ReproError
+from repro.serve.hierarchy import (
+    HIERARCHY_PRESETS,
+    SCHEDULER_BACKENDS,
+    hierarchy_from_file,
+    hierarchy_preset,
+)
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--hierarchy", default="campus", metavar="PRESET|FILE.json",
+        help="class tree: a preset name (campus/e4/split) or a JSON file "
+             "(default: campus)",
+    )
+    parser.add_argument(
+        "--link-rate", type=float, default=45e6 / 8,
+        help="link rate in bytes/second (default: 45 Mbit/s, the paper's "
+             "T3 link)",
+    )
+    parser.add_argument(
+        "--scheduler", choices=SCHEDULER_BACKENDS, default="hfsc",
+        help="scheduler backend (default: hfsc)",
+    )
+    parser.add_argument(
+        "--overload-policy", default="raise",
+        help="H-FSC overload policy: raise/reject/scale-rt/linkshare-only "
+             "(default: raise; the edge absorbs 'raise' as shedding)",
+    )
+    parser.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="wall seconds per simulated second; 0 = hybrid (as fast as "
+             "possible, digest-identical to the simulator; needs "
+             "--duration) (default: 1.0)",
+    )
+    parser.add_argument(
+        "--udp", metavar="HOST:PORT", default=None,
+        help="bind a UDP ingress socket (e.g. 127.0.0.1:9000)",
+    )
+    parser.add_argument(
+        "--ingress-unix", metavar="PATH", default=None,
+        help="bind a unix-datagram ingress socket",
+    )
+    parser.add_argument(
+        "--control", metavar="PATH", default=None,
+        help="bind the JSON control plane on this unix stream socket",
+    )
+    parser.add_argument(
+        "--buffer-pkts", type=int, default=256,
+        help="per-class edge buffer in packets (default: 256)",
+    )
+    parser.add_argument(
+        "--watchdog-period", type=float, default=0.25,
+        help="invariant-check period in simulated seconds; 0 disables "
+             "(default: 0.25)",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable the PR-3 telemetry hub for the lifetime of the service",
+    )
+    parser.add_argument(
+        "--snapshot", metavar="PATH", default=None,
+        help="write a crash-safe snapshot here on SIGTERM/SIGINT and on "
+             "the 'shutdown' control op",
+    )
+    parser.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="restore scheduler/queue/clock state from a snapshot before "
+             "serving",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="serve this many simulated seconds then exit (default: until "
+             "signalled)",
+    )
+    parser.add_argument(
+        "--summary", metavar="PATH", default=None,
+        help="write the exit summary JSON here ('-' = stdout, the default)",
+    )
+
+
+def _parse_hostport(value: str) -> Any:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _build_service(args):
+    from repro.serve.service import ServeService
+
+    if args.hierarchy in HIERARCHY_PRESETS:
+        specs = hierarchy_preset(args.hierarchy, args.link_rate)
+        backend = args.scheduler
+        overload_policy = args.overload_policy
+    else:
+        config = hierarchy_from_file(args.hierarchy)
+        specs = config["specs"]
+        link_rate = config["link_rate"]
+        if link_rate is not None:
+            args.link_rate = link_rate
+        backend = config["scheduler"] or args.scheduler
+        overload_policy = config["overload_policy"] or args.overload_policy
+    return ServeService(
+        specs,
+        args.link_rate,
+        backend=backend,
+        overload_policy=overload_policy,
+        time_scale=args.time_scale,
+        buffer_packets=args.buffer_pkts,
+        watchdog_period=args.watchdog_period,
+    )
+
+
+async def _serve_async(args, service) -> Dict[str, Any]:
+    bound: List[str] = []
+    if args.udp:
+        host, port = _parse_hostport(args.udp)
+        sockname = await service.start_udp(host, port)
+        bound.append(f"udp://{sockname[0]}:{sockname[1]}")
+    if args.ingress_unix:
+        await service.start_unix_datagram(args.ingress_unix)
+        bound.append(f"unix-dgram://{args.ingress_unix}")
+    if args.control:
+        await service.start_control(args.control)
+        bound.append(f"ctl://{args.control}")
+    print(
+        f"repro serve: backend={service.backend} "
+        f"link_rate={service.link.rate:g} B/s "
+        f"time_scale={service.driver.time_scale:g} "
+        + " ".join(bound),
+        file=sys.stderr, flush=True,
+    )
+    await service.run(duration=args.duration)
+    return service.summary()
+
+
+def serve_command(args) -> int:
+    import contextlib
+
+    from repro.obs.core import telemetry_session
+
+    try:
+        service = _build_service(args)
+        service.snapshot_path = args.snapshot
+        if args.resume:
+            service.restore_snapshot(args.resume)
+        session = (
+            telemetry_session(record_packets=False)
+            if args.telemetry else contextlib.nullcontext()
+        )
+        with session:
+            summary = asyncio.run(_serve_async(args, service))
+    except ReproError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(summary, indent=2, default=str)
+    if args.summary and args.summary != "-":
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"summary written to {args.summary}", file=sys.stderr)
+    else:
+        print(text)
+    violations = (summary.get("watchdog") or {}).get("violations", [])
+    return 1 if violations else 0
+
+
+def add_load_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "target", metavar="HOST:PORT|PATH",
+        help="the service's ingress socket (UDP host:port or unix path)",
+    )
+    parser.add_argument(
+        "--classes", default=None, metavar="A,B,...",
+        help="comma-separated leaf classes to offer to (default: the "
+             "campus preset's leaves)",
+    )
+    parser.add_argument(
+        "--flows", type=int, default=32,
+        help="number of flows, spread round-robin over the classes "
+             "(default: 32)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=1000.0,
+        help="aggregate packets/second across all flows (default: 1000)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=256,
+        help="datagram (= charged packet) size in bytes (default: 256)",
+    )
+    parser.add_argument(
+        "--process", choices=("poisson", "cbr", "onoff", "trace"),
+        default="poisson",
+        help="per-flow arrival process (default: poisson)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="arrival-offset trace for --process trace (one float per "
+             "line; # comments ignored)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=5.0,
+        help="send window in wall seconds (default: 5)",
+    )
+    parser.add_argument(
+        "--drain", type=float, default=1.0,
+        help="linger after sending to collect stragglers (default: 1)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="schedule seed")
+    parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the JSON report here ('-' = stdout, the default)",
+    )
+
+
+def load_command(args) -> int:
+    from repro.core.hierarchy import figure1_hierarchy
+    from repro.serve.hierarchy import leaf_names
+    from repro.serve.loadgen import LoadGenerator, read_trace, run_load
+
+    if args.classes:
+        classes = [c.strip() for c in args.classes.split(",") if c.strip()]
+    else:
+        classes = leaf_names(figure1_hierarchy())
+    try:
+        trace = read_trace(args.trace) if args.trace else None
+        if args.process == "trace" and trace is None:
+            raise ReproError("--process trace needs --trace FILE")
+        generator = LoadGenerator(
+            classes,
+            flows=args.flows,
+            rate=args.rate,
+            size=args.size,
+            process=args.process,
+            duration=args.duration,
+            seed=args.seed,
+            trace=trace,
+        )
+        report = asyncio.run(run_load(args.target, generator,
+                                      drain=args.drain))
+    except ReproError as exc:
+        print(f"repro load: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro load: cannot reach {args.target}: {exc}",
+              file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2)
+    if args.report and args.report != "-":
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.report}")
+        print(
+            f"sent={report['sent']} received={report['received']} "
+            f"loss={report['loss_frac']:.2%} "
+            f"p99_wall={report['latency_wall']['p99'] * 1e3:.2f}ms"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def add_ctl_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "socket", metavar="PATH",
+        help="the service's control socket",
+    )
+    parser.add_argument(
+        "request", nargs="?", default=None,
+        help="one JSON request line (default: read lines from stdin)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="seconds to wait for each response (default: 10)",
+    )
+
+
+def ctl_command(args) -> int:
+    lines: List[str]
+    if args.request is not None:
+        lines = [args.request]
+    else:
+        lines = [line for line in sys.stdin.read().splitlines() if line.strip()]
+    if not lines:
+        print("repro ctl: no request given", file=sys.stderr)
+        return 2
+    failed = 0
+    try:
+        with socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        ) as sock:
+            sock.settimeout(args.timeout)
+            sock.connect(args.socket)
+            reader = sock.makefile("rb")
+            for line in lines:
+                sock.sendall(line.encode("utf-8") + b"\n")
+                response = reader.readline()
+                if not response:
+                    print("repro ctl: connection closed by service",
+                          file=sys.stderr)
+                    return 1
+                text = response.decode("utf-8").strip()
+                print(text)
+                try:
+                    if not json.loads(text).get("ok", False):
+                        failed += 1
+                except json.JSONDecodeError:
+                    failed += 1
+    except OSError as exc:
+        print(f"repro ctl: cannot reach {args.socket}: {exc}", file=sys.stderr)
+        return 2
+    return 1 if failed else 0
+
+
+def _first_doc_line(obj: Any, fallback: str = "") -> str:
+    doc = getattr(obj, "__doc__", None) or ""
+    for line in doc.strip().splitlines():
+        line = line.strip()
+        if line:
+            return line.rstrip(".")
+    return fallback
+
+
+def scenarios_command(args) -> int:
+    """List every canned scenario across the subsystems."""
+    from repro.obs.scenarios import SCENARIOS as LIVE_SCENARIOS
+    from repro.obs.scenarios import build_scenario
+    from repro.persist.scenarios import DRIVE_SETUPS, RUNTIME_SETUPS
+
+    print("checkpointable scenarios (repro run <name>, golden digests):")
+    for name in sorted(DRIVE_SETUPS):
+        print(f"  {name:18} {_first_doc_line(DRIVE_SETUPS[name])}")
+    for name in sorted(RUNTIME_SETUPS):
+        print(f"  {name:18} {_first_doc_line(RUNTIME_SETUPS[name])}")
+    print("live telemetry scenarios (repro stats/top --scenario):")
+    for name in LIVE_SCENARIOS:
+        scenario = build_scenario(name)
+        desc = scenario.description or _first_doc_line(scenario)
+        print(f"  {name:18} {desc}")
+    print("serve hierarchy presets (repro serve --hierarchy):")
+    for name, (desc, _) in sorted(HIERARCHY_PRESETS.items()):
+        print(f"  {name:18} {desc}")
+    return 0

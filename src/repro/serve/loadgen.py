@@ -1,0 +1,421 @@
+"""``repro load``: an open-loop traffic generator for ``repro serve``.
+
+Open-loop means the arrival schedule is fixed up front -- packets go out
+at their scheduled wall-clock times whether or not the service keeps up,
+which is the only honest way to measure a scheduler under load (a
+closed-loop sender backs off and hides the queueing you wanted to see).
+
+Flows are named ``<class>#<i>`` so the service's default
+:class:`~repro.serve.wire.SuffixClassifier` fans any number of flows onto
+the configured leaves.  Three arrival processes per flow, all seeded via
+:func:`repro.util.rng.make_rng` so a run is reproducible from
+``(seed, flow)`` alone:
+
+* ``poisson`` -- exponential inter-arrivals (the default);
+* ``cbr`` -- constant bit rate with a random phase offset;
+* ``onoff`` -- exponential ON/OFF periods, sending Poisson at 4x the
+  mean rate while ON (the paper's bursty-source shape);
+* ``trace`` -- replay recorded arrival offsets (one float per line,
+  e.g. dumped from the simulator's trace recorder), spread round-robin
+  over the flows in time order.
+
+The generator listens on the socket it sends from; the service reflects
+a departure notice per delivered packet, from which we compute delivered
+goodput per class (the ``share`` is measured while the offered load is
+active -- the post-send drain of the equal-sized edge buffers would
+otherwise distort it), loss, and two latency distributions (streaming
+P² estimators from :mod:`repro.util.quantile` -- O(1) space even for
+long soaks):
+
+* *wall* latency: send to notice-receipt on the sender's own monotonic
+  clock (no cross-host clock needed);
+* *sim* latency: ``departed - enqueued`` inside the service's simulated
+  time, i.e. pure queueing + transmission delay under the scheduler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket as socket_module
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.serve.wire import (
+    WireError,
+    decode_departure,
+    encode_packet,
+    min_packet_size,
+)
+from repro.util.quantile import P2Quantile
+from repro.util.rng import make_rng
+
+ARRIVAL_PROCESSES = ("poisson", "cbr", "onoff", "trace")
+
+#: ON/OFF process shape: mean burst/silence lengths in seconds; the ON
+#: rate is scaled so the long-run mean matches the requested flow rate.
+ONOFF_MEAN_ON = 0.2
+ONOFF_MEAN_OFF = 0.2
+
+
+def flow_names(classes: Sequence[str], flows: int) -> List[str]:
+    """``flows`` flow names spread round-robin over ``classes``."""
+    if flows <= 0:
+        raise ConfigurationError("flows must be positive")
+    if not classes:
+        raise ConfigurationError("need at least one class")
+    return [f"{classes[i % len(classes)]}#{i}" for i in range(flows)]
+
+
+def arrival_times(
+    process: str, rate: float, duration: float, rng
+) -> List[float]:
+    """One flow's arrival instants in ``[0, duration)`` at mean ``rate``/s."""
+    if rate <= 0 or duration <= 0:
+        return []
+    times: List[float] = []
+    if process == "poisson":
+        t = rng.expovariate(rate)
+        while t < duration:
+            times.append(t)
+            t += rng.expovariate(rate)
+    elif process == "cbr":
+        interval = 1.0 / rate
+        t = rng.random() * interval
+        while t < duration:
+            times.append(t)
+            t += interval
+    elif process == "onoff":
+        duty = ONOFF_MEAN_ON / (ONOFF_MEAN_ON + ONOFF_MEAN_OFF)
+        on_rate = rate / duty
+        t = 0.0
+        while t < duration:
+            burst_end = t + rng.expovariate(1.0 / ONOFF_MEAN_ON)
+            arrival = t + rng.expovariate(on_rate)
+            while arrival < burst_end and arrival < duration:
+                times.append(arrival)
+                arrival += rng.expovariate(on_rate)
+            t = burst_end + rng.expovariate(1.0 / ONOFF_MEAN_OFF)
+    else:
+        raise ConfigurationError(
+            f"unknown arrival process {process!r}; "
+            f"expected one of {ARRIVAL_PROCESSES}"
+        )
+    return times
+
+
+def read_trace(path: str) -> List[float]:
+    """Arrival offsets from a trace file: one float per line, ``#``
+    comments and blank lines ignored."""
+    times: List[float] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                try:
+                    t = float(line)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: not an arrival offset: {line!r}"
+                    )
+                if t < 0:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: negative arrival offset {t}"
+                    )
+                times.append(t)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace {path}: {exc}")
+    if not times:
+        raise ConfigurationError(f"trace {path} has no arrivals")
+    return times
+
+
+def build_schedule(
+    flows: Sequence[str],
+    rate: float,
+    duration: float,
+    process: str,
+    seed: int,
+    trace: Optional[Sequence[float]] = None,
+) -> List[Tuple[float, int]]:
+    """The merged open-loop schedule: ``(send_time, flow_index)`` sorted.
+
+    ``rate`` is the *aggregate* packets/second; each flow gets an equal
+    slice with its own independent RNG stream.  The ``trace`` process
+    ignores rate/duration/seed and replays the given offsets round-robin
+    over the flows in time order.
+    """
+    if process == "trace":
+        if not trace:
+            raise ConfigurationError("trace process needs arrival offsets")
+        return [(t, i % len(flows)) for i, t in enumerate(sorted(trace))]
+    per_flow = rate / len(flows)
+    merged: List[Tuple[float, int]] = []
+    for index, flow in enumerate(flows):
+        rng = make_rng(seed, "load", flow)
+        for t in arrival_times(process, per_flow, duration, rng):
+            merged.append((t, index))
+    merged.sort()
+    return merged
+
+
+class _Quantiles:
+    """p50/p90/p99 of one stream, O(1) space."""
+
+    def __init__(self):
+        self._est = {p: P2Quantile(p) for p in (0.5, 0.9, 0.99)}
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        if x > self.peak:
+            self.peak = x
+        for est in self._est.values():
+            est.observe(x)
+
+    def report(self) -> Dict[str, float]:
+        return {
+            "mean": self.total / self.count if self.count else 0.0,
+            "p50": self._est[0.5].value(),
+            "p90": self._est[0.9].value(),
+            "p99": self._est[0.99].value(),
+            "max": self.peak,
+        }
+
+
+class _ClassCounters:
+    __slots__ = ("offered", "reflected", "bytes_offered", "bytes_reflected",
+                 "reflected_steady", "bytes_steady",
+                 "first_departure", "last_departure")
+
+    def __init__(self):
+        self.offered = 0
+        self.reflected = 0
+        self.bytes_offered = 0.0
+        self.bytes_reflected = 0.0
+        self.reflected_steady = 0
+        self.bytes_steady = 0.0
+        self.first_departure: Optional[float] = None
+        self.last_departure: Optional[float] = None
+
+
+class LoadGenerator:
+    """Send one open-loop schedule; collect what the service reflects."""
+
+    def __init__(
+        self,
+        classes: Sequence[str],
+        flows: int = 32,
+        rate: float = 1000.0,
+        size: int = 256,
+        process: str = "poisson",
+        duration: float = 5.0,
+        seed: int = 1,
+        trace: Optional[Sequence[float]] = None,
+        clock=time.monotonic,
+    ):
+        self.classes = list(classes)
+        self.flows = flow_names(self.classes, flows)
+        self.rate = rate
+        self.size = size
+        self.process = process
+        self.duration = duration
+        self.seed = seed
+        self.clock = clock
+        needed = max(min_packet_size(f) for f in self.flows)
+        if size < needed:
+            raise ConfigurationError(
+                f"packet size {size} too small for the longest flow name "
+                f"(need >= {needed})"
+            )
+        self.schedule = build_schedule(
+            self.flows, rate, duration, process, seed, trace=trace
+        )
+        self.sent = 0
+        self.bytes_sent = 0.0
+        self.received = 0
+        self.decode_errors = 0
+        self.behind = 0  # packets sent late (wall clock overran schedule)
+        self.wall_latency = _Quantiles()
+        self.sim_latency = _Quantiles()
+        self.per_class: Dict[str, _ClassCounters] = {
+            cls: _ClassCounters() for cls in self.classes
+        }
+        self._seq = [0] * len(self.flows)
+        self._t0: Optional[float] = None
+        self._send_done: Optional[float] = None
+
+    # -- receive side --------------------------------------------------------
+
+    def on_notice(self, data: bytes) -> None:
+        now = self.clock()
+        try:
+            notice = decode_departure(data)
+        except WireError:
+            self.decode_errors += 1
+            return
+        self.received += 1
+        self.wall_latency.observe(now - notice["sent"])
+        self.sim_latency.observe(notice["departed"] - notice["enqueued"])
+        cls = notice["flow"].rpartition("#")[0] or notice["flow"]
+        counters = self.per_class.get(cls)
+        if counters is not None:
+            counters.reflected += 1
+            counters.bytes_reflected += notice["size"]
+            if self._send_done is None or now <= self._send_done:
+                # While the offered load is still active every backlogged
+                # class is served at its link-sharing rate; after sending
+                # stops the equal-sized edge buffers drain out and would
+                # distort small classes' byte shares.
+                counters.reflected_steady += 1
+                counters.bytes_steady += notice["size"]
+            departed = notice["departed"]
+            if counters.first_departure is None:
+                counters.first_departure = departed
+            counters.last_departure = departed
+
+    # -- send side -----------------------------------------------------------
+
+    async def run(self, transport: Any, drain: float = 1.0) -> None:
+        """Play the schedule against ``transport`` (a connected datagram
+        transport), then linger ``drain`` wall seconds for stragglers."""
+        self._t0 = t0 = self.clock()
+        yield_every = 64
+        for burst, (offset, index) in enumerate(self.schedule):
+            delay = (t0 + offset) - self.clock()
+            if delay > 0.001:
+                await asyncio.sleep(delay)
+            else:
+                if delay < -0.010:
+                    self.behind += 1
+                if burst % yield_every == 0:
+                    # Keep the receive path serviced through a backlog of
+                    # due sends.
+                    await asyncio.sleep(0)
+            flow = self.flows[index]
+            seq = self._seq[index]
+            self._seq[index] = seq + 1
+            datagram = encode_packet(flow, seq, self.clock(), self.size)
+            transport.sendto(datagram)
+            self.sent += 1
+            self.bytes_sent += len(datagram)
+            cls = self.classes[index % len(self.classes)]
+            counters = self.per_class[cls]
+            counters.offered += 1
+            counters.bytes_offered += len(datagram)
+        self._send_done = self.clock()
+        if drain > 0:
+            await asyncio.sleep(drain)
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        wall = (self.clock() - self._t0) if self._t0 is not None else 0.0
+        total_steady_bytes = sum(
+            c.bytes_steady for c in self.per_class.values()
+        )
+        per_class: Dict[str, Any] = {}
+        for cls, c in self.per_class.items():
+            span = None
+            goodput = None
+            if (c.first_departure is not None
+                    and c.last_departure is not None
+                    and c.last_departure > c.first_departure):
+                span = c.last_departure - c.first_departure
+                goodput = c.bytes_reflected / span
+            per_class[cls] = {
+                "offered": c.offered,
+                "reflected": c.reflected,
+                "bytes_offered": c.bytes_offered,
+                "bytes_reflected": c.bytes_reflected,
+                "share": (c.bytes_steady / total_steady_bytes
+                          if total_steady_bytes else 0.0),
+                "goodput_bps": goodput,
+                "departure_span_sim": span,
+            }
+        return {
+            "process": self.process,
+            "flows": len(self.flows),
+            "classes": self.classes,
+            "rate_pps": self.rate,
+            "size": self.size,
+            "duration": self.duration,
+            "seed": self.seed,
+            "sent": self.sent,
+            "scheduled": len(self.schedule),
+            "bytes_sent": self.bytes_sent,
+            "received": self.received,
+            "decode_errors": self.decode_errors,
+            "loss_frac": (1.0 - self.received / self.sent) if self.sent else 0.0,
+            "behind": self.behind,
+            "wall_elapsed": wall,
+            "send_rate_pps": self.sent / wall if wall > 0 else 0.0,
+            "latency_wall": self.wall_latency.report(),
+            "latency_sim": self.sim_latency.report(),
+            "per_class": per_class,
+        }
+
+
+class _NoticeProtocol(asyncio.DatagramProtocol):
+    def __init__(self, generator: LoadGenerator):
+        self.generator = generator
+
+    def datagram_received(self, data: bytes, addr: Any) -> None:
+        self.generator.on_notice(data)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - kernel-driven
+        pass
+
+
+async def run_load(
+    target: str,
+    generator: LoadGenerator,
+    drain: float = 1.0,
+) -> Dict[str, Any]:
+    """Run ``generator`` against ``target`` and return its report.
+
+    ``target`` is ``host:port`` (UDP) or a filesystem path (unix
+    datagram).  Either way the sending socket doubles as the receive
+    socket for departure notices.
+    """
+    aio = asyncio.get_running_loop()
+    cleanup: Optional[str] = None
+    if "/" in target or os.path.exists(target):
+        sock = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_DGRAM
+        )
+        sock.setblocking(False)
+        # A unix-datagram sender must bind its own name to be reachable
+        # for the reflected notices.
+        cleanup = f"{target}.load.{os.getpid()}"
+        sock.bind(cleanup)
+        sock.connect(target)
+        transport, _ = await aio.create_datagram_endpoint(
+            lambda: _NoticeProtocol(generator), sock=sock
+        )
+    else:
+        host, _, port = target.rpartition(":")
+        if not host or not port.isdigit():
+            raise ConfigurationError(
+                f"target must be host:port or a unix socket path, got {target!r}"
+            )
+        transport, _ = await aio.create_datagram_endpoint(
+            lambda: _NoticeProtocol(generator),
+            remote_addr=(host, int(port)),
+        )
+    try:
+        await generator.run(transport, drain=drain)
+    finally:
+        transport.close()
+        if cleanup is not None:
+            try:
+                os.unlink(cleanup)
+            except OSError:
+                pass
+    return generator.report()

@@ -1,0 +1,168 @@
+"""Datagram wire formats and flow->class classification for ``repro serve``.
+
+Two tiny binary formats, both fixed-header + UTF-8 flow name:
+
+**Data packet** (load generator -> service), ``repro load`` pads the
+datagram out to the size the scheduler should charge -- the *on-wire
+length is the packet size*, exactly as on a real output link::
+
+    offset  field
+    0       magic   b"RPL1"
+    4       seq     uint32   per-flow sequence number
+    8       sent    float64  sender's wall clock (time.monotonic domain
+                             of the sender; only ever compared by the
+                             sender itself)
+    16      flen    uint16   flow-name length in bytes
+    18      flow    flen bytes, UTF-8
+    18+flen padding to the desired datagram size
+
+**Departure notice** (service -> sender).  Sent to the packet's source
+address when its last bit leaves the simulated link, so an open-loop
+generator can compute delivered goodput and end-to-end latency without
+any shared clock::
+
+    offset  field
+    0       magic    b"RPD1"
+    4       seq      uint32   echoed
+    8       sent     float64  echoed
+    16      enqueued float64  simulated arrival time at the scheduler
+    24      departed float64  simulated departure time
+    32      size     float64  packet size charged (the datagram length)
+    40      flen     uint16
+    42      flow     flen bytes, UTF-8
+
+Classifiers map a flow name (plus the sender address, for
+address-based schemes) to a leaf class id, or ``None`` to shed the
+packet as unclassifiable.  They are pluggable on the
+:class:`~repro.serve.ingress.Dataplane`; two batteries are included:
+
+* :class:`MapClassifier` -- explicit flow->class table with optional
+  default class;
+* :class:`SuffixClassifier` -- strips a ``#k`` suffix and requires the
+  remainder to be a known leaf (``cmu.video#7 -> cmu.video``), which is
+  how ``repro load`` fans many flows into few classes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+PACKET_MAGIC = b"RPL1"
+DEPARTURE_MAGIC = b"RPD1"
+
+_PACKET_HEADER = struct.Struct("!4sIdH")
+_DEPARTURE_HEADER = struct.Struct("!4sIddddH")
+
+#: The smallest datagram ``encode_packet`` can emit for a given flow name.
+PACKET_OVERHEAD = _PACKET_HEADER.size
+
+
+class WireError(ValueError):
+    """A datagram that does not parse as the serve wire format."""
+
+
+def min_packet_size(flow: str) -> int:
+    return PACKET_OVERHEAD + len(flow.encode("utf-8"))
+
+
+def encode_packet(flow: str, seq: int, sent: float, size: int) -> bytes:
+    """Build a data datagram of exactly ``size`` bytes."""
+    name = flow.encode("utf-8")
+    base = _PACKET_HEADER.pack(PACKET_MAGIC, seq & 0xFFFFFFFF, sent, len(name)) + name
+    if size < len(base):
+        raise ConfigurationError(
+            f"packet size {size} smaller than header+flow ({len(base)} bytes)"
+        )
+    return base + b"\x00" * (size - len(base))
+
+
+def decode_packet(data: bytes) -> Tuple[str, int, float]:
+    """Parse a data datagram; returns ``(flow, seq, sent)``.
+
+    The charged packet size is ``len(data)`` -- padding included, just as
+    a link transmits every byte of a frame.
+    """
+    if len(data) < _PACKET_HEADER.size:
+        raise WireError(f"short datagram ({len(data)} bytes)")
+    magic, seq, sent, flen = _PACKET_HEADER.unpack_from(data)
+    if magic != PACKET_MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    end = _PACKET_HEADER.size + flen
+    if len(data) < end:
+        raise WireError("flow name truncated")
+    try:
+        flow = data[_PACKET_HEADER.size:end].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"flow name not UTF-8: {exc}") from None
+    return flow, seq, sent
+
+
+def encode_departure(
+    flow: str, seq: int, sent: float, enqueued: float, departed: float, size: float
+) -> bytes:
+    name = flow.encode("utf-8")
+    return _DEPARTURE_HEADER.pack(
+        DEPARTURE_MAGIC, seq & 0xFFFFFFFF, sent, enqueued, departed, size, len(name)
+    ) + name
+
+
+def decode_departure(data: bytes) -> Dict[str, Any]:
+    if len(data) < _DEPARTURE_HEADER.size:
+        raise WireError(f"short departure notice ({len(data)} bytes)")
+    magic, seq, sent, enqueued, departed, size, flen = _DEPARTURE_HEADER.unpack_from(data)
+    if magic != DEPARTURE_MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    end = _DEPARTURE_HEADER.size + flen
+    if len(data) < end:
+        raise WireError("flow name truncated")
+    return {
+        "flow": data[_DEPARTURE_HEADER.size:end].decode("utf-8"),
+        "seq": seq,
+        "sent": sent,
+        "enqueued": enqueued,
+        "departed": departed,
+        "size": size,
+    }
+
+
+# -- classifiers ---------------------------------------------------------------
+
+Classifier = Callable[[str, Any], Optional[Any]]
+
+
+class MapClassifier:
+    """Explicit flow -> class table; unknown flows go to ``default`` (or shed)."""
+
+    def __init__(self, table: Dict[str, Any], default: Optional[Any] = None):
+        self.table = dict(table)
+        self.default = default
+
+    def __call__(self, flow: str, addr: Any = None) -> Optional[Any]:
+        return self.table.get(flow, self.default)
+
+
+class SuffixClassifier:
+    """``leaf#k -> leaf`` against a fixed set of known leaf classes.
+
+    This is the serve default: ``repro load`` names its flows
+    ``<class>#<i>`` so an arbitrary number of flows (the acceptance run
+    uses 32+) share the configured leaves without per-flow setup.  A bare
+    ``leaf`` (no suffix) classifies to itself.  Unknown leaves shed.
+    """
+
+    def __init__(self, leaves: Iterable[Any]):
+        self.leaves = {str(leaf): leaf for leaf in leaves}
+        if not self.leaves:
+            raise ConfigurationError("SuffixClassifier needs at least one leaf")
+
+    def __call__(self, flow: str, addr: Any = None) -> Optional[Any]:
+        hit = self.leaves.get(flow)
+        if hit is not None:
+            return hit
+        base, sep, _ = flow.rpartition("#")
+        if sep:
+            return self.leaves.get(base)
+        return None

@@ -39,7 +39,11 @@ def drive(
         # time, exactly as the event-driven Link does; timestamps stay
         # monotone relative to scheduler calls because the last dequeue
         # happened at the start of the just-finished transmission).
-        while index < len(pending) and pending[index][0] <= now + 1e-12:
+        # Strictly `<= now`, matching the event loop's exact time ordering:
+        # an absolute epsilon would pull genuinely-later arrivals into an
+        # earlier dequeue at small timestamps while silently degenerating
+        # to exact comparison at large ones.
+        while index < len(pending) and pending[index][0] <= now:
             time, class_id, size = pending[index]
             scheduler.enqueue(Packet(class_id, size, created=time), time)
             index += 1

@@ -192,6 +192,21 @@ class Link:
         if not self.busy:
             self._kick()
 
+    def offer_batch(self, packets: List[Packet]) -> None:
+        """Several packets arrive at the scheduler in the same instant.
+
+        All are enqueued before the idle link picks one, so the scheduler
+        chooses among the whole batch -- the semantics of simultaneous
+        arrivals in :func:`repro.sim.drive.drive` (per-``offer`` the idle
+        link would start transmitting the first packet before the rest of
+        the batch exists).
+        """
+        now = self.loop.now
+        for packet in packets:
+            self.scheduler.enqueue(packet, now)
+        if not self.busy:
+            self._kick()
+
     def set_rate(self, rate: float) -> None:
         """Change the transmission rate live; ``0`` starts an outage.
 

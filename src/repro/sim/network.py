@@ -9,9 +9,16 @@ turn; end-to-end delay is the sum of per-hop delays, so per-hop service
 curves compose additively -- the multi-hop example and tests demonstrate
 exactly that.
 
-Per-hop class mapping: each hop schedules on ``packet.class_id`` (flows
-keep one class id along the path), so every hop's hierarchy must define
-the class ids of the flows routed through it.
+Per-hop class mapping: each hop schedules on ``packet.class_id``.  By
+default a flow keeps its flow id as the class id along the whole path, so
+every hop's hierarchy must define that id.  Real paths are not that
+uniform -- a flow that is ``cmu.video`` inside the campus tree may be
+plain ``transit`` on the backbone hop -- so :meth:`Network.add_route`
+accepts an optional ``class_map`` assigning the flow a different class id
+per hop (keyed by the hop's source node).  The network rewrites the
+packet's ``class_id`` at each hop boundary and restores the flow id on
+delivery; two flows may not map to the same class id on the same hop
+(their egress would be indistinguishable).
 """
 
 from __future__ import annotations
@@ -137,6 +144,11 @@ class Network:
         self._hops: Dict[Tuple[Any, Any], Hop] = {}
         self._routes: Dict[Any, List[Any]] = {}
         self._listeners: Dict[Any, List[DeliveryListener]] = {}
+        # (src, dst, class id on that hop) -> flow id; the egress-side
+        # reverse of each route's per-hop class mapping.
+        self._flow_at_egress: Dict[Tuple[Any, Any, Any], Any] = {}
+        # flow id -> {src node: class id on the hop leaving src}.
+        self._class_maps: Dict[Any, Dict[Any, Any]] = {}
 
     def add_hop(
         self, src: Any, dst: Any, scheduler: "Scheduler", delay: float = 0.0
@@ -151,7 +163,19 @@ class Network:
     def hop(self, src: Any, dst: Any) -> Hop:
         return self._hops[(src, dst)]
 
-    def add_route(self, flow_id: Any, path: List[Any]) -> None:
+    def add_route(
+        self,
+        flow_id: Any,
+        path: List[Any],
+        class_map: Optional[Dict[Any, Any]] = None,
+    ) -> None:
+        """Route ``flow_id`` along ``path``.
+
+        ``class_map`` optionally maps a hop's *source node* to the class
+        id the flow uses on the hop leaving that node; unmapped hops use
+        ``flow_id`` itself.  The mapping must be unambiguous per hop: two
+        flows sharing one class id on the same hop are rejected.
+        """
         if len(path) < 2:
             raise ConfigurationError("a route needs at least two nodes")
         for src, dst in zip(path, path[1:]):
@@ -159,21 +183,51 @@ class Network:
                 raise ConfigurationError(f"no hop {src!r} -> {dst!r}")
         if flow_id in self._routes:
             raise ConfigurationError(f"duplicate route for flow {flow_id!r}")
+        mapping = dict(class_map or {})
+        unknown = set(mapping) - set(path[:-1])
+        if unknown:
+            raise ConfigurationError(
+                f"class_map keys {sorted(map(repr, unknown))} are not "
+                f"source nodes on the path of flow {flow_id!r}"
+            )
+        registered: List[Tuple[Any, Any, Any]] = []
+        for src, dst in zip(path, path[1:]):
+            key = (src, dst, mapping.get(src, flow_id))
+            owner = self._flow_at_egress.get(key)
+            if owner is not None and owner != flow_id:
+                for done in registered:
+                    del self._flow_at_egress[done]
+                raise ConfigurationError(
+                    f"class id {key[2]!r} on hop {src!r} -> {dst!r} is "
+                    f"already carrying flow {owner!r}"
+                )
+            self._flow_at_egress[key] = flow_id
+            registered.append(key)
         self._routes[flow_id] = path
+        self._class_maps[flow_id] = mapping
         # Wire the per-hop forwarding for this flow lazily through a
         # shared dispatcher on each hop (hops carry many flows).
         for src, dst in zip(path, path[1:]):
             hop = self._hops[(src, dst)]
             if hop._forward is None:
-                hop.connect(self._make_dispatcher(dst))
+                hop.connect(self._make_dispatcher(src, dst))
 
     def add_delivery_listener(self, flow_id: Any, listener: DeliveryListener) -> None:
         self._listeners.setdefault(flow_id, []).append(listener)
 
     def ingress(self, flow_id: Any):
-        """The object sources should ``offer`` packets of this flow to."""
+        """The object sources should ``offer`` packets of this flow to.
+
+        When the flow's first hop remaps its class id, the returned
+        object rewrites ``packet.class_id`` before offering, so sources
+        keep creating packets tagged with the flow id.
+        """
         path = self._route_for(flow_id)
-        return self._hops[(path[0], path[1])]
+        hop = self._hops[(path[0], path[1])]
+        first_class = self._class_maps.get(flow_id, {}).get(path[0], flow_id)
+        if first_class == flow_id:
+            return hop
+        return _RemappingIngress(hop, first_class)
 
     # -- internals --------------------------------------------------------
 
@@ -183,29 +237,49 @@ class Network:
         except KeyError:
             raise ConfigurationError(f"no route for flow {flow_id!r}") from None
 
-    def _make_dispatcher(self, node: Any) -> Callable[[Packet], None]:
+    def _make_dispatcher(self, src: Any, node: Any) -> Callable[[Packet], None]:
         def dispatch(packet: Packet) -> None:
-            if packet.class_id not in self._routes:
+            flow_id = self._flow_at_egress.get((src, node, packet.class_id))
+            if flow_id is None:
                 # Hop-local traffic (e.g. per-hop cross load) terminates at
                 # the hop's egress.
                 return
-            path = self._route_for(packet.class_id)
+            path = self._route_for(flow_id)
             try:
                 index = path.index(node)
             except ValueError:
                 raise SimulationError(
-                    f"flow {packet.class_id!r} arrived at off-route node {node!r}"
+                    f"flow {flow_id!r} arrived at off-route node {node!r}"
                 ) from None
             if index == len(path) - 1:
+                # Deliver under the flow's own identity, whatever class id
+                # the last hop scheduled it on.
+                packet.class_id = flow_id
                 now = self.loop.now
-                for listener in self._listeners.get(packet.class_id, ()):
+                for listener in self._listeners.get(flow_id, ()):
                     listener(packet, now)
                 return
             next_hop = self._hops[(node, path[index + 1])]
-            # Re-enter the next hop's scheduler as a fresh arrival.
+            # Re-enter the next hop's scheduler as a fresh arrival, under
+            # the class id this flow uses on that hop.
+            packet.class_id = self._class_maps[flow_id].get(node, flow_id)
             packet.enqueued = None
             packet.dequeued = None
             packet.departed = None
             next_hop.offer(packet)
 
         return dispatch
+
+
+class _RemappingIngress:
+    """Offer-adapter: rewrite the class id for a flow's first hop."""
+
+    __slots__ = ("hop", "class_id")
+
+    def __init__(self, hop: Hop, class_id: Any):
+        self.hop = hop
+        self.class_id = class_id
+
+    def offer(self, packet: Packet) -> None:
+        packet.class_id = self.class_id
+        self.hop.offer(packet)

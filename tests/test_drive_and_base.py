@@ -38,6 +38,47 @@ class TestDrive:
         served = drive(sched, [(0.0, "a", 50.0)], until=10.0, rate=50.0)
         assert served[0].departed == pytest.approx(1.0)
 
+    def test_exact_arrival_ordering_no_epsilon(self):
+        # An arrival 1e-13 after t=0 is a genuinely later arrival.  The
+        # old absolute 1e-12 delivery epsilon swallowed it into the t=0
+        # dequeue, letting a tighter-deadline latecomer jump the queue --
+        # the event-driven Link would have served the t=0 packet first.
+        sched = HFSC(100.0, admission_control=False)
+        sched.add_class("slow", rt_sc=ServiceCurve(0.0, 0.0, 10.0))
+        sched.add_class("fast", rt_sc=ServiceCurve(0.0, 0.0, 80.0))
+        served = drive(
+            sched, [(0.0, "slow", 10.0), (1e-13, "fast", 10.0)], until=10.0
+        )
+        assert [p.class_id for p in served] == ["slow", "fast"]
+
+    def test_large_timestamp_schedule_is_shift_invariant(self):
+        # At timestamps near 2**30 seconds one ulp is ~1e-7, far beyond
+        # any absolute epsilon: the delivery rule must behave identically
+        # whether the trace starts at t=0 or ten years in.  (The shifted
+        # arrivals land on exact binary fractions so the shift itself is
+        # lossless.)
+        base = float(2 ** 30)
+        arrivals = [
+            (0.0, "a", 64.0), (0.25, "b", 64.0), (0.25, "a", 64.0),
+            (1.5, "b", 64.0), (3.0, "a", 64.0),
+        ]
+
+        def run(offset):
+            sched = HFSC(128.0, admission_control=False)
+            sched.add_class("a", rt_sc=ServiceCurve(0.0, 0.0, 60.0))
+            sched.add_class("b", rt_sc=ServiceCurve(0.0, 0.0, 50.0))
+            return drive(
+                sched,
+                [(t + offset, c, s) for t, c, s in arrivals],
+                until=offset + 10.0,
+            )
+
+        plain, shifted = run(0.0), run(base)
+        assert [p.class_id for p in plain] == [p.class_id for p in shifted]
+        assert len(plain) == len(arrivals)
+        for p, q in zip(plain, shifted):
+            assert q.departed - base == pytest.approx(p.departed, abs=1e-6)
+
     def test_service_by_and_rate_between(self):
         sched = FIFOScheduler(100.0)
         served = drive(sched, [(0.0, "a", 100.0)] * 5, until=10.0)

@@ -104,6 +104,85 @@ class TestForwarding:
         assert uids == [p.uid for p in packets]
 
 
+class TestClassMap:
+    def test_two_hop_remapping(self):
+        """A flow scheduled as 'campus.video' on hop one and 'transit' on
+        hop two: each hop's hierarchy only knows its own class id, and
+        delivery restores the flow id."""
+        loop = EventLoop()
+        net = Network(loop)
+        edge = HFSC(1000.0, admission_control=False)
+        edge.add_class("campus.video", rt_sc=ServiceCurve(0.0, 0.0, 800.0))
+        core = HFSC(1000.0, admission_control=False)
+        core.add_class("transit", rt_sc=ServiceCurve(0.0, 0.0, 900.0))
+        net.add_hop("a", "b", edge, delay=0.1)
+        net.add_hop("b", "c", core, delay=0.1)
+        net.add_route(
+            "video-1", ["a", "b", "c"],
+            class_map={"a": "campus.video", "b": "transit"},
+        )
+        delivered = []
+        net.add_delivery_listener(
+            "video-1", lambda p, t: delivered.append((p.class_id, t))
+        )
+        loop.schedule(0.0, net.ingress("video-1").offer, Packet("video-1", 100.0))
+        loop.run()
+        # 2 x (0.1 tx + 0.1 wire); class id restored to the flow id.
+        assert delivered == [("video-1", pytest.approx(0.4))]
+
+    def test_partial_map_defaults_to_flow_id(self):
+        loop = EventLoop()
+        net = Network(loop)
+        first = fifo(1000.0)
+        second = fifo(1000.0)
+        net.add_hop("a", "b", first)
+        net.add_hop("b", "c", second)
+        net.add_route("f", ["a", "b", "c"], class_map={"b": "bulk"})
+        seen = []
+        net.add_delivery_listener("f", lambda p, t: seen.append(p.class_id))
+        # First hop is unmapped: the ingress is the plain hop and the
+        # packet keeps its flow id there.
+        assert net.ingress("f") is net.hop("a", "b")
+        loop.schedule(0.0, net.ingress("f").offer, Packet("f", 100.0))
+        loop.run()
+        assert seen == ["f"]
+
+    def test_colliding_class_ids_on_shared_hop_rejected(self):
+        net = Network(EventLoop())
+        net.add_hop("a", "b", fifo())
+        net.add_hop("b", "c", fifo())
+        net.add_route("f1", ["a", "b", "c"], class_map={"b": "shared"})
+        with pytest.raises(ConfigurationError):
+            net.add_route("f2", ["a", "b", "c"], class_map={"b": "shared"})
+        # The failed route must not leave stale egress registrations: f2
+        # is re-addable under a non-colliding mapping.
+        net.add_route("f2", ["a", "b", "c"], class_map={"b": "other"})
+
+    def test_class_map_keys_must_be_on_path(self):
+        net = Network(EventLoop())
+        net.add_hop("a", "b", fifo())
+        with pytest.raises(ConfigurationError):
+            net.add_route("f", ["a", "b"], class_map={"z": "x"})
+        with pytest.raises(ConfigurationError):
+            # The destination is not a *source* node of any hop on the path.
+            net.add_route("f", ["a", "b"], class_map={"b": "x"})
+
+    def test_hop_local_traffic_still_terminates(self):
+        loop = EventLoop()
+        net = Network(loop)
+        net.add_hop("a", "b", fifo(1000.0))
+        net.add_route("f", ["a", "b"], class_map={"a": "mapped"})
+        delivered = []
+        net.add_delivery_listener("f", lambda p, t: delivered.append(p))
+        # Cross traffic with an unregistered class id terminates at the
+        # hop egress instead of being misattributed to the mapped flow.
+        loop.schedule(0.0, net.hop("a", "b").offer, Packet("cross", 100.0))
+        loop.schedule(0.0, net.ingress("f").offer, Packet("f", 100.0))
+        loop.run()
+        assert len(delivered) == 1
+        assert delivered[0].class_id == "f"
+
+
 class TestHFSCPerHop:
     def test_per_hop_curves_compose(self):
         """An audio flow crossing two H-FSC hops, each promising dmax,

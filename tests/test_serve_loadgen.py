@@ -1,0 +1,116 @@
+"""Load-generator schedules, trace replay, and report accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve.loadgen import (
+    LoadGenerator,
+    arrival_times,
+    build_schedule,
+    flow_names,
+    read_trace,
+)
+from repro.serve.wire import encode_departure
+from repro.util.rng import make_rng
+
+
+class TestSchedules:
+    def test_flow_names_round_robin(self):
+        names = flow_names(["a", "b"], 5)
+        assert names == ["a#0", "b#1", "a#2", "b#3", "a#4"]
+        with pytest.raises(ConfigurationError):
+            flow_names([], 3)
+        with pytest.raises(ConfigurationError):
+            flow_names(["a"], 0)
+
+    @pytest.mark.parametrize("process", ["poisson", "cbr", "onoff"])
+    def test_processes_hit_the_mean_rate(self, process):
+        times = arrival_times(process, 200.0, 10.0, make_rng(3, process))
+        assert all(0 <= t < 10.0 for t in times)
+        assert times == sorted(times)
+        # 2000 expected arrivals; on/off is the burstiest, give it slack.
+        assert 1500 <= len(times) <= 2500, (process, len(times))
+
+    def test_unknown_process(self):
+        with pytest.raises(ConfigurationError):
+            arrival_times("fractal", 1.0, 1.0, make_rng(1))
+
+    def test_schedule_is_sorted_and_deterministic(self):
+        a = build_schedule(["x#0", "y#1"], 100.0, 2.0, "poisson", 42)
+        b = build_schedule(["x#0", "y#1"], 100.0, 2.0, "poisson", 42)
+        assert a == b
+        assert [t for t, _ in a] == sorted(t for t, _ in a)
+        assert {i for _, i in a} == {0, 1}
+
+    def test_trace_schedule_round_robins_in_time_order(self):
+        schedule = build_schedule(
+            ["a#0", "b#1"], 0.0, 0.0, "trace", 0,
+            trace=[0.5, 0.1, 0.3],
+        )
+        assert schedule == [(0.1, 0), (0.3, 1), (0.5, 0)]
+        with pytest.raises(ConfigurationError):
+            build_schedule(["a#0"], 0.0, 0.0, "trace", 0, trace=[])
+
+
+class TestTraceFiles:
+    def test_read_trace(self, tmp_path):
+        path = tmp_path / "arrivals.txt"
+        path.write_text("# recorded offsets\n0.25\n\n1.5  # tail\n0.75\n")
+        assert read_trace(str(path)) == [0.25, 1.5, 0.75]
+
+    def test_read_trace_rejects_bad_lines(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0.1\nnot-a-number\n")
+        with pytest.raises(ConfigurationError):
+            read_trace(str(bad))
+        bad.write_text("-1.0\n")
+        with pytest.raises(ConfigurationError):
+            read_trace(str(bad))
+        bad.write_text("# only comments\n")
+        with pytest.raises(ConfigurationError):
+            read_trace(str(bad))
+        with pytest.raises(ConfigurationError):
+            read_trace(str(tmp_path / "missing.txt"))
+
+
+class TestReportAccounting:
+    def _notice(self, flow, size=256.0, sent=0.0):
+        return encode_departure(flow, 0, sent, 1.0, 2.0, size)
+
+    def test_share_excludes_the_drain_tail(self):
+        now = [0.0]
+        gen = LoadGenerator(["gold", "bronze"], flows=2, rate=10.0,
+                            duration=1.0, clock=lambda: now[0])
+        # Steady window: two gold, one bronze.
+        gen.on_notice(self._notice("gold#0"))
+        gen.on_notice(self._notice("gold#0"))
+        gen.on_notice(self._notice("bronze#1"))
+        gen._send_done = 5.0
+        now[0] = 6.0  # drain tail: must count for loss, not for share
+        gen.on_notice(self._notice("bronze#1"))
+        gen.on_notice(self._notice("bronze#1"))
+        report = gen.report()
+        assert report["received"] == 5
+        assert report["per_class"]["gold"]["share"] == pytest.approx(2 / 3)
+        assert report["per_class"]["bronze"]["share"] == pytest.approx(1 / 3)
+        assert report["per_class"]["bronze"]["reflected"] == 3
+
+    def test_latency_and_decode_error_accounting(self):
+        now = [2.5]
+        gen = LoadGenerator(["gold"], flows=1, rate=10.0, duration=1.0,
+                            clock=lambda: now[0])
+        gen.on_notice(self._notice("gold#0", sent=2.0))
+        gen.on_notice(b"garbage")
+        report = gen.report()
+        assert report["decode_errors"] == 1
+        assert report["latency_wall"]["max"] == pytest.approx(0.5)
+        assert report["latency_sim"]["max"] == pytest.approx(1.0)
+        # Notices for unknown classes count as received, not per-class.
+        gen.on_notice(self._notice("mystery#9"))
+        assert gen.received == 2
+
+    def test_size_floor_enforced(self):
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(["a-very-long-class-name"], flows=1, size=16)

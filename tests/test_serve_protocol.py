@@ -1,0 +1,195 @@
+"""Wire formats, classifiers, and the Dataplane edge (no sockets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.errors import ConfigurationError
+from repro.core.hfsc import HFSC
+from repro.serve.driver import RealTimeDriver
+from repro.serve.ingress import Dataplane
+from repro.serve.wire import (
+    MapClassifier,
+    SuffixClassifier,
+    WireError,
+    decode_departure,
+    decode_packet,
+    encode_departure,
+    encode_packet,
+    min_packet_size,
+)
+from repro.sim.engine import EventLoop
+from repro.sim.link import Link
+
+
+class TestWireFormats:
+    def test_packet_roundtrip_and_padding(self):
+        data = encode_packet("cmu.video#3", seq=42, sent=1.5, size=200)
+        assert len(data) == 200  # padded: the datagram length IS the size
+        assert decode_packet(data) == ("cmu.video#3", 42, 1.5)
+
+    def test_packet_size_floor(self):
+        flow = "gold#1"
+        floor = min_packet_size(flow)
+        assert len(encode_packet(flow, 0, 0.0, floor)) == floor
+        with pytest.raises(ConfigurationError):
+            encode_packet(flow, 0, 0.0, floor - 1)
+
+    def test_packet_rejects_garbage(self):
+        with pytest.raises(WireError):
+            decode_packet(b"")
+        with pytest.raises(WireError):
+            decode_packet(b"XXXX" + bytes(20))
+        truncated = encode_packet("gold", 1, 0.0, 64)[:20]
+        with pytest.raises(WireError):
+            decode_packet(truncated)
+
+    def test_departure_roundtrip(self):
+        notice = encode_departure("gold#1", 7, 1.0, 2.0, 3.5, 256.0)
+        doc = decode_departure(notice)
+        assert doc == {
+            "flow": "gold#1", "seq": 7, "sent": 1.0,
+            "enqueued": 2.0, "departed": 3.5, "size": 256.0,
+        }
+
+    def test_departure_rejects_packet_magic(self):
+        with pytest.raises(WireError):
+            decode_departure(encode_packet("gold", 1, 0.0, 64))
+
+
+class TestClassifiers:
+    def test_map_classifier(self):
+        clf = MapClassifier({"a": "gold"}, default="bronze")
+        assert clf("a") == "gold"
+        assert clf("zzz") == "bronze"
+        assert MapClassifier({"a": "gold"})("zzz") is None
+
+    def test_suffix_classifier(self):
+        clf = SuffixClassifier(["cmu.video", "pitt.data"])
+        assert clf("cmu.video#17") == "cmu.video"
+        assert clf("cmu.video") == "cmu.video"  # bare leaf
+        assert clf("cmu.audio#1") is None
+        assert clf("nonsense") is None
+
+    def test_suffix_classifier_needs_leaves(self):
+        with pytest.raises(ConfigurationError):
+            SuffixClassifier([])
+
+
+def _edge(buffer_packets=4, link_rate=1000.0):
+    sched = HFSC(link_rate, admission_control=False)
+    sched.add_class("gold", sc=ServiceCurve.linear(0.6 * link_rate))
+    sched.add_class("bronze", sc=ServiceCurve.linear(0.4 * link_rate))
+    loop = EventLoop()
+    link = Link(loop, sched)
+    driver = RealTimeDriver(loop, time_scale=0.0)
+    plane = Dataplane(
+        driver, link, SuffixClassifier(["gold", "bronze"]),
+        buffer_packets=buffer_packets, reflect=False,
+    )
+    return plane, driver, loop
+
+
+class TestDataplane:
+    def test_ingest_classify_deliver_depart(self):
+        plane, driver, loop = _edge()
+        packet = plane.ingest(encode_packet("gold#0", 0, 0.0, 100), None)
+        assert packet is not None and packet.class_id == "gold"
+        assert packet.size == 100.0  # charged the datagram length
+        driver.run(until=loop.now + 1.0)
+        assert plane.delivered == 1 and plane.departed == 1
+        assert plane.backlog.get("gold", 0) == 0
+        assert plane.bytes_in == plane.bytes_out == 100.0
+
+    def test_unparseable_and_unknown_shed(self):
+        plane, _, _ = _edge()
+        assert plane.ingest(b"junk", None) is None
+        assert plane.ingest(encode_packet("silver#1", 0, 0.0, 64), None) is None
+        assert plane.shed_unparseable == 1
+        assert plane.shed_unknown == 1
+        assert plane.shed_total == 2
+        assert plane.delivered == 0
+
+    def test_buffer_bound_sheds_per_class(self):
+        plane, driver, loop = _edge(buffer_packets=4)
+        for i in range(6):
+            plane.ingest(encode_packet("gold#0", i, 0.0, 100), None)
+        assert plane.shed_buffer == 2  # 4 held, 2 over the bound
+        # The other class has its own buffer.
+        assert plane.ingest(encode_packet("bronze#0", 0, 0.0, 100), None)
+        driver.run(until=loop.now + 2.0)
+        assert plane.departed == 5
+        assert plane.summary()["shed"]["buffer"] == 2
+
+    def test_buffer_positive_required(self):
+        plane, driver, _ = _edge()
+        with pytest.raises(ConfigurationError):
+            Dataplane(driver, plane.link, plane.classifier, buffer_packets=0)
+
+    def test_overload_shed_absorbs_raise_policy(self):
+        # admission_control on + rt curves that overbook: the scheduler
+        # raises OverloadError on enqueue and the edge absorbs it as a
+        # shed, exactly like the chaos ArrivalFaultGate.
+        sched = HFSC(1000.0, overload_policy="raise")
+        sched.add_class("a", rt_sc=ServiceCurve.linear(800.0))
+        sched.add_class("b", rt_sc=ServiceCurve.linear(700.0))
+        loop = EventLoop()
+        link = Link(loop, sched)
+        driver = RealTimeDriver(loop, time_scale=0.0)
+        plane = Dataplane(driver, link, SuffixClassifier(["a", "b"]),
+                          reflect=False)
+        plane.ingest(encode_packet("a#0", 0, 0.0, 100), None)
+        driver.run(until=1.0)
+        assert plane.shed_overload == 1
+        assert plane.delivered == 0
+        assert plane.backlog.get("a", 0) == 0  # slot released
+
+    def test_departure_notices_reflected(self):
+        class FakeTransport:
+            def __init__(self):
+                self.sent = []
+
+            def sendto(self, data, addr):
+                self.sent.append((data, addr))
+
+        plane, driver, loop = _edge()
+        plane.reflect = True
+        transport = FakeTransport()
+        plane.ingest(
+            encode_packet("gold#7", 3, 0.25, 100), ("127.0.0.1", 5), transport
+        )
+        driver.run(until=loop.now + 1.0)
+        assert plane.reflected == 1
+        [(data, addr)] = transport.sent
+        assert addr == ("127.0.0.1", 5)
+        doc = decode_departure(data)
+        assert doc["flow"] == "gold#7" and doc["seq"] == 3
+        assert doc["sent"] == 0.25 and doc["size"] == 100.0
+        assert doc["departed"] >= doc["enqueued"]
+
+    def test_reflect_errors_do_not_propagate(self):
+        class BrokenTransport:
+            def sendto(self, data, addr):
+                raise OSError("peer went away")
+
+        plane, driver, loop = _edge()
+        plane.reflect = True
+        plane.ingest(
+            encode_packet("gold#0", 0, 0.0, 100), "addr", BrokenTransport()
+        )
+        driver.run(until=loop.now + 1.0)
+        assert plane.departed == 1 and plane.reflected == 0
+
+    def test_drop_reflect_state(self):
+        plane, driver, loop = _edge()
+        plane.reflect = True
+
+        class FakeTransport:
+            def sendto(self, data, addr):  # pragma: no cover - dropped first
+                raise AssertionError("should not reflect")
+
+        plane.ingest(encode_packet("gold#0", 0, 0.0, 100), "x", FakeTransport())
+        assert plane.drop_reflect_state() == 1
+        driver.run(until=loop.now + 1.0)
+        assert plane.departed == 1 and plane.reflected == 0
