@@ -23,18 +23,22 @@ The JSON schema is documented in docs/PERFORMANCE.md.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import datetime
 import fnmatch
 import glob
+import io
 import json
 import os
 import platform
+import pstats
 import random
 import subprocess
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core import flatstate
 from repro.core.curves import ServiceCurve
 from repro.core.hfsc import HFSC
 from repro.core.runtime_curves import RuntimeCurve
@@ -45,12 +49,19 @@ from repro.util.eligible_tree import EligibleTree
 from repro.util.heap import IndexedHeap
 
 BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines")
-SCHEMA_VERSION = 1
+#: Schema 2 adds per-case ``batch_size`` and ``compiled`` keys so a
+#: comparison can tell a code regression from a configuration change.
+SCHEMA_VERSION = 2
 DEFAULT_TOLERANCE = 0.15
 
 MACRO_KINDS = ["FIFO", "WFQ", "H-PFQ", "H-FSC"]
 MACRO_SIZES = [16, 64, 256, 1024]
 LS_UL_SIZES = [16, 64, 256, 1024]
+#: Burst size the tracked e9 macro benches feed through the batched hot
+#: path (``enqueue_batch`` / ``dequeue_batch``).  64 packets per burst is
+#: the serving dataplane's typical coalescing window at high load; the
+#: per-packet path stays covered by ``ls_select_ul`` (batch 1).
+E9_BATCH = 64
 
 
 # -- timing ------------------------------------------------------------------
@@ -200,17 +211,18 @@ def bench_ls_select_ul(n_classes: int, packets: int) -> Tuple[float, int]:
 # -- E9 macro bench ----------------------------------------------------------
 
 
-def bench_e9_macro(kind: str, n_classes: int, packets: int) -> Tuple[float, int]:
+def bench_e9_macro(kind: str, n_classes: int, packets: int,
+                   batch: int = 1) -> Tuple[float, int]:
     def work() -> int:
         sched = e9_overhead.build_scheduler(kind, n_classes)
-        e9_overhead.churn(sched, n_classes, packets)
+        e9_overhead.churn(sched, n_classes, packets, batch=batch)
         return packets + n_classes
 
     return time_ops(work)
 
 
-def bench_e9_macro_telemetry(kind: str, n_classes: int,
-                             packets: int) -> Tuple[float, int]:
+def bench_e9_macro_telemetry(kind: str, n_classes: int, packets: int,
+                             batch: int = 1) -> Tuple[float, int]:
     """The same macro churn with the telemetry hub *enabled*.
 
     ``e9/H-FSC/n256`` vs this bench is the enabled-telemetry overhead;
@@ -226,7 +238,7 @@ def bench_e9_macro_telemetry(kind: str, n_classes: int,
         TELEMETRY.enable()
         try:
             sched = e9_overhead.build_scheduler(kind, n_classes)
-            e9_overhead.churn(sched, n_classes, packets)
+            e9_overhead.churn(sched, n_classes, packets, batch=batch)
         finally:
             TELEMETRY.disable()
             TELEMETRY.record_packets = True
@@ -239,31 +251,48 @@ def bench_e9_macro_telemetry(kind: str, n_classes: int,
 # -- harness -----------------------------------------------------------------
 
 
-def tracked_benches(quick: bool) -> Dict[str, Callable[[], Tuple[float, int]]]:
+#: name -> (bench thunk, per-case config recorded in the report).
+TrackedBench = Tuple[Callable[[], Tuple[float, int]], Dict[str, int]]
+
+
+def tracked_benches(quick: bool) -> Dict[str, TrackedBench]:
     micro_rounds = 2_000 if quick else 20_000
     macro_packets = 1_000 if quick else 20_000
-    benches: Dict[str, Callable[[], Tuple[float, int]]] = {
-        "micro/heap_update": lambda: bench_heap_update(micro_rounds),
-        "micro/heap_push_pop": lambda: bench_heap_push_pop(micro_rounds),
-        "micro/eligible_tree_churn": lambda: bench_eligible_tree_churn(
-            micro_rounds
-        ),
-        "micro/calendar_queue_churn": lambda: bench_calendar_queue_churn(
-            micro_rounds
-        ),
-        "micro/runtime_curve": lambda: bench_runtime_curve(micro_rounds),
+    benches: Dict[str, TrackedBench] = {
+        "micro/heap_update":
+            (lambda: bench_heap_update(micro_rounds), {"batch_size": 1}),
+        "micro/heap_push_pop":
+            (lambda: bench_heap_push_pop(micro_rounds), {"batch_size": 1}),
+        "micro/eligible_tree_churn":
+            (lambda: bench_eligible_tree_churn(micro_rounds),
+             {"batch_size": 1}),
+        "micro/calendar_queue_churn":
+            (lambda: bench_calendar_queue_churn(micro_rounds),
+             {"batch_size": 1}),
+        "micro/runtime_curve":
+            (lambda: bench_runtime_curve(micro_rounds), {"batch_size": 1}),
     }
+    # Per-packet descent stays measured: ls_select_ul drives enqueue/
+    # dequeue one packet at a time so the batched e9 cases cannot hide a
+    # regression in the single-packet path.
     for n in LS_UL_SIZES:
         benches[f"ls_select_ul/n{n}"] = (
-            lambda n=n: bench_ls_select_ul(n, macro_packets)
+            lambda n=n: bench_ls_select_ul(n, macro_packets),
+            {"batch_size": 1},
         )
     for kind in MACRO_KINDS:
         for n in MACRO_SIZES:
             benches[f"e9/{kind}/n{n}"] = (
-                lambda kind=kind, n=n: bench_e9_macro(kind, n, macro_packets)
+                lambda kind=kind, n=n: bench_e9_macro(
+                    kind, n, macro_packets, batch=E9_BATCH
+                ),
+                {"batch_size": E9_BATCH},
             )
     benches["telemetry/e9_hfsc_on/n256"] = (
-        lambda: bench_e9_macro_telemetry("H-FSC", 256, macro_packets)
+        lambda: bench_e9_macro_telemetry(
+            "H-FSC", 256, macro_packets, batch=E9_BATCH
+        ),
+        {"batch_size": E9_BATCH},
     )
     return benches
 
@@ -282,10 +311,39 @@ def _git_head() -> Optional[str]:
         return None
 
 
+def _profile_bench(name: str, bench: Callable[[], Tuple[float, int]],
+                   top: int, profile_dir: str) -> str:
+    """Run ``bench`` once under cProfile; write a pstats top-``top`` report.
+
+    The profiled round is separate from (and after) the timed rounds, so
+    profiling overhead never contaminates the recorded ops/sec.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        bench()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    stats.sort_stats("tottime").print_stats(top)
+    os.makedirs(profile_dir, exist_ok=True)
+    path = os.path.join(profile_dir, name.replace("/", "_") + ".txt")
+    with open(path, "w") as handle:
+        handle.write(f"# cProfile for tracked bench {name!r}\n")
+        handle.write(buffer.getvalue())
+    return path
+
+
 def run_benches(quick: bool = False, verbose: bool = True,
-                only: Optional[str] = None) -> Dict:
+                only: Optional[str] = None,
+                profile_top: Optional[int] = None,
+                profile_dir: Optional[str] = None) -> Dict:
     results: Dict[str, Dict[str, float]] = {}
-    for name, bench in tracked_benches(quick).items():
+    if profile_dir is None:
+        profile_dir = os.path.join(BASELINE_DIR, "profiles")
+    for name, (bench, config) in tracked_benches(quick).items():
         if only is not None and not fnmatch.fnmatch(name, only):
             continue
         elapsed, ops = bench()
@@ -294,9 +352,15 @@ def run_benches(quick: bool = False, verbose: bool = True,
             "ops_per_sec": round(ops_per_sec, 2),
             "elapsed_s": round(elapsed, 6),
             "ops": ops,
+            "compiled": flatstate.COMPILED,
+            **config,
         }
         if verbose:
             print(f"  {name:32s} {ops_per_sec:>14,.0f} ops/s")
+        if profile_top is not None:
+            path = _profile_bench(name, bench, profile_top, profile_dir)
+            if verbose:
+                print(f"    profile -> {path}")
     return {
         "schema": SCHEMA_VERSION,
         "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
@@ -304,6 +368,7 @@ def run_benches(quick: bool = False, verbose: bool = True,
         "platform": platform.platform(),
         "git": _git_head(),
         "quick": quick,
+        "compiled": flatstate.COMPILED,
         "results": results,
     }
 
@@ -322,10 +387,26 @@ def latest_baseline(exclude: Optional[str] = None) -> Optional[str]:
     return paths[-1] if paths else None
 
 
+#: Per-case keys that define the measurement configuration (schema >= 2).
+#: A mismatch means the two runs measured different things -- the ratio
+#: is reported for information but never gates, so ``--compare`` cannot
+#: diff a batched/compiled run against a per-packet/pure one and call the
+#: difference a regression (or an improvement).
+CONFIG_KEYS = ("batch_size", "compiled")
+
+
 def compare(
     current: Dict, baseline: Dict, tolerance: float = DEFAULT_TOLERANCE
 ) -> Tuple[bool, List[str]]:
-    """True when no tracked bench regressed more than ``tolerance``."""
+    """True when no tracked bench regressed more than ``tolerance``.
+
+    Cases whose recorded configuration (:data:`CONFIG_KEYS`) differs
+    between the two runs are labelled ``CONFIG`` and excluded from the
+    pass/fail decision.  Schema-1 baselines carry no config keys, so
+    every case they share with the current run still gates normally --
+    that is deliberate: the committed pre-batching baseline is the
+    yardstick the batched path must beat.
+    """
     lines: List[str] = []
     ok = True
     base_results = baseline.get("results", {})
@@ -334,7 +415,20 @@ def compare(
         if base is None:
             lines.append(f"  NEW   {name}: {entry['ops_per_sec']:,.0f} ops/s")
             continue
+        mismatched = [
+            key for key in CONFIG_KEYS
+            if key in base and key in entry and base[key] != entry[key]
+        ]
         ratio = entry["ops_per_sec"] / base["ops_per_sec"]
+        if mismatched:
+            detail = ", ".join(
+                f"{key} {base[key]} -> {entry[key]}" for key in mismatched
+            )
+            lines.append(
+                f"  {'CONFIG':10s} {name:32s} {ratio:6.2f}x "
+                f"({detail}; not comparable, not gated)"
+            )
+            continue
         status = "ok"
         if ratio < 1.0 - tolerance:
             status = "REGRESSION"
@@ -386,10 +480,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run only benches whose name matches this fnmatch pattern "
         "(e.g. 'e9/H-FSC/*'); comparison then covers just those",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        type=int,
+        const=25,
+        default=None,
+        metavar="TOP_N",
+        help="after timing, run each selected bench once under cProfile "
+        "and write a pstats top-N report per case (default N=25) under "
+        "--profile-dir",
+    )
+    parser.add_argument(
+        "--profile-dir",
+        default=None,
+        metavar="DIR",
+        help="where --profile reports go (default: "
+        "benchmarks/baselines/profiles/)",
+    )
     args = parser.parse_args(argv)
+    if args.profile is not None and args.profile <= 0:
+        parser.error("--profile TOP_N must be positive")
 
     print(f"running tracked benches ({'quick' if args.quick else 'full'})...")
-    report = run_benches(quick=args.quick, only=args.only)
+    report = run_benches(quick=args.quick, only=args.only,
+                         profile_top=args.profile,
+                         profile_dir=args.profile_dir)
     if not report["results"]:
         print(f"no tracked bench matches --only {args.only!r}", file=sys.stderr)
         return 2

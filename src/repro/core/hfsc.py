@@ -49,6 +49,15 @@ from repro.core.errors import (
     ReconfigurationError,
     SnapshotError,
 )
+from repro.core import flatstate as _flat
+from repro.core.flatstate import (
+    NAN,
+    CurveView,
+    FlatEligibleSet,
+    FlatState,
+    HeapView,
+    heap_iter_sorted,
+)
 from repro.core.runtime_curves import RuntimeCurve, eligible_spec
 from repro.obs.core import TELEMETRY as _TELEM
 from repro.schedulers.base import Scheduler
@@ -57,6 +66,13 @@ from repro.util.eligible_set import make_eligible_set
 from repro.util.heap import IndexedHeap
 
 ROOT = "__root__"
+
+#: vt_policy strings -> flatstate codes (kernels take the int).
+_POLICY_CODES = {
+    "mean": _flat.VT_MEAN,
+    "min": _flat.VT_MIN,
+    "max": _flat.VT_MAX,
+}
 
 #: Sort key for virtual-time tie groups in the link-sharing descent.
 _creation_index = attrgetter("index")
@@ -124,44 +140,94 @@ def _require_keys(doc: Any, keys: Iterable[Any], what: str) -> None:
         )
 
 
+def _scalar_prop(arr_name: str, doc: str):
+    """Read/write property over a per-slot float or int array cell."""
+
+    def fget(self):
+        return getattr(self.state, arr_name)[self.slot]
+
+    def fset(self, value):
+        getattr(self.state, arr_name)[self.slot] = value
+
+    return property(fget, fset, doc=doc)
+
+
+def _flag_prop(arr_name: str, doc: str):
+    """Read/write bool property over a per-slot byte array cell."""
+
+    def fget(self):
+        return bool(getattr(self.state, arr_name)[self.slot])
+
+    def fset(self, value):
+        getattr(self.state, arr_name)[self.slot] = 1 if value else 0
+
+    return property(fget, fset, doc=doc)
+
+
+def _curve_prop(kind: str, doc: str):
+    """RuntimeCurve-valued property backed by the flat curve arrays.
+
+    Reading yields a :class:`~repro.core.flatstate.CurveView` (or None
+    when the curve is absent); assigning a RuntimeCurve/CurveView copies
+    its parameters into the arrays, assigning None clears the presence
+    flag.  The knee memo is reset on assignment -- it is a pure cache and
+    never serialized, so recomputing it is value-neutral.
+    """
+
+    on_name = kind + "_on"
+
+    def fget(self):
+        if getattr(self.state, on_name)[self.slot]:
+            return CurveView(self.state, kind, self.slot)
+        return None
+
+    def fset(self, curve):
+        state = self.state
+        slot = self.slot
+        if curve is None:
+            getattr(state, on_name)[slot] = 0
+            return
+        getattr(state, kind + "_x0")[slot] = curve.x0
+        getattr(state, kind + "_y0")[slot] = curve.y0
+        getattr(state, kind + "_m1")[slot] = curve.m1
+        getattr(state, kind + "_dx")[slot] = curve.dx
+        getattr(state, kind + "_m2")[slot] = curve.m2
+        getattr(state, kind + "_ky")[slot] = NAN
+        getattr(state, on_name)[slot] = 1
+
+    return property(fget, fset, doc=doc)
+
+
 class HFSCClass:
     """One node of the link-sharing hierarchy.
 
     Users obtain instances from :meth:`HFSC.add_class`; the attributes are
     read-only state exposed for measurement (experiments read ``vt``,
     ``cumul_rt``, ``total_work`` and the byte counters).
+
+    Since the flat-state refactor this object is a *façade*: every hot
+    numeric quantity lives in the scheduler's shared
+    :class:`~repro.core.flatstate.FlatState` arrays at ``self.slot``, and
+    the historical attributes are properties over those cells.  Curves
+    read as :class:`~repro.core.flatstate.CurveView` and the per-parent
+    activity heaps as :class:`~repro.core.flatstate.HeapView`, both
+    API-compatible with the objects they replaced.  Only identity-bound
+    state (name, tree links, the packet queue, configured specs) stays on
+    the object.
     """
 
     __slots__ = (
         "name",
         "parent",
         "children",
-        "index",
-        "ul_children",
-        "rt_spec",
-        "rt_requested",
-        "rt_admitted",
-        "ls_spec",
-        "ul_spec",
         "queue",
-        "cumul_rt",
-        "deadline_curve",
-        "eligible_curve",
-        "eligible",
-        "deadline",
-        "total_work",
-        "virtual_curve",
-        "vt",
-        "ul_curve",
-        "fit_time",
-        "nactive",
-        "ls_active",
-        "active_min",
-        "active_max",
-        "vt_watermark",
+        "rt_requested",
         "vt_policy",
-        "bytes_rt",
-        "bytes_ls",
+        "state",
+        "slot",
+        "_rt_spec",
+        "_ls_spec",
+        "_ul_spec",
     )
 
     def __init__(
@@ -171,51 +237,129 @@ class HFSCClass:
         rt_spec: Optional[ServiceCurve],
         ls_spec: Optional[ServiceCurve],
         ul_spec: Optional[ServiceCurve],
+        state: Optional[FlatState] = None,
     ):
         self.name = name
         self.parent = parent
         self.children: List["HFSCClass"] = []
-        # Creation order, assigned by the scheduler; the deterministic
-        # stand-in for the allocation-order tie-break of the original
-        # selection loop (see _link_sharing_select).
-        self.index = 0
-        # Number of direct children carrying an upper-limit curve; lets
-        # the link-sharing descent skip the fit-time filter at nodes with
-        # no upper-limited children.
-        self.ul_children = 0
+        self.queue: Deque[Packet] = deque()
+        self.vt_policy = "mean"
+        if state is None:
+            # Standalone construction (tests); schedulers pass their
+            # shared state so kernels can walk parent links by slot.
+            state = FlatState(1)
+        self.state = state
+        self.slot = state.alloc(self)
+        if parent is not None:
+            state.parent[self.slot] = parent.slot
+        self._rt_spec: Optional[ServiceCurve] = None
+        self._ls_spec: Optional[ServiceCurve] = None
+        self._ul_spec: Optional[ServiceCurve] = None
         self.rt_spec = rt_spec
         # The curve the user asked for; ``rt_spec`` is the *effective*
         # curve, which the "scale-rt" overload policy may derate.
         self.rt_requested = rt_spec
-        # False when the "reject" overload policy stripped this class's
-        # real-time guarantee (it then receives link-sharing service only).
-        self.rt_admitted = True
         self.ls_spec = ls_spec
         self.ul_spec = ul_spec
-        # Leaf / real-time state (Fig. 5).
-        self.queue: Deque[Packet] = deque()
-        self.cumul_rt = 0.0  # c_i: service received under the rt criterion
-        self.deadline_curve: Optional[RuntimeCurve] = None
-        self.eligible_curve: Optional[RuntimeCurve] = None
-        self.eligible = 0.0
-        self.deadline = 0.0
-        # Link-sharing state (Fig. 6).
-        self.total_work = 0.0  # w_i: total service, both criteria
-        self.virtual_curve: Optional[RuntimeCurve] = None
-        self.vt = 0.0
-        # Upper-limit state (extension).
-        self.ul_curve: Optional[RuntimeCurve] = None
-        self.fit_time = 0.0
-        # Interior bookkeeping.
-        self.nactive = 0
-        self.ls_active = False
-        self.active_min: IndexedHeap["HFSCClass"] = IndexedHeap()
-        self.active_max: IndexedHeap["HFSCClass"] = IndexedHeap()
-        self.vt_watermark = 0.0
-        self.vt_policy = "mean"
-        # Measurement counters.
-        self.bytes_rt = 0.0
-        self.bytes_ls = 0.0
+
+    # -- spec properties: object of record + flat mirrors -------------------
+    #
+    # The ServiceCurve objects remain authoritative for snapshots and
+    # comparisons; each assignment mirrors the (m1, d, m2) triple -- plus,
+    # for the real-time role, the derived eligible spec -- into the flat
+    # arrays so the activation kernels never touch the objects.
+
+    @property
+    def rt_spec(self) -> Optional[ServiceCurve]:
+        return self._rt_spec
+
+    @rt_spec.setter
+    def rt_spec(self, spec: Optional[ServiceCurve]) -> None:
+        self._rt_spec = spec
+        state = self.state
+        slot = self.slot
+        if spec is None:
+            state.rt_on[slot] = 0
+        else:
+            state.rt_on[slot] = 1
+            state.rt_m1[slot] = spec.m1
+            state.rt_d[slot] = spec.d
+            state.rt_m2[slot] = spec.m2
+            es = eligible_spec(spec)
+            state.es_m1[slot] = es.m1
+            state.es_d[slot] = es.d
+            state.es_m2[slot] = es.m2
+
+    @property
+    def ls_spec(self) -> Optional[ServiceCurve]:
+        return self._ls_spec
+
+    @ls_spec.setter
+    def ls_spec(self, spec: Optional[ServiceCurve]) -> None:
+        self._ls_spec = spec
+        state = self.state
+        slot = self.slot
+        if spec is None:
+            state.ls_on[slot] = 0
+        else:
+            state.ls_on[slot] = 1
+            state.ls_m1[slot] = spec.m1
+            state.ls_d[slot] = spec.d
+            state.ls_m2[slot] = spec.m2
+
+    @property
+    def ul_spec(self) -> Optional[ServiceCurve]:
+        return self._ul_spec
+
+    @ul_spec.setter
+    def ul_spec(self, spec: Optional[ServiceCurve]) -> None:
+        self._ul_spec = spec
+        state = self.state
+        slot = self.slot
+        if spec is None:
+            state.ulsp_on[slot] = 0
+        else:
+            state.ulsp_on[slot] = 1
+            state.ulsp_m1[slot] = spec.m1
+            state.ulsp_d[slot] = spec.d
+            state.ulsp_m2[slot] = spec.m2
+
+    # -- flat-backed attributes --------------------------------------------
+
+    index = _scalar_prop("index", "Creation order (vt tie-break key).")
+    ul_children = _scalar_prop(
+        "ul_children", "Direct children carrying an upper-limit curve.")
+    nactive = _scalar_prop("nactive", "Number of link-sharing-active children.")
+    rt_admitted = _flag_prop(
+        "rt_adm",
+        "False when the 'reject' overload policy stripped the rt guarantee.")
+    ls_active = _flag_prop("ls_active", "Member of the parent's active set?")
+    cumul_rt = _scalar_prop(
+        "cumul_rt", "c_i: service received under the rt criterion.")
+    total_work = _scalar_prop("total_work", "w_i: total service, both criteria.")
+    vt = _scalar_prop("vt", "Virtual time (Fig. 6).")
+    eligible = _scalar_prop("eligible", "Eligible time (Fig. 5).")
+    deadline = _scalar_prop("deadline", "Deadline (Fig. 5).")
+    fit_time = _scalar_prop("fit_time", "Upper-limit fit time (extension).")
+    vt_watermark = _scalar_prop(
+        "vt_watermark", "System vt floor left by the last active period.")
+    bytes_rt = _scalar_prop("bytes_rt", "Bytes served via the rt criterion.")
+    bytes_ls = _scalar_prop("bytes_ls", "Bytes served via link-sharing.")
+
+    deadline_curve = _curve_prop("dc", "Deadline curve D_i (Fig. 5).")
+    eligible_curve = _curve_prop("ec", "Eligible curve E_i (Fig. 5).")
+    virtual_curve = _curve_prop("vc", "Virtual curve V_i (Fig. 6).")
+    ul_curve = _curve_prop("ul", "Upper-limit curve (extension).")
+
+    @property
+    def active_min(self) -> HeapView:
+        """Min-heap view over active children's virtual times."""
+        return HeapView(self.state, self.slot, True)
+
+    @property
+    def active_max(self) -> HeapView:
+        """Max-heap view (negated keys) over active children's vts."""
+        return HeapView(self.state, self.slot, False)
 
     @property
     def is_leaf(self) -> bool:
@@ -241,15 +385,24 @@ class HFSCClass:
         When no child is active, the watermark left by the last active
         period keeps virtual time monotonic across idle gaps.
         """
-        if self.nactive == 0:
-            return self.vt_watermark
-        vmin = self.active_min.peek_key()
-        vmax = -self.active_max.peek_key()
-        if self.vt_policy == "min":
-            return vmin
-        if self.vt_policy == "max":
-            return vmax
-        return (vmin + vmax) / 2.0
+        return _flat.system_vt(
+            self.state, self.slot, _POLICY_CODES[self.vt_policy]
+        )
+
+    def _detach(self) -> None:
+        """Move this class onto a private one-slot state (on removal).
+
+        Frees the shared slot for reuse while keeping every scalar
+        readable at its final value, so stale external handles (e.g. a
+        measurement loop holding a drained class) behave exactly as they
+        did when removed classes kept their own attributes.
+        """
+        private = FlatState(1)
+        slot = private.adopt_slot(self.state, self.slot)
+        private.obj[slot] = self
+        self.state.free(self.slot)
+        self.state = private
+        self.slot = slot
 
     def __repr__(self) -> str:
         return f"HFSCClass({self.name!r})"
@@ -268,10 +421,14 @@ class HFSC(Scheduler):
         packet after any topology change, that the sum of the leaves'
         real-time curves does not exceed the link rate (Section II).
     eligible_backend:
-        ``"tree"`` (default) uses the augmented binary tree of Section V;
-        ``"calendar"`` uses the calendar-queue + deadline-heap alternative
-        the same section describes.  Identical semantics, different
-        constants (see ``benchmarks/bench_ablation.py``).
+        ``"heap"`` (default) keeps the requests in flat future/ready
+        heaps inside the shared :class:`~repro.core.flatstate.FlatState`
+        (the calendar-variant semantics of Section V without the object
+        churn); ``"tree"`` uses the augmented binary tree of Section V;
+        ``"calendar"`` uses the calendar-queue + deadline-heap
+        alternative the same section describes.  Identical semantics
+        away from exact deadline ties, different constants (see
+        ``benchmarks/bench_ablation.py``).
     vt_policy:
         System virtual time for a class whose child activates:
         ``"mean"`` (default) is the paper's ``(v_min + v_max) / 2``;
@@ -306,7 +463,7 @@ class HFSC(Scheduler):
         self,
         link_rate: float,
         admission_control: bool = True,
-        eligible_backend: str = "tree",
+        eligible_backend: str = "heap",
         vt_policy: str = "mean",
         realtime: bool = True,
         overload_policy: str = "raise",
@@ -322,6 +479,7 @@ class HFSC(Scheduler):
         self._admission_control = admission_control
         self._admission_checked = True
         self.vt_policy = vt_policy
+        self._policy_code = _POLICY_CODES[vt_policy]
         self.realtime_enabled = realtime
         self.overload_policy = overload_policy
         #: True while the "linkshare-only" policy has the real-time
@@ -330,17 +488,36 @@ class HFSC(Scheduler):
         #: Structured record of every degradation the overload policy
         #: applied (dicts with "policy", "time"-free details; append-only).
         self.overload_events: List[Dict[str, Any]] = []
-        self.root = HFSCClass(ROOT, None, None, ServiceCurve.linear(link_rate), None)
+        #: Shared flat array-of-struct state for every class in this
+        #: hierarchy (see repro.core.flatstate).
+        self._flat = FlatState()
+        self.root = HFSCClass(ROOT, None, None, ServiceCurve.linear(link_rate),
+                              None, state=self._flat)
         self.root.vt_policy = vt_policy
         self._classes: Dict[Any, HFSCClass] = {ROOT: self.root}
         self._eligible_backend = eligible_backend
-        self._eligible = make_eligible_set(eligible_backend)
+        self._eligible = self._make_eligible_set()
+        # The heap backend lives in the flat arrays, so the hot path can
+        # call its kernels with slot ids instead of the object protocol.
+        self._flat_elig = eligible_backend == "heap"
         self._ul_classes: Set[HFSCClass] = set()
         self._next_index = 1
         # Backlogged upper-limited leaves keyed by fit time, so
         # next_ready_time() needs the earliest future fit rather than a
         # scan of every upper-limited class.
         self._ul_wait: IndexedHeap[HFSCClass] = IndexedHeap()
+
+    def _make_eligible_set(self):
+        """Fresh (empty) eligible set for the configured backend.
+
+        The "heap" backend lives inside the shared flat state, so it is
+        built here rather than in :func:`make_eligible_set` (which has no
+        access to ``self._flat``); constructing it clears any previous
+        membership.
+        """
+        if self._eligible_backend == "heap":
+            return FlatEligibleSet(self._flat)
+        return make_eligible_set(self._eligible_backend)
 
     # -- hierarchy construction ---------------------------------------------
 
@@ -386,7 +563,7 @@ class HFSC(Scheduler):
             raise ConfigurationError(
                 f"interior class {parent!r} needs a link-sharing curve"
             )
-        cls = HFSCClass(name, parent_cls, rt_sc, ls_sc, ul_sc)
+        cls = HFSCClass(name, parent_cls, rt_sc, ls_sc, ul_sc, state=self._flat)
         cls.vt_policy = self.vt_policy
         cls.index = self._next_index
         self._next_index += 1
@@ -590,7 +767,7 @@ class HFSC(Scheduler):
         old virtual times so link-sharing stays monotonic across the
         rebuild.
         """
-        self._eligible = make_eligible_set(self._eligible_backend)
+        self._eligible = self._make_eligible_set()
         self._ul_wait = IndexedHeap()
         packets = 0
         size = 0.0
@@ -666,10 +843,17 @@ class HFSC(Scheduler):
         leaf: Optional[HFSCClass] = None
         realtime = False
         if self.realtime_enabled and not self.rt_suspended:
-            request = self._eligible.min_deadline_eligible(now)
-            if request is not None:
-                leaf = request[0]
-                realtime = True
+            if self._flat_elig:
+                state = self._flat
+                slot = _flat.elig_query(state, now)
+                if slot >= 0:
+                    leaf = state.obj[slot]
+                    realtime = True
+            else:
+                request = self._eligible.min_deadline_eligible(now)
+                if request is not None:
+                    leaf = request[0]
+                    realtime = True
         if leaf is None:
             leaf = self._link_sharing_select(now)
         if leaf is None:
@@ -695,6 +879,145 @@ class HFSC(Scheduler):
                     best = fit_time
                 break
         return best
+
+    # -- batched hot path ------------------------------------------------------
+
+    def enqueue_batch(self, packets, now: float) -> None:
+        """Batched :meth:`enqueue`: many same-instant arrivals, one call.
+
+        Call-for-call equivalent to the base-class loop (same per-packet
+        order of leaf lookup, admission check, accounting, activation;
+        same errors), with the per-packet frames inlined and the class
+        table, telemetry guard and backlog counters hoisted.
+        """
+        if not packets:
+            return
+        classes = self._classes
+        adm = self._admission_control
+        telem = _TELEM
+        telem_on = telem.enabled
+        flat_elig = self._flat_elig
+        state = self._flat
+        activate_step = _flat.activate_step
+        rt_on = state.rt_on
+        rt_adm = state.rt_adm
+        ulsp_on = state.ulsp_on
+        fit_time = state.fit_time
+        rt_enabled = self.realtime_enabled
+        policy = self._policy_code
+        n_packets = 0
+        n_bytes = 0.0
+        try:
+            for packet in packets:
+                cls = classes.get(packet.class_id)
+                if cls is None or not cls.is_leaf or cls.is_root:
+                    self._leaf_for(packet)  # raises the structured error
+                if adm and not self._admission_checked:
+                    self._ensure_admissible(now)
+                packet.enqueued = now
+                size = packet.size
+                n_packets += 1
+                n_bytes += size
+                if telem_on:
+                    telem.on_enqueue(packet.class_id, size, now)
+                queue = cls.queue
+                queue.append(packet)
+                if len(queue) == 1:
+                    if flat_elig:
+                        # The _activate shell, inlined: the arriving
+                        # packet is the head, so head_size == size.
+                        slot = cls.slot
+                        rt_tracked = (rt_on[slot] != 0 and rt_enabled
+                                      and rt_adm[slot] != 0)
+                        activate_step(state, slot, now, rt_tracked, size,
+                                      policy)
+                        if ulsp_on[slot]:
+                            self._ul_wait.push(cls, fit_time[slot])
+                    else:
+                        self._activate(cls, now)
+        finally:
+            # Commit counters even when a packet mid-batch raises: the
+            # earlier packets are enqueued, exactly as a caller's own
+            # per-packet loop would leave them.
+            self._backlog_packets += n_packets
+            self._backlog_bytes += n_bytes
+            self.total_enqueued += n_packets
+
+    def dequeue_batch(self, now: float, max_packets: int) -> List[Packet]:
+        """Batched :meth:`dequeue`: burst-serve at one instant.
+
+        The real-time query, the serve bookkeeping and the eligible-set
+        maintenance run inlined with the flat-state arrays and kernels
+        bound once per batch; the link-sharing descent and every
+        rarely-taken branch call the same helpers the per-packet path
+        uses.  Legacy eligible-set backends take the base-class loop.
+        """
+        served: List[Packet] = []
+        if max_packets <= 0 or self._backlog_packets == 0:
+            return served
+        if not self._flat_elig:
+            return super().dequeue_batch(now, max_packets)
+        state = self._flat
+        elig_query = _flat.elig_query
+        serve_step = _flat.serve_step
+        obj = state.obj
+        rt_on = state.rt_on
+        rt_adm = state.rt_adm
+        ul_on = state.ul_on
+        deadline = state.deadline
+        fit_time = state.fit_time
+        rt_enabled = self.realtime_enabled
+        rt_live = rt_enabled and not self.rt_suspended
+        telem = _TELEM
+        telem_on = telem.enabled
+        append = served.append
+        backlog = self._backlog_packets
+        count = 0
+        n_bytes = 0.0
+        try:
+            while count < max_packets and count < backlog:
+                leaf = None
+                realtime = False
+                if rt_live:
+                    slot = elig_query(state, now)
+                    if slot >= 0:
+                        leaf = obj[slot]
+                        realtime = True
+                if leaf is None:
+                    leaf = self._link_sharing_select(now)
+                    if leaf is None:
+                        break
+                    slot = leaf.slot
+                queue = leaf.queue
+                packet = queue.popleft()
+                packet.via_realtime = realtime
+                rt_tracked = (
+                    rt_on[slot] != 0 and rt_enabled and rt_adm[slot] != 0
+                )
+                packet.deadline = deadline[slot] if rt_tracked else None
+                packet.dequeued = now
+                size = packet.size
+                count += 1
+                n_bytes += size
+                if telem_on:
+                    telem.on_dequeue(packet.class_id, size, now)
+                    telem.on_hfsc_serve(leaf.name, size, now, realtime,
+                                        packet.deadline)
+                backlogged = bool(queue)
+                next_size = queue[0].size if backlogged else 0.0
+                serve_step(state, slot, size, realtime, rt_tracked,
+                           backlogged, next_size, now)
+                if ul_on[slot]:
+                    if backlogged:
+                        self._ul_wait.update(leaf, fit_time[slot])
+                    else:
+                        self._ul_wait.remove(leaf)
+                append(packet)
+        finally:
+            self._backlog_packets = backlog - count
+            self._backlog_bytes -= n_bytes
+            self.total_dequeued += count
+        return served
 
     # -- measurement hooks ----------------------------------------------------
 
@@ -1377,70 +1700,42 @@ class HFSC(Scheduler):
         # Sever the back-reference: a removed class must not keep the tree
         # alive or be mistaken for a live node by stale external handles.
         cls.parent = None
+        # Recycle the shared slot; the class keeps its final values on a
+        # private one-slot state for any handles still held by callers.
+        cls._detach()
 
     def _activate(self, leaf: HFSCClass, now: float) -> None:
-        """Fig. 5(a) update_ed + Fig. 6 update_v on passive->active."""
-        if self._rt_tracked(leaf):
-            spec = leaf.rt_spec
-            if leaf.deadline_curve is None:
-                leaf.deadline_curve = RuntimeCurve.from_spec(spec, now, leaf.cumul_rt)
-                leaf.eligible_curve = RuntimeCurve.from_spec(
-                    eligible_spec(spec), now, leaf.cumul_rt
-                )
-            else:
-                leaf.deadline_curve.min_with(spec, now, leaf.cumul_rt)
-                assert leaf.eligible_curve is not None
-                leaf.eligible_curve.min_with(eligible_spec(spec), now, leaf.cumul_rt)
-            leaf.eligible = leaf.eligible_curve.inverse(leaf.cumul_rt)
-            leaf.deadline = leaf.deadline_curve.inverse(
-                leaf.cumul_rt + leaf.queue[0].size
-            )
-            self._eligible.insert(leaf, leaf.eligible, leaf.deadline)
-        if leaf.ul_spec is not None:
-            if leaf.ul_curve is None:
-                leaf.ul_curve = RuntimeCurve.from_spec(leaf.ul_spec, now, leaf.total_work)
-            else:
-                leaf.ul_curve.min_with(leaf.ul_spec, now, leaf.total_work)
-            leaf.fit_time = leaf.ul_curve.inverse(leaf.total_work)
-            self._ul_wait.push(leaf, leaf.fit_time)
-        if leaf.ls_spec is not None:
-            self._activate_ls(leaf)
+        """Fig. 5(a) update_ed + Fig. 6 update_v on passive->active.
+
+        All state mutation happens in the flat kernel; this shell only
+        performs the eligible-set / ul-wait-heap insertions, which hold
+        façade objects.
+        """
+        state = self._flat
+        slot = leaf.slot
+        rt_tracked = (
+            state.rt_on[slot] != 0
+            and self.realtime_enabled
+            and state.rt_adm[slot] != 0
+        )
+        if self._flat_elig:
+            _flat.activate_step(state, slot, now, rt_tracked,
+                                leaf.queue[0].size, self._policy_code)
+        else:
+            _flat.activate(state, slot, now, rt_tracked, leaf.queue[0].size,
+                           self._policy_code)
+            if rt_tracked:
+                self._eligible.insert(leaf, state.eligible[slot],
+                                      state.deadline[slot])
+        if state.ulsp_on[slot]:
+            self._ul_wait.push(leaf, state.fit_time[slot])
 
     def _activate_ls(self, cls: HFSCClass) -> None:
         """Walk up the tree activating classes (eq. 12 at each level)."""
-        node = cls
-        while node.parent is not None:
-            parent = node.parent
-            parent_was_active = parent.nactive > 0
-            pvt = parent.system_vt()
-            assert node.ls_spec is not None
-            if node.virtual_curve is None:
-                node.virtual_curve = RuntimeCurve.from_spec(
-                    node.ls_spec, pvt, node.total_work
-                )
-            else:
-                node.virtual_curve.min_with(node.ls_spec, pvt, node.total_work)
-            node.vt = node.virtual_curve.inverse(node.total_work)
-            node.ls_active = True
-            parent.active_min.push(node, node.vt)
-            parent.active_max.push(node, -node.vt)
-            parent.nactive += 1
-            if parent_was_active or parent.is_root:
-                break
-            node = parent
+        _flat.activate_ls(self._flat, cls.slot, self._policy_code)
 
     def _passivate_ls(self, cls: HFSCClass) -> None:
-        node = cls
-        while node.parent is not None:
-            parent = node.parent
-            parent.active_min.remove(node)
-            parent.active_max.remove(node)
-            parent.nactive -= 1
-            parent.vt_watermark = max(parent.vt_watermark, node.vt)
-            node.ls_active = False
-            if parent.nactive > 0 or parent.is_root:
-                break
-            node = parent
+        _flat.passivate_ls(self._flat, cls.slot)
 
     def _link_sharing_select(self, now: float) -> Optional[HFSCClass]:
         """Smallest-virtual-time descent from the root (Fig. 4).
@@ -1461,118 +1756,113 @@ class HFSC(Scheduler):
         one pass but is not stable across processes; pinning the explicit
         index keeps schedules reproducible.
         """
-        node = self.root
+        state = self._flat
+        root_slot = self.root.slot
+        slot = root_slot
         if not self._ul_classes:
-            while node.nactive > 0:
-                node = node.active_min.peek_item()
+            slot = _flat.ls_descend(state, root_slot)
         else:
-            while node.nactive > 0:
-                heap = node.active_min
-                if not heap.min_is_tied():
-                    child = heap.peek_item()
-                    if child.ul_curve is None or child.fit_time <= now:
-                        node = child
+            nactive = state.nactive
+            ul_on = state.ul_on
+            fit_time = state.fit_time
+            while nactive[slot] > 0:
+                keys = state.hmin_key[slot]
+                seqs = state.hmin_seq[slot]
+                slots = state.hmin_slot[slot]
+                key0 = keys[0]
+                tied = (len(keys) > 1 and keys[1] == key0) or (
+                    len(keys) > 2 and keys[2] == key0
+                )
+                if not tied:
+                    child = slots[0]
+                    if not ul_on[child] or fit_time[child] <= now:
+                        slot = child
                         continue
-                chosen = None
-                need_fit = node.ul_children > 0
-                group: List[HFSCClass] = []
+                chosen = -1
+                need_fit = state.ul_children[slot] > 0
+                group: List[int] = []
                 group_vt: Optional[float] = None
-                for vt, child in heap.iter_sorted():
+                for vt, child in heap_iter_sorted(keys, seqs, slots):
                     if vt != group_vt and group:
                         chosen = self._first_fit(group, need_fit, now)
-                        if chosen is not None:
+                        if chosen >= 0:
                             break
                         group.clear()
                     group_vt = vt
                     group.append(child)
                 else:
                     chosen = self._first_fit(group, need_fit, now)
-                if chosen is None:
+                if chosen < 0:
                     return None
-                node = chosen
-        if node.is_root:
+                slot = chosen
+        if slot == root_slot:
             return None
+        node = state.obj[slot]
         if not node.queue:
             raise RuntimeError(
                 f"link-sharing descent reached empty class {node.name!r}"
             )
         return node
 
-    @staticmethod
-    def _first_fit(
-        group: List[HFSCClass], need_fit: bool, now: float
-    ) -> Optional[HFSCClass]:
-        """Earliest-created fitting class in an equal-virtual-time group."""
+    def _first_fit(self, group: List[int], need_fit: bool, now: float) -> int:
+        """Earliest-created fitting slot in an equal-virtual-time group.
+
+        Returns -1 when every member's fit time is in the future.
+        """
+        state = self._flat
         if len(group) > 1:
-            group.sort(key=_creation_index)
+            group.sort(key=state.index.__getitem__)
         if not need_fit:
             return group[0]
+        ul_on = state.ul_on
+        fit_time = state.fit_time
         for child in group:
-            if child.ul_curve is None or child.fit_time <= now:
+            if not ul_on[child] or fit_time[child] <= now:
                 return child
-        return None
+        return -1
 
     def _serve(self, leaf: HFSCClass, realtime: bool, now: float) -> Packet:
         queue = leaf.queue
         packet = queue.popleft()
         packet.via_realtime = realtime
-        rt_tracked = self._rt_tracked(leaf)
-        packet.deadline = leaf.deadline if rt_tracked else None
+        state = self._flat
+        slot = leaf.slot
+        rt_tracked = (
+            state.rt_on[slot] != 0
+            and self.realtime_enabled
+            and state.rt_adm[slot] != 0
+        )
+        packet.deadline = state.deadline[slot] if rt_tracked else None
         self._note_dequeue(packet, now)
         size = packet.size
         if _TELEM.enabled:
             _TELEM.on_hfsc_serve(leaf.name, size, now, realtime, packet.deadline)
-        if realtime:
-            leaf.cumul_rt += size
-            leaf.bytes_rt += size
-        else:
-            leaf.bytes_ls += size
         backlogged = bool(queue)
-        # Fig. 6 update_v: the leaf and all its ancestors account the
-        # service and advance their virtual times.  When the leaf's queue
-        # just emptied, the nodes _passivate_ls is about to remove from
-        # their parents' heaps skip the heap re-keying (their virtual
-        # times still advance -- the passivation watermark reads them).
-        if leaf.ls_spec is not None:
-            node: HFSCClass = leaf
-            dying = not backlogged
-            while True:
-                parent = node.parent
-                if parent is None:
-                    node.total_work += size  # the root's aggregate counter
-                    break
-                node.total_work += size
-                node.vt = node.virtual_curve.inverse(node.total_work)
-                if dying:
-                    dying = parent.nactive == 1 and not parent.is_root
-                else:
-                    parent.active_min.update(node, node.vt)
-                    parent.active_max.update(node, -node.vt)
-                node = parent
+        next_size = queue[0].size if backlogged else 0.0
+        # Fig. 6 update_v, the Fig. 5 e/d advance, the upper-limit fit
+        # update and (on queue-empty) the link-sharing passivation all run
+        # in the flat kernel; the shell applies the results to the two
+        # structures that hold façade objects.  With the flat eligible
+        # backend the eligible-set maintenance is fused into the same
+        # kernel call (serve_step), so per-packet and batched serves share
+        # one deadline-tie rule.
+        if self._flat_elig:
+            _flat.serve_step(state, slot, size, realtime, rt_tracked,
+                             backlogged, next_size, now)
         else:
-            leaf.total_work += size
-        if leaf.ul_curve is not None:
-            leaf.fit_time = leaf.ul_curve.inverse(leaf.total_work)
+            _flat.serve_commit(state, slot, size, realtime, rt_tracked,
+                               backlogged, next_size)
             if backlogged:
-                self._ul_wait.update(leaf, leaf.fit_time)
+                if rt_tracked:
+                    self._eligible.update(leaf, state.eligible[slot],
+                                          state.deadline[slot])
+            elif rt_tracked:
+                self._eligible.remove(leaf)
+        if state.ul_on[slot]:
+            if backlogged:
+                self._ul_wait.update(leaf, state.fit_time[slot])
             else:
                 self._ul_wait.remove(leaf)
-        if backlogged:
-            if rt_tracked:
-                # Fig. 5: after real-time service both e and d move (c
-                # changed); after link-sharing service only the deadline is
-                # recomputed for the (possibly different-sized) new head.
-                if realtime:
-                    leaf.eligible = leaf.eligible_curve.inverse(leaf.cumul_rt)
-                leaf.deadline = leaf.deadline_curve.inverse(
-                    leaf.cumul_rt + queue[0].size
-                )
-                self._eligible.update(leaf, leaf.eligible, leaf.deadline)
-        else:
-            if rt_tracked:
-                self._eligible.remove(leaf)
-            if leaf.ls_spec is not None:
-                self._passivate_ls(leaf)
         return packet
 
 

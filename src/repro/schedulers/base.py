@@ -15,7 +15,7 @@ re-poll at the right moment.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.core.errors import SnapshotError
 from repro.obs.core import TELEMETRY as _TELEM
@@ -56,6 +56,49 @@ class Scheduler(ABC):
         packet arrives".
         """
         return None
+
+    # -- batched hot path -----------------------------------------------------
+    #
+    # The batch calls are the amortized entry points of the serving and
+    # bench hot paths: one Python call carries many packets, so method
+    # dispatch, telemetry guards and counter updates are paid per batch
+    # instead of per packet.  They are *semantically* defined as the
+    # per-packet loop below -- an override may hoist and inline, but must
+    # stay call-for-call equivalent (same per-packet accounting, same
+    # telemetry events in the same order, same error behaviour), which the
+    # golden-schedule digest suite enforces.
+
+    def enqueue_batch(self, packets: Iterable[Packet], now: float) -> None:
+        """Accept several packets that all arrive at the same instant.
+
+        Equivalent to calling :meth:`enqueue` once per packet in order.
+        An exception from one packet (admission control) propagates with
+        the earlier packets already enqueued, exactly as a caller's own
+        per-packet loop would leave them.
+        """
+        enqueue = self.enqueue
+        for packet in packets:
+            enqueue(packet, now)
+
+    def dequeue_batch(self, now: float, max_packets: int) -> List[Packet]:
+        """Select up to ``max_packets`` back-to-back at the same instant.
+
+        Equivalent to calling :meth:`dequeue` repeatedly at ``now`` until
+        it declines (``None``) or the budget is spent; returns the packets
+        in selection order (possibly empty).  Note the clock does not
+        advance between selections -- this is the burst-serve primitive
+        for callers that account transmission time themselves.
+        """
+        served: List[Packet] = []
+        if max_packets > 0:
+            dequeue = self.dequeue
+            append = served.append
+            while len(served) < max_packets:
+                packet = dequeue(now)
+                if packet is None:
+                    break
+                append(packet)
+        return served
 
     # -- snapshot/restore protocol (repro.persist) ---------------------------
 

@@ -28,6 +28,11 @@ The driver is synchronous-first (``run``) for tests and trace replay, with
 an asyncio pacing task (``serve``) for the long-lived service: ingress and
 control-plane callbacks inject events with :meth:`call_soon`, which wakes
 the pacing task so a new arrival is never stuck behind a long idle sleep.
+Arrivals are fed in bursts: the dataplane coalesces every datagram
+accepted between two event-loop turns into one delivery event
+(:meth:`repro.serve.ingress.Dataplane._deliver_burst`), so ``call_soon``
+and the scheduler's batched enqueue are paid once per burst, not once per
+packet -- the amortization that lets the serve smoke hold 50k pkt/s.
 """
 
 from __future__ import annotations

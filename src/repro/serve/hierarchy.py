@@ -159,7 +159,7 @@ def build_scheduler(
     link_rate: float,
     specs: Sequence[ClassSpec],
     overload_policy: str = "raise",
-    eligible_backend: str = "tree",
+    eligible_backend: str = "heap",
     admission_control: bool = True,
 ) -> Scheduler:
     """Build the configured scheduler backend from the class specs."""

@@ -80,6 +80,11 @@ class Dataplane:
         self.bytes_out: float = 0.0
         # Reflect metadata by packet uid: (transport, addr, flow, seq, sent).
         self._meta: Dict[int, Tuple[Any, Any, str, int, float]] = {}
+        # Arrival coalescing: datagrams accepted while a delivery event is
+        # pending join its burst, so a storm of ingest() calls between two
+        # event-loop turns costs one loop event (and one batched scheduler
+        # call) instead of one per packet.
+        self._burst: List[Packet] = []
         link.add_listener(self._on_departure, key="Dataplane.departure")
 
     # -- socket side ---------------------------------------------------------
@@ -111,11 +116,42 @@ class Dataplane:
         # datagram peer has no return address).
         if self.reflect and transport is not None and addr:
             self._meta[packet.uid] = (transport, addr, flow, seq, sent)
-        # Into the deterministic event order at the wall-mapped sim time.
-        self.driver.call_soon(self._deliver, packet)
+        # Into the deterministic event order at the wall-mapped sim time:
+        # the first packet of a burst schedules the delivery event, later
+        # ingests before it fires just join the batch.
+        self._burst.append(packet)
+        if len(self._burst) == 1:
+            self.driver.call_soon(self._deliver_burst)
         return packet
 
     # -- event-loop side -----------------------------------------------------
+
+    def _deliver_burst(self) -> None:
+        """Offer every packet coalesced since the event was scheduled.
+
+        The whole burst enters the scheduler through one
+        :meth:`~repro.sim.link.Link.offer_batch` call, stamped at the
+        burst event's simulated time.  Overload shedding stays granular:
+        a refused batch falls back to per-packet offers so only the
+        packets the admission policy actually rejects are shed.
+        """
+        batch = self._burst
+        if not batch:
+            return
+        self._burst = []
+        now = self.driver.loop.now
+        for packet in batch:
+            packet.created = now
+        try:
+            self.link.offer_batch(batch)
+        except OverloadError:
+            for packet in batch:
+                if packet.enqueued is not None:
+                    self.delivered += 1  # accepted before the batch aborted
+                    continue
+                self._deliver(packet)
+            return
+        self.delivered += len(batch)
 
     def _deliver(self, packet: Packet) -> None:
         packet.created = self.driver.loop.now

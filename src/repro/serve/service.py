@@ -49,7 +49,7 @@ class ServeService:
         link_rate: float,
         backend: str = "hfsc",
         overload_policy: str = "raise",
-        eligible_backend: str = "tree",
+        eligible_backend: str = "heap",
         admission_control: bool = True,
         time_scale: float = 1.0,
         buffer_packets: int = 256,

@@ -45,8 +45,21 @@ def drive(
         # to exact comparison at large ones.
         while index < len(pending) and pending[index][0] <= now:
             time, class_id, size = pending[index]
-            scheduler.enqueue(Packet(class_id, size, created=time), time)
-            index += 1
+            # Deliver a run of same-time arrivals through the amortized
+            # batch call (digest-identical by the enqueue_batch contract:
+            # one call, same packets, same timestamp, same order).
+            run_end = index + 1
+            while run_end < len(pending) and pending[run_end][0] == time:
+                run_end += 1
+            if run_end - index > 1:
+                scheduler.enqueue_batch(
+                    [Packet(cid, sz, created=t)
+                     for t, cid, sz in pending[index:run_end]],
+                    time,
+                )
+            else:
+                scheduler.enqueue(Packet(class_id, size, created=time), time)
+            index = run_end
         packet = scheduler.dequeue(now) if len(scheduler) else None
         if packet is not None:
             packet.departed = now + packet.size / link_rate

@@ -127,6 +127,11 @@ class EventLoop:
         # the runaway guard still trips).
         self._horizon = _INF
         self._budget = _INF
+        #: How many clock advances ran inline (:meth:`try_advance`) rather
+        #: than through the heap.  Purely observational -- the burst-serve
+        #: tests use it to prove the batched path actually engaged while
+        #: the golden digests stayed byte-identical.
+        self.inline_advances = 0
 
     @property
     def events_processed(self) -> int:
@@ -197,7 +202,22 @@ class EventLoop:
         self.now = time
         self._processed += 1
         self._budget -= 1
+        self.inline_advances += 1
         return True
+
+    def is_next(self, event: Event) -> bool:
+        """True iff ``event`` is the next live entry the loop would fire.
+
+        The link's :meth:`~repro.sim.link.Link.drain_batch` uses this to
+        run an already-scheduled completion inline: popping an event out
+        of turn is only order-preserving when it is literally the head of
+        the queue (a same-time event with a smaller sequence number must
+        fire first, and this check respects that).
+        """
+        queue = self._queue
+        while queue and queue[0][2] is None:
+            heapq.heappop(queue)
+        return bool(queue) and queue[0] is event
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""

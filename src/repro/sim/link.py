@@ -20,7 +20,7 @@ later ``set_rate`` restores capacity.  This is what the chaos subsystem
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.errors import SimulationError, SnapshotError
 from repro.obs.core import TELEMETRY as _TELEM
@@ -53,6 +53,7 @@ class Link:
         self.busy = False
         self.bytes_sent = 0.0
         self.busy_time = 0.0
+        self.departures = 0
         self._listeners: List[DepartureListener] = []
         self._listener_keys: List[str] = []
         self._class_listeners: Dict[Any, List[DepartureListener]] = {}
@@ -70,6 +71,12 @@ class Link:
         self._tx_event: Optional[Event] = None
         self._spin_time = -1.0
         self._spin_count = 0
+        # Burst-serve state: the departure budget of an active
+        # drain_batch() (None = unbudgeted), and whether we are inside
+        # _complete's drain loop (fences a listener-triggered kick from
+        # recursing back into the drain).
+        self._drain_left: Optional[int] = None
+        self._in_complete = False
 
     # -- wiring ---------------------------------------------------------------
 
@@ -116,6 +123,7 @@ class Link:
             "busy": self.busy,
             "bytes_sent": self.bytes_sent,
             "busy_time": self.busy_time,
+            "departures": self.departures,
             "tx_packet": (
                 None if self._tx_packet is None else add_packet(self._tx_packet)
             ),
@@ -170,6 +178,8 @@ class Link:
         self.busy = doc["busy"]
         self.bytes_sent = doc["bytes_sent"]
         self.busy_time = doc["busy_time"]
+        # Older snapshots (pre burst-serve) did not record the counter.
+        self.departures = doc.get("departures", 0)
         self._tx_packet = (
             None if doc["tx_packet"] is None else get_packet(doc["tx_packet"])
         )
@@ -192,20 +202,107 @@ class Link:
         if not self.busy:
             self._kick()
 
-    def offer_batch(self, packets: List[Packet]) -> None:
-        """Several packets arrive at the scheduler in the same instant.
+    def offer_batch(self, packets: Sequence[Packet],
+                    times: Optional[Sequence[float]] = None) -> None:
+        """Several packets arrive at the scheduler in one call.
 
-        All are enqueued before the idle link picks one, so the scheduler
-        chooses among the whole batch -- the semantics of simultaneous
-        arrivals in :func:`repro.sim.drive.drive` (per-``offer`` the idle
-        link would start transmitting the first packet before the rest of
-        the batch exists).
+        All are enqueued (via the scheduler's amortized ``enqueue_batch``)
+        before the idle link picks one, so the scheduler chooses among the
+        whole batch -- the semantics of simultaneous arrivals in
+        :func:`repro.sim.drive.drive` (per-``offer`` the idle link would
+        start transmitting the first packet before the rest of the batch
+        exists).
+
+        An empty batch is a strict no-op: the link is not kicked, so a
+        backlogged non-work-conserving scheduler is not re-polled early
+        (which would burn spin-guard budget and could start a
+        transmission the caller never asked for).
+
+        ``times`` gives each packet its own arrival stamp, for ingress
+        shims that coalesce a burst collected over a short window.  A
+        stamp in the future of the loop clock is refused
+        (:class:`SimulationError` -- the event order would be violated);
+        a stamp that runs *backwards* within the batch is clamped up to
+        its predecessor's, because schedulers require a monotone clock
+        and the packets genuinely reached the scheduler in batch order.
+        Batches may span a ``set_rate``/outage fault: packets queued
+        while the rate is zero simply wait, and the resume kick comes
+        from the later ``set_rate``.
         """
+        if times is not None and len(times) != len(packets):
+            raise SimulationError(
+                f"offer_batch got {len(packets)} packets but "
+                f"{len(times)} timestamps"
+            )
+        if not packets:
+            return
+        scheduler = self.scheduler
         now = self.loop.now
-        for packet in packets:
-            self.scheduler.enqueue(packet, now)
+        if times is None:
+            scheduler.enqueue_batch(packets, now)
+        else:
+            group_t: Optional[float] = None
+            start = 0
+            for idx, t in enumerate(times):
+                t = float(t)
+                if t > now:
+                    raise SimulationError(
+                        f"batched arrival stamped at {t:g} is in the "
+                        f"future (clock is at {now:g})"
+                    )
+                if group_t is None:
+                    group_t = t
+                    continue
+                if t < group_t:
+                    t = group_t  # monotone clamp within the batch
+                if t != group_t:
+                    scheduler.enqueue_batch(packets[start:idx], group_t)
+                    start = idx
+                    group_t = t
+            scheduler.enqueue_batch(packets[start:], group_t)
         if not self.busy:
             self._kick()
+
+    def drain_batch(self, max_packets: Optional[int] = None) -> int:
+        """Burst-serve the backlog inline; returns the departure count.
+
+        The symmetric partner of :meth:`offer_batch` for trace replay and
+        bench harnesses: start transmitting if idle (or finish the
+        transmission already in flight, when its completion is the next
+        live event) and run consecutive completions inline
+        (:meth:`EventLoop.try_advance`) with no per-packet event-queue
+        traffic.  The loop clock advances to the last completion served.
+
+        Stops when the scheduler declines or empties, a pending loop
+        event fences the inline advance (a scheduled fault or arrival
+        must fire first -- the remaining completion becomes an ordinary
+        heap event and the schedule is byte-identical to the unbatched
+        run), or ``max_packets`` departures have been stamped.  The paced
+        serving path gets the same drain implicitly through the
+        completion handler.
+        """
+        if max_packets is not None and max_packets <= 0:
+            return 0
+        loop = self.loop
+        before = self.departures
+        self._drain_left = max_packets
+        try:
+            if not self.busy:
+                self._kick(burst=True)
+            else:
+                event = self._tx_event
+                if (
+                    event is not None
+                    and loop.is_next(event)
+                    and loop.try_advance(event[0])
+                ):
+                    packet = self._tx_packet
+                    event.cancel()
+                    self._tx_event = None
+                    self._complete(packet)
+        finally:
+            self._drain_left = None
+        return self.departures - before
 
     def set_rate(self, rate: float) -> None:
         """Change the transmission rate live; ``0`` starts an outage.
@@ -257,8 +354,17 @@ class Link:
 
     # -- internals ----------------------------------------------------------------
 
-    def _kick(self) -> None:
-        """Try to start a transmission (no-op while one is in flight)."""
+    def _kick(self, burst: bool = False) -> None:
+        """Try to start a transmission (no-op while one is in flight).
+
+        With ``burst=True`` the completion runs inline when the event
+        loop allows it (nothing pending before the completion time),
+        chaining straight into the busy-serve drain -- the whole burst
+        costs no event-queue traffic.  Burst entry is only taken from
+        event tails (``_retry``) and :meth:`drain_batch`, never from a
+        departure listener's re-kick (``_in_complete`` fences that), so
+        the drain cannot recurse into itself.
+        """
         if self.busy or self.rate <= 0:
             return
         if self._retry_event is not None:
@@ -274,9 +380,16 @@ class Link:
         self._tx_remaining = packet.size
         self._tx_last = now
         self._spin_count = 0
-        self._tx_event = self.loop.schedule(
-            now + packet.size / self.rate, self._complete, packet
-        )
+        completion = now + packet.size / self.rate
+        if (
+            burst
+            and not self._in_complete
+            and self._drain_left != 0
+            and self.loop.try_advance(completion)
+        ):
+            self._complete(packet)
+            return
+        self._tx_event = self.loop.schedule(completion, self._complete, packet)
 
     def _arm_retry(self, now: float) -> None:
         """Re-poll a backlogged non-work-conserving scheduler when ready."""
@@ -308,9 +421,12 @@ class Link:
         self._retry_event = self.loop.schedule(ready, self._retry)
 
     def _retry(self) -> None:
+        # An event tail: nothing else runs at this point in the event, so
+        # the kick may burst-serve inline (try_advance keeps the order
+        # exact; a pending same-time event simply fences the inline path).
         self._retry_event = None
         if not self.busy:
-            self._kick()
+            self._kick(burst=True)
 
     def _complete(self, packet: Packet) -> None:
         """Finish a transmission, then drain while the link stays busy.
@@ -329,52 +445,63 @@ class Link:
         dequeue = self.scheduler.dequeue
         listeners = self._listeners
         class_listeners = self._class_listeners
-        while True:
-            now = loop.now
-            size = packet.size
-            packet.departed = now
-            self.busy = False
-            self.bytes_sent += size
-            # The final segment of this transmission ran at the current
-            # rate (any mid-flight set_rate already accounted the earlier
-            # segments and re-derived the completion time).
-            self.busy_time += self._tx_remaining / self.rate
-            self._tx_packet = None
-            self._tx_remaining = 0.0
-            self._tx_event = None
-            if _TELEM.enabled:
-                _TELEM.on_depart(
-                    packet.class_id, size, now,
-                    now - packet.enqueued if packet.enqueued is not None else 0.0,
-                    packet.deadline,
-                )
-            for listener in listeners:
-                listener(packet, now)
-            for listener in class_listeners.get(packet.class_id, ()):
-                listener(packet, now)
-            if self.busy:
-                # A departure callback refilled the queue and restarted the
-                # transmitter (offer -> _kick); the next completion is
-                # already scheduled.
+        self._in_complete = True
+        try:
+            while True:
+                now = loop.now
+                size = packet.size
+                packet.departed = now
+                self.busy = False
+                self.bytes_sent += size
+                self.departures += 1
+                if self._drain_left is not None:
+                    self._drain_left -= 1
+                # The final segment of this transmission ran at the current
+                # rate (any mid-flight set_rate already accounted the earlier
+                # segments and re-derived the completion time).
+                self.busy_time += self._tx_remaining / self.rate
+                self._tx_packet = None
+                self._tx_remaining = 0.0
+                self._tx_event = None
+                if _TELEM.enabled:
+                    _TELEM.on_depart(
+                        packet.class_id, size, now,
+                        now - packet.enqueued if packet.enqueued is not None else 0.0,
+                        packet.deadline,
+                    )
+                for listener in listeners:
+                    listener(packet, now)
+                for listener in class_listeners.get(packet.class_id, ()):
+                    listener(packet, now)
+                if self.busy:
+                    # A departure callback refilled the queue and restarted the
+                    # transmitter (offer -> _kick); the next completion is
+                    # already scheduled.
+                    return
+                if self._retry_event is not None:
+                    self._retry_event.cancel()
+                    self._retry_event = None
+                rate = self.rate
+                if rate <= 0:
+                    # A departure listener started an outage.
+                    return
+                packet = dequeue(now)
+                if packet is None:
+                    self._arm_retry(now)
+                    return
+                self.busy = True
+                self._tx_packet = packet
+                self._tx_remaining = packet.size
+                self._tx_last = now
+                self._spin_count = 0
+                completion = now + packet.size / rate
+                # An exhausted drain_batch budget parks the remaining
+                # completion on the heap (same fallback as a fenced
+                # try_advance), so a budget boundary never changes the
+                # schedule -- only who runs it.
+                if self._drain_left != 0 and loop.try_advance(completion):
+                    continue
+                self._tx_event = loop.schedule(completion, self._complete, packet)
                 return
-            if self._retry_event is not None:
-                self._retry_event.cancel()
-                self._retry_event = None
-            rate = self.rate
-            if rate <= 0:
-                # A departure listener started an outage.
-                return
-            packet = dequeue(now)
-            if packet is None:
-                self._arm_retry(now)
-                return
-            self.busy = True
-            self._tx_packet = packet
-            self._tx_remaining = packet.size
-            self._tx_last = now
-            self._spin_count = 0
-            completion = now + packet.size / rate
-            if loop.try_advance(completion):
-                continue
-            self._tx_event = loop.schedule(completion, self._complete, packet)
-            return
+        finally:
+            self._in_complete = False

@@ -82,9 +82,18 @@ class CalendarEligibleSet(Generic[ItemT]):
 
 
 def make_eligible_set(backend: str):
-    """Factory used by :class:`repro.core.hfsc.HFSC`."""
+    """Factory used by :class:`repro.core.hfsc.HFSC`.
+
+    The third backend, ``"heap"`` (the default), stores its requests in
+    the scheduler's shared flat arrays and is therefore constructed by
+    the scheduler itself (:class:`repro.core.flatstate.FlatEligibleSet`)
+    rather than here.
+    """
     if backend == "tree":
         return EligibleTree()
     if backend == "calendar":
         return CalendarEligibleSet()
-    raise ValueError(f"unknown eligible-set backend: {backend!r}")
+    raise ValueError(
+        f"unknown eligible-set backend: {backend!r} "
+        "(expected 'heap', 'tree' or 'calendar')"
+    )

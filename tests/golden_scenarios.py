@@ -46,7 +46,7 @@ from repro.sim.packet import Packet
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "golden_schedules.json")
 
-BACKENDS = ("tree", "calendar")
+BACKENDS = ("tree", "calendar", "heap")
 
 __all__ = [
     "BACKENDS", "GOLDEN_PATH", "SCENARIOS", "schedule_digest",

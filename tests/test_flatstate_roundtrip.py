@@ -1,0 +1,167 @@
+"""Hypothesis round trip for the flat-state façade.
+
+The class tree's authoritative storage is the parallel-array FlatState;
+the ``HFSCClass`` objects are a façade.  The property proven here: a
+random interleaving of dynamic reconfiguration (add_class /
+update_class / remove_class), packet churn and virtual-time
+renormalization gives *exactly* the same scheduler whether the state
+stays live the whole time or is flattened to a snapshot document and
+rebuilt from it after every mutation.  Equality is checked three ways:
+the serialized snapshots match byte-for-byte, the internal invariants
+hold, and both instances drain the remaining backlog identically.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.curves import ServiceCurve
+from repro.core.hfsc import HFSC
+from repro.persist.codec import (
+    PacketTable,
+    dumps_snapshot,
+    loads_snapshot,
+    restore_packets,
+)
+from repro.persist.schedulers import restore_scheduler, snapshot_scheduler
+from repro.sim.packet import Packet
+
+lin = ServiceCurve.linear
+
+LINK = 100_000.0
+NAMES = list(range(6))
+
+
+def flatten_rebuild(sched):
+    """Flatten to the real envelope (JSON text) and rebuild from it."""
+    table = PacketTable()
+    body = {"scheduler": snapshot_scheduler(sched, table.add),
+            "packets": table.to_doc()}
+    body = loads_snapshot(dumps_snapshot(body))
+    get_packet = restore_packets(body["packets"])
+    return restore_scheduler(body["scheduler"], get_packet)
+
+
+def snapshot_doc(sched):
+    """Canonical snapshot text, with packet uids renumbered.
+
+    Packet uids come from a process-global counter, so two schedulers
+    built by identical op sequences hold equal packets under different
+    uids.  Uid order follows creation order, so renumbering ascending
+    uids to 0..n-1 (both in the table keys and in the queue references)
+    makes equal runs produce byte-identical documents.
+    """
+    table = PacketTable()
+    doc = snapshot_scheduler(sched, table.add)
+    packets = table.to_doc()
+    remap = {int(uid): i for i, uid in enumerate(sorted(packets, key=int))}
+    packets = {str(remap[int(uid)]): row for uid, row in packets.items()}
+    doc = json.loads(json.dumps(doc))  # deep copy before rewriting refs
+    for cls in doc["classes"]:
+        cls["queue"] = [remap[uid] for uid in cls["queue"]]
+    return json.dumps({"scheduler": doc, "packets": packets},
+                      sort_keys=True)
+
+
+def apply_op(sched, op, now):
+    """One mutation step; returns the (possibly advanced) clock."""
+    kind = op[0]
+    live = [n for n in NAMES if n in sched and n != "root"]
+    if kind == "add":
+        name = op[1]
+        if name not in sched:
+            sched.add_class(name, sc=lin(LINK / 16.0 * (1.0 + 0.003 * name)))
+    elif kind == "update":
+        if live:
+            name = live[op[1] % len(live)]
+            sched.update_class(name, now,
+                               sc=lin(LINK / 16.0 * (1.0 + 0.01 * op[2])))
+    elif kind == "remove":
+        if len(live) > 1:  # keep at least one leaf around
+            sched.remove_class(live[op[1] % len(live)], force=True)
+    elif kind == "enq":
+        if live:
+            name = live[op[1] % len(live)]
+            sched.enqueue(Packet(name, 200.0 + 25.0 * op[2]), now)
+    elif kind == "deq":
+        if len(sched):
+            packet = sched.dequeue(now)
+            if packet is not None:
+                now += packet.size / LINK
+            else:
+                ready = sched.next_ready_time(now)
+                now = ready if ready is not None and ready > now else now
+    elif kind == "renorm":
+        sched.renormalize_vt()
+    return now
+
+
+def drain_rows(sched, now):
+    rows = []
+    for _ in range(10_000):
+        if not len(sched):
+            break
+        packet = sched.dequeue(now)
+        if packet is None:
+            ready = sched.next_ready_time(now)
+            now = ready if ready is not None and ready > now else now + 0.005
+            continue
+        now += packet.size / LINK
+        rows.append((packet.class_id, packet.size, packet.via_realtime, now))
+    return rows
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.sampled_from(NAMES)),
+        st.tuples(st.just("update"), st.integers(0, 7), st.integers(0, 5)),
+        st.tuples(st.just("remove"), st.integers(0, 7)),
+        st.tuples(st.just("enq"), st.integers(0, 7), st.integers(0, 4)),
+        st.tuples(st.just("deq")),
+        st.tuples(st.just("renorm")),
+    ),
+    min_size=1, max_size=14,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=ops_strategy)
+def test_flatten_mutate_rebuild_equals_direct_mutation(ops):
+    def build():
+        sched = HFSC(LINK, admission_control=False)
+        sched.add_class(NAMES[0], sc=lin(LINK / 16.0))
+        return sched
+
+    direct = build()
+    hopped = build()
+    now_d = now_h = 0.0
+    for op in ops:
+        now_d = apply_op(direct, op, now_d)
+        now_h = apply_op(hopped, op, now_h)
+        hopped = flatten_rebuild(hopped)  # flatten -> rebuild each step
+    assert now_d == now_h
+    direct.check_invariants()
+    hopped.check_invariants()
+    assert snapshot_doc(direct) == snapshot_doc(hopped)
+    assert drain_rows(direct, now_d) == drain_rows(hopped, now_h)
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=ops_strategy, crash_at=st.integers(0, 13))
+def test_single_rebuild_at_random_point(ops, crash_at):
+    """The crash-harness shape: one flatten->rebuild mid-sequence."""
+    def build():
+        sched = HFSC(LINK, admission_control=False)
+        sched.add_class(NAMES[0], sc=lin(LINK / 16.0))
+        return sched
+
+    direct = build()
+    hopped = build()
+    now_d = now_h = 0.0
+    for i, op in enumerate(ops):
+        now_d = apply_op(direct, op, now_d)
+        now_h = apply_op(hopped, op, now_h)
+        if i == crash_at:
+            hopped = flatten_rebuild(hopped)
+    assert snapshot_doc(direct) == snapshot_doc(hopped)
+    assert drain_rows(direct, now_d) == drain_rows(hopped, now_h)

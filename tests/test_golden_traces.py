@@ -44,3 +44,24 @@ def test_schedule_matches_seed(golden, name, backend):
 def test_backends_agree(golden, name):
     """Tree and calendar backends pin the *same* schedule per scenario."""
     assert golden[name]["tree"] == golden[name]["calendar"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_schedule_matches_seed_batching_off(golden, name, backend, monkeypatch):
+    """The batch entry points are pure amortizations, not semantics.
+
+    Forcing every batched call through the per-packet base-class loops
+    replays the exact pinned schedules -- so batching on vs off cannot
+    change a digest anywhere in the suite.
+    """
+    from repro.core.hfsc import HFSC
+    from repro.schedulers.base import Scheduler
+
+    monkeypatch.setattr(HFSC, "enqueue_batch", Scheduler.enqueue_batch)
+    monkeypatch.setattr(HFSC, "dequeue_batch", Scheduler.dequeue_batch)
+    rows = SCENARIOS[name](backend)
+    assert schedule_digest(rows) == golden[name][backend], (
+        f"schedule for {name!r} ({backend} backend) changed when the "
+        "batched entry points were disabled"
+    )

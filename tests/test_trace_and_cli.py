@@ -105,11 +105,16 @@ class TestBenchCLI:
         assert main(["bench", "--quick", "--output", str(out)]) == 0
         report = json.loads(out.read_text())
         assert report["quick"] is True
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         results = report["results"]
         assert "e9/H-FSC/n256" in results
         assert "ls_select_ul/n1024" in results
         assert all(r["ops_per_sec"] > 0 for r in results.values())
+        # Schema 2: every case records its measurement configuration.
+        assert all("batch_size" in r and "compiled" in r
+                   for r in results.values())
+        assert results["e9/H-FSC/n256"]["batch_size"] > 1
+        assert results["ls_select_ul/n1024"]["batch_size"] == 1
 
         # Comparison logic, driven directly off the written report: a
         # slower baseline passes, a faster baseline trips the gate.
