@@ -10,6 +10,7 @@ Usage::
     python -m repro stats --scenario e4  # telemetry snapshot of a live run
     python -m repro top --scenario chaos # live per-class terminal view
     python -m repro scenarios            # every canned scenario, one line each
+    python -m repro verify --property all   # bounded-horizon verifier
     python -m repro serve --udp 127.0.0.1:9000 --control /tmp/repro.ctl
     python -m repro load 127.0.0.1:9000 --rate 2000
     python -m repro ctl /tmp/repro.ctl '{"op": "stats"}'
@@ -346,8 +347,18 @@ def main(argv: List[str] = None) -> int:
     subparsers.add_parser(
         "scenarios", help="list every canned scenario with a description"
     )
+    from repro.verify import cli as verify_cli
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="bounded-horizon verifier: hunt for guarantee "
+                       "violations and replay witnesses"
+    )
+    verify_cli.add_verify_arguments(verify_parser)
 
     args = parser.parse_args(argv)
+
+    if args.command == "verify":
+        return verify_cli.verify_command(args)
 
     if args.command == "serve":
         return serve_cli.serve_command(args)

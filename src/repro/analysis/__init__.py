@@ -19,10 +19,24 @@ from repro.analysis.linkshare import (
     discrepancy_sup,
     series_difference,
 )
+from repro.analysis.predicates import (
+    delay_bound_excess,
+    eq1_shortfall,
+    eq1_violations,
+    linkshare_gap,
+    max_packet_delay,
+    window_service,
+)
 
 __all__ = [
     "service_curve_violation",
     "backlogged_period_starts",
+    "eq1_shortfall",
+    "eq1_violations",
+    "max_packet_delay",
+    "delay_bound_excess",
+    "window_service",
+    "linkshare_gap",
     "service_curve_delay_bound",
     "hfsc_delay_bound",
     "coupled_delay_bound",

@@ -1,50 +1,42 @@
 """Formal audits of scheduler output against the paper's definitions.
 
-:func:`service_curve_violation` implements eq. (1) of the paper exactly:
-a session is guaranteed curve ``S`` iff at every packet departure time
-``t2`` there exists a backlogged-period start ``t1 <= t2`` with
+The actual predicates live in :mod:`repro.analysis.predicates` -- pure
+functions of the packet record shared by the chaos Watchdog, the
+adversarial verifier's replay bridge and the tests, so every consumer
+agrees on what counts as a violation.  This module keeps the historical
+audit-facing names:
 
-    w(t2) - w(t1) >= S(t2 - t1).
+* :func:`service_curve_violation` implements eq. (1) of the paper
+  exactly: a session is guaranteed curve ``S`` iff at every packet
+  departure time ``t2`` there exists a backlogged-period start
+  ``t1 <= t2`` with ``w(t2) - w(t1) >= S(t2 - t1)``.  It returns the
+  worst shortfall (in service units; 0 means the guarantee held
+  exactly, packetized schedulers are entitled to one max-packet of
+  slack per Theorem 2).
+* :func:`audit_guarantees` is the watchdog's bulk entry point.
 
-The function reconstructs the backlogged periods from the arrival and
-departure records and returns the worst shortfall (in service units; 0
-means the guarantee held exactly, packetized schedulers are entitled to
-one max-packet of slack per Theorem 2).
-
-This is the ground-truth check behind the experiments' simpler per-packet
-deadline audits: deadlines are an implementation artifact, eq. (1) is the
-contract.
+Deadlines are an implementation artifact, eq. (1) is the contract.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence
 
+from repro.analysis.predicates import (
+    Arrival,
+    backlogged_period_starts,
+    eq1_shortfall,
+    eq1_violations,
+)
 from repro.core.curves import ServiceCurve
 from repro.sim.packet import Packet
 
-Arrival = Tuple[float, object, float]
-
-
-def backlogged_period_starts(
-    arrivals: Sequence[Arrival], served: Sequence[Packet], class_id
-) -> List[float]:
-    """Start times of the class's backlogged periods, from the records."""
-    events: List[Tuple[float, int, float]] = []
-    for time, cid, size in arrivals:
-        if cid == class_id:
-            events.append((time, 0, size))  # arrivals first on ties
-    for packet in served:
-        if packet.class_id == class_id and packet.departed is not None:
-            events.append((packet.departed, 1, -packet.size))
-    events.sort()
-    starts: List[float] = []
-    backlog = 0.0
-    for time, _kind, delta in events:
-        if backlog <= 1e-9 and delta > 0:
-            starts.append(time)
-        backlog += delta
-    return starts
+__all__ = [
+    "Arrival",
+    "backlogged_period_starts",
+    "service_curve_violation",
+    "audit_guarantees",
+]
 
 
 def service_curve_violation(
@@ -53,48 +45,8 @@ def service_curve_violation(
     class_id,
     spec: ServiceCurve,
 ) -> float:
-    """Worst eq. (1) shortfall for ``class_id`` (0.0 = never violated).
-
-    For every departure time ``t2`` of the class, computes
-    ``min over t1 in backlog starts <= t2 of  S(t2 - t1) - (w(t2) - w(t1))``
-    clipped at 0, and returns the maximum over departures.  ``w`` counts
-    the class's departed bytes.
-    """
-    starts = backlogged_period_starts(arrivals, served, class_id)
-    if not starts:
-        return 0.0
-    # Cumulative service at each departure.
-    departures: List[Tuple[float, float]] = []
-    total = 0.0
-    for packet in sorted(
-        (p for p in served if p.class_id == class_id and p.departed is not None),
-        key=lambda p: p.departed,
-    ):
-        total += packet.size
-        departures.append((packet.departed, total))
-
-    def w(time: float) -> float:
-        value = 0.0
-        for departed, cumulative in departures:
-            if departed <= time + 1e-12:
-                value = cumulative
-            else:
-                break
-        return value
-
-    worst = 0.0
-    start_w = [(t1, w(t1)) for t1 in starts]
-    for t2, w2 in departures:
-        best = None
-        for t1, w1 in start_w:
-            if t1 > t2 + 1e-12:
-                break
-            shortfall = spec.value(t2 - t1) - (w2 - w1)
-            if best is None or shortfall < best:
-                best = shortfall
-        if best is not None:
-            worst = max(worst, best)
-    return max(0.0, worst)
+    """Worst eq. (1) shortfall for ``class_id`` (0.0 = never violated)."""
+    return eq1_shortfall(arrivals, served, class_id, spec)
 
 
 def audit_guarantees(
@@ -106,13 +58,6 @@ def audit_guarantees(
     """Eq. (1) shortfalls beyond ``slack`` for a set of classes at once.
 
     Returns ``{class_id: excess}`` only for classes whose worst shortfall
-    exceeds ``slack`` (Theorem 2 entitles a packetized scheduler to one
-    max-packet of slack); an empty dict means every guarantee held.  This
-    is the watchdog's bulk entry point.
+    exceeds ``slack``; an empty dict means every guarantee held.
     """
-    violations: Dict[object, float] = {}
-    for class_id, spec in guarantees.items():
-        worst = service_curve_violation(arrivals, served, class_id, spec)
-        if worst > slack:
-            violations[class_id] = worst - slack
-    return violations
+    return eq1_violations(arrivals, served, guarantees, slack)

@@ -1,0 +1,174 @@
+"""Pure violation predicates: the single source of truth for "violated".
+
+The eq. (1) service-curve audit, the Theorem-2 delay check and the
+link-sharing gap measurement used to live scattered across
+``analysis/audit.py``, ``analysis/delay.py`` and ad-hoc test helpers.
+They are consolidated here as *pure functions of the packet record* --
+no scheduler handles, no event loop -- so that every consumer agrees on
+what counts as a violation:
+
+* the chaos :class:`~repro.sim.faults.Watchdog` (via
+  :func:`repro.analysis.audit.audit_guarantees`, which delegates here);
+* the adversarial verifier's replay bridge
+  (:mod:`repro.verify.bridge`), which re-checks solver counterexamples
+  against the real scheduler with these exact predicates;
+* the test suite.
+
+Every predicate takes the same record shape the simulator produces:
+``arrivals`` as ``(time, class_id, size)`` tuples and ``served`` as
+:class:`~repro.sim.packet.Packet` objects with ``departed`` stamped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.curves import ServiceCurve
+from repro.sim.packet import Packet
+
+Arrival = Tuple[float, object, float]
+
+
+def backlogged_period_starts(
+    arrivals: Sequence[Arrival], served: Sequence[Packet], class_id
+) -> List[float]:
+    """Start times of the class's backlogged periods, from the records."""
+    events: List[Tuple[float, int, float]] = []
+    for time, cid, size in arrivals:
+        if cid == class_id:
+            events.append((time, 0, size))  # arrivals first on ties
+    for packet in served:
+        if packet.class_id == class_id and packet.departed is not None:
+            events.append((packet.departed, 1, -packet.size))
+    events.sort()
+    starts: List[float] = []
+    backlog = 0.0
+    for time, _kind, delta in events:
+        if backlog <= 1e-9 and delta > 0:
+            starts.append(time)
+        backlog += delta
+    return starts
+
+
+def eq1_shortfall(
+    arrivals: Sequence[Arrival],
+    served: Sequence[Packet],
+    class_id,
+    spec: ServiceCurve,
+) -> float:
+    """Worst eq. (1) shortfall for ``class_id`` (0.0 = never violated).
+
+    Implements eq. (1) of the paper exactly: a session is guaranteed
+    curve ``S`` iff at every packet departure time ``t2`` there exists a
+    backlogged-period start ``t1 <= t2`` with
+    ``w(t2) - w(t1) >= S(t2 - t1)``.  For every departure time ``t2`` of
+    the class, computes
+    ``min over t1 in backlog starts <= t2 of  S(t2 - t1) - (w(t2) - w(t1))``
+    clipped at 0, and returns the maximum over departures.  ``w`` counts
+    the class's departed bytes.
+    """
+    starts = backlogged_period_starts(arrivals, served, class_id)
+    if not starts:
+        return 0.0
+    # Cumulative service at each departure.
+    departures: List[Tuple[float, float]] = []
+    total = 0.0
+    for packet in sorted(
+        (p for p in served if p.class_id == class_id and p.departed is not None),
+        key=lambda p: p.departed,
+    ):
+        total += packet.size
+        departures.append((packet.departed, total))
+
+    def w(time: float) -> float:
+        value = 0.0
+        for departed, cumulative in departures:
+            if departed <= time + 1e-12:
+                value = cumulative
+            else:
+                break
+        return value
+
+    worst = 0.0
+    start_w = [(t1, w(t1)) for t1 in starts]
+    for t2, w2 in departures:
+        best = None
+        for t1, w1 in start_w:
+            if t1 > t2 + 1e-12:
+                break
+            shortfall = spec.value(t2 - t1) - (w2 - w1)
+            if best is None or shortfall < best:
+                best = shortfall
+        if best is not None:
+            worst = max(worst, best)
+    return max(0.0, worst)
+
+
+def eq1_violations(
+    arrivals: Sequence[Arrival],
+    served: Sequence[Packet],
+    guarantees: Mapping[object, ServiceCurve],
+    slack: float = 0.0,
+) -> Dict[object, float]:
+    """Eq. (1) shortfalls beyond ``slack`` for a set of classes at once.
+
+    Returns ``{class_id: excess}`` only for classes whose worst shortfall
+    exceeds ``slack`` (Theorem 2 entitles a packetized scheduler to one
+    max-packet of slack); an empty dict means every guarantee held.
+    """
+    violations: Dict[object, float] = {}
+    for class_id, spec in guarantees.items():
+        worst = eq1_shortfall(arrivals, served, class_id, spec)
+        if worst > slack:
+            violations[class_id] = worst - slack
+    return violations
+
+
+def max_packet_delay(served: Sequence[Packet], class_id) -> float:
+    """Largest departure-minus-creation delay of the class's packets."""
+    worst = 0.0
+    for packet in served:
+        if packet.class_id == class_id and packet.departed is not None:
+            worst = max(worst, packet.departed - packet.created)
+    return worst
+
+
+def delay_bound_excess(
+    served: Sequence[Packet], class_id, bound: float
+) -> float:
+    """How far the class's worst packet delay exceeds ``bound`` (0 = held).
+
+    ``bound`` is typically :func:`repro.analysis.delay.hfsc_delay_bound`
+    (Theorem 2: the service-curve bound plus one max-packet time).
+    """
+    return max(0.0, max_packet_delay(served, class_id) - bound)
+
+
+def window_service(
+    served: Sequence[Packet], class_id, start: float, stop: float
+) -> float:
+    """Bytes of ``class_id`` fully transmitted within ``(start, stop]``."""
+    return sum(
+        p.size for p in served
+        if p.class_id == class_id and p.departed is not None
+        and start < p.departed <= stop + 1e-9
+    )
+
+
+def linkshare_gap(
+    served: Sequence[Packet],
+    class_id,
+    fair_rate: float,
+    start: float,
+    stop: float,
+) -> float:
+    """Shortfall of a class against its ideal link share over a window.
+
+    ``fair_rate`` is the class's ideal link-sharing rate (its share of
+    the link, in bytes/second) assuming it stays backlogged throughout
+    ``[start, stop]``.  Positive values measure the Section III-C
+    real-time/link-sharing conflict: service the class's fair share
+    promised but real-time guarantees elsewhere consumed.
+    """
+    ideal = fair_rate * (stop - start)
+    return max(0.0, ideal - window_service(served, class_id, start, stop))

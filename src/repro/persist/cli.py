@@ -194,13 +194,44 @@ def run_scenario_command(args) -> int:
 # -- chaos replay ------------------------------------------------------------
 
 
-def replay_chaos_command(args) -> int:
-    """``repro chaos --replay REPORT.json``: re-run recorded chaos runs.
+def _replay_counterexamples(docs: List[Any]) -> int:
+    """Replay verifier counterexamples through the real scheduler."""
+    from repro.core.errors import ConfigurationError
+    from repro.verify.bridge import replay_counterexample
 
-    Re-runs the failing runs from a prior ``--report`` file (all runs
-    when none failed) with the stored seed/policy/duration and compares
-    the departure-schedule digest -- a deterministic repro of exactly
-    the run that failed, without hunting for its seed.
+    exit_code = EXIT_OK
+    for doc in docs:
+        try:
+            outcome = replay_counterexample(doc)
+        except (ConfigurationError, KeyError, TypeError, ValueError) as exc:
+            print(f"  malformed counterexample: {exc}", file=sys.stderr)
+            exit_code = 1
+            continue
+        status = "ok" if outcome["reproduced"] else "FAIL"
+        if status == "FAIL":
+            exit_code = 1
+        print(f"replay {outcome['property']:28} "
+              f"scenario={outcome['scenario']:10} {status}  "
+              f"measured={outcome['measured']:g} "
+              f"predicted={outcome['predicted']:g} "
+              f"(tolerance {outcome['tolerance']:g})")
+        if status == "FAIL":
+            print(f"  {outcome['detail']}", file=sys.stderr)
+    return exit_code
+
+
+def replay_chaos_command(args) -> int:
+    """``repro chaos --replay FILE.json``: re-run recorded failures.
+
+    Accepts two kinds of file.  A chaos ``--report`` file re-runs the
+    failing runs (all runs when none failed) with the stored
+    seed/policy/duration and compares the departure-schedule digest --
+    a deterministic repro of exactly the run that failed, without
+    hunting for its seed.  A verifier counterexample file (schema
+    ``repro-verify-counterexample/v1``, single document or a
+    ``{"counterexamples": [...]}`` bundle, as written by ``repro verify
+    --emit-fixture``) replays the solver-found arrival trace through
+    the real scheduler and checks the predicted violation reproduces.
     """
     from repro.sim.faults import run_chaos
 
@@ -211,10 +242,16 @@ def replay_chaos_command(args) -> int:
         print(f"cannot read chaos report {args.replay!r}: {exc}",
               file=sys.stderr)
         return EXIT_USAGE
+    if isinstance(data, dict):
+        if data.get("schema") == "repro-verify-counterexample/v1":
+            return _replay_counterexamples([data])
+        if isinstance(data.get("counterexamples"), list):
+            return _replay_counterexamples(data["counterexamples"])
     runs = data.get("runs") if isinstance(data, dict) else None
     if not isinstance(runs, list) or not runs:
         print(f"{args.replay!r} has no 'runs' list; was it written by "
-              "'repro chaos --report'?", file=sys.stderr)
+              "'repro chaos --report' or 'repro verify --emit-fixture'?",
+              file=sys.stderr)
         return EXIT_USAGE
 
     def run_failed(report: Any) -> bool:

@@ -1,0 +1,94 @@
+"""Adversarial verification: bounded-horizon model checking of H-FSC.
+
+The package encodes the scheduler's guarantee structure -- two-piece
+service curves, SCED anchor updates, hierarchical link sharing, link
+capacity -- as a discrete-time fluid model written once against an
+arithmetic abstraction, then hunts for guarantee-violating arrival
+traces two ways:
+
+* with **z3** (optional; ``pip install repro[verify]``), solving the
+  unrolled step relation directly; or
+* with the **native search backend**, exhaustively enumerating (or
+  beam-searching) a quantized arrival grid -- no dependencies, and an
+  exhaustive finish is a proof over the quantized space.
+
+Witnesses decode into self-contained counterexample JSON files that
+``repro chaos --replay`` and the bridge replay through the *real*
+packetized scheduler, closing the model-vs-implementation loop.  See
+docs/VERIFICATION.md for the model, its soundness caveats, and how to
+add a property.
+"""
+
+from repro.verify.bridge import replay_counterexample, schedule_digest
+from repro.verify.decoder import (
+    SCHEMA as COUNTEREXAMPLE_SCHEMA,
+    counterexample_to_doc,
+    load_counterexample,
+    packetize,
+    write_counterexample,
+)
+from repro.verify.model import (
+    FluidState,
+    conservation_error,
+    fluid_step,
+    initial_state,
+    run_fluid,
+)
+from repro.verify.native import SearchResult, native_search
+from repro.verify.ops import BIG, ConcreteOps, Z3Ops
+from repro.verify.properties import (
+    PROPERTIES,
+    Property,
+    ReplayCheck,
+    make_property,
+)
+from repro.verify.scenario import (
+    SCENARIOS,
+    LeafSpec,
+    VerifyScenario,
+    get_scenario,
+    scenario_from_dict,
+)
+from repro.verify.smt import (
+    Z3_HINT,
+    VerifierUnavailable,
+    smt_search,
+    z3_available,
+)
+
+#: True when the optional z3 backend can be imported in this environment.
+HAVE_Z3 = z3_available()
+
+__all__ = [
+    "BIG",
+    "COUNTEREXAMPLE_SCHEMA",
+    "ConcreteOps",
+    "FluidState",
+    "HAVE_Z3",
+    "LeafSpec",
+    "PROPERTIES",
+    "Property",
+    "ReplayCheck",
+    "SCENARIOS",
+    "SearchResult",
+    "VerifierUnavailable",
+    "VerifyScenario",
+    "Z3Ops",
+    "Z3_HINT",
+    "conservation_error",
+    "counterexample_to_doc",
+    "fluid_step",
+    "get_scenario",
+    "initial_state",
+    "load_counterexample",
+    "make_property",
+    "native_search",
+    "packetize",
+    "replay_counterexample",
+    "run_fluid",
+    "scenario_from_dict",
+    "schedule_digest",
+    "smt_search",
+    "write_counterexample",
+    "z3_available",
+]

@@ -1,0 +1,175 @@
+"""`repro verify`: run the bounded-horizon verifier and report in JSON.
+
+One invocation runs one or more properties, each through the selected
+backend (z3 when installed, the native quantized search otherwise),
+decodes any witness into a replayable counterexample, cross-checks it
+against the real scheduler through the bridge, and emits a JSON report::
+
+    repro verify --property all
+    repro verify --property linkshare_rt_gap --scenario campus --horizon 6
+    repro verify --property eq1_admission_invariant --solver native \
+                 --report verify.json --emit-fixture tests/golden/adversarial
+
+Exit codes: 0 = every property behaved as expected (UNSAT where the
+paper proves a guarantee, SAT where it proves an impossibility) and
+every witness reproduced on the real scheduler; 1 = some expectation or
+replay failed; 2 = usage error (including asking for z3 when it is not
+installed).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.verify.bridge import replay_counterexample
+from repro.verify.decoder import counterexample_to_doc, write_counterexample
+from repro.verify.native import native_search
+from repro.verify.properties import PROPERTIES, make_property
+from repro.verify.scenario import SCENARIOS, get_scenario
+from repro.verify.smt import Z3_HINT, smt_search, z3_available
+
+REPORT_SCHEMA = "repro-verify-report/v1"
+
+
+def add_verify_arguments(parser) -> None:
+    parser.add_argument(
+        "--property", dest="prop", default="all",
+        help="property to check: one of %s, a comma list, or 'all' "
+             "(default)" % ", ".join(sorted(PROPERTIES)),
+    )
+    parser.add_argument(
+        "--scenario", default=None, choices=sorted(SCENARIOS),
+        help="verification scenario (default: each property's own)",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=None, metavar="K",
+        help="model steps to unroll (default: scenario-specific)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SEC",
+        help="per-property search/solve budget in seconds (default: 60)",
+    )
+    parser.add_argument(
+        "--solver", choices=("auto", "z3", "native"), default="auto",
+        help="backend: z3 if installed, else the native quantized "
+             "search (default: auto)",
+    )
+    parser.add_argument(
+        "--levels", type=int, default=3, metavar="N",
+        help="arrival grid levels per leaf for the native search "
+             "(default: 3)",
+    )
+    parser.add_argument(
+        "--beam", type=int, default=None, metavar="W",
+        help="force beam search with this width instead of exhaustive "
+             "enumeration",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=None, metavar="M",
+        help="node budget under which the native search stays exhaustive",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the JSON report here",
+    )
+    parser.add_argument(
+        "--emit-fixture", metavar="DIR", default=None,
+        help="write each witness (violation or near-miss) as a "
+             "counterexample JSON fixture into this directory",
+    )
+    parser.add_argument(
+        "--no-replay", action="store_true",
+        help="skip cross-checking witnesses against the real scheduler",
+    )
+    parser.add_argument(
+        "--no-expect", action="store_true",
+        help="report only; do not fail the exit code on expectation "
+             "mismatches",
+    )
+
+
+def _run_one(args, name: str) -> Dict[str, Any]:
+    scn = get_scenario(args.scenario) if args.scenario else \
+        get_scenario(PROPERTIES[name].default_scenario)
+    prop = make_property(name, scn)
+    horizon = args.horizon or scn.default_horizon
+
+    if args.solver == "z3" or (args.solver == "auto" and z3_available()):
+        result = smt_search(scn, prop, horizon, timeout=args.timeout)
+    else:
+        kwargs: Dict[str, Any] = {
+            "levels": args.levels,
+            "beam_width": args.beam,
+            "timeout": args.timeout,
+        }
+        if args.max_nodes is not None:
+            kwargs["max_nodes"] = args.max_nodes
+        result = native_search(scn, prop, horizon, **kwargs)
+
+    record: Dict[str, Any] = result.to_dict()
+    record["expected"] = prop.expected
+    expected_status = ("violation" if prop.expected == "violation"
+                       else "no-violation")
+    record["as_expected"] = result.status == expected_status
+
+    doc = None
+    if result.arrivals:
+        doc = counterexample_to_doc(scn, prop, result)
+        if args.emit_fixture:
+            stem = f"{name}__{scn.name}"
+            path = write_counterexample(
+                doc, Path(args.emit_fixture) / f"{stem}.json"
+            )
+            record["fixture"] = str(path)
+    if doc is not None and not args.no_replay:
+        replay = replay_counterexample(doc)
+        record["replay"] = replay
+        if result.status == "violation" and not replay["reproduced"]:
+            record["as_expected"] = False
+    return record
+
+
+def verify_command(args) -> int:
+    if args.solver == "z3" and not z3_available():
+        print(Z3_HINT, file=sys.stderr)
+        return 2
+
+    if args.prop == "all":
+        names = sorted(PROPERTIES)
+    else:
+        names = [p.strip() for p in args.prop.split(",") if p.strip()]
+        unknown = [p for p in names if p not in PROPERTIES]
+        if unknown:
+            print(f"unknown property {unknown[0]!r}; expected one of "
+                  f"{sorted(PROPERTIES)} or 'all'", file=sys.stderr)
+            return 2
+
+    results: List[Dict[str, Any]] = []
+    start = time.monotonic()
+    try:
+        for name in names:
+            results.append(_run_one(args, name))
+    except ConfigurationError as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
+
+    ok = all(r["as_expected"] for r in results)
+    report = {
+        "schema": REPORT_SCHEMA,
+        "ok": ok,
+        "elapsed": round(time.monotonic() - start, 6),
+        "results": results,
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.report:
+        Path(args.report).write_text(text + "\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    if args.no_expect:
+        return 0
+    return 0 if ok else 1

@@ -1,0 +1,114 @@
+"""Turn a solver/search witness into a concrete, replayable trace.
+
+The model's witness is an arrival matrix ``arrivals[t][leaf]`` of byte
+amounts; a replay needs packets with timestamps and class names.  The
+decoder writes a self-contained JSON document (schema
+``repro-verify-counterexample/v1``) carrying:
+
+* the packetized arrival list ``[[time, class, bytes], ...]`` -- amounts
+  are split into scheduler-quantum packets (plus one remainder packet
+  for non-grid amounts a z3 model may produce);
+* the **embedded scenario** (hierarchy, curves, envelopes), so fixture
+  files stay replayable even if the canned scenario registry drifts;
+* the model's prediction (violation value, threshold, proof strength)
+  and the replay tolerance the bridge should hold it to.
+
+These documents are what lands in ``tests/golden/adversarial/`` and
+what ``repro chaos --replay`` accepts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.errors import ConfigurationError
+from repro.verify.native import SearchResult
+from repro.verify.properties import EPS, Property
+from repro.verify.scenario import VerifyScenario
+
+SCHEMA = "repro-verify-counterexample/v1"
+
+
+def packetize(
+    scn: VerifyScenario, arrivals: List[List[float]]
+) -> List[List[Any]]:
+    """Split the witness matrix into ``[time, class, bytes]`` packets."""
+    out: List[List[Any]] = []
+    for t, row in enumerate(arrivals):
+        when = round(t * scn.dt, 9)
+        for i, amount in enumerate(row):
+            amount = float(amount)
+            if amount <= EPS:
+                continue
+            name = scn.leaves[i].name
+            whole, rest = divmod(amount, scn.quantum)
+            for _ in range(int(whole)):
+                out.append([when, name, scn.quantum])
+            if rest > EPS:
+                out.append([when, name, round(rest, 6)])
+    return out
+
+
+def replay_until(scn: VerifyScenario, horizon: int,
+                 arrivals: List[List[Any]]) -> float:
+    """Long enough to drain every witness byte plus a settling margin."""
+    total = sum(a[2] for a in arrivals)
+    return round(horizon * scn.dt + total / scn.capacity + 10 * scn.dt, 9)
+
+
+def counterexample_to_doc(
+    scn: VerifyScenario,
+    prop: Property,
+    result: SearchResult,
+) -> Dict[str, Any]:
+    """Build the v1 counterexample document from a search result."""
+    if result.arrivals is None:
+        raise ConfigurationError(
+            f"search result for {result.property!r} carries no witness trace"
+        )
+    packets = packetize(scn, result.arrivals)
+    info = prop.info()
+    target = info.get("victim") or info.get("leaf")
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "property": result.property,
+        "expected": prop.expected,
+        "status": result.status if result.status == "violation" else "near-miss",
+        "backend": result.backend,
+        "proof": result.proof,
+        "horizon": result.horizon,
+        "predicted": result.value,
+        "threshold": result.threshold,
+        "scenario": scn.to_dict(),
+        "arrivals": packets,
+        "replay": {
+            "until": replay_until(scn, result.horizon, packets),
+            "window": round(result.horizon * scn.dt, 9),
+            "tolerance": prop.replay_tolerance(),
+        },
+        "detail": result.detail,
+    }
+    if target is not None:
+        doc["target"] = target
+    return doc
+
+
+def write_counterexample(
+    doc: Dict[str, Any], path: Union[str, Path]
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_counterexample(path: Union[str, Path]) -> Dict[str, Any]:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"{path}: not a {SCHEMA} document "
+            f"(schema={doc.get('schema')!r})"
+        )
+    return doc

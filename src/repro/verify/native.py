@@ -1,0 +1,192 @@
+"""Pure-Python search backend: exhaustive DFS or beam over arrival grids.
+
+This is the fallback (and confirmation engine) for machines without the
+optional ``z3-solver`` wheel.  The adversary's arrivals are quantized to
+a small per-step level grid (multiples of the scheduler quantum up to
+the per-step peak); the engine then either
+
+* **exhaustively** enumerates every arrival matrix up to the horizon --
+  when it finishes under budget, the verdict is a *proof over the
+  quantized space* (``proof == "exhaustive"``), the discrete analogue of
+  an UNSAT answer; or
+* runs a **beam search** guided by the property's partial value when the
+  grid is too large -- the verdict is then only as strong as the best
+  witness found (``proof == "search"``).
+
+Either way the best trace found is returned so the decoder can turn it
+into a replayable counterexample.  Pruning hooks come from the property
+(envelope feasibility, side conditions such as "victim stays
+backlogged"), so infeasible prefixes are cut before they branch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.verify.model import FluidState, fluid_step, initial_state
+from repro.verify.ops import BIG, ConcreteOps
+from repro.verify.properties import Property
+from repro.verify.scenario import VerifyScenario
+
+#: Default node budget under which DFS is attempted exhaustively.
+DEFAULT_MAX_NODES = 400_000
+#: Default beam width when falling back to beam search.
+DEFAULT_BEAM_WIDTH = 256
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a property search, backend-agnostic."""
+
+    property: str
+    scenario: str
+    backend: str                 # "native" or "z3"
+    status: str                  # "violation" | "no-violation" | "unknown"
+    proof: str                   # "exhaustive" | "unsat" | "search"
+    value: float                 # best violation measure found
+    threshold: float
+    arrivals: Optional[List[List[float]]]  # witness matrix [t][leaf]
+    horizon: int
+    explored: int
+    elapsed: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "property": self.property,
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "status": self.status,
+            "proof": self.proof,
+            "value": self.value,
+            "threshold": self.threshold,
+            "horizon": self.horizon,
+            "explored": self.explored,
+            "elapsed": round(self.elapsed, 6),
+        }
+        if self.arrivals is not None:
+            out["arrivals"] = self.arrivals
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+def _combos(levels: Sequence[float], n: int) -> List[Tuple[float, ...]]:
+    """All per-step arrival rows: one level choice per leaf."""
+    rows: List[Tuple[float, ...]] = [()]
+    for _ in range(n):
+        rows = [row + (lv,) for row in rows for lv in levels]
+    return rows
+
+
+def native_search(
+    scn: VerifyScenario,
+    prop: Property,
+    horizon: int,
+    levels: int = 3,
+    max_nodes: int = DEFAULT_MAX_NODES,
+    beam_width: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> SearchResult:
+    """Search the quantized arrival space for the worst property value."""
+    start = time.monotonic()
+    deadline = None if timeout is None else start + timeout
+    level_vals = scn.arrival_levels(levels)
+    n = len(scn.leaves)
+    rows = _combos(level_vals, n)
+    tables = [scn.curve_table(i, horizon) for i in range(n)]
+
+    best_value = -BIG
+    best_state: Optional[FluidState] = None
+    explored = 0
+    proof = "search"
+
+    if beam_width is None:
+        # Attempt exhaustive DFS under a *dynamic* node budget: property
+        # pruning (envelopes, side conditions) usually shrinks the tree
+        # far below the raw branching**horizon, so try first and only
+        # fall back to beam search when the budget actually runs out.
+        complete = True
+        stack: List[FluidState] = [initial_state(scn)]
+        while stack:
+            if explored > max_nodes or (
+                deadline is not None and time.monotonic() > deadline
+            ):
+                complete = False
+                break
+            state = stack.pop()
+            if state.t == horizon:
+                value = prop.value(state)
+                if value > best_value:
+                    best_value, best_state = value, state
+                continue
+            for row in rows:
+                explored += 1
+                child = fluid_step(scn, state, row, tables)
+                if not prop.prefix_ok(child):
+                    continue
+                stack.append(child)
+        if complete:
+            proof = "exhaustive"
+
+    if proof != "exhaustive":
+        # Beam search (requested width, or fallback after DFS overran
+        # its budget); the DFS's best-so-far still competes at the end.
+        width = beam_width or DEFAULT_BEAM_WIDTH
+        frontier: List[Tuple[float, FluidState]] = [
+            (0.0, initial_state(scn))
+        ]
+        for _ in range(horizon):
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            children: List[Tuple[float, FluidState]] = []
+            for _, state in frontier:
+                for row in rows:
+                    explored += 1
+                    child = fluid_step(scn, state, row, tables)
+                    if not prop.prefix_ok(child):
+                        continue
+                    children.append((prop.partial_value(child), child))
+            if not children:
+                break
+            children.sort(key=lambda pair: pair[0], reverse=True)
+            frontier = children[:width]
+        for _, state in frontier:
+            if state.t != horizon:
+                continue
+            value = prop.value(state)
+            if value > best_value:
+                best_value, best_state = value, state
+
+    elapsed = time.monotonic() - start
+    if best_state is None:
+        # Every prefix got pruned: the side conditions are unsatisfiable
+        # in the quantized space (e.g. nothing keeps the victim backlogged).
+        status = "no-violation" if proof == "exhaustive" else "unknown"
+        return SearchResult(
+            property=prop.name, scenario=scn.name, backend="native",
+            status=status, proof=proof, value=-BIG,
+            threshold=prop.threshold, arrivals=None, horizon=horizon,
+            explored=explored, elapsed=elapsed,
+            detail={"note": "no feasible trace", **prop.info()},
+        )
+
+    violated = best_value > prop.threshold
+    if violated:
+        status = "violation"
+    elif proof == "exhaustive":
+        status = "no-violation"
+    else:
+        status = "unknown"
+    # Always return the worst trace found -- near-misses make useful
+    # adversarial fixtures even when the property holds.
+    arrivals = [[float(x) for x in row] for row in best_state.arrived]
+    return SearchResult(
+        property=prop.name, scenario=scn.name, backend="native",
+        status=status, proof=proof, value=float(best_value),
+        threshold=prop.threshold, arrivals=arrivals, horizon=horizon,
+        explored=explored, elapsed=elapsed,
+        detail={"levels": [float(v) for v in level_vals], **prop.info()},
+    )

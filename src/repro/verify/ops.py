@@ -1,0 +1,121 @@
+"""Arithmetic abstraction: one model, concrete *and* symbolic execution.
+
+The bounded-horizon scheduler model in :mod:`repro.verify.model` is
+written once against this tiny operations layer.  With
+:class:`ConcreteOps` the step rules evaluate Python numbers -- that is
+the native search backend and the confirmation pass run on decoded
+witnesses.  With :class:`Z3Ops` the *same code path* emits z3 terms --
+that is the SMT encoding.  Because both backends execute literally the
+same update rules, a witness the solver constructs re-evaluates to the
+same trace in the concrete executor by construction; disagreement
+would mean an encoding bug, which is exactly what the confirmation
+pass exists to catch.
+
+The contract is deliberately small and branch-free: the model may only
+combine values with ``+ - *`` and the operations below.  Division is
+*not* offered -- every fraction in the model must be a constant
+(weights, curve slopes), keeping the z3 encoding linear (QF_LRA) and
+the concrete arithmetic exact for dyadic scenario constants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+#: Sentinel "plus infinity" for requirement folds; larger than any value
+#: a bounded-horizon trace can produce (bytes served fit well below it).
+BIG = 1e18
+
+
+class ConcreteOps:
+    """Evaluate the model over plain Python numbers."""
+
+    symbolic = False
+
+    @staticmethod
+    def const(x: float) -> float:
+        return x
+
+    @staticmethod
+    def ite(cond: bool, a: Any, b: Any) -> Any:
+        return a if cond else b
+
+    @staticmethod
+    def and_(*conds: bool) -> bool:
+        return all(conds)
+
+    @staticmethod
+    def or_(*conds: bool) -> bool:
+        return any(conds)
+
+    @staticmethod
+    def not_(cond: bool) -> bool:
+        return not cond
+
+    @staticmethod
+    def min2(a: Any, b: Any) -> Any:
+        return a if a <= b else b
+
+    @staticmethod
+    def max2(a: Any, b: Any) -> Any:
+        return a if a >= b else b
+
+    @staticmethod
+    def min_of(values: Iterable[Any]) -> Any:
+        result = None
+        for value in values:
+            result = value if result is None or value < result else result
+        return BIG if result is None else result
+
+    @staticmethod
+    def max_of(values: Iterable[Any]) -> Any:
+        result = None
+        for value in values:
+            result = value if result is None or value > result else result
+        return -BIG if result is None else result
+
+
+class Z3Ops:
+    """Emit z3 terms from the same model code (import-guarded)."""
+
+    symbolic = True
+
+    def __init__(self):
+        import z3  # deferred: optional dependency (pip install repro[verify])
+
+        self._z3 = z3
+
+    def const(self, x: float):
+        return self._z3.RealVal(x)
+
+    def ite(self, cond, a, b):
+        if isinstance(cond, bool):  # concrete guards still occur
+            return a if cond else b
+        return self._z3.If(cond, a, b)
+
+    def and_(self, *conds):
+        return self._z3.And(*conds)
+
+    def or_(self, *conds):
+        return self._z3.Or(*conds)
+
+    def not_(self, cond):
+        return self._z3.Not(cond)
+
+    def min2(self, a, b):
+        return self.ite(a <= b, a, b)
+
+    def max2(self, a, b):
+        return self.ite(a >= b, a, b)
+
+    def min_of(self, values):
+        result = None
+        for value in values:
+            result = value if result is None else self.min2(result, value)
+        return self.const(BIG) if result is None else result
+
+    def max_of(self, values):
+        result = None
+        for value in values:
+            result = value if result is None else self.max2(result, value)
+        return self.const(-BIG) if result is None else result

@@ -1,0 +1,425 @@
+"""Property library: what the verifier tries to break, and how to re-check.
+
+Each property binds three faces of the same claim together so they can
+never drift apart:
+
+* a **model-side violation measure** over a fluid trace -- written once
+  against the ops layer, so it both evaluates concrete traces (native
+  search) and emits the z3 objective/assertion (SMT search);
+* the **adversary's feasible set** -- arrival envelopes and any
+  property-specific side conditions (e.g. "the victim stays
+  backlogged"), again in both concrete and symbolic form;
+* a **replay check** that re-measures the violation on the *real*
+  packetized scheduler's output using the shared predicates of
+  :mod:`repro.analysis.predicates`, with an explicit tolerance
+  accounting for Theorem-2 packetization slack and the model's dt
+  granularity.
+
+Properties:
+
+``eq1_admission_invariant``
+    The paper's eq. (1): an admissible real-time curve set is never
+    violated.  Expected UNSAT (no violation) -- a witness would mean
+    either the admission predicate or the scheduling rules are wrong.
+``theorem2_delay_bound``
+    Theorem 2: a token-bucket-constrained session guaranteed curve S
+    never waits longer than the horizontal deviation between envelope
+    and curve (plus one max packet after packetization).  Expected
+    UNSAT.
+``linkshare_rt_gap``
+    The Section III-C impossibility: real-time guarantees force the
+    scheduler away from ideal link sharing.  Expected SAT -- the solver
+    *constructs* the adversarial burst pattern and reports the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.delay import service_curve_delay_bound
+from repro.analysis.predicates import (
+    eq1_shortfall,
+    linkshare_gap,
+    max_packet_delay,
+)
+from repro.core.errors import ConfigurationError
+from repro.verify.model import FluidState
+from repro.verify.ops import BIG, ConcreteOps
+from repro.verify.scenario import VerifyScenario
+
+#: Float-noise tolerance for model-side comparisons (bytes / seconds).
+EPS = 1e-6
+
+Arrival = Tuple[float, Any, float]
+
+
+def envelope_ok(scn: VerifyScenario, state: FluidState) -> bool:
+    """Concrete check: the newest arrivals respect every leaf envelope."""
+    t = state.t
+    if t == 0:
+        return True
+    when = (t - 1) * scn.dt
+    for i, leaf in enumerate(scn.leaves):
+        if leaf.envelope is None:
+            continue
+        if state.cum_arrivals[t][i] > scn.envelope_value(i, when) + EPS:
+            return False
+    return True
+
+
+def envelope_constraints(
+    scn: VerifyScenario, state: FluidState, ops
+) -> List[Any]:
+    """Symbolic form of :func:`envelope_ok` over every boundary."""
+    constraints: List[Any] = []
+    for i, leaf in enumerate(scn.leaves):
+        if leaf.envelope is None:
+            continue
+        for t in range(1, state.t + 1):
+            bound = scn.envelope_value(i, (t - 1) * scn.dt)
+            if bound < BIG:
+                constraints.append(
+                    state.cum_arrivals[t][i] <= ops.const(bound)
+                )
+    return constraints
+
+
+@dataclass
+class ReplayCheck:
+    """Outcome of re-measuring a counterexample on the real scheduler."""
+
+    reproduced: bool
+    measured: float
+    predicted: float
+    tolerance: float
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "reproduced": self.reproduced,
+            "measured": self.measured,
+            "predicted": self.predicted,
+            "tolerance": self.tolerance,
+            "detail": self.detail,
+        }
+
+
+class Property:
+    """Base class: subclasses fill in the hooks the engines call."""
+
+    name: str = ""
+    expected: str = "none"          # "none" (UNSAT) or "violation" (SAT)
+    default_scenario: str = ""
+    description: str = ""
+
+    def __init__(self, scn: VerifyScenario):
+        self.scn = scn
+
+    # -- native (concrete) hooks -------------------------------------------
+
+    def prefix_ok(self, state: FluidState) -> bool:
+        """May this partial trace still satisfy the side conditions?"""
+        return envelope_ok(self.scn, state)
+
+    def value(self, state: FluidState) -> float:
+        """Violation measure of a complete trace (> threshold = violated)."""
+        raise NotImplementedError
+
+    def partial_value(self, state: FluidState) -> float:
+        """Beam-search score for a partial trace (default: final measure)."""
+        return self.value(state)
+
+    @property
+    def threshold(self) -> float:
+        return 0.0
+
+    # -- symbolic hooks -----------------------------------------------------
+
+    def constraints(self, state: FluidState, ops) -> List[Any]:
+        return envelope_constraints(self.scn, state, ops)
+
+    def violation_expr(self, state: FluidState, ops) -> Any:
+        raise NotImplementedError
+
+    # -- reporting / replay -------------------------------------------------
+
+    def info(self) -> Dict[str, Any]:
+        return {}
+
+    def replay_tolerance(self) -> float:
+        raise NotImplementedError
+
+    def replay_check(
+        self,
+        predicted: float,
+        arrivals: Sequence[Arrival],
+        served: Sequence[Any],
+        context: Optional[Dict[str, Any]] = None,
+    ) -> ReplayCheck:
+        raise NotImplementedError
+
+
+class Eq1AdmissionInvariant(Property):
+    """Eq. (1) holds for every admissible leaf set (expected UNSAT)."""
+
+    name = "eq1_admission_invariant"
+    expected = "none"
+    default_scenario = "duo_rt"
+    description = ("search for an arrival pattern under which an admitted "
+                   "real-time curve set misses eq. (1)")
+
+    def __init__(self, scn: VerifyScenario):
+        super().__init__(scn)
+        if not scn.rt_leaves():
+            raise ConfigurationError(
+                f"scenario {scn.name!r} has no real-time leaves to audit"
+            )
+        if not scn.admissible():
+            raise ConfigurationError(
+                f"scenario {scn.name!r} is not admissible; eq. (1) only "
+                "claims guarantees for admitted sets"
+            )
+
+    def value(self, state: FluidState) -> float:
+        worst = -BIG
+        for t in range(1, state.t + 1):
+            for i in self.scn.rt_leaves():
+                worst = max(
+                    worst,
+                    state.requirement[t][i] - state.service[t][i],
+                )
+        return worst
+
+    def violation_expr(self, state: FluidState, ops) -> Any:
+        terms = [
+            state.requirement[t][i] - state.service[t][i]
+            for t in range(1, state.t + 1)
+            for i in self.scn.rt_leaves()
+        ]
+        return ops.max_of(terms)
+
+    @property
+    def threshold(self) -> float:
+        return 1e-3  # bytes of shortfall beyond float noise
+
+    def info(self) -> Dict[str, Any]:
+        return {"admissible": self.scn.admissible()}
+
+    def replay_tolerance(self) -> float:
+        # Theorem 2: one max packet of slack, doubled for arrival-record
+        # timing (matching the chaos watchdog's convention).
+        return 2.0 * self.scn.quantum
+
+    def replay_check(self, predicted, arrivals, served,
+                     context=None) -> ReplayCheck:
+        worst = 0.0
+        worst_leaf = None
+        for i in self.scn.rt_leaves():
+            leaf = self.scn.leaves[i]
+            shortfall = eq1_shortfall(arrivals, served, leaf.name, leaf.rt)
+            if shortfall >= worst:
+                worst, worst_leaf = shortfall, leaf.name
+        tolerance = self.replay_tolerance()
+        # The model predicted `predicted` bytes of worst shortfall; the
+        # packetized scheduler may add at most the Theorem-2 slack.
+        reproduced = worst <= max(predicted, 0.0) + tolerance
+        return ReplayCheck(
+            reproduced=reproduced,
+            measured=worst,
+            predicted=predicted,
+            tolerance=tolerance,
+            detail=f"worst eq.(1) shortfall {worst:g} bytes at leaf "
+                   f"{worst_leaf!r} (model predicted {predicted:g})",
+        )
+
+
+class Theorem2DelayBound(Property):
+    """Delay of an envelope-constrained leaf stays under the Theorem-2
+    bound (expected UNSAT; certification granularity is one step)."""
+
+    name = "theorem2_delay_bound"
+    expected = "none"
+    default_scenario = "shared"
+    description = ("search for a trace pushing a token-bucket session past "
+                   "its service-curve delay bound")
+
+    def __init__(self, scn: VerifyScenario, leaf: Optional[str] = None):
+        super().__init__(scn)
+        candidates = [
+            l.name for l in scn.leaves
+            if l.rt is not None and l.envelope is not None
+        ]
+        if leaf is None:
+            if not candidates:
+                raise ConfigurationError(
+                    f"scenario {scn.name!r} has no leaf with both a "
+                    "guarantee and an arrival envelope"
+                )
+            leaf = candidates[0]
+        self.leaf = leaf
+        self.index = scn.leaf_index(leaf)
+        spec = scn.leaves[self.index]
+        if spec.rt is None or spec.envelope is None:
+            raise ConfigurationError(
+                f"leaf {leaf!r} needs both a guarantee and an envelope"
+            )
+        sigma, rho, peak = spec.envelope
+        self.bound = service_curve_delay_bound(spec.rt, sigma, rho, peak)
+
+    def value(self, state: FluidState) -> float:
+        i = self.index
+        worst = -BIG
+        for u in range(state.t):
+            batch = state.cum_arrivals[u + 1][i]
+            if batch <= state.cum_arrivals[u][i] + EPS:
+                continue  # nothing arrived at boundary u
+            for v in range(u + 1, state.t + 1):
+                if batch > state.service[v][i] + EPS:
+                    worst = max(worst, (v - u) * self.scn.dt - self.bound)
+        return worst
+
+    def violation_expr(self, state: FluidState, ops) -> Any:
+        i = self.index
+        terms = []
+        for u in range(state.t):
+            batch = state.cum_arrivals[u + 1][i]
+            for v in range(u + 1, state.t + 1):
+                terms.append(ops.ite(
+                    batch - state.service[v][i] > ops.const(EPS),
+                    ops.const((v - u) * self.scn.dt - self.bound),
+                    ops.const(-BIG),
+                ))
+        return ops.max_of(terms)
+
+    def info(self) -> Dict[str, Any]:
+        return {"leaf": self.leaf, "fluid_delay_bound": self.bound,
+                "dt_granularity": self.scn.dt}
+
+    def replay_tolerance(self) -> float:
+        # One step of model granularity plus the Theorem-2 packet time
+        # and one packet of transmission quantization.
+        return self.scn.dt + 2.0 * self.scn.quantum / self.scn.capacity
+
+    def replay_check(self, predicted, arrivals, served,
+                     context=None) -> ReplayCheck:
+        measured = max_packet_delay(served, self.leaf)
+        tolerance = self.replay_tolerance()
+        packet_bound = self.bound + self.scn.quantum / self.scn.capacity
+        predicted_delay = self.bound + max(predicted, 0.0)
+        reproduced = (
+            measured <= packet_bound + tolerance
+            and measured <= predicted_delay + tolerance
+        )
+        return ReplayCheck(
+            reproduced=reproduced,
+            measured=measured,
+            predicted=predicted_delay,
+            tolerance=tolerance,
+            detail=f"worst packet delay {measured:g}s vs Theorem-2 bound "
+                   f"{packet_bound:g}s (model predicted {predicted_delay:g}s)",
+        )
+
+
+class LinkshareRtGap(Property):
+    """Maximize the Section III-C fair-share shortfall (expected SAT)."""
+
+    name = "linkshare_rt_gap"
+    expected = "violation"
+    default_scenario = "pair"
+    description = ("construct a burst pattern under which real-time "
+                   "guarantees push a backlogged leaf below its fair share")
+
+    def __init__(self, scn: VerifyScenario, victim: Optional[str] = None):
+        super().__init__(scn)
+        candidates = [l.name for l in scn.leaves if l.rt is None]
+        if victim is None:
+            if not candidates:
+                raise ConfigurationError(
+                    f"scenario {scn.name!r} has no link-sharing-only leaf "
+                    "to starve"
+                )
+            victim = candidates[0]
+        self.victim = victim
+        self.index = scn.leaf_index(victim)
+        self.fair_rate = scn.fair_rate(victim)
+
+    @property
+    def threshold(self) -> float:
+        # A gap under two packets is packetization noise, not the
+        # impossibility result; demand a burst-scale shortfall.
+        return 2.0 * self.scn.quantum
+
+    def prefix_ok(self, state: FluidState) -> bool:
+        if not envelope_ok(self.scn, state):
+            return False
+        # The fair-share baseline assumes the victim never goes idle.
+        t = state.t
+        if t == 0:
+            return True
+        return state.backlog(t, self.index) > EPS
+
+    def value(self, state: FluidState) -> float:
+        window = state.t * self.scn.dt
+        return self.fair_rate * window - state.service[state.t][self.index]
+
+    def partial_value(self, state: FluidState) -> float:
+        return self.value(state)
+
+    def constraints(self, state: FluidState, ops) -> List[Any]:
+        out = envelope_constraints(self.scn, state, ops)
+        for t in range(1, state.t + 1):
+            out.append(
+                state.cum_arrivals[t][self.index]
+                - state.service[t][self.index] > ops.const(0.0)
+            )
+        return out
+
+    def violation_expr(self, state: FluidState, ops) -> Any:
+        window = state.t * self.scn.dt
+        return (ops.const(self.fair_rate * window)
+                - state.service[state.t][self.index])
+
+    def info(self) -> Dict[str, Any]:
+        return {"victim": self.victim, "fair_rate": self.fair_rate}
+
+    def replay_tolerance(self) -> float:
+        # Two packets of quantization plus one step of fluid-vs-packet
+        # phase difference at the window edge.
+        return 2.0 * self.scn.quantum + self.scn.capacity * self.scn.dt
+
+    def replay_check(self, predicted, arrivals, served,
+                     context=None) -> ReplayCheck:
+        window = (context or {}).get("window")
+        if window is None:
+            window = max((a[0] for a in arrivals), default=0.0) + self.scn.dt
+        measured = linkshare_gap(
+            served, self.victim, self.fair_rate, 0.0, window
+        )
+        tolerance = self.replay_tolerance()
+        reproduced = measured >= predicted - tolerance
+        return ReplayCheck(
+            reproduced=reproduced,
+            measured=measured,
+            predicted=predicted,
+            tolerance=tolerance,
+            detail=f"victim {self.victim!r} fell {measured:g} bytes below "
+                   f"its fair share over {window:g}s "
+                   f"(model predicted {predicted:g})",
+        )
+
+
+PROPERTIES: Dict[str, type] = {
+    cls.name: cls
+    for cls in (Eq1AdmissionInvariant, Theorem2DelayBound, LinkshareRtGap)
+}
+
+
+def make_property(name: str, scn: VerifyScenario) -> Property:
+    try:
+        cls = PROPERTIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown property {name!r} (expected one of {sorted(PROPERTIES)})"
+        ) from None
+    return cls(scn)

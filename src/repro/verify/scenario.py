@@ -1,0 +1,334 @@
+"""Bounded-horizon verification scenarios: small, concrete hierarchies.
+
+A :class:`VerifyScenario` fixes everything about the system under
+verification *except the arrivals*: link capacity, step size, a <=3
+level / <=6 leaf hierarchy with per-leaf real-time curves, link-sharing
+weights, and optional token-bucket arrival envelopes.  The solver (or
+the native search) then owns the arrivals -- one non-negative amount
+per leaf per step -- and hunts for a pattern that violates a property.
+
+The same scenario object also knows how to build the *real* packetized
+:class:`~repro.core.hfsc.HFSC` scheduler with the equivalent hierarchy,
+which is how the replay bridge cross-validates counterexamples: the
+model predicts, ``drive()`` confirms.
+
+Scenario constants are chosen so one arrival quantum is one packet and
+every rate is a round number: witnesses decode into clean packet traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.curves import ServiceCurve, is_admissible
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LeafSpec:
+    """One leaf class of a verification scenario.
+
+    ``weight`` is the link-sharing weight among its siblings;
+    ``rt`` the guaranteed (real-time) service curve, if any;
+    ``envelope`` an optional ``(sigma, rho, peak)`` token bucket
+    constraining this leaf's arrivals (``peak`` may be ``inf``).
+    """
+
+    name: str
+    weight: float = 1.0
+    rt: Optional[ServiceCurve] = None
+    envelope: Optional[Tuple[float, float, float]] = None
+    parent: Optional[str] = None  # None = directly under the root
+
+
+@dataclass(frozen=True)
+class VerifyScenario:
+    """A fully specified verification instance minus the arrivals."""
+
+    name: str
+    description: str
+    capacity: float                 # link rate, bytes/second
+    dt: float                       # step length, seconds
+    quantum: float                  # arrival quantum == packet size, bytes
+    peak_step: float                # max bytes one leaf may inject per step
+    leaves: Tuple[LeafSpec, ...]
+    agencies: Tuple[Tuple[str, float], ...] = ()   # (name, weight)
+    default_horizon: int = 5
+    rounds: int = 0                 # surplus redistribution rounds (0 = auto)
+
+    def __post_init__(self) -> None:
+        if not self.leaves:
+            raise ConfigurationError("scenario needs at least one leaf")
+        if len(self.leaves) > 6:
+            raise ConfigurationError("verification scenarios cap at 6 leaves")
+        names = [leaf.name for leaf in self.leaves]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate leaf names")
+        agency_names = {name for name, _ in self.agencies}
+        for leaf in self.leaves:
+            if leaf.parent is not None and leaf.parent not in agency_names:
+                raise ConfigurationError(
+                    f"leaf {leaf.name!r} references unknown agency {leaf.parent!r}"
+                )
+        if self.rounds == 0:
+            object.__setattr__(self, "rounds", len(self.leaves) + 1)
+
+    # -- derived structure --------------------------------------------------
+
+    @property
+    def cap_per_step(self) -> float:
+        return self.capacity * self.dt
+
+    def leaf_index(self, name: str) -> int:
+        for i, leaf in enumerate(self.leaves):
+            if leaf.name == name:
+                return i
+        raise ConfigurationError(f"unknown leaf {name!r}")
+
+    def rt_leaves(self) -> List[int]:
+        return [i for i, leaf in enumerate(self.leaves) if leaf.rt is not None]
+
+    def tree(self) -> List[Tuple[Optional[str], float, List[int]]]:
+        """Link-sharing tree as ``(agency, weight, leaf_indices)`` groups.
+
+        Direct root leaves come back as one-leaf groups with
+        ``agency=None``; the surplus distributor walks this structure.
+        """
+        groups: List[Tuple[Optional[str], float, List[int]]] = []
+        for name, weight in self.agencies:
+            members = [
+                i for i, leaf in enumerate(self.leaves) if leaf.parent == name
+            ]
+            if members:
+                groups.append((name, weight, members))
+        for i, leaf in enumerate(self.leaves):
+            if leaf.parent is None:
+                groups.append((None, leaf.weight, [i]))
+        return groups
+
+    def fair_fraction(self, name: str) -> float:
+        """Leaf's ideal share of the link (product of weights down the tree)."""
+        index = self.leaf_index(name)
+        leaf = self.leaves[index]
+        groups = self.tree()
+        total_top = sum(weight for _, weight, _ in groups)
+        for agency, weight, members in groups:
+            if index in members:
+                top = weight / total_top
+                if agency is None:
+                    return top
+                sibling_total = sum(self.leaves[j].weight for j in members)
+                return top * leaf.weight / sibling_total
+        raise ConfigurationError(f"leaf {name!r} not reachable")  # pragma: no cover
+
+    def fair_rate(self, name: str) -> float:
+        return self.capacity * self.fair_fraction(name)
+
+    def curve_table(self, index: int, horizon: int) -> List[float]:
+        """``S_i(k * dt)`` for ``k = 0..horizon`` (zeros without a curve)."""
+        leaf = self.leaves[index]
+        if leaf.rt is None:
+            return [0.0] * (horizon + 1)
+        return [leaf.rt.value(k * self.dt) for k in range(horizon + 1)]
+
+    def envelope_value(self, index: int, time: float) -> float:
+        """Arrival-envelope bound at ``time`` (``inf`` when unconstrained)."""
+        leaf = self.leaves[index]
+        if leaf.envelope is None:
+            return math.inf
+        sigma, rho, peak = leaf.envelope
+        bucket = sigma + rho * max(0.0, time)
+        if peak == math.inf:
+            return bucket
+        return min(bucket, peak * max(0.0, time))
+
+    def admissible(self) -> bool:
+        curves = [leaf.rt for leaf in self.leaves if leaf.rt is not None]
+        return is_admissible(curves, self.capacity)
+
+    def arrival_levels(self, count: int = 3) -> List[float]:
+        """Quantized arrival grid for the native search (0..peak_step)."""
+        if count < 2:
+            raise ConfigurationError("need at least 2 arrival levels")
+        steps = int(round(self.peak_step / self.quantum))
+        picks = sorted({
+            int(round(k * steps / (count - 1))) for k in range(count)
+        })
+        return [p * self.quantum for p in picks]
+
+    # -- real scheduler construction ---------------------------------------
+
+    def build_hfsc(self, **kwargs: Any):
+        """The equivalent packetized H-FSC hierarchy for replay."""
+        from repro.core.hfsc import HFSC  # deferred: heavy import
+
+        sched = HFSC(self.capacity, **kwargs)
+        groups = self.tree()
+        total_top = sum(weight for _, weight, _ in groups)
+        for agency, weight, members in groups:
+            if agency is None:
+                continue
+            sched.add_class(
+                agency,
+                ls_sc=ServiceCurve.linear(self.capacity * weight / total_top),
+            )
+        for leaf in self.leaves:
+            curves: Dict[str, ServiceCurve] = {
+                "ls_sc": ServiceCurve.linear(self.fair_rate(leaf.name)),
+            }
+            if leaf.rt is not None:
+                curves["rt_sc"] = leaf.rt
+            if leaf.parent is None:
+                sched.add_class(leaf.name, **curves)
+            else:
+                sched.add_class(leaf.name, leaf.parent, **curves)
+        return sched
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready description (embedded in counterexample files)."""
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "dt": self.dt,
+            "quantum": self.quantum,
+            "peak_step": self.peak_step,
+            "agencies": [list(a) for a in self.agencies],
+            "leaves": [
+                {
+                    "name": leaf.name,
+                    "weight": leaf.weight,
+                    "parent": leaf.parent,
+                    "rt": None if leaf.rt is None else
+                        [leaf.rt.m1, leaf.rt.d, leaf.rt.m2],
+                    "envelope": None if leaf.envelope is None else
+                        [v if v != math.inf else None for v in leaf.envelope],
+                }
+                for leaf in self.leaves
+            ],
+        }
+
+
+# -- canned scenarios --------------------------------------------------------
+
+_C = 100_000.0      # link rate (bytes/s)
+_DT = 0.01          # 1 ms of service per 1000-byte step at _C
+_Q = 500.0          # arrival quantum == packet size
+_PEAK = 2000.0      # per-leaf bytes per step the adversary may inject
+
+
+def _scenarios() -> Dict[str, VerifyScenario]:
+    concave = ServiceCurve(80_000.0, 0.025, 20_000.0)   # knee at 2000 bytes
+    convex = ServiceCurve(0.0, 0.01, 40_000.0)
+    steep = ServiceCurve(100_000.0, 0.03, 10_000.0)     # full link for 30 ms
+    bucket = (2000.0, 20_000.0, math.inf)               # sigma, rho, peak
+    return {
+        scn.name: scn
+        for scn in (
+            VerifyScenario(
+                name="single",
+                description="One guaranteed leaf alone on the link "
+                            "(Theorem 2, uncontended).",
+                capacity=_C, dt=_DT, quantum=_Q, peak_step=_PEAK,
+                leaves=(
+                    LeafSpec("rt", weight=1.0, rt=concave, envelope=bucket),
+                ),
+                default_horizon=6,
+            ),
+            VerifyScenario(
+                name="shared",
+                description="A guaranteed leaf vs an adversarial bulk leaf "
+                            "holding most of the link share (Theorem 2, tight).",
+                capacity=_C, dt=_DT, quantum=_Q, peak_step=_PEAK,
+                leaves=(
+                    LeafSpec("rt", weight=1.0, rt=concave, envelope=bucket),
+                    LeafSpec("bulk", weight=3.0),
+                ),
+                default_horizon=6,
+            ),
+            VerifyScenario(
+                name="duo_rt",
+                description="Two guaranteed leaves (concave + convex curves) "
+                            "filling the admission budget (eq. 1).",
+                capacity=_C, dt=_DT, quantum=_Q, peak_step=_PEAK,
+                leaves=(
+                    LeafSpec("burst", weight=1.0,
+                             rt=ServiceCurve(60_000.0, 0.02, 20_000.0)),
+                    LeafSpec("steady", weight=1.0, rt=convex),
+                ),
+                default_horizon=5,
+            ),
+            VerifyScenario(
+                name="pair",
+                description="A steep-curve rt leaf vs an equal-share ls leaf "
+                            "(the Section III-C link-sharing/real-time gap).",
+                capacity=_C, dt=_DT, quantum=_Q, peak_step=_PEAK,
+                leaves=(
+                    LeafSpec("rt", weight=1.0, rt=steep),
+                    LeafSpec("ls", weight=1.0),
+                ),
+                # The gap window ends at the rt burst: longer windows let
+                # the real scheduler's virtual-time catch-up repay the
+                # victim, which is exactly the fairness H-FSC adds.
+                default_horizon=4,
+            ),
+            VerifyScenario(
+                name="campus",
+                description="Three-level hierarchy: agency A (rt + ls leaves) "
+                            "vs agency B (ls leaf), gap measured at B's leaf.",
+                capacity=_C, dt=_DT, quantum=_Q, peak_step=_PEAK,
+                agencies=(("A", 3.0), ("B", 1.0)),
+                leaves=(
+                    LeafSpec("a_rt", weight=1.0, rt=steep, parent="A"),
+                    LeafSpec("a_ls", weight=1.0, parent="A"),
+                    LeafSpec("b_ls", weight=1.0, parent="B"),
+                ),
+                default_horizon=4,  # window ends at the burst (see "pair")
+            ),
+        )
+    }
+
+
+SCENARIOS: Dict[str, VerifyScenario] = _scenarios()
+
+
+def get_scenario(name: str) -> VerifyScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown verification scenario {name!r} "
+            f"(expected one of {sorted(SCENARIOS)})"
+        ) from None
+
+
+def scenario_from_dict(doc: Dict[str, Any]) -> VerifyScenario:
+    """Rebuild a scenario from a counterexample file's embedded copy.
+
+    Fixture files stay replayable even if the canned registry drifts:
+    the file carries the exact hierarchy it was found against.
+    """
+    leaves = []
+    for entry in doc["leaves"]:
+        rt = entry.get("rt")
+        envelope = entry.get("envelope")
+        leaves.append(LeafSpec(
+            name=entry["name"],
+            weight=float(entry.get("weight", 1.0)),
+            parent=entry.get("parent"),
+            rt=None if rt is None else ServiceCurve(*[float(v) for v in rt]),
+            envelope=None if envelope is None else tuple(
+                math.inf if v is None else float(v) for v in envelope
+            ),
+        ))
+    return VerifyScenario(
+        name=doc.get("name", "embedded"),
+        description="embedded in counterexample",
+        capacity=float(doc["capacity"]),
+        dt=float(doc["dt"]),
+        quantum=float(doc["quantum"]),
+        peak_step=float(doc["peak_step"]),
+        agencies=tuple((a[0], float(a[1])) for a in doc.get("agencies", [])),
+        leaves=tuple(leaves),
+    )

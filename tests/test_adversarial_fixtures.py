@@ -1,0 +1,93 @@
+"""Adversarial fixtures as chaos-replay inputs and differential oracles.
+
+Two contracts ride on the committed counterexample corpus:
+
+* ``repro chaos --replay`` accepts verifier counterexample files (single
+  documents and bundles) alongside classic chaos reports, replays them
+  through the real scheduler, and exits by the reproduced verdict;
+* the replay's departure-schedule digest is byte-identical between the
+  compiled C fast path and the pure-Python path (``REPRO_NO_COMPILED=1``)
+  -- the solver-found traces double as compiled-vs-pure differential
+  tests, probing exactly the adversarial corners the random chaos sweeps
+  do not reach.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main as cli_main
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURE_DIR = Path(__file__).parent / "golden" / "adversarial"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.json"))
+
+REPLAY_SNIPPET = """\
+import json, sys
+from repro.verify.bridge import replay_counterexample
+with open(sys.argv[1], encoding="utf-8") as fh:
+    doc = json.load(fh)
+out = replay_counterexample(doc)
+print(json.dumps({"digest": out["schedule_digest"],
+                  "reproduced": out["reproduced"],
+                  "measured": out["measured"]}))
+"""
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_chaos_replay_accepts_counterexample(path, capsys):
+    rc = cli_main(["chaos", "--replay", str(path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ok" in out
+
+
+def test_chaos_replay_accepts_bundle(tmp_path, capsys):
+    bundle = {
+        "counterexamples": [json.loads(p.read_text()) for p in FIXTURES]
+    }
+    path = tmp_path / "bundle.json"
+    path.write_text(json.dumps(bundle))
+    rc = cli_main(["chaos", "--replay", str(path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out.count("replay ") == len(FIXTURES)
+
+
+def test_chaos_replay_still_rejects_garbage(tmp_path, capsys):
+    path = tmp_path / "nonsense.json"
+    path.write_text(json.dumps({"neither": "report nor counterexample"}))
+    rc = cli_main(["chaos", "--replay", str(path)])
+    assert rc == 2
+    assert "runs" in capsys.readouterr().err
+
+
+def _replay_digest(path: Path, pure: bool) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    if pure:
+        env["REPRO_NO_COMPILED"] = "1"
+    else:
+        env.pop("REPRO_NO_COMPILED", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", REPLAY_SNIPPET, str(path)],
+        capture_output=True, text=True, env=env, cwd=str(REPO),
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_compiled_and_pure_replays_identical(path):
+    compiled = _replay_digest(path, pure=False)
+    pure = _replay_digest(path, pure=True)
+    assert compiled["digest"] == pure["digest"], (
+        "compiled and pure replays diverged on an adversarial trace"
+    )
+    assert compiled["reproduced"] and pure["reproduced"]
+    assert compiled["measured"] == pure["measured"]

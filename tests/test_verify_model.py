@@ -1,0 +1,156 @@
+"""The fluid model underneath the verifier: conservation, determinism.
+
+The bounded-horizon model is only trustworthy as an oracle if it is (a)
+deterministic, (b) work-conserving (its fixed-rounds link-sharing
+simplification provably costs nothing on the shipped scenarios), and
+(c) conservative in the obvious bookkeeping ways (service never exceeds
+arrivals, everything is monotone).  These tests pin all three, plus the
+decoder's packetization round-trip.
+"""
+
+import math
+
+import pytest
+
+from repro.verify import (
+    SCENARIOS,
+    ConcreteOps,
+    conservation_error,
+    get_scenario,
+    packetize,
+    run_fluid,
+    scenario_from_dict,
+)
+
+ALL = sorted(SCENARIOS)
+
+
+def _saturating(scn, horizon):
+    """Every leaf injects its per-step peak each step (envelope-ignorant)."""
+    n = len(scn.leaves)
+    return [[scn.peak_step] * n for _ in range(horizon)]
+
+
+def _enveloped(scn, horizon):
+    """Peak arrivals clipped to each leaf's envelope."""
+    n = len(scn.leaves)
+    rows = []
+    cum = [0.0] * n
+    for t in range(horizon):
+        row = []
+        for i in range(n):
+            cap = scn.envelope_value(i, t * scn.dt)
+            amount = min(scn.peak_step, max(0.0, cap - cum[i]))
+            amount = scn.quantum * int(amount // scn.quantum)
+            cum[i] += amount
+            row.append(amount)
+        rows.append(row)
+    return rows
+
+
+def _alternating(scn, horizon):
+    """One leaf bursts at a time, round-robin."""
+    n = len(scn.leaves)
+    return [
+        [scn.peak_step if i == t % n else 0.0 for i in range(n)]
+        for t in range(horizon)
+    ]
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("pattern", [_enveloped, _alternating])
+def test_work_conserving(name, pattern):
+    scn = get_scenario(name)
+    horizon = scn.default_horizon
+    state = run_fluid(scn, pattern(scn, horizon))
+    assert conservation_error(scn, state) < 1e-6
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_deterministic_and_monotone(name):
+    scn = get_scenario(name)
+    horizon = scn.default_horizon
+    arrivals = _alternating(scn, horizon)
+    a = run_fluid(scn, arrivals)
+    b = run_fluid(scn, arrivals)
+    assert a.service == b.service
+    assert a.cum_arrivals == b.cum_arrivals
+    n = len(scn.leaves)
+    for t in range(1, horizon + 1):
+        for i in range(n):
+            # Monotone cumulative counters, service below arrivals.
+            assert a.service[t][i] >= a.service[t - 1][i] - 1e-9
+            assert a.cum_arrivals[t][i] >= a.cum_arrivals[t - 1][i]
+            assert a.service[t][i] <= a.cum_arrivals[t][i] + 1e-9
+        total_step = sum(a.service[t][i] - a.service[t - 1][i]
+                        for i in range(n))
+        assert total_step <= scn.cap_per_step + 1e-6
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_scenario_roundtrip(name):
+    scn = get_scenario(name)
+    clone = scenario_from_dict(scn.to_dict())
+    assert clone.capacity == scn.capacity
+    assert clone.dt == scn.dt
+    assert [l.name for l in clone.leaves] == [l.name for l in scn.leaves]
+    for ours, theirs in zip(scn.leaves, clone.leaves):
+        assert (ours.rt is None) == (theirs.rt is None)
+        if ours.rt is not None:
+            assert theirs.rt.value(0.017) == pytest.approx(
+                ours.rt.value(0.017))
+        assert ours.envelope == theirs.envelope
+    # The rebuilt scenario drives the same model trace.
+    horizon = scn.default_horizon
+    arrivals = _alternating(scn, horizon)
+    assert run_fluid(clone, arrivals).service == \
+        run_fluid(scn, arrivals).service
+
+
+def test_rt_scenarios_are_admissible():
+    for name in ALL:
+        scn = get_scenario(name)
+        if scn.rt_leaves():
+            assert scn.admissible(), name
+
+
+def test_envelope_value_token_bucket():
+    scn = get_scenario("single")
+    i = scn.leaf_index("rt")
+    sigma, rho, _peak = scn.leaves[i].envelope
+    assert scn.envelope_value(i, 0.0) == pytest.approx(sigma)
+    assert scn.envelope_value(i, 0.1) == pytest.approx(sigma + rho * 0.1)
+    unconstrained = get_scenario("pair")
+    assert unconstrained.envelope_value(
+        unconstrained.leaf_index("ls"), 1.0) == math.inf
+
+
+def test_arrival_levels_span_grid():
+    scn = get_scenario("pair")
+    levels = scn.arrival_levels(3)
+    assert levels[0] == 0.0
+    assert levels[-1] == scn.peak_step
+    for v in levels:
+        assert v % scn.quantum == 0
+
+
+def test_packetize_preserves_bytes():
+    scn = get_scenario("duo_rt")
+    matrix = [[1500.0, 0.0], [0.0, 750.0], [2000.0, 500.0]]
+    packets = packetize(scn, matrix)
+    assert sum(size for _, _, size in packets) == pytest.approx(
+        sum(map(sum, matrix)))
+    # Grid amounts split into whole quanta; the off-grid 750 leaves
+    # one remainder packet.
+    sizes = sorted({size for _, _, size in packets})
+    assert sizes == [250.0, 500.0]
+    for when, name, _ in packets:
+        assert name in {"burst", "steady"}
+        assert when in {0.0, 0.01, 0.02}
+
+
+def test_concrete_ops_min_max():
+    assert ConcreteOps.min_of([3, 1, 2]) == 1
+    assert ConcreteOps.max_of([3, 1, 2]) == 3
+    assert ConcreteOps.ite(True, "a", "b") == "a"
+    assert ConcreteOps.min2(1, 2) == 1 and ConcreteOps.max2(1, 2) == 2
