@@ -208,6 +208,108 @@ def bench_ls_select_ul(n_classes: int, packets: int) -> Tuple[float, int]:
     return time_ops(work)
 
 
+# -- sharded serving pump ----------------------------------------------------
+
+
+def _shard_pump_worker(doc, flows, packets, batch, conn) -> None:
+    """One shard's ingest+drain loop; sends its wall elapsed back.
+
+    Runs in a forked child so N shards exercise N real interpreters --
+    the measurement the scale-out claim actually makes.  The timed
+    region covers classify -> edge buffer -> scheduler -> link for every
+    packet; datagram encoding happens before the clock starts.
+    """
+    try:
+        from repro.serve.shard import build_worker_service
+        from repro.serve.wire import encode_packet
+
+        service, _ = build_worker_service(doc)
+        datagrams = [
+            encode_packet(flows[i % len(flows)], i, 0.0, 256)
+            for i in range(packets)
+        ]
+        start = time.perf_counter()
+        for i, datagram in enumerate(datagrams):
+            service.dataplane.ingest(datagram, None)
+            if (i + 1) % batch == 0:
+                service.driver.run(until=service.loop.now + 5.0)
+        while service.scheduler.backlog_packets:
+            service.driver.run(until=service.loop.now + 5.0)
+        conn.send(time.perf_counter() - start)
+    except BaseException as exc:  # surfaced by the parent
+        conn.send(exc)
+    finally:
+        conn.close()
+
+
+def bench_shard_pump(shards: int, packets: int, batch: int = 64,
+                     repeats: int = 3) -> Tuple[float, int]:
+    """Aggregate pkt/s of an N-shard cluster's dataplane pipeline.
+
+    Each forked worker is built by the same :func:`build_worker_service`
+    path ``repro serve --shards N`` uses (1/N-scaled curves, shard
+    filter classifier, ``time_scale=0``), and pumps its 1/N of the flow
+    population.  A round's elapsed is the *slowest* worker's -- the
+    cluster is only as fast as its stragglers -- and per-shard pkt/s is
+    the reported aggregate divided by ``shards``.
+    """
+    import multiprocessing
+
+    from repro.core.hierarchy import ClassSpec
+    from repro.serve.cluster import scale_spec
+    from repro.serve.shard import ShardRing, worker_config
+
+    link_rate = 1e9
+    specs = [
+        ClassSpec("gold", sc=ServiceCurve.linear(0.6 * link_rate)),
+        ClassSpec("bronze", sc=ServiceCurve.linear(0.4 * link_rate)),
+    ]
+    ring = ShardRing(shards)
+    scaled = [scale_spec(spec, 1.0 / shards) for spec in specs]
+    flows = [
+        f"{cls}#{i}" for cls in ("gold", "bronze")
+        for i in range(32 * shards)
+    ]
+    per_shard_flows: List[List[str]] = [[] for _ in range(shards)]
+    for flow in flows:
+        per_shard_flows[ring.shard_for(flow)].append(flow)
+    assert all(per_shard_flows), "every shard needs flows from both classes"
+    per_shard_packets = max(1, packets // shards)
+    configs = [
+        worker_config(
+            index=index, shards=shards, ring=ring, specs=scaled,
+            link_rate=link_rate / shards, time_scale=0.0,
+            watchdog_period=0.0,
+        )
+        for index in range(shards)
+    ]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    best = float("inf")
+    for _ in range(repeats):
+        workers = []
+        for index in range(shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_shard_pump_worker,
+                args=(configs[index], per_shard_flows[index],
+                      per_shard_packets, batch, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers.append((process, parent_conn))
+        elapsed = 0.0
+        for process, conn in workers:
+            result = conn.recv()
+            process.join()
+            if isinstance(result, BaseException):
+                raise result
+            elapsed = max(elapsed, result)
+        best = min(best, elapsed)
+    return best, per_shard_packets * shards
+
+
 # -- E9 macro bench ----------------------------------------------------------
 
 
@@ -288,6 +390,14 @@ def tracked_benches(quick: bool) -> Dict[str, TrackedBench]:
                 ),
                 {"batch_size": E9_BATCH},
             )
+    # Scale-out: the same worker pipeline at 1 and 4 shards.  The s4/s1
+    # ops ratio is the horizontal-scaling factor on this host; "shards"
+    # in the config keys a 1-shard row apart from a 4-shard one.
+    for shards in (1, 4):
+        benches[f"serve/shard_pump/s{shards}"] = (
+            lambda shards=shards: bench_shard_pump(shards, macro_packets),
+            {"batch_size": 64, "shards": shards},
+        )
     benches["telemetry/e9_hfsc_on/n256"] = (
         lambda: bench_e9_macro_telemetry(
             "H-FSC", 256, macro_packets, batch=E9_BATCH

@@ -31,7 +31,7 @@ from repro.obs.core import (
     Telemetry,
     telemetry_session,
 )
-from repro.obs.export import snapshot, to_csv, to_json, to_prometheus
+from repro.obs.export import merge_snapshots, snapshot, to_csv, to_json, to_prometheus
 from repro.obs.sampler import Sampler
 
 # scenarios/top pull in the scheduler and simulator packages, which
@@ -65,6 +65,7 @@ __all__ = [
     "ClassTelemetry",
     "EVENT_KINDS",
     "Sampler",
+    "merge_snapshots",
     "snapshot",
     "to_json",
     "to_prometheus",

@@ -152,6 +152,184 @@ def to_json(
     )
 
 
+# -- multi-shard merge --------------------------------------------------------
+
+
+def _sum_counter_maps(maps: List[Dict[str, Any]]) -> Dict[str, Any]:
+    merged: Dict[str, Any] = {}
+    for counters in maps:
+        for name, value in counters.items():
+            if isinstance(value, (int, float)):
+                merged[name] = merged.get(name, 0) + value
+    return dict(sorted(merged.items()))
+
+
+def _merge_dist(dists: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge ``{count, mean, min[, max], quantiles}`` summaries.
+
+    Count, mean, min and max merge exactly.  Quantiles of a union are
+    not recoverable from per-shard quantiles, so the merged value is the
+    per-shard **maximum** -- a conservative upper bound (the true union
+    quantile can never exceed the worst shard's), which is the useful
+    direction for delay and deadline-slack SLOs.
+    """
+    dists = [d for d in dists if d]
+    count = sum(d.get("count", 0) for d in dists)
+    merged: Dict[str, Any] = {
+        "count": count,
+        "mean": (
+            sum(d.get("mean", 0.0) * d.get("count", 0) for d in dists) / count
+            if count else 0.0
+        ),
+    }
+    for key, pick in (("min", min), ("max", max)):
+        if any(key in d for d in dists):
+            values = [d[key] for d in dists if d.get(key) is not None]
+            merged[key] = pick(values) if values else None
+    quantiles: Dict[str, Any] = {}
+    for d in dists:
+        for q, value in (d.get("quantiles") or {}).items():
+            if value is not None:
+                prev = quantiles.get(q)
+                quantiles[q] = value if prev is None else max(prev, value)
+            else:
+                quantiles.setdefault(q, None)
+    if quantiles:
+        merged["quantiles"] = quantiles
+    return merged
+
+
+def _merge_class_summaries(summaries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    merged: Dict[str, Any] = {}
+    for attr, _name, _help in _CLASS_COUNTERS:
+        if any(attr in s for s in summaries):
+            merged[attr] = sum(s.get(attr, 0) for s in summaries)
+    if any("worst_deadline_miss" in s for s in summaries):
+        merged["worst_deadline_miss"] = max(
+            s.get("worst_deadline_miss", 0.0) for s in summaries
+        )
+    for dist_key in ("delay", "deadline_slack"):
+        if any(dist_key in s for s in summaries):
+            merged[dist_key] = _merge_dist(
+                [s.get(dist_key) or {} for s in summaries]
+            )
+    return merged
+
+
+def _merge_numeric(docs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum numeric leaves; recurse into dicts; concatenate lists."""
+    merged: Dict[str, Any] = {}
+    keys = [key for doc in docs for key in doc]
+    for key in dict.fromkeys(keys):  # first-seen order, deduplicated
+        values = [doc[key] for doc in docs if key in doc]
+        first = values[0]
+        if isinstance(first, bool):
+            merged[key] = any(values)
+        elif isinstance(first, (int, float)):
+            merged[key] = sum(v for v in values if isinstance(v, (int, float)))
+        elif isinstance(first, dict):
+            merged[key] = _merge_numeric([v for v in values if isinstance(v, dict)])
+        elif isinstance(first, list):
+            merged[key] = [x for v in values if isinstance(v, list) for x in v]
+        else:
+            merged[key] = first
+    return merged
+
+
+def merge_snapshots(docs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-shard :func:`snapshot` documents into one cluster view.
+
+    Input docs are what each worker's ``stats`` control op returns
+    (optionally carrying a ``shard`` tag).  Merge semantics per section:
+
+    * ``counters`` / ``gauges`` / per-class counters -- summed;
+    * per-class ``delay`` / ``deadline_slack`` -- exact count/mean/
+      min/max, conservative (per-shard max) quantiles, see
+      :func:`_merge_dist`;
+    * ``scheduler`` -- backlog and lifetime totals summed,
+      ``overload_events`` concatenated;
+    * ``link`` -- rates and byte counts summed (the cluster's aggregate
+      link), utilization rate-weighted;
+    * ``flight_recorder`` -- events interleaved by simulated time, each
+      tagged with its source shard when the input doc carries one;
+    * ``dataplane`` -- numeric leaves summed (shed counters, buffer
+      occupancy, ...);
+    * ``pacing`` -- worst (max) lag, furthest (max) simulated clock.
+    """
+    docs = [d for d in docs if d]
+    if not docs:
+        return {"schema": 1, "merged_from": 0}
+    merged: Dict[str, Any] = {
+        "schema": 1,
+        "merged_from": len(docs),
+        "enabled": any(d.get("enabled") for d in docs),
+        "counters": _sum_counter_maps([d.get("counters", {}) for d in docs]),
+        "gauges": _sum_counter_maps([d.get("gauges", {}) for d in docs]),
+    }
+    class_ids = sorted({cid for d in docs for cid in d.get("classes", {})})
+    merged["classes"] = {
+        cid: _merge_class_summaries(
+            [d["classes"][cid] for d in docs if cid in d.get("classes", {})]
+        )
+        for cid in class_ids
+    }
+    events: List[Dict[str, Any]] = []
+    for doc in docs:
+        shard = (doc.get("shard") or {}).get("index")
+        for event in (doc.get("flight_recorder") or {}).get("events", []):
+            events.append(event if shard is None else {**event, "shard": shard})
+    events.sort(key=lambda e: e.get("time", 0.0))
+    recorders = [d.get("flight_recorder") or {} for d in docs]
+    merged["flight_recorder"] = {
+        "capacity": sum(r.get("capacity", 0) for r in recorders),
+        "recorded": sum(r.get("recorded", 0) for r in recorders),
+        "dropped": sum(r.get("dropped", 0) for r in recorders),
+        "events": events,
+    }
+    scheds = [d["scheduler"] for d in docs if isinstance(d.get("scheduler"), dict)]
+    if scheds:
+        merged["scheduler"] = {
+            key: sum(s.get(key, 0) for s in scheds)
+            for key in (
+                "backlog_packets", "backlog_bytes", "total_enqueued",
+                "total_dequeued", "total_returned", "eligible_set_size",
+            )
+            if any(key in s for s in scheds)
+        }
+        if any("overload_events" in s for s in scheds):
+            merged["scheduler"]["overload_events"] = [
+                event for s in scheds for event in s.get("overload_events", [])
+            ]
+    links = [d["link"] for d in docs if isinstance(d.get("link"), dict)]
+    if links:
+        total_rate = sum(l.get("rate", 0.0) for l in links)
+        merged["link"] = {
+            "rate": total_rate,
+            "bytes_sent": sum(l.get("bytes_sent", 0) for l in links),
+            "busy_time": sum(l.get("busy_time", 0.0) for l in links),
+            "utilization": (
+                sum(l.get("rate", 0.0) * l.get("utilization", 0.0) for l in links)
+                / total_rate if total_rate else 0.0
+            ),
+        }
+    planes = [d["dataplane"] for d in docs if isinstance(d.get("dataplane"), dict)]
+    if planes:
+        merged["dataplane"] = _merge_numeric(planes)
+    pacings = [d["pacing"] for d in docs if isinstance(d.get("pacing"), dict)]
+    if pacings:
+        merged["pacing"] = {
+            "time_scale": pacings[0].get("time_scale"),
+            "max_lag": max(p.get("max_lag", 0.0) for p in pacings),
+            "sim_clock": max(p.get("sim_clock", 0.0) for p in pacings),
+        }
+    shards = [d["shard"] for d in docs if isinstance(d.get("shard"), dict)]
+    if shards:
+        merged["shards"] = sorted(
+            (s.get("index") for s in shards if s.get("index") is not None)
+        )
+    return merged
+
+
 # -- Prometheus text format ---------------------------------------------------
 
 

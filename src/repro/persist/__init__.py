@@ -8,6 +8,8 @@ Public surface:
   H-PFQ, CBQ, FIFO, DRR);
 * :mod:`repro.persist.runtime` -- :class:`RunContext`, whole-simulation
   snapshot/restore (event loop, link, sources, collectors, RNG streams);
+* :mod:`repro.persist.manifest` -- the multi-envelope manifest binding a
+  sharded cluster's per-worker snapshots together;
 * :mod:`repro.persist.harness` -- crash-injection harness and the
   crash-equivalence oracle;
 * :mod:`repro.persist.scenarios` -- the checkpointable reference
@@ -32,6 +34,10 @@ _EXPORTS = {
     "SCHEDULER_TYPES": "repro.persist.schedulers",
     "snapshot_scheduler": "repro.persist.schedulers",
     "restore_scheduler": "repro.persist.schedulers",
+    "MANIFEST_NAME": "repro.persist.manifest",
+    "shard_snapshot_name": "repro.persist.manifest",
+    "write_manifest": "repro.persist.manifest",
+    "load_manifest": "repro.persist.manifest",
     "RunContext": "repro.persist.runtime",
     "DriveRun": "repro.persist.harness",
     "SignalCheckpointRequest": "repro.persist.harness",

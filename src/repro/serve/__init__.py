@@ -17,7 +17,12 @@ deployed hierarchical link-sharing system) takes:
   rate changes, telemetry snapshots, persist snapshots;
 * :class:`~repro.serve.service.ServeService` -- the assembled service
   behind ``repro serve``;
-* :mod:`~repro.serve.loadgen` -- the ``repro load`` open-loop generator.
+* :mod:`~repro.serve.loadgen` -- the ``repro load`` open-loop generator;
+* :mod:`~repro.serve.shard` / :mod:`~repro.serve.cluster` -- horizontal
+  scale-out: N worker processes, consistent-hash flow placement, a
+  fan-out front-end control plane with two-phase admission, merged
+  telemetry and a multi-envelope cluster snapshot (``repro serve
+  --shards N``).
 """
 
 from repro.serve.driver import RealTimeDriver
@@ -28,6 +33,12 @@ from repro.serve.hierarchy import (
     hierarchy_preset,
 )
 from repro.serve.ingress import Dataplane
+from repro.serve.shard import (
+    DEFAULT_REPLICAS,
+    DEFAULT_SALT,
+    ShardFilterClassifier,
+    ShardRing,
+)
 from repro.serve.wire import (
     MapClassifier,
     SuffixClassifier,
@@ -50,4 +61,8 @@ __all__ = [
     "build_scheduler",
     "hierarchy_from_file",
     "hierarchy_preset",
+    "DEFAULT_REPLICAS",
+    "DEFAULT_SALT",
+    "ShardFilterClassifier",
+    "ShardRing",
 ]

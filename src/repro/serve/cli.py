@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import socket as socket_module
 import sys
 from typing import Any, Dict, List, Optional
@@ -89,9 +90,10 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
              "the 'shutdown' control op",
     )
     parser.add_argument(
-        "--resume", metavar="FILE", default=None,
+        "--resume", metavar="PATH", default=None,
         help="restore scheduler/queue/clock state from a snapshot before "
-             "serving",
+             "serving (with --shards N: the snapshot directory or its "
+             "manifest.json)",
     )
     parser.add_argument(
         "--duration", type=float, default=None,
@@ -102,6 +104,31 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "--summary", metavar="PATH", default=None,
         help="write the exit summary JSON here ('-' = stdout, the default)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="run this many worker processes, each serving 1/N of the "
+             "link with flows pinned by consistent hash (default: 1 = "
+             "the single-process service)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="consistent-hash virtual nodes per shard (default: 64)",
+    )
+    parser.add_argument(
+        "--salt", default=None,
+        help="consistent-hash salt; senders must use the same "
+             "(default: repro-shard-v1)",
+    )
+    parser.add_argument(
+        "--snapshot-dir", metavar="DIR", default=None,
+        help="cluster mode: each worker snapshots to DIR/shard-<i>.snap "
+             "on SIGTERM/shutdown, bound by DIR/manifest.json",
+    )
+    parser.add_argument(
+        "--workdir", metavar="DIR", default=None,
+        help="cluster mode: where worker summary files land (default: a "
+             "fresh temp dir)",
+    )
 
 
 def _parse_hostport(value: str) -> Any:
@@ -111,9 +138,9 @@ def _parse_hostport(value: str) -> Any:
     return host, int(port)
 
 
-def _build_service(args):
-    from repro.serve.service import ServeService
-
+def _resolve_hierarchy(args):
+    """(specs, backend, overload_policy) from preset or file, updating
+    ``args.link_rate`` when the file pins one."""
     if args.hierarchy in HIERARCHY_PRESETS:
         specs = hierarchy_preset(args.hierarchy, args.link_rate)
         backend = args.scheduler
@@ -126,6 +153,13 @@ def _build_service(args):
             args.link_rate = link_rate
         backend = config["scheduler"] or args.scheduler
         overload_policy = config["overload_policy"] or args.overload_policy
+    return specs, backend, overload_policy
+
+
+def _build_service(args):
+    from repro.serve.service import ServeService
+
+    specs, backend, overload_policy = _resolve_hierarchy(args)
     return ServeService(
         specs,
         args.link_rate,
@@ -160,11 +194,73 @@ async def _serve_async(args, service) -> Dict[str, Any]:
     return service.summary()
 
 
+def _build_manager(args):
+    from repro.serve.cluster import ShardManager
+    from repro.serve.shard import DEFAULT_REPLICAS, DEFAULT_SALT
+
+    specs, backend, overload_policy = _resolve_hierarchy(args)
+    if not args.control:
+        raise ReproError(
+            "--shards needs --control PATH (the front-end binds PATH, "
+            "worker i binds PATH.<i>)"
+        )
+    udp = _parse_hostport(args.udp) if args.udp else None
+    return ShardManager(
+        specs,
+        args.link_rate,
+        args.shards,
+        control=args.control,
+        backend=backend,
+        overload_policy=overload_policy,
+        time_scale=args.time_scale,
+        buffer_packets=args.buffer_pkts,
+        watchdog_period=args.watchdog_period,
+        telemetry=args.telemetry,
+        udp=udp,
+        unix=args.ingress_unix,
+        snapshot_dir=args.snapshot_dir,
+        resume=args.resume,
+        duration=args.duration,
+        workdir=args.workdir,
+        replicas=(args.replicas if args.replicas else DEFAULT_REPLICAS),
+        salt=(args.salt if args.salt else DEFAULT_SALT),
+    )
+
+
+def _cluster_serve_command(args) -> int:
+    try:
+        manager = _build_manager(args)
+        print(
+            f"repro serve: cluster shards={manager.shards} "
+            f"backend={manager.backend} "
+            f"aggregate_link_rate={manager.link_rate:g} B/s "
+            f"ctl://{manager.control}",
+            file=sys.stderr, flush=True,
+        )
+        summary = asyncio.run(manager.run())
+    except ReproError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(summary, indent=2, default=str)
+    if args.summary and args.summary != "-":
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"summary written to {args.summary}", file=sys.stderr)
+    else:
+        print(text)
+    # Worst worker wins: 1 = watchdog violations, 2 = config/bind error;
+    # a signal-killed worker (negative) reads as an error too.
+    codes = [2 if code < 0 else code for code in summary.get("exit_codes", [])]
+    return max(codes, default=0)
+
+
 def serve_command(args) -> int:
     import contextlib
 
     from repro.obs.core import telemetry_session
 
+    if getattr(args, "shards", 1) > 1:
+        return _cluster_serve_command(args)
     try:
         service = _build_service(args)
         service.snapshot_path = args.snapshot
@@ -236,12 +332,33 @@ def add_load_arguments(parser: argparse.ArgumentParser) -> None:
         "--report", metavar="PATH", default=None,
         help="write the JSON report here ('-' = stdout, the default)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="target is the cluster's base address: send each flow to "
+             "its consistent-hash shard (UDP port base+i / unix PATH.i; "
+             "default: 1 = single service)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="consistent-hash virtual nodes per shard -- must match the "
+             "cluster (default: 64)",
+    )
+    parser.add_argument(
+        "--salt", default=None,
+        help="consistent-hash salt -- must match the cluster "
+             "(default: repro-shard-v1)",
+    )
 
 
 def load_command(args) -> int:
     from repro.core.hierarchy import figure1_hierarchy
     from repro.serve.hierarchy import leaf_names
-    from repro.serve.loadgen import LoadGenerator, read_trace, run_load
+    from repro.serve.loadgen import (
+        LoadGenerator,
+        read_trace,
+        run_load,
+        run_load_cluster,
+    )
 
     if args.classes:
         classes = [c.strip() for c in args.classes.split(",") if c.strip()]
@@ -251,6 +368,19 @@ def load_command(args) -> int:
         trace = read_trace(args.trace) if args.trace else None
         if args.process == "trace" and trace is None:
             raise ReproError("--process trace needs --trace FILE")
+        ring = None
+        if args.shards > 1:
+            from repro.serve.shard import (
+                DEFAULT_REPLICAS,
+                DEFAULT_SALT,
+                ShardRing,
+            )
+
+            ring = ShardRing(
+                args.shards,
+                args.replicas if args.replicas else DEFAULT_REPLICAS,
+                args.salt if args.salt else DEFAULT_SALT,
+            )
         generator = LoadGenerator(
             classes,
             flows=args.flows,
@@ -260,9 +390,22 @@ def load_command(args) -> int:
             duration=args.duration,
             seed=args.seed,
             trace=trace,
+            ring=ring,
         )
-        report = asyncio.run(run_load(args.target, generator,
-                                      drain=args.drain))
+        if ring is not None:
+            from repro.serve.cluster import shard_targets
+
+            if "/" in args.target or os.path.exists(args.target):
+                targets = shard_targets(args.shards, unix=args.target)
+            else:
+                targets = shard_targets(
+                    args.shards, udp=_parse_hostport(args.target)
+                )
+            report = asyncio.run(run_load_cluster(targets, generator,
+                                                  drain=args.drain))
+        else:
+            report = asyncio.run(run_load(args.target, generator,
+                                          drain=args.drain))
     except ReproError as exc:
         print(f"repro load: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,890 @@
+"""The sharded cluster: N worker processes behind one control plane.
+
+:class:`ShardManager` forks N :func:`~repro.serve.shard.worker_main`
+processes -- each a complete single-link ``repro serve`` (scheduler +
+Link + Watchdog + RunContext) on its own sockets -- and runs the
+**front-end**: one unix-stream control socket speaking the same
+newline-JSON protocol as a single service, fanning every operation out
+to the shards.
+
+Design invariants, in decreasing order of load-bearing:
+
+* **Same hierarchy everywhere, 1/N of everything.**  Every shard runs
+  the identical class tree with every curve and the link rate scaled by
+  ``1/N``.  Flows pin to shards by consistent hash, so each class's
+  traffic splits across shards and per-shard H-FSC gives it the same
+  *fractional* goodput share; the aggregate therefore reproduces the
+  single-link link-sharing split (Fig. 1) at N times the throughput.
+  Admission is equivalence-preserving: sum of per-shard rt slopes <=
+  per-shard rate iff the aggregate inequality (eq. (1)) holds.
+
+* **Two-phase admission.**  Mutations (``add_class``, ``update_class``,
+  ``remove_class``, ``set_link_rate``) fan out as *reserve* (``dry_run``
+  -- full validation including the eager eq.(1) check, zero mutation)
+  to every shard; only if all accept does the front-end *commit*, and a
+  commit failure rolls back the already-committed shards (remove the
+  added class / restore previous curves / re-add the removed class /
+  restore the old rate).  The front-end serializes mutations with an
+  :class:`asyncio.Lock`, so reserve-to-commit races cannot happen
+  through it -- and a shard killed mid-sequence fails its reserve or
+  commit, never half-applies.
+
+* **Merged observability.**  ``stats`` returns the PR-3 exporter
+  snapshots of all shards merged by :func:`repro.obs.export.merge_snapshots`;
+  ``watchdog`` concatenates shard-tagged invariant reports; the exit
+  summary aggregates every worker's summary document.
+
+* **Cluster snapshots.**  The ``snapshot`` op (and SIGTERM, via each
+  worker's own PR-4 path) writes one envelope per shard plus the
+  :mod:`repro.persist.manifest` binding them; ``resume`` verifies the
+  manifest (placement identity, backend, rate, per-envelope checksums)
+  before any worker forks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import __version__
+from repro.core.curves import ServiceCurve
+from repro.core.errors import ConfigurationError, ReproError, SnapshotError
+from repro.core.hierarchy import ClassSpec
+from repro.obs import export as obs_export
+from repro.persist.manifest import (
+    load_manifest,
+    shard_snapshot_name,
+    write_manifest,
+)
+from repro.serve.shard import (
+    DEFAULT_REPLICAS,
+    DEFAULT_SALT,
+    ShardRing,
+    shard_control_path,
+    shard_summary_path,
+    shard_udp_address,
+    shard_unix_path,
+    worker_config,
+    worker_process_entry,
+)
+
+#: Seconds the manager waits for every shard's control socket to answer
+#: its first ping before declaring the cluster failed to start.
+READY_TIMEOUT = 15.0
+
+#: Per-request timeout on a front-end -> shard control call.
+CALL_TIMEOUT = 10.0
+
+# A telemetry-on stats snapshot for one shard easily exceeds asyncio's
+# default 64 KiB StreamReader limit; one merged response line can carry
+# every shard's histograms, so size the control streams generously.
+STREAM_LIMIT = 16 * 1024 * 1024
+
+
+class ClusterError(ReproError):
+    """A cluster-level failure, optionally with per-shard context."""
+
+    def __init__(self, message: str, context: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.context = context or {}
+
+
+# -- curve scaling ------------------------------------------------------------
+#
+# The operator speaks aggregate numbers to the front-end; each shard
+# owns 1/N of the link, so slopes (and burst heights) scale by 1/N while
+# time terms (d, dmax) stay -- a shard is not slower, just narrower.
+
+
+def scale_curve_doc(doc: Any, factor: float) -> Any:
+    if doc is None:
+        return None
+    if isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        return doc * factor
+    if isinstance(doc, (list, tuple)) and len(doc) == 3:
+        return [doc[0] * factor, doc[1], doc[2] * factor]
+    if isinstance(doc, dict):
+        keys = set(doc)
+        if keys == {"rate"}:
+            return {"rate": doc["rate"] * factor}
+        if keys == {"umax", "dmax", "rate"}:
+            return {"umax": doc["umax"] * factor, "dmax": doc["dmax"],
+                    "rate": doc["rate"] * factor}
+        if keys == {"m1", "d", "m2"}:
+            return {"m1": doc["m1"] * factor, "d": doc["d"],
+                    "m2": doc["m2"] * factor}
+    raise ConfigurationError(f"unparseable curve spec: {doc!r}")
+
+
+def scale_spec(spec: ClassSpec, factor: float) -> ClassSpec:
+    """A copy of ``spec`` with every rate dimension scaled by ``factor``."""
+
+    def scaled(curve: Optional[ServiceCurve]) -> Optional[ServiceCurve]:
+        if curve is None:
+            return None
+        return ServiceCurve(curve.m1 * factor, curve.d, curve.m2 * factor)
+
+    return ClassSpec(
+        name=spec.name,
+        parent=spec.parent,
+        rate=None if spec.rate is None else spec.rate * factor,
+        sc=scaled(spec.sc),
+        rt_sc=scaled(spec.rt_sc),
+        ls_sc=scaled(spec.ls_sc),
+        ul_sc=scaled(spec.ul_sc),
+    )
+
+
+def scale_mutation(request: Dict[str, Any], factor: float) -> Dict[str, Any]:
+    """Scale the curve/rate payload of a mutation request by ``factor``."""
+    scaled = dict(request)
+    for role in ("sc", "rt_sc", "ls_sc", "ul_sc"):
+        if role in scaled and scaled[role] is not None:
+            scaled[role] = scale_curve_doc(scaled[role], factor)
+    if isinstance(scaled.get("rate"), (int, float)):
+        scaled["rate"] = scaled["rate"] * factor
+    return scaled
+
+
+# -- the manager --------------------------------------------------------------
+
+
+class ShardManager:
+    """Fork, watch, and front N shard workers."""
+
+    def __init__(
+        self,
+        specs: Sequence[ClassSpec],
+        link_rate: float,
+        shards: int,
+        *,
+        control: str,
+        backend: str = "hfsc",
+        overload_policy: str = "raise",
+        time_scale: float = 1.0,
+        buffer_packets: int = 256,
+        watchdog_period: float = 0.25,
+        telemetry: bool = False,
+        udp: Optional[Tuple[str, int]] = None,
+        unix: Optional[str] = None,
+        snapshot_dir: Optional[str] = None,
+        resume: Optional[str] = None,
+        duration: Optional[float] = None,
+        workdir: Optional[str] = None,
+        replicas: int = DEFAULT_REPLICAS,
+        salt: str = DEFAULT_SALT,
+    ):
+        if shards < 1:
+            raise ConfigurationError("a cluster needs at least one shard")
+        if udp is None and unix is None:
+            raise ConfigurationError(
+                "a cluster needs a dataplane: give udp=(host, base_port) "
+                "and/or unix=BASE_PATH"
+            )
+        self.specs = list(specs)
+        self.link_rate = float(link_rate)
+        self.shards = int(shards)
+        self.ring = ShardRing(shards, replicas, salt)
+        self.control = control
+        self.backend = backend
+        self.overload_policy = overload_policy
+        self.time_scale = time_scale
+        self.buffer_packets = buffer_packets
+        self.watchdog_period = watchdog_period
+        self.telemetry = telemetry
+        self.udp = None if udp is None else (udp[0], int(udp[1]))
+        self.unix = unix
+        self.snapshot_dir = snapshot_dir
+        self.resume = resume
+        self.duration = duration
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-cluster-")
+        self.processes: List[multiprocessing.process.BaseProcess] = []
+        self.mutation_lock = asyncio.Lock()
+        self._stop = asyncio.Event()
+        self._shutdown_sent = False
+
+    # -- worker configuration -------------------------------------------------
+
+    def _resume_paths(self) -> List[Optional[str]]:
+        if not self.resume:
+            return [None] * self.shards
+        manifest = load_manifest(self.resume)
+        if manifest["ring"] != self.ring.params():
+            raise SnapshotError(
+                "cluster snapshot was taken under a different placement "
+                "(shards/replicas/salt); resuming would scatter restored "
+                "flows across wrong workers",
+                reason="manifest-mismatch",
+                context={"stored": manifest["ring"],
+                         "configured": self.ring.params()},
+            )
+        if manifest.get("backend") != self.backend:
+            raise SnapshotError(
+                f"cluster snapshot was taken with backend "
+                f"{manifest.get('backend')!r}, not {self.backend!r}",
+                reason="manifest-mismatch",
+            )
+        return [entry["abspath"] for entry in manifest["snapshots"]]
+
+    def worker_configs(self) -> List[Dict[str, Any]]:
+        resume_paths = self._resume_paths()
+        factor = 1.0 / self.shards
+        scaled = [scale_spec(spec, factor) for spec in self.specs]
+        configs = []
+        for index in range(self.shards):
+            snapshot = None
+            if self.snapshot_dir:
+                snapshot = os.path.join(
+                    self.snapshot_dir, shard_snapshot_name(index)
+                )
+            configs.append(worker_config(
+                index=index,
+                shards=self.shards,
+                ring=self.ring,
+                specs=scaled,
+                link_rate=self.link_rate * factor,
+                backend=self.backend,
+                overload_policy=self.overload_policy,
+                time_scale=self.time_scale,
+                buffer_packets=self.buffer_packets,
+                watchdog_period=self.watchdog_period,
+                telemetry=self.telemetry,
+                udp=self.udp,
+                unix=self.unix,
+                control=self.control,
+                snapshot=snapshot,
+                resume=resume_paths[index],
+                duration=self.duration,
+                summary=shard_summary_path(self.workdir, index),
+            ))
+        return configs
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _clean_stale_paths(self) -> None:
+        paths = [self.control]
+        for index in range(self.shards):
+            paths.append(shard_control_path(self.control, index))
+            if self.unix is not None:
+                paths.append(shard_unix_path(self.unix, index))
+            paths.append(shard_summary_path(self.workdir, index))
+        for path in paths:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def start_workers(self) -> None:
+        os.makedirs(self.workdir, exist_ok=True)
+        if self.snapshot_dir:
+            os.makedirs(self.snapshot_dir, exist_ok=True)
+        configs = self.worker_configs()  # validates resume before any fork
+        self._clean_stale_paths()
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        for doc in configs:
+            process = ctx.Process(
+                target=worker_process_entry, args=(doc,),
+                name=f"repro-shard-{doc['index']}", daemon=True,
+            )
+            process.start()
+            self.processes.append(process)
+
+    async def wait_ready(self, timeout: float = READY_TIMEOUT) -> None:
+        """Block until every shard answers a control ping (or fail fast)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        pending = set(range(self.shards))
+        while not self.processes:
+            # start_workers may still be pending on another task
+            if asyncio.get_running_loop().time() > deadline:
+                raise ClusterError("no workers started")
+            await asyncio.sleep(0.01)
+        while pending:
+            for index in sorted(pending):
+                process = self.processes[index]
+                if process.exitcode is not None:
+                    raise ClusterError(
+                        f"shard {index} exited with code {process.exitcode} "
+                        f"before becoming ready (its stderr has the cause)",
+                        context={"shard": index,
+                                 "exitcode": process.exitcode},
+                    )
+                response = await self.shard_call(index, {"op": "ping"})
+                if response.get("ok"):
+                    pending.discard(index)
+            if not pending:
+                return
+            if asyncio.get_running_loop().time() > deadline:
+                raise ClusterError(
+                    f"shards {sorted(pending)} not ready after {timeout:g}s"
+                )
+            await asyncio.sleep(0.05)
+
+    def terminate_workers(self) -> None:
+        """SIGTERM every live worker (each snapshots per its own config)."""
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+
+    async def join_workers(self, timeout: float = 10.0) -> List[int]:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while any(p.is_alive() for p in self.processes):
+            if asyncio.get_running_loop().time() > deadline:
+                for process in self.processes:
+                    if process.is_alive():
+                        process.kill()
+                break
+            await asyncio.sleep(0.05)
+        for process in self.processes:
+            process.join(timeout=1.0)
+        return [
+            -1 if p.exitcode is None else p.exitcode for p in self.processes
+        ]
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    async def run(self) -> Dict[str, Any]:
+        """The whole cluster lifecycle; returns the merged exit summary."""
+        self.start_workers()
+        server = None
+        try:
+            await self.wait_ready()
+            front = ClusterControl(self)
+            try:
+                server = await asyncio.start_unix_server(
+                    front.handle, path=self.control, limit=STREAM_LIMIT
+                )
+            except OSError as exc:
+                raise ClusterError(
+                    f"cannot bind front-end control socket "
+                    f"{self.control!r}: {exc}"
+                ) from exc
+            aio = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    aio.add_signal_handler(signum, self.request_stop)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+            while not self._stop.is_set():
+                if all(p.exitcode is not None for p in self.processes):
+                    break
+                try:
+                    await asyncio.wait_for(self._stop.wait(), timeout=0.1)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            if not self._shutdown_sent:
+                self.terminate_workers()
+            exit_codes = await self.join_workers()
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+            try:
+                os.unlink(self.control)
+            except OSError:
+                pass
+        return self.finalize(exit_codes)
+
+    def finalize(self, exit_codes: List[int]) -> Dict[str, Any]:
+        """Merge worker summaries; bind shard snapshots into a manifest."""
+        summaries: List[Optional[Dict[str, Any]]] = []
+        for index in range(self.shards):
+            path = shard_summary_path(self.workdir, index)
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    summaries.append(json.load(fh))
+            except (OSError, ValueError):
+                summaries.append(None)
+        manifest_path = None
+        if self.snapshot_dir:
+            written = [
+                os.path.exists(
+                    os.path.join(self.snapshot_dir, shard_snapshot_name(i))
+                )
+                for i in range(self.shards)
+            ]
+            if all(written):
+                manifest_path = write_manifest(
+                    self.snapshot_dir,
+                    ring_params=self.ring.params(),
+                    backend=self.backend,
+                    link_rate=self.link_rate,
+                )
+            elif any(written):
+                missing = [i for i, ok in enumerate(written) if not ok]
+                print(
+                    f"repro serve: partial cluster snapshot -- shards "
+                    f"{missing} wrote no envelope; no manifest written",
+                    file=sys.stderr,
+                )
+        present = [s for s in summaries if s]
+        aggregate: Dict[str, Any] = {
+            "events_processed": sum(
+                s.get("events_processed", 0) for s in present
+            ),
+            "max_lag": max(
+                (s.get("max_lag", 0.0) for s in present), default=0.0
+            ),
+            "misrouted": sum(
+                (s.get("shard") or {}).get("misrouted", 0) for s in present
+            ),
+            "watchdog_violations": sum(
+                len((s.get("watchdog") or {}).get("violations", []))
+                for s in present
+            ),
+        }
+        planes = [s["dataplane"] for s in present if s.get("dataplane")]
+        if planes:
+            aggregate["dataplane"] = obs_export._merge_numeric(planes)
+        return {
+            "cluster": True,
+            "shards": self.shards,
+            "ring": self.ring.params(),
+            "backend": self.backend,
+            "link_rate": self.link_rate,
+            "exit_codes": exit_codes,
+            "manifest": manifest_path,
+            "aggregate": aggregate,
+            "per_shard": summaries,
+        }
+
+    # -- shard RPC ------------------------------------------------------------
+
+    async def shard_call(
+        self, index: int, request: Dict[str, Any],
+        timeout: float = CALL_TIMEOUT,
+    ) -> Dict[str, Any]:
+        """One request line to one shard; unreachable -> structured error."""
+        path = shard_control_path(self.control, index)
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                path, limit=STREAM_LIMIT
+            )
+        except (OSError, ConnectionError) as exc:
+            return {"ok": False, "error": {
+                "type": "ShardUnreachable",
+                "message": f"shard {index}: {exc}",
+                "context": {"shard": index},
+            }}
+        try:
+            writer.write(json.dumps(request).encode("utf-8") + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout)
+        except (OSError, ConnectionError, asyncio.TimeoutError) as exc:
+            return {"ok": False, "error": {
+                "type": "ShardUnreachable",
+                "message": f"shard {index}: {exc or 'timed out'}",
+                "context": {"shard": index},
+            }}
+        finally:
+            writer.close()
+        if not line:
+            return {"ok": False, "error": {
+                "type": "ShardUnreachable",
+                "message": f"shard {index}: connection closed mid-request",
+                "context": {"shard": index},
+            }}
+        return json.loads(line)
+
+    async def fanout(self, request: Dict[str, Any]) -> List[Dict[str, Any]]:
+        return list(await asyncio.gather(*(
+            self.shard_call(index, request) for index in range(self.shards)
+        )))
+
+    async def fanout_snapshot(self, directory: str) -> List[Dict[str, Any]]:
+        """Every shard writes its envelope into ``directory``."""
+        return list(await asyncio.gather(*(
+            self.shard_call(index, {
+                "op": "snapshot",
+                "path": os.path.join(directory, shard_snapshot_name(index)),
+            })
+            for index in range(self.shards)
+        )))
+
+
+# -- the front-end control plane ----------------------------------------------
+
+
+def _failures(responses: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [
+        {"shard": index, "error": resp.get("error")}
+        for index, resp in enumerate(responses) if not resp.get("ok")
+    ]
+
+
+def _max_clock(responses: List[Dict[str, Any]]) -> float:
+    clocks = [
+        (resp.get("result") or {}).get("sim_clock", 0.0)
+        for resp in responses if resp.get("ok")
+    ]
+    return max(clocks, default=0.0)
+
+
+class ClusterControl:
+    """The front-end: single-service control protocol, fan-out semantics."""
+
+    def __init__(self, manager: ShardManager):
+        self.manager = manager
+        self.requests = 0
+        self.errors = 0
+
+    # -- transport (same line protocol as ControlServer, async dispatch) -----
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError, asyncio.LimitOverrunError):
+                    break
+                except asyncio.CancelledError:
+                    break  # front-end tearing down mid-connection
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self.dispatch_line(line)
+                writer.write(response.encode("utf-8") + b"\n")
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+
+    async def dispatch_line(self, line: bytes) -> str:
+        self.requests += 1
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ClusterError(f"request is not JSON: {exc}") from None
+            if not isinstance(request, dict) or "op" not in request:
+                raise ClusterError('request must be an object with an "op" key')
+            op = str(request["op"]).replace("-", "_")
+            handler = getattr(self, "op_" + op, None)
+            if handler is None:
+                raise ClusterError(f"unknown op {request['op']!r}")
+            result = await handler(request)
+            return json.dumps({"ok": True, "result": result})
+        except ReproError as exc:
+            self.errors += 1
+            error: Dict[str, Any] = {
+                "type": type(exc).__name__, "message": str(exc),
+            }
+            context = getattr(exc, "context", None)
+            if isinstance(context, dict) and context:
+                error["context"] = context
+            return json.dumps({"ok": False, "error": error})
+
+    def _require(self, request: Dict[str, Any], key: str) -> Any:
+        if key not in request:
+            raise ClusterError(f"op {request['op']!r} needs {key!r}")
+        return request[key]
+
+    # -- read-only fan-out ----------------------------------------------------
+
+    async def op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        responses = await self.manager.fanout({"op": "ping"})
+        return {
+            "pong": all(r.get("ok") for r in responses),
+            "shards": self.manager.shards,
+            "unreachable": [f["shard"] for f in _failures(responses)],
+            "sim_clock": _max_clock(responses),
+        }
+
+    async def op_version(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"version": __version__, "cluster": True}
+
+    async def op_info(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        mgr = self.manager
+        responses = await mgr.fanout({"op": "info"})
+        return {
+            "cluster": True,
+            "shards": mgr.shards,
+            "ring": mgr.ring.params(),
+            "backend": mgr.backend,
+            "link_rate": mgr.link_rate,
+            "per_shard": [r.get("result") for r in responses],
+            "unreachable": [f["shard"] for f in _failures(responses)],
+        }
+
+    async def op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        responses = await self.manager.fanout({"op": "stats"})
+        docs = []
+        for index, resp in enumerate(responses):
+            if resp.get("ok"):
+                docs.append({**resp["result"], "shard": {"index": index}})
+        merged = obs_export.merge_snapshots(docs)
+        merged["unreachable"] = [f["shard"] for f in _failures(responses)]
+        return merged
+
+    async def op_classes(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        responses = await self.manager.fanout({"op": "classes"})
+        merged: Dict[str, Dict[str, Any]] = {}
+        order: List[str] = []
+        for index, resp in enumerate(responses):
+            if not resp.get("ok"):
+                continue
+            for row in resp["result"]:
+                name = row["name"]
+                if name not in merged:
+                    merged[name] = {
+                        **row,
+                        "queued": 0,
+                        "queued_per_shard": [0] * self.manager.shards,
+                    }
+                    order.append(name)
+                merged[name]["queued"] += row.get("queued", 0)
+                merged[name]["queued_per_shard"][index] = row.get("queued", 0)
+        return {
+            "classes": [merged[name] for name in order],
+            "unreachable": [f["shard"] for f in _failures(responses)],
+        }
+
+    async def op_watchdog(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        fan = {"op": "watchdog"}
+        if request.get("check"):
+            fan["check"] = True
+        responses = await self.manager.fanout(fan)
+        violations: List[Dict[str, Any]] = []
+        checks = 0
+        for index, resp in enumerate(responses):
+            if not resp.get("ok"):
+                continue
+            result = resp["result"]
+            checks += result.get("checks_run", 0)
+            violations.extend(
+                {**v, "shard": index} for v in result.get("violations", [])
+            )
+        return {
+            "checks_run": checks,
+            "violations": violations,
+            "unreachable": [f["shard"] for f in _failures(responses)],
+        }
+
+    # -- two-phase mutations --------------------------------------------------
+
+    async def _reserve(self, request: Dict[str, Any]) -> List[Dict[str, Any]]:
+        responses = await self.manager.fanout({**request, "dry_run": True})
+        failures = _failures(responses)
+        if failures:
+            raise ClusterError(
+                f"admission reserve rejected by "
+                f"{len(failures)}/{self.manager.shards} shards",
+                context={"phase": "reserve", "failures": failures},
+            )
+        return responses
+
+    async def _commit(
+        self,
+        request: Dict[str, Any],
+        rollback_for: Any,
+    ) -> List[Dict[str, Any]]:
+        """Commit shard by shard; on failure, roll back what committed.
+
+        ``rollback_for(shard_index, commit_response)`` returns the
+        request that undoes that shard's commit (or ``None`` for
+        nothing to undo).
+        """
+        mgr = self.manager
+        committed: List[Tuple[int, Dict[str, Any]]] = []
+        for index in range(mgr.shards):
+            resp = await mgr.shard_call(index, request)
+            if resp.get("ok"):
+                committed.append((index, resp))
+                continue
+            rollback_status: List[Dict[str, Any]] = []
+            for done_index, done_resp in committed:
+                undo = rollback_for(done_index, done_resp)
+                if undo is None:
+                    continue
+                undo_resp = await mgr.shard_call(done_index, undo)
+                rollback_status.append({
+                    "shard": done_index, "ok": bool(undo_resp.get("ok")),
+                    "error": undo_resp.get("error"),
+                })
+            raise ClusterError(
+                f"commit failed on shard {index}; rolled back "
+                f"{len(rollback_status)} shard(s)",
+                context={
+                    "phase": "commit",
+                    "failed_shard": index,
+                    "error": resp.get("error"),
+                    "rollback": rollback_status,
+                },
+            )
+        return [resp for _, resp in committed]
+
+    async def op_add_class(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        mgr = self.manager
+        name = self._require(request, "name")
+        scaled = scale_mutation(request, 1.0 / mgr.shards)
+        async with mgr.mutation_lock:
+            await self._reserve(scaled)
+            if request.get("dry_run"):
+                return {"reserved": name, "shards": mgr.shards}
+            responses = await self._commit(
+                scaled,
+                lambda index, resp: {
+                    "op": "remove_class", "name": name, "force": True,
+                },
+            )
+        return {
+            "added": name,
+            "shards": mgr.shards,
+            "sim_clock": _max_clock(responses),
+        }
+
+    async def op_update_class(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        mgr = self.manager
+        name = self._require(request, "name")
+        scaled = scale_mutation(request, 1.0 / mgr.shards)
+
+        def restore(index: int, resp: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+            previous = (resp.get("result") or {}).get("previous")
+            if previous is None:
+                return None
+            # Explicit nulls remove roles the class did not have before;
+            # the stored docs are already per-shard scaled.
+            return {"op": "update_class", "name": name, **previous}
+
+        async with mgr.mutation_lock:
+            await self._reserve(scaled)
+            if request.get("dry_run"):
+                return {"reserved": name, "shards": mgr.shards}
+            responses = await self._commit(scaled, restore)
+        return {
+            "updated": name,
+            "shards": mgr.shards,
+            "sim_clock": _max_clock(responses),
+        }
+
+    async def op_remove_class(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        mgr = self.manager
+        name = self._require(request, "name")
+        fan = {"op": "remove_class", "name": name,
+               "force": bool(request.get("force", False))}
+        async with mgr.mutation_lock:
+            reserve = await self._reserve(fan)
+            if request.get("dry_run"):
+                return {"reserved": name, "shards": mgr.shards}
+            restores = [
+                (resp.get("result") or {}) for resp in reserve
+            ]
+
+            def re_add(index: int, resp: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+                info = restores[index]
+                undo: Dict[str, Any] = {"op": "add_class", "name": name}
+                if info.get("parent") is not None:
+                    undo["parent"] = info["parent"]
+                undo.update(info.get("previous") or {})
+                return undo
+
+            responses = await self._commit(fan, re_add)
+        return {
+            "removed": name,
+            "shards": mgr.shards,
+            "drained_packets": sum(
+                (r.get("result") or {}).get("drained_packets", 0)
+                for r in responses
+            ),
+            "sim_clock": _max_clock(responses),
+        }
+
+    async def op_set_link_rate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        mgr = self.manager
+        rate = float(self._require(request, "rate"))
+        if rate <= 0:
+            raise ClusterError(f"link rate must be positive, got {rate!r}")
+        per_shard = rate / mgr.shards
+        old_per_shard = mgr.link_rate / mgr.shards
+        async with mgr.mutation_lock:
+            responses = await self._commit(
+                {"op": "set_link_rate", "rate": per_shard},
+                lambda index, resp: {
+                    "op": "set_link_rate", "rate": old_per_shard,
+                },
+            )
+            mgr.link_rate = rate
+        return {
+            "link_rate": rate,
+            "per_shard": per_shard,
+            "shards": mgr.shards,
+            "sim_clock": _max_clock(responses),
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def op_snapshot(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        mgr = self.manager
+        directory = request.get("dir") or mgr.snapshot_dir
+        if not directory:
+            raise ClusterError(
+                "op 'snapshot' needs 'dir' (or start the cluster with a "
+                "snapshot directory)"
+            )
+        os.makedirs(directory, exist_ok=True)
+        async with mgr.mutation_lock:
+            responses = await mgr.fanout_snapshot(directory)
+            failures = _failures(responses)
+            if failures:
+                raise ClusterError(
+                    f"{len(failures)}/{mgr.shards} shards failed to "
+                    f"snapshot; no manifest written",
+                    context={"failures": failures},
+                )
+            manifest_path = write_manifest(
+                directory,
+                ring_params=mgr.ring.params(),
+                backend=mgr.backend,
+                link_rate=mgr.link_rate,
+            )
+        return {
+            "dir": directory,
+            "manifest": manifest_path,
+            "shards": mgr.shards,
+        }
+
+    async def op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        mgr = self.manager
+        snapshot = bool(request.get("snapshot", True))
+        responses = await mgr.fanout({"op": "shutdown", "snapshot": snapshot})
+        mgr._shutdown_sent = True
+        mgr.request_stop()
+        return {
+            "stopping": True,
+            "shards": mgr.shards,
+            "unreachable": [f["shard"] for f in _failures(responses)],
+        }
+
+
+# -- load-generator placement -------------------------------------------------
+
+
+def shard_targets(
+    shards: int,
+    udp: Optional[Tuple[str, int]] = None,
+    unix: Optional[str] = None,
+) -> List[str]:
+    """The per-shard ingress targets, in shard order (for ``repro load``)."""
+    if udp is not None:
+        host, base_port = udp
+        return [
+            "%s:%d" % shard_udp_address(host, int(base_port), index)
+            for index in range(shards)
+        ]
+    if unix is not None:
+        return [shard_unix_path(unix, index) for index in range(shards)]
+    raise ConfigurationError("shard_targets needs udp=(host, port) or unix=PATH")

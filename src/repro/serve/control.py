@@ -83,6 +83,11 @@ class ControlServer:
                     line = await reader.readline()
                 except (ValueError, ConnectionError, asyncio.LimitOverrunError):
                     break
+                except asyncio.CancelledError:
+                    # The service is tearing down mid-connection; finish
+                    # the handler task cleanly instead of leaving a
+                    # cancelled task for the loop teardown to log.
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -249,10 +254,25 @@ class ControlServer:
                 f"{headroom:g})"
             )
 
+    def _previous_curves(self, name: Any) -> Optional[Dict[str, Any]]:
+        """A class's current curve docs -- what a rollback must restore."""
+        sched = self.service.scheduler
+        if not isinstance(sched, HFSC):
+            return None
+        cls = sched._classes.get(name)
+        if cls is None:
+            return None
+        return {
+            "rt_sc": _curve_doc(cls.rt_requested),
+            "ls_sc": _curve_doc(cls.ls_spec),
+            "ul_sc": _curve_doc(cls.ul_spec),
+        }
+
     def op_add_class(self, request: Dict[str, Any]) -> Dict[str, Any]:
         svc = self.service
         name = self._require(request, "name")
         parent = request.get("parent")
+        dry_run = bool(request.get("dry_run", False))
         sched = svc.scheduler
         now = svc.driver.run_due()
         if isinstance(sched, HFSC):
@@ -265,6 +285,18 @@ class ControlServer:
             kwargs = {"rate": float(rate)}
         if parent is not None:
             kwargs["parent"] = parent
+        if dry_run:
+            # The reserve phase of the cluster's two-phase admission:
+            # everything add_class would refuse is refused *now* (name
+            # collision, unknown parent, eq.(1) overbooking above),
+            # nothing is mutated.  Consistent because only the front-end
+            # issues mutations and it serializes reserve->commit.
+            classes = getattr(sched, "_classes", {})
+            if name in classes:
+                raise ControlError(f"class {name!r} already exists")
+            if parent is not None and parent not in classes:
+                raise ControlError(f"parent class {parent!r} does not exist")
+            return {"reserved": name, "sim_clock": now}
         sched.add_class(name, **kwargs)
         return {"added": name, "sim_clock": now}
 
@@ -276,7 +308,10 @@ class ControlServer:
                 f"update_class requires the hfsc backend, not {svc.backend!r}"
             )
         name = self._require(request, "name")
+        dry_run = bool(request.get("dry_run", False))
         curves = self._parse_curves(request, allow_unchanged=True)
+        if name not in sched._classes:
+            raise ControlError(f"class {name!r} does not exist")
         if curves["sc"] is not UNCHANGED:
             new_rt = curves["sc"]
         elif curves["rt_sc"] is not UNCHANGED:
@@ -285,15 +320,44 @@ class ControlServer:
             cls = sched._classes.get(name)
             new_rt = cls.rt_requested if cls is not None else None
         self._check_rt_admission(name, new_rt)
+        previous = self._previous_curves(name)
         now = svc.driver.run_due()
+        if dry_run:
+            # Reserve phase: admission + existence checked, nothing
+            # mutated.  ``previous`` lets the front-end restore this
+            # shard exactly if a later shard's commit fails.
+            return {"reserved": name, "sim_clock": now, "previous": previous}
         sched.update_class(name, now, **curves)
-        return {"updated": name, "sim_clock": now}
+        return {"updated": name, "sim_clock": now, "previous": previous}
 
     def op_remove_class(self, request: Dict[str, Any]) -> Dict[str, Any]:
         svc = self.service
         name = self._require(request, "name")
         force = bool(request.get("force", False))
         now = svc.driver.run_due()
+        if request.get("dry_run"):
+            # Reserve phase: existence (and, without ``force``, emptiness)
+            # is what the real removal would check; backlog can grow
+            # between reserve and commit, so force-less cluster removes
+            # stay best-effort -- documented in docs/SERVING.md.
+            classes = getattr(svc.scheduler, "_classes", {})
+            if name not in classes:
+                raise ControlError(f"class {name!r} does not exist")
+            parent_obj = getattr(classes[name], "parent", None)
+            parent = (
+                None
+                if parent_obj is None or getattr(parent_obj, "is_root", False)
+                else parent_obj.name
+            )
+            # ``previous`` + ``parent`` let the front-end re-add the
+            # class (queued packets excepted) if another shard's commit
+            # fails -- the tree stays consistent cluster-wide.
+            return {
+                "reserved": name,
+                "sim_clock": now,
+                "parent": parent,
+                "previous": self._previous_curves(name),
+            }
         drained = svc.scheduler.remove_class(name, force=force)
         # Packets drained out of the scheduler never depart: release
         # their slice of the edge buffer and their reflect state.

@@ -126,6 +126,25 @@ def spec_from_doc(doc: Dict[str, Any]) -> ClassSpec:
     )
 
 
+def spec_to_doc(spec: ClassSpec) -> Dict[str, Any]:
+    """The inverse of :func:`spec_from_doc` -- a JSON-able class spec.
+
+    Curves serialize in the explicit ``{"m1","d","m2"}`` form so the
+    round trip is exact; the shard manager uses this to ship the
+    hierarchy across the worker process boundary.
+    """
+    doc: Dict[str, Any] = {"name": spec.name}
+    if spec.parent is not None:
+        doc["parent"] = spec.parent
+    if spec.rate is not None:
+        doc["rate"] = spec.rate
+    for role in ("sc", "rt_sc", "ls_sc", "ul_sc"):
+        curve = getattr(spec, role)
+        if curve is not None:
+            doc[role] = {"m1": curve.m1, "d": curve.d, "m2": curve.m2}
+    return doc
+
+
 def hierarchy_from_file(path: str) -> Dict[str, Any]:
     """Load ``{"link_rate": …, "classes": [...]}`` (plus optional
     ``scheduler`` / ``overload_policy`` keys) into a config dict with

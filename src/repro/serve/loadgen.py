@@ -219,9 +219,22 @@ class LoadGenerator:
         seed: int = 1,
         trace: Optional[Sequence[float]] = None,
         clock=time.monotonic,
+        ring=None,
     ):
         self.classes = list(classes)
         self.flows = flow_names(self.classes, flows)
+        # Sharded mode: a ShardRing pins each flow to one shard; run()
+        # then expects one transport per shard, in shard order.  The
+        # ring must match the cluster's (same shards/replicas/salt) or
+        # the workers' placement check sheds everything as misrouted.
+        self.ring = ring
+        self.shard_of: Optional[List[int]] = (
+            None if ring is None
+            else [ring.shard_for(flow) for flow in self.flows]
+        )
+        self.sent_per_shard: Optional[List[int]] = (
+            None if ring is None else [0] * ring.shards
+        )
         self.rate = rate
         self.size = size
         self.process = process
@@ -284,7 +297,17 @@ class LoadGenerator:
 
     async def run(self, transport: Any, drain: float = 1.0) -> None:
         """Play the schedule against ``transport`` (a connected datagram
-        transport), then linger ``drain`` wall seconds for stragglers."""
+        transport, or a list of them in shard order when a ring was
+        given), then linger ``drain`` wall seconds for stragglers."""
+        transports = (
+            list(transport) if isinstance(transport, (list, tuple))
+            else [transport]
+        )
+        if self.ring is not None and len(transports) != self.ring.shards:
+            raise ConfigurationError(
+                f"sharded load needs {self.ring.shards} transports, "
+                f"got {len(transports)}"
+            )
         self._t0 = t0 = self.clock()
         yield_every = 64
         for burst, (offset, index) in enumerate(self.schedule):
@@ -302,7 +325,12 @@ class LoadGenerator:
             seq = self._seq[index]
             self._seq[index] = seq + 1
             datagram = encode_packet(flow, seq, self.clock(), self.size)
-            transport.sendto(datagram)
+            if self.shard_of is None:
+                transports[0].sendto(datagram)
+            else:
+                shard = self.shard_of[index]
+                transports[shard].sendto(datagram)
+                self.sent_per_shard[shard] += 1
             self.sent += 1
             self.bytes_sent += len(datagram)
             cls = self.classes[index % len(self.classes)]
@@ -339,7 +367,7 @@ class LoadGenerator:
                 "goodput_bps": goodput,
                 "departure_span_sim": span,
             }
-        return {
+        report: Dict[str, Any] = {
             "process": self.process,
             "flows": len(self.flows),
             "classes": self.classes,
@@ -360,6 +388,15 @@ class LoadGenerator:
             "latency_sim": self.sim_latency.report(),
             "per_class": per_class,
         }
+        if self.sent_per_shard is not None:
+            report["shards"] = {
+                "count": self.ring.shards,
+                "sent_per_shard": list(self.sent_per_shard),
+                "send_rate_pps_per_shard": [
+                    n / wall if wall > 0 else 0.0 for n in self.sent_per_shard
+                ],
+            }
+        return report
 
 
 class _NoticeProtocol(asyncio.DatagramProtocol):
@@ -416,6 +453,65 @@ async def run_load(
         if cleanup is not None:
             try:
                 os.unlink(cleanup)
+            except OSError:
+                pass
+    return generator.report()
+
+
+async def run_load_cluster(
+    targets: Sequence[str],
+    generator: LoadGenerator,
+    drain: float = 1.0,
+) -> Dict[str, Any]:
+    """Run ``generator`` against a sharded cluster and return its report.
+
+    ``targets`` is the per-shard ingress list in shard order (from
+    :func:`repro.serve.cluster.shard_targets`); the generator must have
+    been built with the matching ring.  One socket per shard, and every
+    socket also receives that shard's departure notices.
+    """
+    if generator.ring is None:
+        raise ConfigurationError("run_load_cluster needs a ring-aware generator")
+    if len(targets) != generator.ring.shards:
+        raise ConfigurationError(
+            f"need {generator.ring.shards} targets, got {len(targets)}"
+        )
+    aio = asyncio.get_running_loop()
+    transports: List[Any] = []
+    cleanups: List[str] = []
+    try:
+        for index, target in enumerate(targets):
+            if "/" in target or os.path.exists(target):
+                sock = socket_module.socket(
+                    socket_module.AF_UNIX, socket_module.SOCK_DGRAM
+                )
+                sock.setblocking(False)
+                name = f"{target}.load.{os.getpid()}"
+                sock.bind(name)
+                cleanups.append(name)
+                sock.connect(target)
+                transport, _ = await aio.create_datagram_endpoint(
+                    lambda: _NoticeProtocol(generator), sock=sock
+                )
+            else:
+                host, _, port = target.rpartition(":")
+                if not host or not port.isdigit():
+                    raise ConfigurationError(
+                        f"shard {index}: target must be host:port or a unix "
+                        f"socket path, got {target!r}"
+                    )
+                transport, _ = await aio.create_datagram_endpoint(
+                    lambda: _NoticeProtocol(generator),
+                    remote_addr=(host, int(port)),
+                )
+            transports.append(transport)
+        await generator.run(transports, drain=drain)
+    finally:
+        for transport in transports:
+            transport.close()
+        for name in cleanups:
+            try:
+                os.unlink(name)
             except OSError:
                 pass
     return generator.report()

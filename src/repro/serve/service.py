@@ -24,10 +24,13 @@ between pacing chunks, so scheduler state never sees concurrent access.
 from __future__ import annotations
 
 import asyncio
+import errno
 import signal
 import socket as socket_module
+import sys
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.errors import ReproError
 from repro.core.hierarchy import ClassSpec
 from repro.persist.codec import load_snapshot, save_snapshot
 from repro.persist.runtime import RunContext
@@ -38,6 +41,25 @@ from repro.serve.wire import Classifier, SuffixClassifier
 from repro.sim.engine import EventLoop
 from repro.sim.faults import Watchdog
 from repro.sim.link import Link
+
+
+class BindError(ReproError):
+    """A dataplane/control socket could not be bound.
+
+    Wraps the raw :class:`OSError` with the address and a hint, so
+    ``repro serve`` reports "port taken" / "permission denied" as a
+    structured one-line error (exit 2) instead of a traceback.
+    """
+
+    def __init__(self, address: str, exc: OSError):
+        hint = ""
+        if exc.errno == errno.EADDRINUSE:
+            hint = " (address already in use -- is another shard or an old run still bound?)"
+        elif exc.errno in (errno.EACCES, errno.EPERM):
+            hint = " (permission denied -- privileged port or protected path?)"
+        super().__init__(f"cannot bind {address}: {exc}{hint}")
+        self.address = address
+        self.errno = exc.errno
 
 
 class ServeService:
@@ -83,6 +105,7 @@ class ServeService:
         self._transports: List[Any] = []
         self._servers: List[Any] = []
         self._signal_snapshots = 0
+        self._snapshot_error_reported = False
         self.snapshot_path: Optional[str] = None
         self.resumed_from: Optional[str] = None
 
@@ -131,12 +154,21 @@ class ServeService:
 
     # -- sockets --------------------------------------------------------------
 
-    async def start_udp(self, host: str, port: int) -> Any:
+    async def start_udp(
+        self, host: str, port: int, reuse_port: bool = False
+    ) -> Any:
         aio = asyncio.get_running_loop()
-        transport, _ = await aio.create_datagram_endpoint(
-            lambda: DatagramIngressProtocol(self.dataplane),
-            local_addr=(host, port),
-        )
+        try:
+            transport, _ = await aio.create_datagram_endpoint(
+                lambda: DatagramIngressProtocol(self.dataplane),
+                local_addr=(host, port),
+                # Shard workers opt in so a cluster can also be deployed
+                # behind one kernel-sprayed port (misroutes shed by the
+                # shard classifier); None = platform default otherwise.
+                reuse_port=reuse_port or None,
+            )
+        except OSError as exc:
+            raise BindError(f"udp://{host}:{port}", exc) from exc
         self._transports.append(transport)
         return transport.get_extra_info("sockname")
 
@@ -146,7 +178,11 @@ class ServeService:
             socket_module.AF_UNIX, socket_module.SOCK_DGRAM
         )
         sock.setblocking(False)
-        sock.bind(path)
+        try:
+            sock.bind(path)
+        except OSError as exc:
+            sock.close()
+            raise BindError(f"unix-dgram://{path}", exc) from exc
         transport, _ = await aio.create_datagram_endpoint(
             lambda: DatagramIngressProtocol(self.dataplane), sock=sock
         )
@@ -156,23 +192,39 @@ class ServeService:
     async def start_control(self, path: str) -> str:
         from repro.serve.control import ControlServer
 
-        server = await asyncio.start_unix_server(
-            ControlServer(self).handle, path=path
-        )
+        try:
+            server = await asyncio.start_unix_server(
+                ControlServer(self).handle, path=path,
+                limit=16 * 1024 * 1024,
+            )
+        except OSError as exc:
+            raise BindError(f"ctl://{path}", exc) from exc
         self._servers.append(server)
         return path
 
     # -- lifecycle ------------------------------------------------------------
 
     def request_stop(self, snapshot: bool = True) -> None:
-        """Stop serving; with a snapshot path configured, write it first."""
+        """Stop serving; with a snapshot path configured, write it first.
+
+        The write-once guard counts *successful* snapshots only: a failed
+        attempt (disk full, bad path) must not disable the next SIGTERM's
+        retry for the rest of the run.  The failure is surfaced once on
+        stderr -- and never blocks shutdown.
+        """
         if snapshot and self.snapshot_path and self._signal_snapshots == 0:
-            self._signal_snapshots += 1
             try:
                 self.write_snapshot(self.snapshot_path)
-            except Exception:
-                # A failing snapshot must not block shutdown.
-                pass
+            except Exception as exc:
+                if not self._snapshot_error_reported:
+                    self._snapshot_error_reported = True
+                    print(
+                        f"repro serve: snapshot to {self.snapshot_path!r} "
+                        f"failed: {exc}",
+                        file=sys.stderr,
+                    )
+            else:
+                self._signal_snapshots += 1
         self.driver.stop()
 
     async def run(

@@ -173,3 +173,62 @@ class TestSnapshotResume:
         service.request_stop()  # the SIGTERM handler's code path
         assert (tmp_path / "sigterm.snap").exists()
         assert service.driver._stopping
+
+    def test_request_stop_retries_snapshot_after_failure(self, tmp_path, capsys):
+        """A failed signal-time snapshot must not burn the write-once
+        guard: the next SIGTERM retries (and the error prints once)."""
+        service = ServeService(
+            split_specs(1000.0), 1000.0, time_scale=0.0, watchdog_period=0.0,
+        )
+        service.snapshot_path = str(tmp_path / "no-such-dir" / "x.snap")
+        service.request_stop()
+        service.request_stop()  # second failure must stay silent
+        err = capsys.readouterr().err
+        assert err.count("snapshot") == 1
+        assert service._signal_snapshots == 0
+        # The operator fixes the path; the next signal succeeds.
+        service.snapshot_path = str(tmp_path / "retry.snap")
+        service.request_stop()
+        assert (tmp_path / "retry.snap").exists()
+        assert service._signal_snapshots == 1
+
+
+class TestBindErrors:
+    def test_unix_datagram_address_in_use_is_structured(self, tmp_path):
+        from repro.serve.service import BindError
+
+        path = str(tmp_path / "in.sock")
+        first = ServeService(split_specs(1000.0), 1000.0, time_scale=0.0)
+        second = ServeService(split_specs(1000.0), 1000.0, time_scale=0.0)
+
+        async def scenario():
+            await first.start_unix_datagram(path)
+            try:
+                with pytest.raises(BindError) as info:
+                    await second.start_unix_datagram(path)
+            finally:
+                first.close()
+            return info.value
+
+        exc = asyncio.run(scenario())
+        assert exc.address == f"unix-dgram://{path}"
+        assert "already in use" in str(exc)
+
+    def test_udp_port_in_use_is_structured(self):
+        from repro.serve.service import BindError
+
+        first = ServeService(split_specs(1000.0), 1000.0, time_scale=0.0)
+        second = ServeService(split_specs(1000.0), 1000.0, time_scale=0.0)
+
+        async def scenario():
+            host, port = await first.start_udp("127.0.0.1", 0)
+            try:
+                with pytest.raises(BindError) as info:
+                    await second.start_udp(host, port)
+            finally:
+                first.close()
+            return info.value
+
+        exc = asyncio.run(scenario())
+        assert "cannot bind udp://" in str(exc)
+        assert "already in use" in str(exc)

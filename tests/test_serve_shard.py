@@ -1,0 +1,210 @@
+"""Tests for flow->shard placement (``repro.serve.shard``).
+
+The placement function is load-bearing in three ways the tests pin
+separately: it must be *deterministic across processes* (the load
+generator and every worker compute it independently), *stable under
+resize* (growing N -> N+1 shards moves only ~1/(N+1) of flows, and every
+moved flow lands on the new shard -- the defining property of a
+consistent-hash ring), and *enforced at the worker* (a misrouted
+datagram is shed and counted, never scheduled).
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.curves import ServiceCurve
+from repro.core.errors import ConfigurationError
+from repro.core.hierarchy import ClassSpec
+from repro.serve.cluster import scale_curve_doc, scale_mutation, scale_spec
+from repro.serve.shard import (
+    ShardFilterClassifier,
+    ShardRing,
+    assignments,
+    shard_control_path,
+    shard_udp_address,
+    shard_unix_path,
+    worker_config,
+)
+from repro.serve.wire import SuffixClassifier
+
+FLOWS = [f"class{c}#{i}" for c in "abcd" for i in range(500)]
+
+
+class TestShardRing:
+    def test_golden_assignments(self):
+        """Pinned placements: any change here breaks live clusters'
+        sender/worker agreement and must be a deliberate salt bump."""
+        ring = ShardRing(4)
+        expected = {
+            "cmu.av#0": 2, "cmu.av#1": 3, "cmu.av#2": 1, "cmu.av#3": 0,
+            "cmu.av#4": 2, "cmu.av#5": 0, "cmu.av#6": 2, "cmu.av#7": 0,
+            "pitt.data#0": 3, "pitt.data#1": 0, "pitt.data#2": 0,
+            "pitt.data#3": 2,
+        }
+        assert {f: ring.shard_for(f) for f in expected} == expected
+
+    def test_cross_process_determinism(self):
+        """A fresh interpreter computes identical placements -- the ring
+        must not depend on Python's per-process hash salt."""
+        ring = ShardRing(4)
+        flows = FLOWS[:200]
+        script = (
+            "import json, sys\n"
+            "from repro.serve.shard import ShardRing, assignments\n"
+            "flows = json.load(sys.stdin)\n"
+            "print(json.dumps(assignments(ShardRing(4), flows)))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps(flows), capture_output=True, text=True,
+            check=True,
+        )
+        assert json.loads(result.stdout) == assignments(ring, flows)
+
+    def test_all_shards_get_flows(self):
+        ring = ShardRing(4)
+        owners = set(assignments(ring, FLOWS))
+        assert owners == {0, 1, 2, 3}
+
+    def test_params_round_trip(self):
+        ring = ShardRing(3, replicas=16, salt="x")
+        clone = ShardRing.from_params(ring.params())
+        assert assignments(clone, FLOWS[:50]) == assignments(ring, FLOWS[:50])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardRing(0)
+        with pytest.raises(ConfigurationError):
+            ShardRing(2, replicas=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        shards=st.integers(min_value=1, max_value=8),
+        salt=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=12,
+        ),
+    )
+    def test_resize_moves_few_flows_and_only_to_the_new_shard(
+        self, shards, salt
+    ):
+        """Growing N -> N+1: every moved flow lands on the *new* shard
+        (the ring only ever cedes arcs to new points), and the moved
+        fraction stays near the ideal 1/(N+1)."""
+        old = ShardRing(shards, salt=salt)
+        new = ShardRing(shards + 1, salt=salt)
+        moved = [
+            f for f in FLOWS if old.shard_for(f) != new.shard_for(f)
+        ]
+        assert all(new.shard_for(f) == shards for f in moved)
+        fraction = len(moved) / len(FLOWS)
+        assert fraction <= min(1.0, 2.0 / (shards + 1))
+
+
+class TestShardFilterClassifier:
+    def test_sheds_and_counts_misroutes(self):
+        ring = ShardRing(2)
+        inner = SuffixClassifier(["gold", "bronze"])
+        classifier = ShardFilterClassifier(ring, 0, inner)
+        mine = [f for f in FLOWS if ring.shard_for(f) == 0]
+        theirs = [f for f in FLOWS if ring.shard_for(f) == 1]
+        flow = "gold#1" if ring.shard_for("gold#1") == 0 else "bronze#0"
+        assert mine and theirs
+        for f in theirs[:10]:
+            assert classifier(f) is None
+        assert classifier.misrouted == 10
+        if ring.shard_for(flow) == 0:
+            assert classifier(flow) is not None
+
+    def test_index_range_checked(self):
+        ring = ShardRing(2)
+        with pytest.raises(ConfigurationError):
+            ShardFilterClassifier(ring, 2, SuffixClassifier(["gold"]))
+
+
+class TestAddressing:
+    def test_udp_ports_are_base_plus_index(self):
+        assert shard_udp_address("h", 9000, 0) == ("h", 9000)
+        assert shard_udp_address("h", 9000, 3) == ("h", 9003)
+
+    def test_unix_paths_append_index(self):
+        assert shard_unix_path("/tmp/in", 2) == "/tmp/in.2"
+        assert shard_control_path("/tmp/ctl", 0) == "/tmp/ctl.0"
+
+
+class TestScaling:
+    def test_scale_spec_halves_rates_keeps_delay(self):
+        spec = ClassSpec(
+            "video", sc=ServiceCurve(2e6, 0.01, 1e6),
+            ul_sc=ServiceCurve.linear(3e6), rate=4e6,
+        )
+        half = scale_spec(spec, 0.5)
+        assert half.sc.m1 == 1e6 and half.sc.m2 == 5e5
+        assert half.sc.d == 0.01
+        assert half.ul_sc.m2 == 1.5e6
+        assert half.rate == 2e6
+        assert half.name == "video" and half.parent is None
+
+    def test_scale_curve_doc_forms(self):
+        assert scale_curve_doc(100.0, 0.25) == 25.0
+        assert scale_curve_doc([200.0, 0.5, 100.0], 0.5) == [100.0, 0.5, 50.0]
+        assert scale_curve_doc({"rate": 8.0}, 0.5) == {"rate": 4.0}
+        assert scale_curve_doc(
+            {"umax": 8000.0, "dmax": 0.03, "rate": 1e6}, 0.5
+        ) == {"umax": 4000.0, "dmax": 0.03, "rate": 5e5}
+        assert scale_curve_doc(
+            {"m1": 4.0, "d": 1.0, "m2": 2.0}, 0.5
+        ) == {"m1": 2.0, "d": 1.0, "m2": 1.0}
+        assert scale_curve_doc(None, 0.5) is None
+        with pytest.raises(ConfigurationError):
+            scale_curve_doc({"bogus": 1}, 0.5)
+
+    def test_scale_mutation_touches_only_curve_payload(self):
+        request = {
+            "op": "add_class", "name": "x", "parent": "p",
+            "sc": 1000.0, "ul_sc": None, "rate": 500.0, "force": True,
+        }
+        scaled = scale_mutation(request, 0.25)
+        assert scaled["sc"] == 250.0
+        assert scaled["rate"] == 125.0
+        assert scaled["ul_sc"] is None
+        assert scaled["name"] == "x" and scaled["force"] is True
+        assert request["sc"] == 1000.0  # original untouched
+
+
+class TestWorkerConfig:
+    def test_json_round_trip(self):
+        ring = ShardRing(2)
+        spec = ClassSpec("gold", sc=ServiceCurve(2e6, 0.01, 1e6))
+        doc = worker_config(
+            index=1, shards=2, ring=ring, specs=[spec], link_rate=1e6,
+            udp=("127.0.0.1", 9000), unix=None, control="/tmp/ctl",
+        )
+        wire = json.loads(json.dumps(doc))
+        assert wire == doc
+        assert wire["classes"][0]["sc"] == {"m1": 2e6, "d": 0.01, "m2": 1e6}
+        assert wire["ring"] == ring.params()
+
+    def test_build_worker_service(self):
+        from repro.serve.shard import build_worker_service
+
+        ring = ShardRing(2)
+        specs = [
+            ClassSpec("gold", sc=ServiceCurve.linear(600.0)),
+            ClassSpec("bronze", sc=ServiceCurve.linear(400.0)),
+        ]
+        doc = worker_config(
+            index=0, shards=2, ring=ring, specs=specs, link_rate=1000.0,
+            udp=None, unix="/tmp/nope", control=None,
+        )
+        service, classifier = build_worker_service(doc)
+        assert service.link.rate == 1000.0
+        assert classifier.index == 0
+        misses = [f for f in FLOWS if ring.shard_for(f) != 0]
+        assert classifier(misses[0]) is None
+        assert classifier.misrouted == 1
