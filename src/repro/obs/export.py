@@ -406,6 +406,76 @@ def to_prometheus(
     return out.getvalue()
 
 
+# -- cluster health -----------------------------------------------------------
+
+#: Numeric encoding of the shard supervisor's state machine.  The
+#: authoritative map -- :mod:`repro.serve.cluster` imports it for its
+#: live per-shard state gauges, and :func:`cluster_health_to_prometheus`
+#: uses it to render health documents offline.
+CLUSTER_SHARD_STATES = {
+    "starting": 0,
+    "ready": 1,
+    "degraded": 2,
+    "restarting": 3,
+    "failed": 4,
+    "stopped": 5,
+}
+
+_BREAKER_CODES = {"closed": 0, "open": 1, "half-open": 2}
+
+
+def cluster_health_to_prometheus(health: Dict[str, Any]) -> str:
+    """Render a cluster health document in Prometheus text format.
+
+    The input is what :meth:`repro.serve.cluster.ShardManager.health_doc`
+    builds (and the front-end's ``health`` op returns): cluster counters
+    become ``repro_<name>_total`` (dots mapped to underscores); each
+    shard's supervisor state, restart count, accumulated downtime and
+    circuit-breaker state become ``shard``-labelled series.
+    """
+    out = io.StringIO()
+    for name, value in sorted((health.get("counters") or {}).items()):
+        metric = "repro_" + str(name).replace(".", "_").replace("-", "_") + "_total"
+        out.write(f"# TYPE {metric} counter\n")
+        out.write(f"{metric} {_fmt(value)}\n")
+    shards = [s for s in health.get("shards") or [] if isinstance(s, dict)]
+    if not shards:
+        return out.getvalue()
+    out.write(
+        "# HELP repro_cluster_shard_state Supervisor state per shard "
+        "(0=starting 1=ready 2=degraded 3=restarting 4=failed 5=stopped)\n"
+    )
+    out.write("# TYPE repro_cluster_shard_state gauge\n")
+    for s in shards:
+        label = _escape_label(s.get("index"))
+        code = CLUSTER_SHARD_STATES.get(s.get("state"), -1)
+        out.write(f'repro_cluster_shard_state{{shard="{label}"}} {_fmt(code)}\n')
+    out.write("# TYPE repro_cluster_shard_restarts_total counter\n")
+    for s in shards:
+        label = _escape_label(s.get("index"))
+        out.write(
+            f'repro_cluster_shard_restarts_total{{shard="{label}"}} '
+            f"{_fmt(s.get('restarts', 0))}\n"
+        )
+    out.write("# TYPE repro_cluster_shard_downtime_seconds counter\n")
+    for s in shards:
+        label = _escape_label(s.get("index"))
+        out.write(
+            f'repro_cluster_shard_downtime_seconds{{shard="{label}"}} '
+            f"{_fmt(s.get('downtime_s', 0.0))}\n"
+        )
+    out.write(
+        "# HELP repro_cluster_shard_breaker Circuit-breaker state per "
+        "shard (0=closed 1=open 2=half-open)\n"
+    )
+    out.write("# TYPE repro_cluster_shard_breaker gauge\n")
+    for s in shards:
+        label = _escape_label(s.get("index"))
+        code = _BREAKER_CODES.get((s.get("breaker") or {}).get("state"), -1)
+        out.write(f'repro_cluster_shard_breaker{{shard="{label}"}} {_fmt(code)}\n')
+    return out.getvalue()
+
+
 # -- CSV timeseries -----------------------------------------------------------
 
 

@@ -24,11 +24,20 @@ import json
 import os
 from typing import Any, Dict, List, Optional
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 from repro.core.errors import SnapshotError
 
 MANIFEST_FORMAT = "repro-cluster-manifest"
 MANIFEST_SCHEMA = 1
 MANIFEST_NAME = "manifest.json"
+
+#: Sidecar flock target serializing concurrent per-shard manifest
+#: updates (N workers checkpoint on independent cadences).
+MANIFEST_LOCK_NAME = "manifest.lock"
 
 
 def shard_snapshot_name(index: int) -> str:
@@ -99,6 +108,11 @@ def write_manifest(
     if extra:
         doc["extra"] = extra
     manifest_path = os.path.join(directory, MANIFEST_NAME)
+    _atomic_write_doc(manifest_path, doc)
+    return manifest_path
+
+
+def _atomic_write_doc(manifest_path: str, doc: Dict[str, Any]) -> None:
     tmp = f"{manifest_path}.tmp.{os.getpid()}"
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
@@ -110,7 +124,112 @@ def write_manifest(
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)
+
+
+def update_manifest_shard(
+    directory: str,
+    index: int,
+    *,
+    ring_params: Dict[str, Any],
+    backend: str,
+    link_rate: float,
+) -> str:
+    """Re-pin one shard's envelope checksum in the manifest, atomically.
+
+    This is the periodic-checkpoint path: each worker snapshots on its
+    own cadence and re-binds *only its own* entry, under an ``flock`` on
+    a sidecar lock file so concurrent workers never lose each other's
+    updates.  The envelope must already be fully written (its checksum
+    claim is read here), so the ordering *envelope first, manifest
+    second* guarantees every crash window leaves a manifest whose pinned
+    checksum matches a real file -- either the fresh envelope or, if the
+    crash hit between the snapshot rotation and this update, the
+    ``.prev`` rotation target the supervisor falls back to.
+
+    A manifest from a different placement (ring params changed) is
+    discarded and rebuilt rather than mixed with stale entries.
+    Partially-populated manifests intentionally fail the strict
+    :func:`load_manifest` (a partial cluster checkpoint must not look
+    complete); they converge to complete after every shard's first
+    cadence.
+    """
+    name = shard_snapshot_name(index)
+    path = os.path.join(directory, name)
+    checksum = _envelope_checksum(path)
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    lock_path = os.path.join(directory, MANIFEST_LOCK_NAME)
+    with open(lock_path, "a") as lock:
+        if fcntl is not None:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+        try:
+            try:
+                with open(manifest_path, encoding="utf-8") as handle:
+                    doc = json.load(handle)
+            except (OSError, ValueError):
+                doc = None
+            if (
+                not isinstance(doc, dict)
+                or doc.get("format") != MANIFEST_FORMAT
+                or doc.get("schema") != MANIFEST_SCHEMA
+                or doc.get("ring") != dict(ring_params)
+            ):
+                doc = {
+                    "format": MANIFEST_FORMAT,
+                    "schema": MANIFEST_SCHEMA,
+                    "ring": dict(ring_params),
+                    "snapshots": [],
+                }
+            doc["backend"] = backend
+            doc["link_rate"] = float(link_rate)
+            snapshots = [
+                entry for entry in doc.get("snapshots", [])
+                if isinstance(entry, dict) and entry.get("shard") != index
+            ]
+            snapshots.append({"shard": index, "path": name,
+                              "checksum": checksum})
+            doc["snapshots"] = sorted(snapshots, key=lambda e: e["shard"])
+            _atomic_write_doc(manifest_path, doc)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
     return manifest_path
+
+
+def read_manifest_doc(directory: str) -> Optional[Dict[str, Any]]:
+    """Best-effort manifest read: no checksum or completeness checks.
+
+    The supervisor uses this to learn which envelope checksum the
+    manifest pins for one shard before deciding what a restarted worker
+    may resume from; a missing/corrupt/foreign manifest is simply
+    ``None`` (the caller then refuses unvouched-for envelopes or starts
+    fresh) rather than an error -- restart must never be wedged by a
+    torn manifest.  Full-cluster resume keeps the strict
+    :func:`load_manifest`.
+    """
+    if os.path.basename(directory) == MANIFEST_NAME:
+        manifest_path = directory
+    else:
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or doc.get("format") != MANIFEST_FORMAT:
+        return None
+    return doc
+
+
+def manifest_entry(
+    doc: Optional[Dict[str, Any]], index: int
+) -> Optional[Dict[str, Any]]:
+    """The snapshot entry for ``index`` in a (lenient) manifest doc."""
+    if not isinstance(doc, dict):
+        return None
+    for entry in doc.get("snapshots") or []:
+        if isinstance(entry, dict) and entry.get("shard") == index:
+            return entry
+    return None
 
 
 def load_manifest(directory: str) -> Dict[str, Any]:

@@ -129,6 +129,39 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="cluster mode: where worker summary files land (default: a "
              "fresh temp dir)",
     )
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="cluster mode: each worker snapshots on this wall-clock "
+             "cadence into --snapshot-dir (manifest re-pinned atomically "
+             "per shard); restarts resume from the last checkpoint",
+    )
+    parser.add_argument(
+        "--no-supervise", action="store_true",
+        help="cluster mode: disable the supervisor (no heartbeats, no "
+             "automatic restart of dead workers -- the PR-8 behaviour)",
+    )
+    parser.add_argument(
+        "--restart-policy", choices=("continue-degraded", "halt-cluster"),
+        default="continue-degraded",
+        help="what to do when a shard crash-loops past --max-restarts: "
+             "keep serving the surviving shards or stop the whole "
+             "cluster (default: continue-degraded)",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="restarts allowed per shard within --restart-window before "
+             "it is marked failed (default: 5)",
+    )
+    parser.add_argument(
+        "--restart-window", type=float, default=30.0,
+        help="sliding window in seconds for --max-restarts (default: 30)",
+    )
+    parser.add_argument(
+        "--chaos-kill", metavar="SPEC", default=None,
+        help="cluster chaos: SIGKILL live workers on a seeded schedule, "
+             "e.g. 'count=2,start=5,span=10,seed=7' (all fields "
+             "optional); the supervisor must bring them back",
+    )
 
 
 def _parse_hostport(value: str) -> Any:
@@ -195,7 +228,7 @@ async def _serve_async(args, service) -> Dict[str, Any]:
 
 
 def _build_manager(args):
-    from repro.serve.cluster import ShardManager
+    from repro.serve.cluster import KillSchedule, ShardManager
     from repro.serve.shard import DEFAULT_REPLICAS, DEFAULT_SALT
 
     specs, backend, overload_policy = _resolve_hierarchy(args)
@@ -204,6 +237,12 @@ def _build_manager(args):
             "--shards needs --control PATH (the front-end binds PATH, "
             "worker i binds PATH.<i>)"
         )
+    if args.checkpoint_every is not None and not args.snapshot_dir:
+        raise ReproError("--checkpoint-every needs --snapshot-dir DIR")
+    chaos = (
+        KillSchedule.parse(args.chaos_kill, args.shards)
+        if args.chaos_kill else None
+    )
     udp = _parse_hostport(args.udp) if args.udp else None
     return ShardManager(
         specs,
@@ -224,20 +263,38 @@ def _build_manager(args):
         workdir=args.workdir,
         replicas=(args.replicas if args.replicas else DEFAULT_REPLICAS),
         salt=(args.salt if args.salt else DEFAULT_SALT),
+        supervise=not args.no_supervise,
+        checkpoint_every=args.checkpoint_every,
+        restart_policy=args.restart_policy,
+        max_restarts=args.max_restarts,
+        restart_window=args.restart_window,
+        chaos=chaos,
     )
 
 
 def _cluster_serve_command(args) -> int:
+    import contextlib
+
+    from repro.obs.core import telemetry_session
+
     try:
         manager = _build_manager(args)
         print(
             f"repro serve: cluster shards={manager.shards} "
             f"backend={manager.backend} "
             f"aggregate_link_rate={manager.link_rate:g} B/s "
+            f"supervise={'on' if manager.supervisor else 'off'} "
             f"ctl://{manager.control}",
             file=sys.stderr, flush=True,
         )
-        summary = asyncio.run(manager.run())
+        # Workers enable their own hubs; this session is for the
+        # front-end's cluster.* counters and per-shard state gauges.
+        session = (
+            telemetry_session(record_packets=False)
+            if args.telemetry else contextlib.nullcontext()
+        )
+        with session:
+            summary = asyncio.run(manager.run())
     except ReproError as exc:
         print(f"repro serve: {exc}", file=sys.stderr)
         return 2
@@ -435,7 +492,9 @@ def add_ctl_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "request", nargs="?", default=None,
-        help="one JSON request line (default: read lines from stdin)",
+        help="one JSON request line, or a bare op name as shorthand "
+             "('health' = '{\"op\": \"health\"}'); default: read lines "
+             "from stdin",
     )
     parser.add_argument(
         "--timeout", type=float, default=10.0,
@@ -443,12 +502,23 @@ def add_ctl_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _expand_ctl_shorthand(line: str) -> str:
+    """A bare op token (``health``, ``stats``, ...) becomes a request."""
+    token = line.strip()
+    if token and not token.startswith("{"):
+        return json.dumps({"op": token})
+    return line
+
+
 def ctl_command(args) -> int:
     lines: List[str]
     if args.request is not None:
-        lines = [args.request]
+        lines = [_expand_ctl_shorthand(args.request)]
     else:
-        lines = [line for line in sys.stdin.read().splitlines() if line.strip()]
+        lines = [
+            _expand_ctl_shorthand(line)
+            for line in sys.stdin.read().splitlines() if line.strip()
+        ]
     if not lines:
         print("repro ctl: no request given", file=sys.stderr)
         return 2

@@ -53,6 +53,13 @@ from repro.util.rng import make_rng
 
 ARRIVAL_PROCESSES = ("poisson", "cbr", "onoff", "trace")
 
+#: Seconds between probe sends to a shard marked down.  While a shard is
+#: down the generator sheds its traffic (counted per shard) instead of
+#: queueing datagrams into a dead socket, but keeps sending one probe per
+#: interval so recovery is noticed from the data path itself: the first
+#: reflected departure notice marks the shard up again.
+PROBE_INTERVAL = 0.25
+
 #: ON/OFF process shape: mean burst/silence lengths in seconds; the ON
 #: rate is scaled so the long-run mean matches the requested flow rate.
 ONOFF_MEAN_ON = 0.2
@@ -235,6 +242,26 @@ class LoadGenerator:
         self.sent_per_shard: Optional[List[int]] = (
             None if ring is None else [0] * ring.shards
         )
+        # Degraded-mode state (ring mode only): a shard whose sends
+        # bounce (ICMP unreachable / ECONNREFUSED via error_received) is
+        # marked down; its traffic is shed-and-counted, with one probe
+        # per PROBE_INTERVAL to detect recovery.  ``reconnect`` is an
+        # optional async callback (shard) -> new transport or None,
+        # supplied by run_load_cluster for unix-datagram targets whose
+        # connected socket pins the dead peer's inode.
+        self.shard_down: Optional[List[bool]] = (
+            None if ring is None else [False] * ring.shards
+        )
+        self.send_errors: Optional[List[int]] = (
+            None if ring is None else [0] * ring.shards
+        )
+        self.shed_down: Optional[List[int]] = (
+            None if ring is None else [0] * ring.shards
+        )
+        self._last_probe: Optional[List[float]] = (
+            None if ring is None else [0.0] * ring.shards
+        )
+        self.reconnect = None
         self.rate = rate
         self.size = size
         self.process = process
@@ -263,6 +290,21 @@ class LoadGenerator:
         self._seq = [0] * len(self.flows)
         self._t0: Optional[float] = None
         self._send_done: Optional[float] = None
+
+    # -- shard liveness (ring mode) ------------------------------------------
+
+    def on_send_error(self, shard: int) -> None:
+        """A datagram to ``shard`` bounced; mark it down and shed."""
+        if self.shard_down is None:
+            return
+        self.send_errors[shard] += 1
+        self.shard_down[shard] = True
+
+    def mark_shard_up(self, shard: int) -> None:
+        """Traffic came back from ``shard``; stop shedding to it."""
+        if self.shard_down is None:
+            return
+        self.shard_down[shard] = False
 
     # -- receive side --------------------------------------------------------
 
@@ -321,14 +363,32 @@ class LoadGenerator:
                     # Keep the receive path serviced through a backlog of
                     # due sends.
                     await asyncio.sleep(0)
+            shard = None if self.shard_of is None else self.shard_of[index]
+            if shard is not None and self.shard_down[shard]:
+                now = self.clock()
+                if now - self._last_probe[shard] < PROBE_INTERVAL:
+                    # Shed: the shard is down and it is not yet time for
+                    # the next probe.  The packet is counted (per shard)
+                    # but never built or sent.
+                    self.shed_down[shard] += 1
+                    continue
+                self._last_probe[shard] = now
+                if self.reconnect is not None:
+                    # A connected unix-datagram socket pins the dead
+                    # peer's inode; rebuild it so the probe can reach
+                    # the restarted worker's fresh socket.
+                    fresh = await self.reconnect(shard)
+                    if fresh is not None:
+                        transports[shard].close()
+                        transports[shard] = fresh
+                # Fall through: this packet doubles as the probe.
             flow = self.flows[index]
             seq = self._seq[index]
             self._seq[index] = seq + 1
             datagram = encode_packet(flow, seq, self.clock(), self.size)
-            if self.shard_of is None:
+            if shard is None:
                 transports[0].sendto(datagram)
             else:
-                shard = self.shard_of[index]
                 transports[shard].sendto(datagram)
                 self.sent_per_shard[shard] += 1
             self.sent += 1
@@ -395,19 +455,27 @@ class LoadGenerator:
                 "send_rate_pps_per_shard": [
                     n / wall if wall > 0 else 0.0 for n in self.sent_per_shard
                 ],
+                "send_errors": list(self.send_errors),
+                "shed_down": list(self.shed_down),
+                "down": list(self.shard_down),
             }
         return report
 
 
 class _NoticeProtocol(asyncio.DatagramProtocol):
-    def __init__(self, generator: LoadGenerator):
+    def __init__(self, generator: LoadGenerator, shard: int = 0):
         self.generator = generator
+        self.shard = shard
 
     def datagram_received(self, data: bytes, addr: Any) -> None:
+        # Any reflected notice proves the shard is alive again.
+        self.generator.mark_shard_up(self.shard)
         self.generator.on_notice(data)
 
-    def error_received(self, exc) -> None:  # pragma: no cover - kernel-driven
-        pass
+    def error_received(self, exc) -> None:
+        # ECONNREFUSED / ICMP unreachable surfaces here on a connected
+        # datagram socket: the shard's ingress is gone.
+        self.generator.on_send_error(self.shard)
 
 
 async def run_load(
@@ -479,9 +547,52 @@ async def run_load_cluster(
     aio = asyncio.get_running_loop()
     transports: List[Any] = []
     cleanups: List[str] = []
+    probe_serial = [0]
+
+    def _is_unix(target: str) -> bool:
+        return "/" in target or os.path.exists(target)
+
+    async def _reconnect(shard: int):
+        """Fresh transport to a restarted shard, or None to keep the old.
+
+        A connected UDP socket keeps working once the worker rebinds its
+        port, so UDP needs nothing.  A connected unix-datagram socket is
+        pinned to the dead socket's inode; rebuild it with a fresh
+        uniquely-suffixed bind name (the old name may still be bound by
+        the not-yet-closed old transport).
+        """
+        target = targets[shard]
+        if not _is_unix(target):
+            return None
+        sock = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_DGRAM
+        )
+        sock.setblocking(False)
+        probe_serial[0] += 1
+        name = f"{target}.load.{os.getpid()}.{probe_serial[0]}"
+        try:
+            sock.bind(name)
+            sock.connect(target)
+        except OSError:
+            sock.close()
+            try:
+                os.unlink(name)
+            except OSError:
+                pass
+            return None
+        cleanups.append(name)
+        transport, _ = await aio.create_datagram_endpoint(
+            lambda: _NoticeProtocol(generator, shard), sock=sock
+        )
+        # generator.run() works on its own copy of the transport list,
+        # so track replacements here for the final close.
+        transports.append(transport)
+        return transport
+
+    generator.reconnect = _reconnect
     try:
         for index, target in enumerate(targets):
-            if "/" in target or os.path.exists(target):
+            if _is_unix(target):
                 sock = socket_module.socket(
                     socket_module.AF_UNIX, socket_module.SOCK_DGRAM
                 )
@@ -491,7 +602,8 @@ async def run_load_cluster(
                 cleanups.append(name)
                 sock.connect(target)
                 transport, _ = await aio.create_datagram_endpoint(
-                    lambda: _NoticeProtocol(generator), sock=sock
+                    lambda index=index: _NoticeProtocol(generator, index),
+                    sock=sock,
                 )
             else:
                 host, _, port = target.rpartition(":")
@@ -501,7 +613,7 @@ async def run_load_cluster(
                         f"socket path, got {target!r}"
                     )
                 transport, _ = await aio.create_datagram_endpoint(
-                    lambda: _NoticeProtocol(generator),
+                    lambda index=index: _NoticeProtocol(generator, index),
                     remote_addr=(host, int(port)),
                 )
             transports.append(transport)

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import asyncio
 import errno
+import os
 import signal
 import socket as socket_module
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.errors import ReproError
 from repro.core.hierarchy import ClassSpec
@@ -108,6 +109,18 @@ class ServeService:
         self._snapshot_error_reported = False
         self.snapshot_path: Optional[str] = None
         self.resumed_from: Optional[str] = None
+        #: Wall-clock seconds between periodic checkpoints (None = only
+        #: snapshot on SIGTERM/shutdown).  The cadence is an *asyncio*
+        #: timer, not a sim-side periodic task: a sim task snapshotted
+        #: from inside its own tick has no armed next event and would be
+        #: dead on resume, whereas a wall timer is rebuilt fresh by the
+        #: restarted process.
+        self.checkpoint_every: Optional[float] = None
+        #: Called with the snapshot path after every successful
+        #: :meth:`checkpoint` (cluster workers re-pin their manifest
+        #: entry here).  A hook failure fails the checkpoint.
+        self.on_checkpoint: Optional[Callable[[str], None]] = None
+        self.checkpoints_written = 0
 
     # -- snapshot / resume ----------------------------------------------------
 
@@ -132,6 +145,53 @@ class ServeService:
         """Crash-safe snapshot of the whole run (atomic tmp+fsync+rename)."""
         self.driver.run_due()
         save_snapshot(path, self.ctx.snapshot_body())
+
+    def checkpoint(self, path: Optional[str] = None) -> str:
+        """Periodic snapshot with rotation: the previous good envelope
+        survives as ``<path>.prev``.
+
+        Write order is ``<path>.next`` (atomic) -> rotate the old
+        envelope to ``.prev`` -> rename ``.next`` into place -> the
+        ``on_checkpoint`` hook (manifest re-pin).  A crash at any point
+        leaves at least one complete envelope whose checksum the
+        manifest vouches for: before the final rename the manifest still
+        points at the old content (now also at ``.prev``), after it the
+        hook pins the new one.
+        """
+        path = path or self.snapshot_path
+        if not path:
+            raise ReproError("checkpoint needs a snapshot path")
+        self.driver.run_due()
+        staged = path + ".next"
+        save_snapshot(staged, self.ctx.snapshot_body())
+        if os.path.exists(path):
+            os.replace(path, path + ".prev")
+        os.replace(staged, path)
+        self.checkpoints_written += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(path)
+        return path
+
+    async def _checkpoint_loop(self) -> None:
+        """Checkpoint every ``checkpoint_every`` wall seconds.
+
+        Runs on the service's own asyncio loop, so a checkpoint only
+        fires between driver pacing chunks -- never concurrent with
+        event processing.  A failed attempt (disk full, torn manifest
+        lock) is reported once and retried next cadence.
+        """
+        while True:
+            await asyncio.sleep(self.checkpoint_every)
+            try:
+                self.checkpoint()
+            except Exception as exc:
+                if not self._snapshot_error_reported:
+                    self._snapshot_error_reported = True
+                    print(
+                        f"repro serve: periodic checkpoint to "
+                        f"{self.snapshot_path!r} failed: {exc}",
+                        file=sys.stderr,
+                    )
 
     def _rebuild_edge_backlog(self) -> None:
         backlog: Dict[Any, int] = {}
@@ -214,7 +274,13 @@ class ServeService:
         """
         if snapshot and self.snapshot_path and self._signal_snapshots == 0:
             try:
-                self.write_snapshot(self.snapshot_path)
+                if self.checkpoint_every or self.on_checkpoint is not None:
+                    # Checkpointing services keep the rotation + manifest
+                    # re-pin on the final snapshot too, so the last state
+                    # is vouched for exactly like a periodic one.
+                    self.checkpoint()
+                else:
+                    self.write_snapshot(self.snapshot_path)
             except Exception as exc:
                 if not self._snapshot_error_reported:
                     self._snapshot_error_reported = True
@@ -246,9 +312,20 @@ class ServeService:
                 except (NotImplementedError, RuntimeError):  # pragma: no cover
                     pass
         until = None if duration is None else self.loop.now + duration
+        checkpointer: Optional[asyncio.Task] = None
+        if self.checkpoint_every and self.snapshot_path:
+            checkpointer = asyncio.get_running_loop().create_task(
+                self._checkpoint_loop()
+            )
         try:
             await self.driver.serve(until=until, idle_poll=idle_poll)
         finally:
+            if checkpointer is not None:
+                checkpointer.cancel()
+                try:
+                    await checkpointer
+                except asyncio.CancelledError:
+                    pass
             self.close()
 
     def close(self) -> None:

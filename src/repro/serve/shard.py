@@ -187,6 +187,8 @@ def worker_config(
     resume: Optional[str] = None,
     duration: Optional[float] = None,
     summary: Optional[str] = None,
+    checkpoint_every: Optional[float] = None,
+    manifest: bool = False,
 ) -> Dict[str, Any]:
     """One worker's whole configuration as a JSON-able document.
 
@@ -215,6 +217,8 @@ def worker_config(
         "resume": resume,
         "duration": duration,
         "summary": summary,
+        "checkpoint_every": checkpoint_every,
+        "manifest": bool(manifest),
     }
 
 
@@ -278,6 +282,24 @@ def worker_main(doc: Dict[str, Any]) -> int:
     try:
         service, classifier = build_worker_service(doc)
         service.snapshot_path = doc["snapshot"]
+        service.checkpoint_every = doc.get("checkpoint_every")
+        if doc.get("manifest") and doc["snapshot"]:
+            from repro.persist.manifest import update_manifest_shard
+
+            directory = os.path.dirname(doc["snapshot"]) or "."
+            aggregate_rate = doc["link_rate"] * doc["shards"]
+
+            def _repin_manifest(path: str) -> None:
+                # Envelope first, manifest second: by the time this runs
+                # the rotated snapshot is fully on disk, so the manifest
+                # never vouches for bytes that do not exist.
+                update_manifest_shard(
+                    directory, doc["index"],
+                    ring_params=doc["ring"], backend=doc["backend"],
+                    link_rate=aggregate_rate,
+                )
+
+            service.on_checkpoint = _repin_manifest
         if doc["resume"]:
             service.restore_snapshot(doc["resume"])
         session = (
@@ -317,8 +339,23 @@ def worker_main(doc: Dict[str, Any]) -> int:
 
 
 def worker_process_entry(doc: Dict[str, Any]) -> None:
-    """``multiprocessing.Process`` target: exit with worker_main's code."""
-    sys.exit(worker_main(doc))
+    """``multiprocessing.Process`` target: exit with worker_main's code.
+
+    An uncaught non-:class:`ReproError` crash exits 3 so the supervisor
+    can tell "worker blew up, restart it" (3, or signal-killed negative)
+    from "worker finished its run" (0/1) and "worker refuses this
+    config" (2 -- restarting would just loop).
+    """
+    try:
+        code = worker_main(doc)
+    except SystemExit:
+        raise
+    except BaseException:
+        import traceback
+
+        traceback.print_exc()
+        code = 3
+    sys.exit(code)
 
 
 def assignments(ring: ShardRing, flows: Sequence[str]) -> List[int]:

@@ -49,6 +49,9 @@ def headroom_specs(link_rate):
 
 
 def make_manager(tmp_path, shards=2, specs=None, link_rate=60_000.0, **kw):
+    # These tests pin the PR-8 raw-cluster semantics (dead shards stay
+    # dead); supervision has its own test modules and opts back in.
+    kw.setdefault("supervise", False)
     return ShardManager(
         specs if specs is not None else split_specs(link_rate),
         link_rate,
@@ -477,3 +480,60 @@ class TestMergeSnapshots:
 
     def test_empty(self):
         assert merge_snapshots([])["merged_from"] == 0
+
+
+class TestTornCheckpointFallback:
+    def test_restart_refuses_torn_checkpoint_falls_back_to_prev(self, tmp_path):
+        """A worker killed between its periodic checkpoint rotation and
+        the manifest re-pin leaves the newest envelope unvouched for.
+        The restart-resume selection must refuse it and hand back the
+        previous good (manifest-pinned) envelope, which must actually
+        restore -- losing at most the last cadence, never resuming from
+        bytes nobody vouched for."""
+        from repro.persist.manifest import update_manifest_shard
+        from repro.serve.service import ServeService
+
+        link_rate = 60_000.0
+        snaps = tmp_path / "snaps"
+        snaps.mkdir()
+        manager = make_manager(tmp_path, snapshot_dir=str(snaps),
+                               supervise=True)
+        path = str(snaps / shard_snapshot_name(0))
+
+        # A shard-0 stand-in running the real checkpoint machinery.
+        service = ServeService(split_specs(link_rate), link_rate,
+                               watchdog_period=0)
+        service.snapshot_path = path
+        service.on_checkpoint = lambda p: update_manifest_shard(
+            str(snaps), 0, ring_params=manager.ring.params(),
+            backend="hfsc", link_rate=link_rate,
+        )
+        service.checkpoint()  # cadence 1: envelope written, manifest re-pinned
+        vouched = json.load(open(path))["checksum"]
+
+        # A live mutation, then the crash window: the rotation completes
+        # but the process dies before the manifest re-pin runs.
+        service.scheduler.add_class(
+            "silver", sc=ServiceCurve.linear(0.1 * link_rate)
+        )
+        service.on_checkpoint = lambda p: None  # SIGKILL right here
+        service.checkpoint()  # cadence 2: rotated, never re-pinned
+
+        torn = json.load(open(path))["checksum"]
+        assert torn != vouched
+        manifest = json.load(open(snaps / "manifest.json"))
+        assert manifest["snapshots"][0]["checksum"] == vouched
+
+        chosen = manager.select_restart_resume(0)
+        assert chosen == path + ".prev"
+        assert json.load(open(chosen))["checksum"] == vouched
+
+        # The fallback envelope restores into a clean replacement worker:
+        # one cadence old (no silver yet), but complete and consistent.
+        replacement = ServeService(split_specs(link_rate), link_rate,
+                                   watchdog_period=0)
+        replacement.restore_snapshot(chosen)
+        assert replacement.resumed_from == chosen
+        restored = set(replacement.scheduler._classes)
+        assert "gold" in restored and "bronze" in restored
+        assert "silver" not in restored

@@ -1,0 +1,268 @@
+"""Self-healing cluster, end to end: SIGKILL a live worker and watch the
+supervisor bring it back from its periodic checkpoint.
+
+The acceptance story in one test: a class added live through the
+control plane must survive the worker's violent death (checkpoint ->
+restart -> resume, digest-bound by the per-shard manifest), mutations
+during the outage must get structured ``unavailable`` rejections instead
+of hanging, the survivors must stay violation-free, and ``health`` must
+show the full ``ready -> restarting -> ready`` transition.  The
+full-rate (~100k pkt/s, 4-shard) version runs in the CI
+``cluster-chaos-smoke`` job; these runs are gentler so tier-1 stays
+fast and unflaky.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.curves import ServiceCurve
+from repro.core.hierarchy import ClassSpec
+from repro.serve.cluster import KillSchedule, ShardManager, shard_targets
+from repro.serve.loadgen import LoadGenerator, run_load_cluster
+from repro.serve.shard import shard_control_path
+
+
+def headroom_specs(link_rate):
+    return [
+        ClassSpec("gold", sc=ServiceCurve.linear(0.4 * link_rate)),
+        ClassSpec("bronze", sc=ServiceCurve.linear(0.2 * link_rate)),
+    ]
+
+
+def make_manager(tmp_path, shards=2, specs=None, link_rate=60_000.0, **kw):
+    return ShardManager(
+        specs if specs is not None else headroom_specs(link_rate),
+        link_rate,
+        shards,
+        control=str(tmp_path / "ctl"),
+        unix=str(tmp_path / "in"),
+        workdir=str(tmp_path / "work"),
+        **kw,
+    )
+
+
+async def front_op(ctl_path, request, retries=50):
+    for attempt in range(retries):
+        try:
+            reader, writer = await asyncio.open_unix_connection(str(ctl_path))
+            break
+        except (OSError, ConnectionError):
+            if attempt == retries - 1:
+                raise
+            await asyncio.sleep(0.05)
+    writer.write((json.dumps(request) + "\n").encode())
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    return json.loads(line)
+
+
+async def shard_op(ctl_base, index, request):
+    reader, writer = await asyncio.open_unix_connection(
+        shard_control_path(str(ctl_base), index)
+    )
+    writer.write((json.dumps(request) + "\n").encode())
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    return json.loads(line)
+
+
+async def wait_manifest_pins(snap_dir, shards, after, timeout=8.0):
+    """Block until every shard's manifest pin matches an envelope written
+    after wall time ``after`` -- i.e. a full checkpoint cadence (envelope
+    + re-pin) has completed since then."""
+    deadline = time.monotonic() + timeout
+    manifest = os.path.join(snap_dir, "manifest.json")
+    while time.monotonic() < deadline:
+        try:
+            doc = json.load(open(manifest))
+            pins = {e["shard"]: e["checksum"] for e in doc["snapshots"]}
+        except (OSError, ValueError, KeyError):
+            pins = {}
+        if len(pins) == shards:
+            fresh = 0
+            for index in range(shards):
+                path = os.path.join(snap_dir, f"shard-{index}.snap")
+                try:
+                    if os.stat(path).st_mtime < after:
+                        continue
+                    claim = json.load(open(path)).get("checksum")
+                except (OSError, ValueError):
+                    continue
+                if claim == pins.get(index):
+                    fresh += 1
+            if fresh == shards:
+                return
+        await asyncio.sleep(0.1)
+    raise AssertionError("no manifest-vouched checkpoint landed in time")
+
+
+class TestKillRestartResume:
+    def test_sigkill_restart_resumes_checkpoint_no_amnesia(self, tmp_path):
+        link_rate = 60_000.0
+        snaps = tmp_path / "snaps"
+        manager = make_manager(
+            tmp_path, link_rate=link_rate,
+            snapshot_dir=str(snaps), checkpoint_every=0.2,
+            heartbeat_every=0.2,
+        )
+        log = {}
+
+        async def scenario():
+            # Widen the restarting window so the outage-rejection poll
+            # below reliably lands inside it.
+            manager.supervisor.backoff_base = 0.8
+            run = asyncio.create_task(manager.run())
+            await asyncio.sleep(0)
+            await manager.wait_ready()
+            ctl = tmp_path / "ctl"
+            added = await front_op(ctl, {
+                "op": "add_class", "name": "silver", "sc": 0.2 * link_rate,
+            })
+            assert added["ok"], added
+            # A checkpoint carrying the live mutation must be on disk,
+            # manifest-vouched, before the kill has anything to resume.
+            await wait_manifest_pins(str(snaps), 2, after=time.time() - 0.01)
+
+            victim_pid = manager.processes[0].pid
+            os.kill(victim_pid, signal.SIGKILL)
+
+            # Mutations during the outage: structured unavailable, not a
+            # hang.  (The first attempts may race detection and fail as
+            # reserve-phase ShardUnreachable instead -- also a rejection,
+            # but we insist on seeing the supervised fast-fail.)
+            unavailable = None
+            for _ in range(120):
+                resp = await front_op(ctl, {
+                    "op": "add_class", "name": "greedy",
+                    "sc": 0.05 * link_rate,
+                })
+                assert not resp.get("ok"), (
+                    "mutation succeeded with a shard down"
+                )
+                context = resp["error"].get("context", {})
+                if context.get("reason") == "unavailable":
+                    unavailable = resp
+                    break
+                await asyncio.sleep(0.05)
+            log["unavailable"] = unavailable
+
+            # Recovery: shard 0 restarts and reports ready again.
+            health = None
+            for _ in range(200):
+                health = await front_op(ctl, {"op": "health"})
+                shard0 = health["result"]["shards"][0]
+                if shard0["state"] == "ready" and shard0["restarts"] >= 1:
+                    break
+                await asyncio.sleep(0.1)
+            log["health"] = health
+            log["classes0"] = await shard_op(ctl, 0, {"op": "classes"})
+            log["watchdog"] = await front_op(ctl, {"op": "watchdog",
+                                                   "check": True})
+            # The cluster is whole again: mutations are accepted.
+            log["post"] = await front_op(ctl, {
+                "op": "add_class", "name": "late", "sc": 0.05 * link_rate,
+            })
+            await front_op(ctl, {"op": "shutdown", "snapshot": False})
+            log["summary"] = await asyncio.wait_for(run, timeout=20.0)
+
+        asyncio.run(scenario())
+
+        unavailable = log["unavailable"]
+        assert unavailable is not None, "never saw the structured rejection"
+        context = unavailable["error"]["context"]
+        assert context["phase"] == "reserve"
+        failures = context["failures"]
+        assert failures[0]["shard"] == 0
+        assert failures[0]["error"]["type"] == "ShardUnavailable"
+
+        shard0 = log["health"]["result"]["shards"][0]
+        assert shard0["state"] == "ready", shard0
+        assert shard0["restarts"] >= 1
+        transitions = [(h["from"], h["to"]) for h in shard0["history"]]
+        assert ("restarting", "ready") in transitions
+        assert any(t == "restarting" for _, t in transitions)
+
+        # No amnesia: the restarted worker restored the live-added class
+        # from its checkpoint (the config it was forked with only has
+        # gold/bronze).
+        names = [c["name"] for c in log["classes0"]["result"]]
+        assert "silver" in names, names
+        assert log["watchdog"]["result"]["violations"] == []
+        assert log["post"]["ok"], log["post"]
+        counters = log["summary"]["health"]["counters"]
+        assert counters["cluster.restarts"] >= 1
+        assert counters["cluster.shard_downtime_s"] > 0
+
+
+class TestChaosScheduleUnderLoad:
+    def test_seeded_kill_under_load_survivors_keep_guarantees(self, tmp_path):
+        """A scheduled SIGKILL mid-load: the survivor keeps serving with
+        zero watchdog violations, the loadgen sheds-and-counts traffic
+        hashed to the dead shard, and after the auto-restart the
+        aggregate goodput ordering (gold over bronze, Fig. 1) holds."""
+        link_rate = 60_000.0
+        manager = make_manager(
+            tmp_path, link_rate=link_rate,
+            specs=[
+                ClassSpec("gold", sc=ServiceCurve.linear(0.6 * link_rate)),
+                ClassSpec("bronze", sc=ServiceCurve.linear(0.4 * link_rate)),
+            ],
+            snapshot_dir=str(tmp_path / "snaps"), checkpoint_every=0.25,
+            chaos=KillSchedule([(0.7, 1)]),
+        )
+        results = {}
+
+        async def scenario():
+            run = asyncio.create_task(manager.run())
+            await asyncio.sleep(0)
+            await manager.wait_ready()
+            generator = LoadGenerator(
+                ["gold", "bronze"], flows=24, rate=400.0, size=300,
+                process="cbr", duration=3.0, seed=7, ring=manager.ring,
+            )
+            targets = shard_targets(2, unix=str(tmp_path / "in"))
+            report = await run_load_cluster(targets, generator, drain=0.8)
+            health = await front_op(tmp_path / "ctl", {"op": "health"})
+            watchdog = await front_op(tmp_path / "ctl",
+                                      {"op": "watchdog", "check": True})
+            await front_op(tmp_path / "ctl",
+                           {"op": "shutdown", "snapshot": False})
+            summary = await asyncio.wait_for(run, timeout=20.0)
+            results.update(report=report, health=health,
+                           watchdog=watchdog, summary=summary)
+
+        asyncio.run(scenario())
+        health = results["health"]["result"]
+        assert health["counters"]["cluster.chaos_kills"] == 1
+        assert health["counters"]["cluster.restarts"] >= 1
+        assert health["shards"][1]["restarts"] >= 1
+        assert health["shards"][1]["state"] in ("ready", "stopped")
+        # Survivors (and the restarted worker) audited clean throughout.
+        assert results["watchdog"]["result"]["violations"] == []
+        report = results["report"]
+        shards = report["shards"]
+        # The outage was seen from the data path: sends to the dead
+        # shard errored, its traffic was shed-and-counted.
+        assert shards["send_errors"][1] >= 1
+        assert shards["shed_down"][1] > 0
+        assert shards["send_errors"][0] == 0
+        assert report["received"] > 0
+        per_class = report["per_class"]
+        assert per_class["gold"]["reflected"] > 0
+        assert per_class["bronze"]["reflected"] > 0
+        # Re-convergence, as the data path saw it: by the end of the run
+        # a probe reached the restarted shard and its reflected notices
+        # cleared the down flag -- traffic flows to all shards again.
+        # (The full-rate Fig. 1 split assertion lives in the CI
+        # cluster-chaos-smoke job; the whole-run share here is skewed by
+        # however many of each class's flows hashed to the dead shard.)
+        assert shards["down"][1] is False
