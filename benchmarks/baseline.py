@@ -54,7 +54,7 @@ BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselin
 SCHEMA_VERSION = 2
 DEFAULT_TOLERANCE = 0.15
 
-MACRO_KINDS = ["FIFO", "WFQ", "H-PFQ", "H-FSC"]
+MACRO_KINDS = ["FIFO", "WFQ", "H-PFQ", "H-FSC", "HLS"]
 MACRO_SIZES = [16, 64, 256, 1024]
 LS_UL_SIZES = [16, 64, 256, 1024]
 #: Burst size the tracked e9 macro benches feed through the batched hot
@@ -608,7 +608,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="where --profile reports go (default: "
         "benchmarks/baselines/profiles/)",
     )
+    parser.add_argument(
+        "--fairness",
+        action="store_true",
+        help="run the cross-scheduler fairness shoot-out instead of the "
+        "timing benches; prints the fairness-vs-overhead markdown table "
+        "(see repro.analysis.shootout; --output PATH writes it)",
+    )
     args = parser.parse_args(argv)
+    if args.fairness:
+        from repro.analysis import shootout
+
+        return shootout.main(
+            ["--output", args.output] if args.output else []
+        )
     if args.profile is not None and args.profile <= 0:
         parser.error("--profile TOP_N must be positive")
 

@@ -10,9 +10,11 @@ from repro.analysis.delay import (
     service_curve_delay_bound,
 )
 from repro.analysis.fairness import (
+    hierarchical_max_min,
     jain_index,
     normalized_service_spread,
     starvation_period,
+    weighted_max_min,
 )
 from repro.analysis.linkshare import (
     discrepancy_integral,
@@ -43,6 +45,8 @@ __all__ = [
     "jain_index",
     "starvation_period",
     "normalized_service_spread",
+    "weighted_max_min",
+    "hierarchical_max_min",
     "series_difference",
     "discrepancy_sup",
     "discrepancy_integral",

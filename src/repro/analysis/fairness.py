@@ -1,6 +1,8 @@
-"""Fairness metrics (Section III-B, Section VI).
+"""Fairness metrics (Section III-B, Section VI) and the hierarchical
+max-min reference allocation.
 
-Three measurements used by the fairness experiments:
+Measurements used by the fairness experiments and the cross-scheduler
+shoot-out (:mod:`repro.analysis.shootout`):
 
 * :func:`starvation_period` -- the longest interval in which a backlogged
   class received no service after a given time; the punishment signature
@@ -10,11 +12,17 @@ Three measurements used by the fairness experiments:
   backlogged classes over a window: the packetized analogue of virtual
   time discrepancy.
 * :func:`jain_index` -- Jain's fairness index over a share vector.
+* :func:`weighted_max_min` / :func:`hierarchical_max_min` -- the fluid
+  reference allocations every scheduler in the shoot-out is judged
+  against.  The hierarchical variant is the allocation HLS provably
+  converges to (arXiv:2108.09864) and the one H-FSC's link-sharing
+  curves aim for; the per-flow GPS bounds of arXiv:1804.08034 are its
+  single-level special case.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.packet import Packet
 
@@ -28,6 +36,96 @@ def jain_index(shares: Sequence[float]) -> float:
     if squares == 0:
         return 1.0
     return total * total / (len(shares) * squares)
+
+
+def weighted_max_min(
+    capacity: float,
+    weights: Mapping[object, float],
+    demands: Mapping[object, float],
+) -> Dict[object, float]:
+    """Weighted max-min (water-filling) over one set of competitors.
+
+    Each competitor receives ``min(demand, fair share)``; capacity left
+    by competitors whose demand is below their weighted share is
+    redistributed over the rest in weight proportion, iterated to the
+    fixed point.  Runs in O(n^2) worst case, which is fine for class
+    trees of configuration size.
+    """
+    if set(weights) != set(demands):
+        raise ValueError("weights and demands must cover the same keys")
+    allocation: Dict[object, float] = {}
+    active = {k for k in weights if demands[k] > 0}
+    for key in weights:
+        if key not in active:
+            allocation[key] = 0.0
+    remaining = capacity
+    while active:
+        total_weight = sum(weights[k] for k in active)
+        saturated = [
+            k for k in active
+            if demands[k] <= remaining * weights[k] / total_weight + 1e-12
+        ]
+        if not saturated:
+            for k in active:
+                allocation[k] = remaining * weights[k] / total_weight
+            break
+        for k in saturated:
+            allocation[k] = demands[k]
+            remaining -= demands[k]
+            active.discard(k)
+    return allocation
+
+
+def hierarchical_max_min(
+    capacity: float,
+    tree: Sequence[Tuple[object, Optional[object], float]],
+    demands: Mapping[object, float],
+) -> Dict[object, float]:
+    """The hierarchical weighted max-min allocation (leaf -> rate).
+
+    ``tree`` lists ``(name, parent, weight)`` rows, parents before
+    children (``parent is None`` for top-level classes); ``demands``
+    gives each *leaf*'s offered load.  Top-down water-filling: the link
+    capacity is split over the top-level classes by weighted max-min
+    against their subtree demands, then each class's grant is split over
+    its children the same way, recursively.  This is the allocation a
+    fluid server honouring the hierarchy would produce -- the reference
+    both HLS (by construction) and H-FSC's link-sharing curves (by
+    configuration) target, and what the flat schedulers miss whenever an
+    interior class's surplus should stay inside its subtree.
+    """
+    children: Dict[object, List[Tuple[object, float]]] = {None: []}
+    for name, parent, weight in tree:
+        if name in children:
+            raise ValueError(f"duplicate class {name!r}")
+        if parent not in children:
+            raise ValueError(f"parent {parent!r} of {name!r} not seen yet")
+        children[name] = []
+        children[parent].append((name, weight))
+
+    def subtree_demand(name: object) -> float:
+        kids = children[name]
+        if not kids:
+            return demands.get(name, 0.0)
+        return sum(subtree_demand(child) for child, _ in kids)
+
+    allocation: Dict[object, float] = {}
+
+    def descend(name: Optional[object], grant: float) -> None:
+        kids = children[name]
+        if not kids:
+            allocation[name] = grant
+            return
+        shares = weighted_max_min(
+            grant,
+            {child: weight for child, weight in kids},
+            {child: subtree_demand(child) for child, _ in kids},
+        )
+        for child, _ in kids:
+            descend(child, shares[child])
+
+    descend(None, capacity)
+    return allocation
 
 
 def starvation_period(

@@ -1,0 +1,379 @@
+"""Cross-scheduler fairness shoot-out (``repro bench --fairness``).
+
+A fixed scenario matrix -- the Fig. 1 campus hierarchy with an idle
+subtree, a skewed-weight tree, and leaf churn -- is replayed through
+every hierarchical backend plus flat DRR.  For each (scenario, backend)
+pair the per-leaf goodput over the steady windows is compared against
+the **hierarchical weighted max-min allocation**
+(:func:`repro.analysis.fairness.hierarchical_max_min`), the fluid
+reference both HLS (by construction, arXiv:2108.09864) and H-FSC's
+link-sharing curves (by configuration) target:
+
+* ``worst_dev`` -- the largest per-leaf relative deviation of goodput
+  from the max-min reference over any steady window;
+* ``jain`` -- the minimum, over tree levels and windows, of Jain's
+  fairness index across that level's normalized subtree goodputs
+  (goodput / reference; exactly fair == 1.0);
+* a departure-schedule digest, pinned by
+  ``tests/golden/backend_schedules.json`` so the shoot-out doubles as
+  golden-schedule coverage for every backend in the matrix.
+
+The flat backends are expected to *fail* the hierarchical scenarios --
+an idle child's surplus leaks to the whole link instead of staying in
+its subtree -- which is the point of the comparison; the table records
+by how much.  Workloads are strictly greedy (offered load is 1.15x each
+leaf's reference allocation), so demands are finite, queues stay
+bounded, and the reference allocation equals the infinite-demand one.
+
+Run directly for the markdown table::
+
+    PYTHONPATH=src python -m repro.analysis.shootout [--json]
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.fairness import hierarchical_max_min, jain_index
+from repro.core.hierarchy import ClassSpec
+from repro.persist.harness import schedule_digest
+from repro.schedulers.registry import build_backend
+from repro.sim.drive import Arrival, drive
+from repro.sim.packet import Packet
+
+#: Backends in the shoot-out, in table order.
+SHOOTOUT_BACKENDS = ("hfsc", "hpfq", "cbq", "hls", "drr")
+
+#: Offered load per greedy leaf, as a multiple of its reference
+#: allocation.  Strictly > 1 keeps every measured leaf backlogged in its
+#: window; close to 1 keeps queues short enough to drain between phases.
+GREED = 1.15
+
+LINK_RATE = 450_000.0
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One activity phase: which leaves are greedy, and when to measure."""
+
+    start: float
+    stop: float  # arrivals end here; leave a drain gap before the next phase
+    greedy: Tuple[str, ...]
+    window: Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fixed workload of the matrix: a weighted tree plus phases."""
+
+    name: str
+    summary: str
+    tree: Tuple[Tuple[str, Optional[str], float], ...]  # (name, parent, rate)
+    sizes: Mapping[str, float]  # leaf -> packet size (bytes)
+    phases: Tuple[Phase, ...]
+    until: float
+    link_rate: float = LINK_RATE
+
+    @property
+    def leaves(self) -> List[str]:
+        parents = {parent for _, parent, _ in self.tree if parent is not None}
+        return [name for name, _, _ in self.tree if name not in parents]
+
+    def specs(self) -> List[ClassSpec]:
+        return [
+            ClassSpec(name, parent=parent, rate=rate)
+            for name, parent, rate in self.tree
+        ]
+
+    def reference(self, phase: Phase) -> Dict[str, float]:
+        """The hierarchical max-min allocation for a phase's demands."""
+        return hierarchical_max_min(
+            self.link_rate, self.tree, self.demands(phase)
+        )
+
+    def demands(self, phase: Phase) -> Dict[str, float]:
+        offered = self.offered(phase)
+        return {leaf: offered.get(leaf, 0.0) for leaf in self.leaves}
+
+    def offered(self, phase: Phase) -> Dict[str, float]:
+        """Offered rate per greedy leaf: GREED x its reference share.
+
+        Computed from the infinite-demand allocation; since every greedy
+        leaf then offers more than that share, the finite-demand
+        reference coincides with it.
+        """
+        saturated = {
+            leaf: (self.link_rate if leaf in phase.greedy else 0.0)
+            for leaf in self.leaves
+        }
+        ideal = hierarchical_max_min(self.link_rate, self.tree, saturated)
+        return {leaf: GREED * ideal[leaf] for leaf in phase.greedy}
+
+    def arrivals(self) -> List[Arrival]:
+        rows: List[Arrival] = []
+        for phase in self.phases:
+            for leaf, rate in sorted(self.offered(phase).items()):
+                size = self.sizes[leaf]
+                interval = size / rate
+                t = phase.start
+                while t < phase.stop:
+                    rows.append((t, leaf, size))
+                    t += interval
+        return rows
+
+
+_CAMPUS_TREE = (
+    ("cmu", None, 25.0 / 45.0 * LINK_RATE),
+    ("pitt", None, 20.0 / 45.0 * LINK_RATE),
+    ("cmu.av", "cmu", 12.0 / 45.0 * LINK_RATE),
+    ("cmu.data", "cmu", 13.0 / 45.0 * LINK_RATE),
+    ("pitt.av", "pitt", 12.0 / 45.0 * LINK_RATE),
+    ("pitt.data", "pitt", 8.0 / 45.0 * LINK_RATE),
+    ("cmu.av.audio", "cmu.av", 3.0 / 45.0 * LINK_RATE),
+    ("cmu.av.video", "cmu.av", 9.0 / 45.0 * LINK_RATE),
+)
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="campus",
+            summary="Fig. 1 campus tree, video subtree idle: surplus must "
+                    "stay inside cmu.av (flat schedulers leak it link-wide)",
+            tree=_CAMPUS_TREE,
+            sizes={"cmu.av.audio": 300.0, "cmu.av.video": 1000.0,
+                   "cmu.data": 1500.0, "pitt.av": 1000.0, "pitt.data": 640.0},
+            phases=(
+                Phase(0.0, 5.5,
+                      ("cmu.av.audio", "cmu.data", "pitt.av", "pitt.data"),
+                      window=(0.5, 5.4)),
+            ),
+            until=6.5,
+        ),
+        Scenario(
+            name="skewed",
+            summary="8:2 agencies, 7:1 leaves, one idle leaf: heavily "
+                    "skewed weights stress quantum granularity",
+            tree=(
+                ("heavy", None, 0.8 * LINK_RATE),
+                ("light", None, 0.2 * LINK_RATE),
+                ("heavy.big", "heavy", 0.7 * LINK_RATE),
+                ("heavy.small", "heavy", 0.1 * LINK_RATE),
+                ("light.idle", "light", 0.1 * LINK_RATE),
+                ("light.lone", "light", 0.1 * LINK_RATE),
+            ),
+            sizes={"heavy.big": 1500.0, "heavy.small": 300.0,
+                   "light.idle": 1000.0, "light.lone": 640.0},
+            phases=(
+                Phase(0.0, 5.5, ("heavy.big", "heavy.small", "light.lone"),
+                      window=(0.5, 5.4)),
+            ),
+            until=6.5,
+        ),
+        Scenario(
+            name="churn",
+            summary="leaves activate and drain across three phases: ring "
+                    "membership and redistribution under churn",
+            tree=(
+                ("left", None, 0.5 * LINK_RATE),
+                ("z", None, 0.5 * LINK_RATE),
+                ("left.x", "left", 0.25 * LINK_RATE),
+                ("left.y", "left", 0.25 * LINK_RATE),
+            ),
+            sizes={"left.x": 1000.0, "left.y": 640.0, "z": 1500.0},
+            phases=(
+                Phase(0.0, 2.5, ("left.x", "z"), window=(0.5, 2.4)),
+                Phase(3.0, 5.5, ("left.x", "left.y", "z"), window=(3.5, 5.4)),
+                Phase(6.0, 8.5, ("left.y", "z"), window=(6.5, 8.4)),
+            ),
+            until=9.5,
+        ),
+    )
+}
+
+
+def _window_goodput(
+    served: Sequence[Packet], window: Tuple[float, float]
+) -> Dict[str, float]:
+    t0, t1 = window
+    bytes_by_class: Dict[str, float] = {}
+    for packet in served:
+        if packet.departed is not None and t0 < packet.departed <= t1:
+            bytes_by_class[packet.class_id] = (
+                bytes_by_class.get(packet.class_id, 0.0) + packet.size
+            )
+    return {cid: total / (t1 - t0) for cid, total in bytes_by_class.items()}
+
+
+def _levels(
+    tree: Sequence[Tuple[str, Optional[str], float]]
+) -> Dict[int, List[str]]:
+    depth: Dict[Optional[str], int] = {None: 0}
+    levels: Dict[int, List[str]] = {}
+    for name, parent, _ in tree:
+        depth[name] = depth[parent] + 1
+        levels.setdefault(depth[name], []).append(name)
+    return levels
+
+
+def _subtree_sum(
+    tree: Sequence[Tuple[str, Optional[str], float]],
+    leaf_values: Mapping[str, float],
+) -> Dict[str, float]:
+    """Roll leaf values up: every node gets the sum over its subtree."""
+    children: Dict[str, List[str]] = {}
+    for name, parent, _ in tree:
+        children.setdefault(name, [])
+        if parent is not None:
+            children.setdefault(parent, []).append(name)
+    totals: Dict[str, float] = {}
+    for name, _, _ in reversed(tree):  # parents listed first -> reverse
+        kids = children[name]
+        if kids:
+            totals[name] = sum(totals[kid] for kid in kids)
+        else:
+            totals[name] = leaf_values.get(name, 0.0)
+    return totals
+
+
+@dataclass
+class PhaseResult:
+    window: Tuple[float, float]
+    worst_dev: float
+    jain_by_level: Dict[int, float]
+    goodput: Dict[str, float] = field(default_factory=dict)
+    reference: Dict[str, float] = field(default_factory=dict)
+
+
+def evaluate_phase(
+    scenario: Scenario, phase: Phase, served: Sequence[Packet]
+) -> PhaseResult:
+    reference = scenario.reference(phase)
+    goodput = _window_goodput(served, phase.window)
+    worst = 0.0
+    for leaf, ref in reference.items():
+        if ref <= 0.0:
+            continue
+        worst = max(worst, abs(goodput.get(leaf, 0.0) - ref) / ref)
+    ref_subtree = _subtree_sum(scenario.tree, reference)
+    got_subtree = _subtree_sum(scenario.tree, goodput)
+    jain_by_level: Dict[int, float] = {}
+    for level, names in _levels(scenario.tree).items():
+        shares = [
+            got_subtree[name] / ref_subtree[name]
+            for name in names if ref_subtree[name] > 0.0
+        ]
+        if shares:
+            jain_by_level[level] = jain_index(shares)
+    return PhaseResult(
+        window=phase.window,
+        worst_dev=worst,
+        jain_by_level=jain_by_level,
+        goodput=goodput,
+        reference=reference,
+    )
+
+
+def run_backend(scenario: Scenario, backend: str) -> Dict[str, Any]:
+    """One (scenario, backend) cell: drive, measure, digest."""
+    scheduler = build_backend(backend, scenario.link_rate, scenario.specs())
+    arrivals = scenario.arrivals()
+    start = time.perf_counter()
+    served = drive(scheduler, arrivals, until=scenario.until)
+    elapsed = time.perf_counter() - start
+    phases = [
+        evaluate_phase(scenario, phase, served) for phase in scenario.phases
+    ]
+    return {
+        "backend": backend,
+        "scenario": scenario.name,
+        "worst_dev": max(p.worst_dev for p in phases),
+        "jain": min(
+            min(p.jain_by_level.values()) for p in phases if p.jain_by_level
+        ),
+        "jain_by_level": {
+            level: min(p.jain_by_level[level] for p in phases
+                       if level in p.jain_by_level)
+            for p in phases for level in p.jain_by_level
+        },
+        "phases": phases,
+        "packets": len(served),
+        "pkts_per_sec": len(served) / elapsed if elapsed > 0 else 0.0,
+        "digest": schedule_digest(
+            [(p.class_id, p.size, p.departed, p.via_realtime) for p in served]
+        ),
+    }
+
+
+def run_shootout(
+    backends: Sequence[str] = SHOOTOUT_BACKENDS,
+    scenarios: Sequence[str] = tuple(SCENARIOS),
+) -> Dict[str, Any]:
+    """The full matrix: ``results[scenario][backend]`` cells."""
+    return {
+        name: {
+            backend: run_backend(SCENARIOS[name], backend)
+            for backend in backends
+        }
+        for name in scenarios
+    }
+
+
+def to_markdown(results: Dict[str, Any]) -> str:
+    """The fairness-vs-overhead table (docs/PERFORMANCE.md, CI artifact)."""
+    lines = [
+        "| scenario | backend | worst dev vs max-min | Jain (min/level) "
+        "| kpkt/s |",
+        "|---|---|---|---|---|",
+    ]
+    for scenario, cells in results.items():
+        for backend, cell in cells.items():
+            jain = " ".join(
+                f"L{level}:{value:.4f}"
+                for level, value in sorted(cell["jain_by_level"].items())
+            )
+            lines.append(
+                f"| {scenario} | {backend} | {cell['worst_dev'] * 100:.2f}% "
+                f"| {jain} | {cell['pkts_per_sec'] / 1e3:.0f} |"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw results as JSON")
+    parser.add_argument("--backends", default=",".join(SHOOTOUT_BACKENDS),
+                        help="comma-separated backend list")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="also write the table/JSON here")
+    args = parser.parse_args(argv)
+    results = run_shootout(backends=tuple(args.backends.split(",")))
+    if args.json:
+        doc = {
+            scenario: {
+                backend: {
+                    key: value for key, value in cell.items()
+                    if key != "phases"
+                }
+                for backend, cell in cells.items()
+            }
+            for scenario, cells in results.items()
+        }
+        text = json.dumps(doc, indent=2, sort_keys=True)
+    else:
+        text = to_markdown(results)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

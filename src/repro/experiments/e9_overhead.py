@@ -22,6 +22,7 @@ from repro.core.curves import ServiceCurve
 from repro.core.hfsc import HFSC
 from repro.experiments.base import ExperimentResult
 from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hls import HLSScheduler
 from repro.schedulers.hpfq import HPFQScheduler
 from repro.schedulers.wfq import WFQScheduler
 from repro.sim.packet import Packet
@@ -49,6 +50,11 @@ def build_scheduler(kind: str, n_classes: int):
         sched = WFQScheduler(LINK)
         for i in range(n_classes):
             sched.add_flow(i, rate)
+        return sched
+    if kind == "HLS":
+        sched = HLSScheduler(LINK)
+        for i in range(n_classes):
+            sched.add_class(i, rate=rate)
         return sched
     if kind == "FIFO":
         return FIFOScheduler(LINK)
@@ -109,7 +115,7 @@ def run(
     packets: int = PACKETS_PER_RUN,
 ) -> ExperimentResult:
     class_counts = class_counts or CLASS_COUNTS
-    kinds = ["FIFO", "WFQ", "H-PFQ", "H-FSC"]
+    kinds = ["FIFO", "WFQ", "H-PFQ", "H-FSC", "HLS"]
     rows = []
     per_packet: Dict[str, Dict[int, float]] = {k: {} for k in kinds}
     for n in class_counts:
@@ -142,7 +148,18 @@ def run(
             per_packet["FIFO"][n] <= per_packet["H-FSC"][n]
             for n in class_counts
         ),
+        # HLS's O(1) rounds keep per-packet cost flat in the class count.
+        "HLS cost flat in n (O(1) amortized)":
+            per_packet["HLS"][n_hi] <= 3 * per_packet["HLS"][n_lo],
     }
+    from repro.core.flatstate import COMPILED
+
+    if not COMPILED:
+        # Versus the *pure-Python* H-FSC hot path only: the compiled
+        # flat-state fast path closes (and can invert) the gap.
+        checks["HLS beats pure-Python H-FSC at the largest size"] = (
+            per_packet["HLS"][n_hi] < per_packet["H-FSC"][n_hi]
+        )
     return ExperimentResult(
         "E9",
         "Per-packet overhead vs class count (Python-relative units)",

@@ -23,6 +23,8 @@ from typing import Any, Callable, Dict, List, Tuple
 from repro.core.curves import ServiceCurve
 from repro.core.hfsc import HFSC
 from repro.persist.runtime import RunContext
+from repro.schedulers.drr import DRRScheduler
+from repro.schedulers.hls import HLSScheduler
 from repro.sim.drive import Arrival
 from repro.sim.engine import EventLoop
 from repro.sim.link import Link
@@ -135,6 +137,67 @@ def rt_only_setup(backend: str) -> DriveSetup:
     return sched, arrivals, 8.0
 
 
+def hls_campus_setup(backend: str) -> DriveSetup:
+    """The Fig. 1 campus tree on the HLS round-robin backend.
+
+    ``backend`` selects the H-FSC eligible-set implementation and does
+    not apply to HLS; the crash matrix still sweeps it, which pins that
+    the HLS schedule is backend-independent (all three digests equal).
+    The workload replays the e4 phase structure plus a full drain and a
+    late re-activation burst, so the crash points land on ring joins,
+    rotations and departures alike.
+    """
+    link = 1_250_000.0
+    tree = [
+        ("cmu", None, 25.0),
+        ("pitt", None, 20.0),
+        ("cmu.av", "cmu", 12.0),
+        ("cmu.data", "cmu", 12.9),
+        ("pitt.av", "pitt", 12.2),
+        ("pitt.data", "pitt", 7.7),
+    ]
+    sched = HLSScheduler(link)
+    for name, parent, weight in tree:
+        sched.add_class(name, parent=parent or "__root__", rate=weight)
+    arrivals: List[Arrival] = []
+    _cbr(arrivals, "cmu.av", 1.05 * 12.0 / 45.0 * link, 1000.0, 0.0, 3.0)
+    _cbr(arrivals, "cmu.av", 1.05 * 25.0 / 45.0 * link, 1000.0, 3.0, 6.0)
+    _cbr(arrivals, "cmu.data", 1.05 * 12.9 / 45.0 * link, 640.0, 0.0, 3.0)
+    _cbr(arrivals, "pitt.av", 1.05 * 12.2 / 45.0 * link, 1000.0, 0.0, 6.0)
+    _cbr(arrivals, "pitt.data", 1.05 * 7.7 / 45.0 * link, 300.0, 0.0, 6.0)
+    # Drain, then a two-leaf reactivation burst: fresh ring joins late in
+    # the run, which is where restored rotation state would go wrong.
+    _cbr(arrivals, "cmu.data", 0.9 * link, 640.0, 7.0, 7.5)
+    _cbr(arrivals, "pitt.av", 0.4 * link, 1000.0, 7.1, 7.6)
+    return sched, arrivals, 9.0
+
+
+def drr_leaves_setup(backend: str) -> DriveSetup:
+    """Skewed-quanta DRR over the e4 leaves (flat; ``backend`` ignored).
+
+    Mixed packet sizes against skewed quanta exercise the
+    deficit-carrying path (head does not fit, flow yields with balance)
+    -- the state the DRR codec must round-trip exactly.
+    """
+    link = 1_250_000.0
+    sched = DRRScheduler(link)
+    for flow, quantum in (
+        ("cmu.av", 3000.0),
+        ("cmu.data", 4500.0),
+        ("pitt.av", 1500.0),
+        ("pitt.data", 1000.0),
+    ):
+        sched.add_flow(flow, quantum=quantum)
+    arrivals: List[Arrival] = []
+    _cbr(arrivals, "cmu.av", 0.45 * link, 1400.0, 0.0, 4.0)
+    _cbr(arrivals, "cmu.data", 0.55 * link, 900.0, 0.013, 4.0)
+    _cbr(arrivals, "pitt.av", 0.25 * link, 1200.0, 0.007, 4.0)
+    _cbr(arrivals, "pitt.data", 0.15 * link, 500.0, 0.019, 4.0)
+    # Late single-flow burst after the backlog clears: ring re-entry.
+    _cbr(arrivals, "pitt.data", 0.8 * link, 500.0, 6.5, 7.0)
+    return sched, arrivals, 8.0
+
+
 def eventloop_mixed_context(backend: str) -> Tuple[RunContext, float]:
     """Full event-driven run: EventLoop + Link + stochastic sources.
 
@@ -169,6 +232,8 @@ DRIVE_SETUPS: Dict[str, Callable[[str], DriveSetup]] = {
     "e5_decoupling": e5_decoupling_setup,
     "ul_caps": ul_caps_setup,
     "rt_only": rt_only_setup,
+    "hls_campus": hls_campus_setup,
+    "drr_leaves": drr_leaves_setup,
 }
 
 #: Event-driven checkpointable scenarios (name -> context builder).

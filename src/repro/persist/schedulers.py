@@ -20,6 +20,7 @@ from repro.schedulers.base import Scheduler
 from repro.schedulers.cbq import CBQScheduler
 from repro.schedulers.drr import DRRScheduler
 from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hls import HLSScheduler
 from repro.schedulers.hpfq import HPFQScheduler
 from repro.sim.packet import Packet
 
@@ -29,6 +30,7 @@ SCHEDULER_TYPES: Dict[str, Type[Scheduler]] = {
     "CBQ": CBQScheduler,
     "FIFO": FIFOScheduler,
     "DRR": DRRScheduler,
+    "HLS": HLSScheduler,
 }
 
 

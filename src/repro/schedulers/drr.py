@@ -40,6 +40,7 @@ class DRRScheduler(Scheduler):
         self._flows: Dict[Any, _Flow] = {}
         self._active: Deque[Any] = deque()  # round-robin list of backlogged flows
         self._grant_pending = True  # front flow has not received this visit's quantum
+        self._max_packet = 0.0  # largest size accepted; bounds carried deficit
 
     def add_flow(self, flow_id: Any, quantum: float) -> None:
         if flow_id in self._flows:
@@ -56,6 +57,8 @@ class DRRScheduler(Scheduler):
                 f"packet for unknown flow {packet.class_id!r}"
             ) from None
         self._note_enqueue(packet, now)
+        if packet.size > self._max_packet:
+            self._max_packet = packet.size
         flow.queue.append(packet)
         if len(flow.queue) == 1:
             flow.deficit = 0.0
@@ -85,6 +88,63 @@ class DRRScheduler(Scheduler):
             self._active.rotate(-1)
             self._grant_pending = True
         return None
+
+    # -- invariants (Watchdog / property tests) ------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify Shreedhar & Varghese's bounds and internal consistency.
+
+        * the active ring holds exactly the backlogged flows, once each;
+        * deficits are non-negative; a flow that is not at the front (or
+          is at the front but ungranted) carries strictly less than one
+          max packet -- the deficit it kept when its head did not fit --
+          while the granted front flow is bounded by quantum + carry;
+        * idle flows hold no deficit (it is forfeited on drain);
+        * the base-class packet/byte counters match the queues.
+        """
+        backlogged = {fid for fid, flow in self._flows.items() if flow.queue}
+        ring = list(self._active)
+        if len(set(ring)) != len(ring):
+            raise AssertionError("duplicate flow in the DRR active ring")
+        if set(ring) != backlogged:
+            raise AssertionError(
+                f"active ring {sorted(map(str, ring))} disagrees with "
+                f"backlogged flows {sorted(map(str, backlogged))}"
+            )
+        granted_front = ring[0] if ring and not self._grant_pending else None
+        for fid, flow in self._flows.items():
+            if flow.deficit < 0:
+                raise AssertionError(f"flow {fid!r} has negative deficit")
+            if not flow.queue:
+                if flow.deficit != 0.0:
+                    raise AssertionError(
+                        f"idle flow {fid!r} holds deficit {flow.deficit}"
+                    )
+                continue
+            bound = flow.quantum if fid == granted_front else 0.0
+            if self._max_packet and flow.deficit >= bound + self._max_packet:
+                raise AssertionError(
+                    f"deficit of {fid!r} ({flow.deficit}) exceeds "
+                    f"{bound} + max packet ({self._max_packet})"
+                )
+        total_packets = sum(len(f.queue) for f in self._flows.values())
+        total_bytes = sum(
+            p.size for f in self._flows.values() for p in f.queue
+        )
+        if total_packets != self._backlog_packets:
+            raise AssertionError(
+                f"scheduler counts {self._backlog_packets} backlogged "
+                f"packets, queues hold {total_packets}"
+            )
+        if abs(total_bytes - self._backlog_bytes) > 1e-6:
+            raise AssertionError(
+                f"scheduler counts {self._backlog_bytes} backlogged bytes, "
+                f"queues hold {total_bytes}"
+            )
+        if self.total_enqueued != (
+            self.total_dequeued + self.total_returned + self._backlog_packets
+        ):
+            raise AssertionError("packet conservation violated")
 
     # -- snapshot/restore (repro.persist) -----------------------------------
 

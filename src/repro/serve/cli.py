@@ -45,7 +45,8 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
              "T3 link)",
     )
     parser.add_argument(
-        "--scheduler", choices=SCHEDULER_BACKENDS, default="hfsc",
+        "--scheduler", "--backend", choices=SCHEDULER_BACKENDS,
+        default="hfsc", dest="scheduler",
         help="scheduler backend (default: hfsc)",
     )
     parser.add_argument(
@@ -386,6 +387,12 @@ def add_load_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=1, help="schedule seed")
     parser.add_argument(
+        "--expected", metavar="CLASS=SHARE,...", default=None,
+        help="expected steady-window byte-share weights (ratios only); "
+             "the report normalizes each class's share by these and "
+             "computes Jain's index over the ratios (default: equal)",
+    )
+    parser.add_argument(
         "--report", metavar="PATH", default=None,
         help="write the JSON report here ('-' = stdout, the default)",
     )
@@ -421,6 +428,21 @@ def load_command(args) -> int:
         classes = [c.strip() for c in args.classes.split(",") if c.strip()]
     else:
         classes = leaf_names(figure1_hierarchy())
+    expected = None
+    if args.expected:
+        expected = {}
+        for item in args.expected.split(","):
+            name, sep, share = item.partition("=")
+            try:
+                if not sep:
+                    raise ValueError
+                expected[name.strip()] = float(share)
+            except ValueError:
+                print(
+                    f"repro load: --expected wants CLASS=SHARE, got {item!r}",
+                    file=sys.stderr,
+                )
+                return 2
     try:
         trace = read_trace(args.trace) if args.trace else None
         if args.process == "trace" and trace is None:
@@ -448,6 +470,7 @@ def load_command(args) -> int:
             seed=args.seed,
             trace=trace,
             ring=ring,
+            expected=expected,
         )
         if ring is not None:
             from repro.serve.cluster import shard_targets
@@ -478,7 +501,8 @@ def load_command(args) -> int:
         print(
             f"sent={report['sent']} received={report['received']} "
             f"loss={report['loss_frac']:.2%} "
-            f"p99_wall={report['latency_wall']['p99'] * 1e3:.2f}ms"
+            f"p99_wall={report['latency_wall']['p99'] * 1e3:.2f}ms "
+            f"jain={report['fairness']['jain']:.4f}"
         )
     else:
         print(text)

@@ -18,7 +18,9 @@ Operations (documented in full in ``docs/SERVING.md``):
 ``add_class``         grow the hierarchy; real-time curves pass eager
                       admission control first (``repro.core.admission``)
 ``update_class``      change a live class's curves (absent field = keep,
-                      ``null`` = remove that role)
+                      ``null`` = remove that role); on rate-based
+                      backends with live reconfiguration (hls), change
+                      its weight via ``rate``
 ``remove_class``      shrink the hierarchy; ``force`` drains a backlogged
                       subtree and reports the packets returned
 ``set_link_rate``     change the served link's rate live
@@ -189,7 +191,7 @@ class ControlServer:
                 rows.append({
                     "name": name,
                     "parent": getattr(parent, "name", None),
-                    "rate": getattr(cls, "rate", None),
+                    "rate": getattr(cls, "rate", getattr(cls, "weight", None)),
                     "queued": 0 if queue is None else len(queue),
                 })
         return rows
@@ -303,12 +305,30 @@ class ControlServer:
     def op_update_class(self, request: Dict[str, Any]) -> Dict[str, Any]:
         svc = self.service
         sched = svc.scheduler
-        if not isinstance(sched, HFSC):
-            raise ControlError(
-                f"update_class requires the hfsc backend, not {svc.backend!r}"
-            )
         name = self._require(request, "name")
         dry_run = bool(request.get("dry_run", False))
+        if not isinstance(sched, HFSC):
+            # Rate-based backends (hls) reconfigure by weight, not curve.
+            if not hasattr(sched, "update_class"):
+                raise ControlError(
+                    f"backend {svc.backend!r} does not support update_class"
+                )
+            rate = float(self._require(request, "rate"))
+            classes = getattr(sched, "_classes", {})
+            cls = classes.get(name)
+            if cls is None:
+                raise ControlError(f"class {name!r} does not exist")
+            if getattr(cls, "is_root", False):
+                raise ControlError("cannot update the root class")
+            if rate <= 0:
+                raise ControlError(f"rate must be positive, got {rate:g}")
+            previous = {"rate": getattr(cls, "weight", None)}
+            now = svc.driver.run_due()
+            if dry_run:
+                return {"reserved": name, "sim_clock": now,
+                        "previous": previous}
+            sched.update_class(name, now, rate=rate)
+            return {"updated": name, "sim_clock": now, "previous": previous}
         curves = self._parse_curves(request, allow_unchanged=True)
         if name not in sched._classes:
             raise ControlError(f"class {name!r} does not exist")

@@ -10,11 +10,13 @@ sources, all producing a list of :class:`~repro.core.hierarchy.ClassSpec`:
   ``docs/SERVING.md``;
 * the control plane, which can grow/shrink the tree live afterwards.
 
-``build_scheduler`` turns the specs into any of the rate-capable
-backends.  H-FSC consumes the full curve model; H-PFQ and CBQ are
-rate-based, so each spec's *guaranteed rate* (its linear rate, or the
-long-term slope ``m2`` of a concave curve) is what they get -- the same
-reduction the paper applies when comparing against them.
+``build_scheduler`` turns the specs into any backend in the
+:mod:`repro.schedulers.registry` table.  H-FSC consumes the full curve
+model; the rate-based backends (H-PFQ, CBQ, HLS, ...) get each spec's
+*guaranteed rate* (its linear rate, or the long-term slope ``m2`` of a
+concave curve) -- the same reduction the paper applies when comparing
+against them -- and the flat backends (DRR, WF2Q+, ...) additionally see
+only the leaves.
 """
 
 from __future__ import annotations
@@ -25,13 +27,15 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.curves import ServiceCurve
 from repro.core.errors import ConfigurationError
-from repro.core.hfsc import HFSC, ROOT
 from repro.core.hierarchy import ClassSpec, figure1_hierarchy
 from repro.schedulers.base import Scheduler
-from repro.schedulers.cbq import CBQScheduler
-from repro.schedulers.hpfq import HPFQScheduler
+from repro.schedulers.registry import (  # noqa: F401 (re-exports)
+    BACKENDS,
+    build_backend,
+    guaranteed_rate,
+)
 
-SCHEDULER_BACKENDS = ("hfsc", "hpfq", "cbq")
+SCHEDULER_BACKENDS = tuple(BACKENDS)
 
 
 def _split_specs(link_rate: float) -> List[ClassSpec]:
@@ -163,16 +167,6 @@ def hierarchy_from_file(path: str) -> Dict[str, Any]:
     }
 
 
-def guaranteed_rate(spec: ClassSpec) -> float:
-    """The long-term rate a spec guarantees (for rate-based backends)."""
-    if spec.rate is not None:
-        return spec.rate
-    for curve in (spec.sc, spec.ls_sc, spec.rt_sc):
-        if curve is not None:
-            return curve.m2
-    raise ConfigurationError(f"class {spec.name!r}: no curve given")
-
-
 def build_scheduler(
     backend: str,
     link_rate: float,
@@ -182,59 +176,14 @@ def build_scheduler(
     admission_control: bool = True,
 ) -> Scheduler:
     """Build the configured scheduler backend from the class specs."""
-    if backend == "hfsc":
-        interior = {spec.parent for spec in specs if spec.parent is not None}
-        scheduler = HFSC(
-            link_rate,
-            admission_control=admission_control,
-            eligible_backend=eligible_backend,
-            overload_policy=overload_policy,
-        )
-        for spec in _resolution_order(specs):
-            curves = spec.curves()
-            if spec.name in interior and curves.get("sc") is not None:
-                # Interior classes participate in link-sharing only (their
-                # single declared curve is the ls curve), mirroring
-                # :func:`repro.core.hierarchy.build_hfsc`.
-                curves = {"sc": None, "rt_sc": None, "ls_sc": curves["sc"],
-                          "ul_sc": curves.get("ul_sc")}
-            scheduler.add_class(
-                spec.name, parent=ROOT if spec.parent is None else spec.parent,
-                **curves,
-            )
-        return scheduler
-    if backend == "hpfq":
-        scheduler = HPFQScheduler(link_rate)
-    elif backend == "cbq":
-        scheduler = CBQScheduler(link_rate)
-    else:
-        raise ConfigurationError(
-            f"unknown scheduler backend {backend!r}; "
-            f"expected one of {SCHEDULER_BACKENDS}"
-        )
-    for spec in _resolution_order(specs):
-        parent = ROOT if spec.parent is None else spec.parent
-        scheduler.add_class(spec.name, parent=parent, rate=guaranteed_rate(spec))
-    return scheduler
+    return build_backend(
+        backend, link_rate, specs,
+        overload_policy=overload_policy,
+        eligible_backend=eligible_backend,
+        admission_control=admission_control,
+    )
 
 
 def leaf_names(specs: Sequence[ClassSpec]) -> List[str]:
     parents = {spec.parent for spec in specs if spec.parent is not None}
     return [spec.name for spec in specs if spec.name not in parents]
-
-
-def _resolution_order(specs: Sequence[ClassSpec]) -> List[ClassSpec]:
-    """Parents before children, declaration order otherwise."""
-    known = {None, ROOT}
-    pending = list(specs)
-    ordered: List[ClassSpec] = []
-    while pending:
-        progress = [s for s in pending if s.parent in known]
-        if not progress:
-            names = ", ".join(repr(s.name) for s in pending)
-            raise ConfigurationError(f"unresolvable parents for classes: {names}")
-        for spec in progress:
-            ordered.append(spec)
-            known.add(spec.name)
-        pending = [s for s in pending if s not in ordered]
-    return ordered

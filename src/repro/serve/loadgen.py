@@ -41,6 +41,7 @@ import socket as socket_module
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.fairness import jain_index
 from repro.core.errors import ConfigurationError
 from repro.serve.wire import (
     WireError,
@@ -227,8 +228,21 @@ class LoadGenerator:
         trace: Optional[Sequence[float]] = None,
         clock=time.monotonic,
         ring=None,
+        expected: Optional[Dict[str, float]] = None,
     ):
         self.classes = list(classes)
+        # Expected steady-window byte-share weights per class (only the
+        # ratios matter).  None = equal shares, which matches the default
+        # schedule: every class offers the same load.
+        if expected is not None:
+            unknown = sorted(set(expected) - set(self.classes))
+            if unknown:
+                raise ConfigurationError(
+                    f"expected shares name unknown classes: {unknown}"
+                )
+            if any(w <= 0 for w in expected.values()):
+                raise ConfigurationError("expected shares must be positive")
+        self.expected = dict(expected) if expected else None
         self.flows = flow_names(self.classes, flows)
         # Sharded mode: a ShardRing pins each flow to one shard; run()
         # then expects one transport per shard, in shard order.  The
@@ -427,6 +441,26 @@ class LoadGenerator:
                 "goodput_bps": goodput,
                 "departure_span_sim": span,
             }
+        # Steady-window fairness: each class's byte share normalized by
+        # its expected share (equal shares unless told otherwise), and
+        # Jain's index over those ratios -- 1.0 means the scheduler split
+        # the window exactly as expected, regardless of absolute rate.
+        expected = self.expected or {cls: 1.0 for cls in self.classes}
+        total_weight = sum(expected.values())
+        normalized: Dict[str, float] = {}
+        for cls in self.classes:
+            weight = expected.get(cls, 0.0) / total_weight
+            normalized[cls] = (
+                per_class[cls]["share"] / weight if weight > 0 else 0.0
+            )
+        fairness = {
+            "expected_share": {
+                cls: expected.get(cls, 0.0) / total_weight
+                for cls in self.classes
+            },
+            "normalized_goodput": normalized,
+            "jain": jain_index(list(normalized.values())),
+        }
         report: Dict[str, Any] = {
             "process": self.process,
             "flows": len(self.flows),
@@ -447,6 +481,7 @@ class LoadGenerator:
             "latency_wall": self.wall_latency.report(),
             "latency_sim": self.sim_latency.report(),
             "per_class": per_class,
+            "fairness": fairness,
         }
         if self.sent_per_shard is not None:
             report["shards"] = {

@@ -1,0 +1,63 @@
+"""Pinned departure-schedule digests for the shoot-out scenario matrix.
+
+``tests/golden/golden_schedules.json`` pins the H-FSC-centric persist
+scenarios; this file pins every backend of the fairness shoot-out
+(H-FSC, H-PFQ, CBQ, HLS, DRR) over the matrix scenarios (campus,
+skewed, churn) from :mod:`repro.analysis.shootout`.  A digest mismatch
+means a backend's packet ordering or a departure timestamp changed --
+refactors of any scheduler in the registry are held to the same
+byte-identical bar the H-FSC hot path is.
+
+Regenerate (only when a schedule change is *intended*)::
+
+    PYTHONPATH=src python -m tests.backend_digests --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.analysis.shootout import SCENARIOS, SHOOTOUT_BACKENDS, run_backend
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "backend_schedules.json"
+)
+
+
+def compute_digests() -> Dict[str, Dict[str, str]]:
+    return {
+        name: {
+            backend: run_backend(scenario, backend)["digest"]
+            for backend in SHOOTOUT_BACKENDS
+        }
+        for name, scenario in SCENARIOS.items()
+    }
+
+
+def load_golden() -> Dict[str, Dict[str, str]]:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def main(argv: List[str] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="regenerate the golden digest file")
+    args = parser.parse_args(argv)
+    digests = compute_digests()
+    print(json.dumps(digests, indent=2, sort_keys=True))
+    if args.write:
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w") as handle:
+            json.dump(digests, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,9 +35,11 @@ from repro.persist.harness import schedule_digest  # re-export for tests
 from repro.persist.scenarios import (
     DRIVE_SETUPS,
     RUNTIME_SETUPS,
+    drr_leaves_setup,
     e4_phases_setup,
     e5_decoupling_setup,
     eventloop_mixed_context,
+    hls_campus_setup,
     rt_only_setup,
     ul_caps_setup,
 )
@@ -81,6 +83,8 @@ SCENARIOS: Dict[str, Callable[[str], List[Tuple[Any, float, float, Any]]]] = {
     "e5_decoupling": _drive_scenario(e5_decoupling_setup),
     "ul_caps": _drive_scenario(ul_caps_setup),
     "rt_only": _drive_scenario(rt_only_setup),
+    "hls_campus": _drive_scenario(hls_campus_setup),
+    "drr_leaves": _drive_scenario(drr_leaves_setup),
     "eventloop_mixed": eventloop_mixed,
 }
 

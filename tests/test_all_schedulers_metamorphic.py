@@ -18,6 +18,7 @@ from repro.core.sced import FairCurveScheduler, SCEDScheduler
 from repro.schedulers.cbq import CBQScheduler
 from repro.schedulers.drr import DRRScheduler
 from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hls import HLSScheduler
 from repro.schedulers.hpfq import HPFQScheduler
 from repro.schedulers.priority import StaticPriorityScheduler
 from repro.schedulers.sfq import SFQScheduler
@@ -79,12 +80,17 @@ def build(kind: str):
         for cid, rate in rates.items():
             sched.add_class(cid, rate=rate)
         return sched
+    if kind == "hls":
+        sched = HLSScheduler(LINK)
+        for cid, rate in rates.items():
+            sched.add_class(cid, rate=rate)
+        return sched
     raise AssertionError(kind)
 
 
 ALL_KINDS = [
     "fifo", "priority", "vclock", "wfq", "sfq", "wf2q", "drr",
-    "sced", "faircurve", "hfsc", "hpfq", "cbq",
+    "sced", "faircurve", "hfsc", "hpfq", "cbq", "hls",
 ]
 
 

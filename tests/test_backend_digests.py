@@ -1,0 +1,32 @@
+"""Every shoot-out backend replays its pinned schedule, byte-identical.
+
+See ``tests/backend_digests.py`` for the golden file and how to
+regenerate it when a schedule change is intended.
+"""
+
+import pytest
+
+from repro.analysis.shootout import SCENARIOS, SHOOTOUT_BACKENDS, run_backend
+from tests.backend_digests import load_golden
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_golden()
+
+
+@pytest.mark.parametrize("backend", SHOOTOUT_BACKENDS)
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_matrix_schedule_pinned(golden, name, backend):
+    cell = run_backend(SCENARIOS[name], backend)
+    assert cell["packets"] > 0, f"{backend} served nothing on {name!r}"
+    assert cell["digest"] == golden[name][backend], (
+        f"{backend} schedule on scenario {name!r} diverged from the "
+        "pinned digest -- packet ordering or departure timestamps changed"
+    )
+
+
+def test_golden_covers_the_matrix(golden):
+    assert set(golden) == set(SCENARIOS)
+    for name in golden:
+        assert set(golden[name]) == set(SHOOTOUT_BACKENDS)

@@ -1,0 +1,157 @@
+"""Stateful property tests: DRR's deficit/quantum invariants.
+
+DRR is the reference for HLS's round-robin core; a hypothesis state
+machine drives a :class:`DRRScheduler` with random enqueue/dequeue
+interleavings over random quanta and checks after every step that
+
+* internal bookkeeping stays consistent (``check_invariants``): ring
+  membership, idle flows hold no deficit;
+* the carried deficit of every flow not being served is strictly below
+  one max packet (Shreedhar & Varghese's Lemma 1 -- the property that
+  makes DRR's unfairness O(max packet) per round);
+* the scheduler is work conserving: backlogged implies ``dequeue``
+  returns a packet (the quantum machinery can delay a flow, never the
+  link);
+* bytes are conserved and per-flow FIFO order holds.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.schedulers.drr import DRRScheduler
+from repro.sim.packet import Packet
+
+MAX_SIZE = 200.0
+
+
+class DRRMachine(RuleBasedStateMachine):
+    LINK = 1000.0
+
+    @initialize(seed=st.integers(0, 2**32 - 1))
+    def setup(self, seed):
+        rng = random.Random(seed)
+        self.sched = DRRScheduler(self.LINK)
+        self.flows = []
+        for index in range(rng.randint(2, 5)):
+            name = f"f{index}"
+            # Quanta both below and above the max packet size: the
+            # head-does-not-fit carry path needs quanta < max packet.
+            self.sched.add_flow(name, quantum=rng.uniform(50.0, 600.0))
+            self.flows.append(name)
+        self.now = 0.0
+        self.bytes_in = 0.0
+        self.bytes_out = 0.0
+        self.sent_uids = {name: [] for name in self.flows}
+        self.got_uids = {name: [] for name in self.flows}
+
+    @rule(flow_index=st.integers(0, 7), size=st.floats(10.0, MAX_SIZE))
+    def enqueue(self, flow_index, size):
+        name = self.flows[flow_index % len(self.flows)]
+        packet = Packet(name, size)
+        self.sched.enqueue(packet, self.now)
+        self.bytes_in += size
+        self.sent_uids[name].append(packet.uid)
+
+    @rule(gap=st.floats(0.0, 0.5))
+    def dequeue(self, gap):
+        self.now += gap
+        packet = self.sched.dequeue(self.now)
+        if len(self.sched) or packet is not None:
+            # Work conservation: dequeue may only decline when empty
+            # (len counts the backlog *after* a successful dequeue).
+            assert packet is not None, "work conservation violated"
+        if packet is None:
+            return
+        self.bytes_out += packet.size
+        self.got_uids[packet.class_id].append(packet.uid)
+        self.now += packet.size / self.LINK
+
+    @rule()
+    def drain_some(self):
+        for _ in range(3):
+            if not len(self.sched):
+                break
+            packet = self.sched.dequeue(self.now)
+            assert packet is not None, "work conservation violated"
+            self.bytes_out += packet.size
+            self.got_uids[packet.class_id].append(packet.uid)
+            self.now += packet.size / self.LINK
+
+    @invariant()
+    def consistent(self):
+        if not hasattr(self, "sched"):
+            return
+        self.sched.check_invariants()
+
+    @invariant()
+    def carried_deficit_below_max_packet(self):
+        # Between dequeues no flow is mid-grant, so EVERY backlogged
+        # flow's deficit is carry from a head-did-not-fit yield -- the
+        # Lemma 1 bound, tighter than what check_invariants can assert
+        # for the in-service front flow.
+        if not hasattr(self, "sched"):
+            return
+        if self.sched._grant_pending:
+            for name in self.flows:
+                flow = self.sched._flows[name]
+                if flow.queue:
+                    assert flow.deficit < MAX_SIZE
+
+    @invariant()
+    def bytes_conserved(self):
+        if not hasattr(self, "sched"):
+            return
+        assert abs(
+            self.bytes_in - self.bytes_out - self.sched.backlog_bytes
+        ) < 1e-6
+
+    @invariant()
+    def fifo_per_flow(self):
+        if not hasattr(self, "sched"):
+            return
+        for name in self.flows:
+            got = self.got_uids[name]
+            assert got == self.sent_uids[name][: len(got)]
+
+
+TestDRRStateMachine = DRRMachine.TestCase
+TestDRRStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=60, deadline=None
+)
+
+
+def test_check_invariants_catches_ring_corruption():
+    sched = DRRScheduler(1000.0)
+    sched.add_flow("a", quantum=100.0)
+    sched.add_flow("b", quantum=100.0)
+    sched.enqueue(Packet("a", 50.0), 0.0)
+    sched.check_invariants()
+    sched._active.append("b")  # not backlogged
+    try:
+        sched.check_invariants()
+    except AssertionError:
+        pass
+    else:
+        raise AssertionError("corrupted ring went undetected")
+
+
+def test_check_invariants_catches_leaked_deficit():
+    sched = DRRScheduler(1000.0)
+    sched.add_flow("a", quantum=100.0)
+    sched.enqueue(Packet("a", 50.0), 0.0)
+    assert sched.dequeue(0.0) is not None
+    sched._flows["a"].deficit = 5.0  # idle flow must forfeit its deficit
+    try:
+        sched.check_invariants()
+    except AssertionError:
+        pass
+    else:
+        raise AssertionError("leaked idle deficit went undetected")

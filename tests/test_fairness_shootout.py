@@ -1,0 +1,111 @@
+"""The fairness shoot-out: max-min reference and scheduler accuracy.
+
+Unit-level: the weighted and hierarchical max-min (water-filling)
+allocations against hand-computed cases.  System-level: the hierarchical
+backends -- H-FSC by configuration, HLS by construction -- track the
+hierarchical max-min allocation within 5% on every matrix scenario,
+while flat DRR provably cannot (an idle subtree's surplus leaks
+link-wide), which is the shoot-out's headline comparison.
+"""
+
+import pytest
+
+from repro.analysis.fairness import hierarchical_max_min, weighted_max_min
+from repro.analysis.shootout import SCENARIOS, run_backend
+
+
+class TestWeightedMaxMin:
+    def test_all_greedy_splits_by_weight(self):
+        alloc = weighted_max_min(
+            90.0, {"a": 2.0, "b": 1.0}, {"a": 1000.0, "b": 1000.0}
+        )
+        assert alloc == {"a": 60.0, "b": 30.0}
+
+    def test_saturated_surplus_redistributes(self):
+        alloc = weighted_max_min(
+            90.0, {"a": 1.0, "b": 1.0, "c": 1.0},
+            {"a": 10.0, "b": 1000.0, "c": 1000.0},
+        )
+        assert alloc["a"] == 10.0
+        assert alloc["b"] == pytest.approx(40.0)
+        assert alloc["c"] == pytest.approx(40.0)
+
+    def test_idle_gets_nothing(self):
+        alloc = weighted_max_min(
+            10.0, {"a": 1.0, "b": 3.0}, {"a": 0.0, "b": 100.0}
+        )
+        assert alloc == {"a": 0.0, "b": 10.0}
+
+    def test_underload_everyone_satisfied(self):
+        alloc = weighted_max_min(
+            100.0, {"a": 1.0, "b": 1.0}, {"a": 5.0, "b": 7.0}
+        )
+        assert alloc == {"a": 5.0, "b": 7.0}
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_max_min(1.0, {"a": 1.0}, {"b": 1.0})
+
+
+class TestHierarchicalMaxMin:
+    TREE = (
+        ("cmu", None, 25.0),
+        ("pitt", None, 20.0),
+        ("cmu.av", "cmu", 12.0),
+        ("cmu.data", "cmu", 13.0),
+        ("pitt.av", "pitt", 12.0),
+        ("pitt.data", "pitt", 8.0),
+    )
+
+    def test_idle_subtree_surplus_stays_in_agency(self):
+        # cmu.av idle: its 12 goes to cmu.data, never across to pitt.
+        alloc = hierarchical_max_min(
+            45.0, self.TREE,
+            {"cmu.av": 0.0, "cmu.data": 1e9,
+             "pitt.av": 1e9, "pitt.data": 1e9},
+        )
+        assert alloc["cmu.data"] == pytest.approx(25.0)
+        assert alloc["pitt.av"] == pytest.approx(12.0)
+        assert alloc["pitt.data"] == pytest.approx(8.0)
+
+    def test_saturated_leaf_frees_siblings_first(self):
+        alloc = hierarchical_max_min(
+            45.0, self.TREE,
+            {"cmu.av": 2.0, "cmu.data": 1e9,
+             "pitt.av": 1e9, "pitt.data": 1e9},
+        )
+        assert alloc["cmu.av"] == pytest.approx(2.0)
+        assert alloc["cmu.data"] == pytest.approx(23.0)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchical_max_min(
+                1.0, [("kid", "ghost", 1.0)], {"kid": 1.0}
+            )
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchical_max_min(
+                1.0, [("a", None, 1.0), ("a", None, 2.0)], {"a": 1.0}
+            )
+
+
+class TestShootoutAccuracy:
+    """The acceptance bar: hierarchical backends within 5% of max-min."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("backend", ("hfsc", "hls"))
+    def test_within_five_percent(self, name, backend):
+        cell = run_backend(SCENARIOS[name], backend)
+        assert cell["worst_dev"] <= 0.05, (
+            f"{backend} deviates {cell['worst_dev']:.1%} from hierarchical "
+            f"max-min on scenario {name!r}"
+        )
+        assert cell["jain"] >= 0.99
+
+    def test_flat_drr_leaks_idle_subtree_surplus(self):
+        # The campus scenario idles cmu.av.video; a flat scheduler spreads
+        # that surplus link-wide instead of keeping it under cmu.av, so it
+        # must miss the hierarchical allocation by far more than 5%.
+        cell = run_backend(SCENARIOS["campus"], "drr")
+        assert cell["worst_dev"] > 0.05

@@ -26,6 +26,7 @@ from repro.persist.schedulers import restore_scheduler, snapshot_scheduler
 from repro.schedulers.cbq import CBQScheduler
 from repro.schedulers.drr import DRRScheduler
 from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hls import HLSScheduler
 from repro.schedulers.hpfq import HPFQScheduler
 from repro.sim.packet import Packet
 
@@ -153,12 +154,33 @@ def build_drr():
     return sched, now
 
 
+def build_hls():
+    sched = HLSScheduler(100_000.0, quantum=3_000.0)
+    sched.add_class("cmu", rate=25.0)
+    sched.add_class("pitt", rate=20.0)
+    sched.add_class("cmu.av", parent="cmu", rate=12.0)
+    sched.add_class("cmu.data", parent="cmu", rate=13.0)
+    sched.add_class("pitt.data", parent="pitt", rate=8.0)
+    now = 0.0
+    for i in range(20):
+        sched.enqueue(Packet(("cmu.av", "cmu.data", "pitt.data")[i % 3],
+                             400.0 + 75 * (i % 4), created=now), now)
+        if i % 4 == 3:
+            # Serve mid-stream so rings rotate and credits are partial.
+            p = sched.dequeue(now)
+            if p is not None:
+                now += p.size / sched.link_rate
+        now += 0.003
+    return sched, now
+
+
 BUILDERS = {
     "HFSC": build_hfsc,
     "HPFQ": build_hpfq,
     "CBQ": build_cbq,
     "FIFO": build_fifo,
     "DRR": build_drr,
+    "HLS": build_hls,
 }
 
 
@@ -274,6 +296,61 @@ def test_drr_ring_tamper_refused():
     with pytest.raises(SnapshotError) as err:
         restore_scheduler(doc, get_packet)
     assert err.value.reason == "ring-mismatch"
+
+
+def test_hls_ring_tamper_refused():
+    sched, _ = build_hls()
+
+    def mutate(doc):
+        for rdoc in doc["rings"].values():
+            if rdoc["ring"]:
+                rdoc["ring"].pop()
+                return
+        raise AssertionError("expected a backlogged ring")
+
+    doc, get_packet = tampered_body(sched, mutate)
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "ring-mismatch"
+
+
+def test_hls_unknown_class_field_refused():
+    sched, _ = build_hls()
+    doc, get_packet = tampered_body(
+        sched, lambda d: d["classes"][0].update(surprise=1))
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "unknown-field"
+
+
+def test_hls_idle_credit_tamper_refused():
+    sched, now = build_hls()
+    drain(sched, now)  # idle scheduler: every credit must be zero
+
+    def mutate(doc):
+        doc["classes"][0]["credit"] = 123.0
+
+    doc, get_packet = tampered_body(sched, mutate)
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "counter-mismatch"
+
+
+def test_hls_queued_interior_refused():
+    sched, _ = build_hls()
+
+    def mutate(doc):
+        # Hang a child off a currently-leaf class that holds packets.
+        victim = next(c["name"] for c in doc["classes"] if c["queue"])
+        doc["classes"].append({
+            "name": "intruder", "parent": victim, "weight": 1.0,
+            "credit": 0.0, "bytes_served": 0.0, "queue": [],
+        })
+
+    doc, get_packet = tampered_body(sched, mutate)
+    with pytest.raises(SnapshotError) as err:
+        restore_scheduler(doc, get_packet)
+    assert err.value.reason == "bad-hierarchy"
 
 
 def test_refused_restore_leaves_no_partial_state():

@@ -162,6 +162,45 @@ class TestReconfiguration:
         assert svc.scheduler.link_rate == 500.0
 
 
+class TestRateBackendReconfiguration:
+    def test_hls_update_class_by_rate(self):
+        svc = make_service(backend="hls")
+        server = ControlServer(svc)
+        result = ok(server, {"op": "update_class", "name": "gold",
+                             "rate": 900.0})
+        assert result["updated"] == "gold"
+        assert result["previous"]["rate"] == pytest.approx(600.0)
+        rows = {r["name"]: r for r in ok(server, {"op": "classes"})}
+        assert rows["gold"]["rate"] == pytest.approx(900.0)
+
+    def test_hls_dry_run_reserves_without_mutating(self):
+        svc = make_service(backend="hls")
+        server = ControlServer(svc)
+        result = ok(server, {"op": "update_class", "name": "gold",
+                             "rate": 900.0, "dry_run": True})
+        assert result["reserved"] == "gold"
+        rows = {r["name"]: r for r in ok(server, {"op": "classes"})}
+        assert rows["gold"]["rate"] == pytest.approx(600.0)
+
+    def test_hls_update_rejects_bad_requests(self):
+        svc = make_service(backend="hls")
+        server = ControlServer(svc)
+        assert err(server, {"op": "update_class", "name": "gold"})  # no rate
+        assert err(server, {"op": "update_class", "name": "ghost",
+                            "rate": 10.0})
+        assert err(server, {"op": "update_class", "name": "gold",
+                            "rate": 0.0})
+        assert err(server, {"op": "update_class", "name": "__root__",
+                            "rate": 10.0})
+
+    def test_backend_without_update_class_refused(self):
+        svc = make_service(backend="drr")
+        server = ControlServer(svc)
+        error = err(server, {"op": "update_class", "name": "gold",
+                             "rate": 10.0})
+        assert "does not support update_class" in error["message"]
+
+
 class TestLifecycleOps:
     def test_snapshot_and_shutdown(self, tmp_path):
         svc = make_service()

@@ -92,6 +92,64 @@ class TestLoopback:
         assert service.dataplane.shed_buffer > 0
         assert summary["dataplane"]["shed"]["unparseable"] == 0
 
+    def test_hls_backend_shares_goodput_under_chaos(self):
+        """The same overload scenario on the hls backend: goodput follows
+        the 60/40 weights, the watchdog audits the ring/credit invariants
+        throughout, and live weight updates through the control plane
+        neither crash nor trip it."""
+        link_rate = 30_000.0
+        service = ServeService(
+            split_specs(link_rate), link_rate, backend="hls",
+            time_scale=1.0, buffer_packets=64, watchdog_period=0.25,
+        )
+        assert service.watchdog is not None  # hls exposes check_invariants
+        generator = LoadGenerator(
+            ["gold", "bronze"], flows=8, rate=400.0, size=300,
+            process="cbr", duration=1.5, seed=11,
+            expected={"gold": 0.6, "bronze": 0.4},
+        )
+        control_log = {}
+
+        async def scenario():
+            host, port = await service.start_udp("127.0.0.1", 0)
+            serve = asyncio.ensure_future(
+                service.run(duration=8.0, install_signals=False,
+                            idle_poll=0.05)
+            )
+            load = asyncio.ensure_future(
+                run_load(f"{host}:{port}", generator, drain=0.8)
+            )
+            await asyncio.sleep(0.5)
+            from repro.serve.control import ControlServer
+
+            server = ControlServer(service)
+            # Live weight chaos mid-load: shift and restore the split.
+            shift = json.loads(server.dispatch_line(json.dumps(
+                {"op": "update_class", "name": "gold",
+                 "rate": 0.5 * link_rate}).encode()))
+            restore = json.loads(server.dispatch_line(json.dumps(
+                {"op": "update_class", "name": "gold",
+                 "rate": 0.6 * link_rate}).encode()))
+            control_log.update(shift=shift, restore=restore)
+            await load
+            service.request_stop(snapshot=False)
+            await serve
+
+        asyncio.run(scenario())
+        assert control_log["shift"]["ok"], control_log
+        assert control_log["restore"]["ok"], control_log
+
+        report = generator.report()
+        summary = service.summary()
+        assert summary["watchdog"]["checks_run"] >= 1
+        assert summary["watchdog"]["violations"] == []
+        assert report["received"] > 100, report
+        # Round-robin rounds are quantum-grained (12 kB default against
+        # a ~45 kB steady window), so allow a round of slack around 0.6.
+        gold = report["per_class"]["gold"]["share"]
+        assert 0.40 <= gold <= 0.76, report["per_class"]
+        assert report["fairness"]["jain"] > 0.9, report["fairness"]
+
     def test_unknown_flows_are_shed_not_fatal(self):
         service = ServeService(
             split_specs(10_000.0), 10_000.0, time_scale=1.0,

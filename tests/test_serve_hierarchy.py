@@ -114,7 +114,26 @@ class TestBackends:
 
     def test_unknown_backend(self):
         with pytest.raises(ConfigurationError):
-            build_scheduler("wfq", 1.0, hierarchy_preset("split", 1.0))
+            build_scheduler("fq_codel", 1.0, hierarchy_preset("split", 1.0))
+
+    def test_registry_builds_every_backend(self):
+        from repro.schedulers.registry import BACKENDS
+
+        specs = hierarchy_preset("campus", 45_000.0)
+        for name in BACKENDS:
+            sched = build_scheduler(name, 45_000.0, specs)
+            assert sched.link_rate == 45_000.0, name
+
+    def test_flat_backends_see_leaves_only(self):
+        from repro.schedulers.registry import BACKENDS
+
+        specs = hierarchy_preset("e4", 45_000.0)
+        leaves = set(leaf_names(specs))
+        for name, backend in BACKENDS.items():
+            if backend.hierarchical or name == "fifo":
+                continue
+            sched = build_scheduler(name, 45_000.0, specs)
+            assert set(sched._flows) == leaves, name
 
     def test_out_of_order_parents_resolve(self):
         specs = [

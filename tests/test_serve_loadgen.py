@@ -114,3 +114,48 @@ class TestReportAccounting:
     def test_size_floor_enforced(self):
         with pytest.raises(ConfigurationError):
             LoadGenerator(["a-very-long-class-name"], flows=1, size=16)
+
+
+class TestFairnessSummary:
+    def _notice(self, flow, size=256.0):
+        return encode_departure(flow, 0, 0.0, 1.0, 2.0, size)
+
+    def test_equal_split_scores_perfect_jain(self):
+        gen = LoadGenerator(["a", "b"], flows=2, rate=10.0, duration=1.0,
+                            clock=lambda: 0.0)
+        gen.on_notice(self._notice("a#0"))
+        gen.on_notice(self._notice("b#1"))
+        fairness = gen.report()["fairness"]
+        assert fairness["jain"] == pytest.approx(1.0)
+        assert fairness["normalized_goodput"]["a"] == pytest.approx(1.0)
+        assert fairness["expected_share"] == {"a": 0.5, "b": 0.5}
+
+    def test_weighted_expectation_normalizes_shares(self):
+        # 3:1 delivery against a 3:1 expectation is perfectly fair ...
+        gen = LoadGenerator(["gold", "bronze"], flows=2, rate=10.0,
+                            duration=1.0, clock=lambda: 0.0,
+                            expected={"gold": 3.0, "bronze": 1.0})
+        for _ in range(3):
+            gen.on_notice(self._notice("gold#0"))
+        gen.on_notice(self._notice("bronze#1"))
+        fairness = gen.report()["fairness"]
+        assert fairness["jain"] == pytest.approx(1.0)
+        # ... while against an equal expectation it is not.
+        flat = LoadGenerator(["gold", "bronze"], flows=2, rate=10.0,
+                             duration=1.0, clock=lambda: 0.0)
+        for _ in range(3):
+            flat.on_notice(self._notice("gold#0"))
+        flat.on_notice(self._notice("bronze#1"))
+        assert flat.report()["fairness"]["jain"] < 0.9
+
+    def test_starved_class_drags_the_index(self):
+        gen = LoadGenerator(["a", "b"], flows=2, rate=10.0, duration=1.0,
+                            clock=lambda: 0.0)
+        gen.on_notice(self._notice("a#0"))
+        assert gen.report()["fairness"]["jain"] == pytest.approx(0.5)
+
+    def test_expected_shares_validated(self):
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(["a"], flows=1, expected={"ghost": 1.0})
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(["a"], flows=1, expected={"a": 0.0})
